@@ -1,0 +1,54 @@
+// Ablation — static mixes vs dynamic node autoscaling.
+//
+// The paper's sub-linear static configurations (Figure 9) trade time for
+// energy but keep every node powered. The complementary "dynamic
+// adaptation" the paper defers — parking whole nodes against a diurnal
+// load — collapses the idle floor and pushes the effective power profile
+// toward the ideal line no static mix can reach.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/cluster/autoscale.hpp"
+#include "hcep/config/budget.hpp"
+
+int main() {
+  using namespace hcep;
+  using namespace hcep::literals;
+  bench::banner("Ablation: static 1 kW mixes vs autoscaling (EP, diurnal day)",
+                "Section I's 'dynamic adaptation' complement; Figure 9");
+
+  const auto& ep = bench::study().workload("EP");
+  const auto day = cluster::LoadTrace::diurnal(600_s, 0.1, 0.8);
+
+  TextTable table({"system", "energy/day [kJ]", "EPM", "idle floor [W]",
+                   "worst p95 [ms]"});
+  // Static mixes: replay the same trace with every node always on.
+  for (const auto& mix : config::paper_budget_mixes()) {
+    const model::TimeEnergyModel m(mix, ep);
+    cluster::TraceReplayOptions opts;
+    opts.bucket = 25_s;
+    const auto r = cluster::replay_trace(m, day, opts);
+    const auto report = metrics::analyze(m.power_curve());
+    table.add_row({"static " + mix.label(),
+                   fmt(r.total_energy.value() / 1e3, 1),
+                   fmt(report.epm, 2), fmt(m.idle_power().value(), 1),
+                   fmt(r.worst_p95.value() * 1e3, 1)});
+  }
+  // Autoscaled: the 32A9:12K10 fleet with node parking.
+  {
+    const model::TimeEnergyModel m(model::make_a9_k10_cluster(32, 12), ep);
+    const auto r = cluster::autoscale_replay(m, day);
+    table.add_row({"autoscaled 32A9:12K10",
+                   fmt(r.total_energy.value() / 1e3, 1),
+                   fmt(r.effective_report.epm, 2),
+                   fmt(r.effective_curve.idle().value(), 1),
+                   fmt(r.worst_p95.value() * 1e3, 1)});
+  }
+  std::cout << table
+            << "reading: static mixes are pinned at EPM = 1 - IPR (the\n"
+               "proportionality wall); parking nodes collapses the idle\n"
+               "floor and lifts EPM toward 1 — dynamic adaptation, not mix\n"
+               "choice, is what actually scales the wall. The latency cost\n"
+               "is bounded by the controller's headroom.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation — dispatch policy on a heterogeneous floor.
+//
+// The paper defers dynamic workload adaptation to complementary work;
+// here five dispatcher policies route atomic jobs over the individual
+// nodes of an 8 A9 + 2 K10 cluster, quantifying the latency/energy spread
+// that heterogeneity-aware dispatch buys.
+#include <iostream>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hcep/cluster/dispatch.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Ablation: dispatch policies on 8 A9 + 2 K10",
+                "Section I's 'dynamic adaptation' complement");
+
+  const auto cluster = model::make_a9_k10_cluster(8, 2);
+  for (const auto* program : {"EP", "x264"}) {
+    const auto& w = bench::study().workload(program);
+    for (double u : {0.5, 0.8}) {
+      std::cout << "\n[" << program << " @ " << fmt(u * 100, 0)
+                << "% utilization]\n";
+      TextTable table({"policy", "p95 [ms]", "mean [ms]", "J/job",
+                       "A9 jobs", "K10 jobs"});
+      for (const auto policy : cluster::all_dispatch_policies()) {
+        cluster::DispatchOptions opts;
+        opts.policy = policy;
+        opts.utilization = u;
+        opts.jobs = 3000;
+        const auto r = cluster::simulate_dispatch(cluster, w, opts);
+        std::uint64_t a9_jobs = 0, k10_jobs = 0;
+        for (const auto& n : r.nodes) {
+          if (n.node_name == "A9") a9_jobs = n.jobs_served;
+          if (n.node_name == "K10") k10_jobs = n.jobs_served;
+        }
+        table.add_row({cluster::to_string(policy),
+                       fmt(r.p95_response.value() * 1e3, 1),
+                       fmt(r.mean_response.value() * 1e3, 1),
+                       fmt(r.energy_per_job, 2), std::to_string(a9_jobs),
+                       std::to_string(k10_jobs)});
+      }
+      std::cout << table;
+    }
+  }
+  // Mixed stream: a 3:1 EP / x264 diet, where per-job node choice must
+  // account for the job's program, not just the node.
+  std::cout << "\n[mixed stream: 75% EP + 25% x264 @ 60% utilization]\n";
+  {
+    std::vector<cluster::MixedStream> streams{
+        {bench::study().workload("EP"), 3.0},
+        {bench::study().workload("x264"), 1.0}};
+    TextTable table({"policy", "overall p95 [s]", "EP p95 [s]",
+                     "x264 p95 [s]", "J/job"});
+    for (const auto policy : cluster::all_dispatch_policies()) {
+      cluster::DispatchOptions opts;
+      opts.policy = policy;
+      opts.utilization = 0.6;
+      opts.jobs = 4000;
+      const auto r = cluster::simulate_mixed_dispatch(cluster, streams, opts);
+      table.add_row({cluster::to_string(policy),
+                     fmt(r.overall.p95_response.value(), 3),
+                     fmt(r.per_program[0].p95_response.value(), 3),
+                     fmt(r.per_program[1].p95_response.value(), 3),
+                     fmt(r.overall.energy_per_job, 2)});
+    }
+    std::cout << table;
+  }
+
+  std::cout << "\nreading: heterogeneity-blind policies (round-robin,\n"
+               "random) pay heavily on x264 where node speeds differ ~37x;\n"
+               "completion-aware dispatch recovers most of it — also under\n"
+               "a mixed diet, where the x264 minority dominates blind tails\n";
+  return 0;
+}

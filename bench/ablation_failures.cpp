@@ -1,0 +1,43 @@
+// Ablation — failure resilience of the 1 kW mixes.
+//
+// A wimpy-heavy cluster loses 1/128 of its capacity per failed node; the
+// all-brawny cluster loses 1/16. At equal per-node reliability the mixes
+// therefore degrade differently under failures — a heterogeneity effect
+// the paper's always-healthy models cannot see.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/cluster/failures.hpp"
+#include "hcep/config/budget.hpp"
+
+int main() {
+  using namespace hcep;
+  using namespace hcep::literals;
+  bench::banner("Ablation: node failures across the 1 kW mixes (EP)",
+                "extension: failure granularity of wimpy vs brawny mixes");
+
+  const auto& ep = bench::study().workload("EP");
+  TextTable table({"mix", "nodes", "availability", "service inflation",
+                   "p95 [ms]", "avg power [W]"});
+  for (const auto& mix : config::paper_budget_mixes()) {
+    const model::TimeEnergyModel m(mix, ep);
+    cluster::FailureOptions opts;
+    opts.utilization = 0.5;
+    opts.min_jobs = 1500;
+    opts.node_mtbf = 120.0_s;   // compressed timescale
+    opts.repair_time = 20.0_s;
+    const auto r = cluster::simulate_with_failures(m, opts);
+    table.add_row({mix.label(), std::to_string(mix.total_nodes()),
+                   fmt(r.availability * 100.0, 1) + "%",
+                   fmt(r.service_inflation, 3) + "x",
+                   fmt(r.p95_response.value() * 1e3, 1),
+                   fmt(r.average_power.value(), 1)});
+  }
+  std::cout << table
+            << "reading: per-node availability is identical by construction\n"
+               "(MTBF/(MTBF+MTTR)), but the many-node wimpy mixes smooth\n"
+               "capacity loss into small service inflation while the 16-node\n"
+               "brawny cluster takes coarse 1/16-capacity hits — failure\n"
+               "granularity is another axis where wimpy fleets help\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation — race-to-idle vs DVFS pacing on a heterogeneous mix.
+//
+// The paper's configurations hold (c, f) fixed; this ablation lets the
+// cluster re-pick its operating point per sustained utilization and
+// reports the power saved plus the effect on the proportionality metrics.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/analysis/governor.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Ablation: race-to-idle vs DVFS pacing (4 A9 + 2 K10)",
+                "DESIGN.md extension; Section II-A's (c, f) dimension");
+
+  for (const auto* program : {"EP", "blackscholes", "x264"}) {
+    const auto r =
+        analysis::run_governor_study(bench::study().workload(program));
+    std::cout << "\n[" << program << "]\n";
+    TextTable table({"util", "race [W]", "pace [W]", "saving", "pace point"});
+    for (const auto& pt : r.points) {
+      table.add_row({fmt(pt.utilization * 100, 0) + "%",
+                     fmt(pt.race_power.value(), 1),
+                     fmt(pt.pace_power.value(), 1),
+                     fmt(pt.saving_percent, 1) + "%", pt.pace_label});
+    }
+    std::cout << table << "proportionality: race EPM "
+              << fmt(r.race_report.epm, 3) << " -> pace EPM "
+              << fmt(r.pace_report.epm, 3) << "\n";
+  }
+  std::cout << "\nreading: pacing helps most at low-mid utilization and\n"
+               "converges to race-to-idle at full load; it bends the power\n"
+               "curve toward the ideal line (EPM rises)\n";
+  return 0;
+}

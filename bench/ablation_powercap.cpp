@@ -1,0 +1,33 @@
+// Ablation — throughput under average-power caps: racing vs pacing on a
+// heterogeneous mix. Extends the paper's nameplate-budget view (Table 8)
+// to drawn-power capping.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/analysis/power_cap.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Ablation: power capping on 4 A9 + 2 K10 (race vs pace)",
+                "extends the Section III-C power-budget theme");
+
+  for (const auto* program : {"EP", "x264"}) {
+    const auto r =
+        analysis::run_power_cap_study(bench::study().workload(program));
+    std::cout << "\n[" << program << "]  idle "
+              << fmt(r.idle_power.value(), 1) << " W, busy "
+              << fmt(r.busy_power.value(), 1) << " W\n";
+    TextTable table({"cap [W]", "race [units/s]", "paced [units/s]",
+                     "gain", "paced point"});
+    for (const auto& p : r.points) {
+      table.add_row({fmt(p.cap.value(), 1), fmt_grouped(p.race_throughput),
+                     fmt_grouped(p.paced_throughput),
+                     fmt(p.pacing_gain, 2) + "x", p.paced_label});
+    }
+    std::cout << table;
+  }
+  std::cout << "\nreading: near the idle floor every spare watt matters and\n"
+               "downclocked points beat duty-cycled racing; the gain fades\n"
+               "as the cap approaches the full busy power\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation — analytic M/D/1 percentiles vs event-driven simulation
+// (DESIGN.md §5.3): agreement across the utilization range validates both
+// the Erlang-series CDF inversion and the simulator.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/queueing/md1.hpp"
+#include "hcep/util/math.hpp"
+
+int main() {
+  using namespace hcep;
+  using namespace hcep::literals;
+  bench::banner("Ablation: M/D/1 analytic percentiles vs simulation",
+                "DESIGN.md ablation 3 (queueing cross-validation)");
+
+  const Seconds service = 12.0_ms;
+  TextTable table({"rho", "mean wait ana [ms]", "mean wait sim [ms]",
+                   "p95 resp ana [ms]", "p95 resp sim [ms]", "p95 err[%]"});
+  for (double rho : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    const queueing::MD1 q = queueing::MD1::from_utilization(service, rho);
+    const auto sim =
+        queueing::simulate_md1(service, rho / service.value(), 150000, 3);
+    const double ana95 = q.response_percentile(95.0).value();
+    table.add_row({fmt(rho, 2), fmt(q.mean_wait().value() * 1e3, 3),
+                   fmt(sim.mean_wait_s * 1e3, 3), fmt(ana95 * 1e3, 2),
+                   fmt(sim.p95_response_s * 1e3, 2),
+                   fmt(percent_error(ana95, sim.p95_response_s), 1)});
+  }
+  std::cout << table
+            << "expected: percent error in the low single digits across the\n"
+               "whole range (finite-sample noise only)\n";
+  return 0;
+}

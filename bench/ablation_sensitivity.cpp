@@ -1,0 +1,35 @@
+// Ablation — seed-sensitivity of the paper's conclusions.
+//
+// The reproduction is calibrated against the paper's published PPR/IPR
+// values. How much measurement error in those seeds would it take to
+// change the conclusions? 200 perturbed calibrations per program.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/analysis/sensitivity.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Ablation: calibration-seed sensitivity (10% PPR / 5% IPR "
+                "noise, 200 trials)",
+                "DESIGN.md §1 calibration discussion");
+
+  TextTable table({"Program", "Table6 winner flips", "Table8 DPR(64:8)",
+                   "Fig9 (25,7) crossover", "sub@50% rate"});
+  for (const auto& program : workload::program_names()) {
+    const auto r = analysis::run_sensitivity_study(program);
+    table.add_row(
+        {program,
+         std::to_string(r.winner_flips) + "/" + std::to_string(r.trials),
+         fmt(r.dpr_mixed.mean(), 2) + " +/- " + fmt(r.dpr_mixed.stddev(), 2),
+         fmt(r.crossover_25_7.mean(), 3) + " +/- " +
+             fmt(r.crossover_25_7.stddev(), 3),
+         fmt(100.0 * r.sublinear_at_half_25_7 / r.trials, 0) + "%"});
+  }
+  std::cout << table
+            << "reading: the qualitative story (who wins PPR, roughly where\n"
+               "sub-linearity begins) is robust for the wide-margin programs;\n"
+               "RSA-2048's Table 6 winner is within measurement noise, and\n"
+               "(25,7)'s 50%-boundary is a knife-edge example by design\n";
+  return 0;
+}

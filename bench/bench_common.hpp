@@ -1,0 +1,35 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "hcep/core/paper_study.hpp"
+#include "hcep/util/table.hpp"
+
+namespace hcep::bench {
+
+/// One calibrated study shared across a binary's sections.
+inline const core::PaperStudy& study() {
+  static const core::PaperStudy kStudy;
+  return kStudy;
+}
+
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "==========================================================\n"
+            << what << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "==========================================================\n";
+}
+
+/// Figure sample grids used by the paper's plots.
+inline std::vector<double> fig5_grid() {
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+inline std::vector<double> fig7_grid() {
+  // Figure 7 uses a log-scale 1..100 % axis.
+  return {1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+}  // namespace hcep::bench

@@ -1,0 +1,46 @@
+// Figure 2 — Energy proportionality metric relationships: the ideal line,
+// a super-linear and a sub-linear server profile, with DPR/IPR/EPM/PG
+// annotated per curve.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/power/curve.hpp"
+
+int main() {
+  using namespace hcep;
+  using namespace hcep::literals;
+  bench::banner("Figure 2: Energy proportionality metric relationships",
+                "Figure 2, Section II-B");
+
+  struct Case {
+    const char* name;
+    power::PowerCurve curve;
+  };
+  const Case cases[] = {
+      {"ideal", power::PowerCurve::linear(0_W, 100_W)},
+      {"super-linear (idle floor)", power::PowerCurve::linear(40_W, 100_W)},
+      {"sub-linear (quadratic lag)",
+       power::PowerCurve::quadratic(5_W, 100_W, 0.9)},
+  };
+
+  TextTable table({"curve", "DPR", "IPR", "EPM", "LDR(lit)", "PG(30%)",
+                   "PG(100%)"});
+  for (const auto& c : cases) {
+    const auto r = metrics::analyze(c.curve);
+    table.add_row({c.name, fmt(r.dpr, 1), fmt(r.ipr, 2), fmt(r.epm, 2),
+                   fmt(r.ldr_literal, 3), fmt(metrics::pg(c.curve, 0.3), 3),
+                   fmt(metrics::pg(c.curve, 1.0), 3)});
+  }
+  std::cout << table;
+
+  std::cout << "\n% of peak power vs % utilization (gnuplot blocks):\n";
+  SeriesWriter series;
+  for (const auto& c : cases) {
+    series.begin_series(c.name);
+    for (double up : bench::fig5_grid())
+      series.point(up, metrics::percent_of_peak(c.curve, up));
+  }
+  std::cout << series.str();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 5 (a,b,c) — Single-node energy proportionality curves for EP,
+// x264 and blackscholes: % of peak power vs % utilization for the ideal
+// line, the K10 and the A9.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/analysis/single_node.hpp"
+#include "hcep/hw/catalog.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Figure 5: Energy proportionality of brawny and wimpy nodes",
+                "Figures 5a-5c, Section III-B");
+
+  for (const auto* program : {"EP", "x264", "blackscholes"}) {
+    const auto& w = bench::study().workload(program);
+    const auto a9 = analysis::analyze_single_node(w, hw::cortex_a9());
+    const auto k10 = analysis::analyze_single_node(w, hw::opteron_k10());
+
+    std::cout << "\n[" << program << "]  (ideal / K10 / A9, % of peak power)\n";
+    TextTable table({"util[%]", "Ideal", "K10", "A9"});
+    for (double up : bench::fig5_grid()) {
+      table.add_row({fmt(up, 0), fmt(up, 1),
+                     fmt(metrics::percent_of_peak(k10.curve, up), 1),
+                     fmt(metrics::percent_of_peak(a9.curve, up), 1)});
+    }
+    std::cout << table;
+  }
+  std::cout << "\nexpected shape: both nodes sit above the ideal line; the\n"
+               "K10 curve lies below the A9 curve (K10 more proportional)\n";
+  return 0;
+}

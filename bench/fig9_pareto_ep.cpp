@@ -1,0 +1,54 @@
+// Figure 9 — Energy proportionality of Pareto-optimal configurations for
+// EP (max 32 A9 + 12 K10): % of the REFERENCE (32A9:12K10) peak power vs
+// % utilization. Mixes whose curve dips below the ideal line are the
+// sub-linear configurations that scale the proportionality wall.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/analysis/pareto_study.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner(
+      "Figure 9: Energy proportionality of Pareto-optimal configs (EP)",
+      "Figure 9, Section III-D");
+
+  const auto result = bench::study().pareto_study("EP");
+  std::cout << "reference peak (32A9:12K10 busy power): "
+            << fmt(result.reference_peak.value(), 1) << " W\n"
+            << "energy-deadline Pareto frontier size over the full "
+            << "<=32 A9 x <=12 K10 space: " << result.frontier.size()
+            << " configurations\n\n";
+
+  std::vector<std::string> header{"util[%]", "Ideal"};
+  for (const auto& m : result.mixes) header.push_back(m.mix.label());
+  TextTable table(header);
+  for (double up : {20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0,
+                    100.0}) {
+    std::vector<std::string> row{fmt(up, 0), fmt(up, 1)};
+    for (const auto& m : result.mixes) {
+      row.push_back(
+          fmt(metrics::percent_of_peak(m.curve, up, result.reference_peak),
+              1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table << "\nsub-linearity crossover utilization per mix:\n";
+
+  TextTable crossings({"mix", "becomes sub-linear at u", "sub-linear @50%?",
+                       "best T_P [ms]", "job energy [J]"});
+  for (const auto& m : result.mixes) {
+    crossings.add_row(
+        {m.mix.label(),
+         m.crossover_utilization > 1.0
+             ? std::string("never")
+             : fmt(m.crossover_utilization * 100.0, 0) + "%",
+         m.sublinear_at_half ? "yes" : "no",
+         fmt(m.best_job_time.value() * 1e3, 2),
+         fmt(m.best_job_energy.value(), 2)});
+  }
+  std::cout << crossings
+            << "paper: (25,8) is above the ideal at 50% utilization while\n"
+               "(25,7) is below it; fewer K10 nodes -> earlier crossover\n";
+  return 0;
+}

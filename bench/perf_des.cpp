@@ -1,0 +1,67 @@
+// Library performance: discrete-event kernel throughput and the cluster
+// simulator's jobs-per-second rate.
+#include <benchmark/benchmark.h>
+
+#include "hcep/cluster/simulator.hpp"
+#include "hcep/des/simulator.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::literals;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::uint64_t fired = 0;
+    // Self-rescheduling chain exercises push/pop under a hot queue.
+    std::function<void()> tick = [&] {
+      if (++fired < events) sim.schedule_in(1_us, tick);
+    };
+    sim.schedule_at(Seconds{0.0}, tick);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+void BM_FanOutEvents(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < events; ++i) {
+      sim.schedule_at(Seconds{static_cast<double>((i * 7919) % events)},
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_FanOutEvents)->Arg(100000);
+
+void BM_ClusterSimulation(benchmark::State& state) {
+  static const workload::Workload ep = workload::make_workload("EP");
+  const model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), ep);
+  for (auto _ : state) {
+    cluster::SimOptions opts;
+    opts.utilization = 0.6;
+    opts.min_jobs = static_cast<std::uint64_t>(state.range(0));
+    const auto r = cluster::simulate(m, opts);
+    benchmark::DoNotOptimize(r.jobs_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ClusterSimulation)->Arg(200)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Library performance: configuration-space enumeration (google-benchmark).
+// Also asserts the footnote-4 count as a startup sanity check.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "hcep/config/space.hpp"
+
+namespace {
+
+using namespace hcep;
+
+void BM_SpaceConstruction(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    config::ConfigSpace space = config::make_a9_k10_space(n, n);
+    benchmark::DoNotOptimize(space.size());
+  }
+}
+BENCHMARK(BM_SpaceConstruction)->Arg(10)->Arg(32);
+
+void BM_ConfigDecode(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(10, 10);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    model::ClusterSpec cfg = space.config_at(i);
+    benchmark::DoNotOptimize(cfg.total_nodes());
+    i = (i + 7919) % space.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConfigDecode);
+
+void BM_FullSweep(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(10, 10);
+  for (auto _ : state) {
+    std::uint64_t nodes = 0;
+    space.for_each([&](const model::ClusterSpec& cfg, std::uint64_t) {
+      nodes += cfg.total_nodes();
+    });
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_FullSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Startup sanity: the paper's footnote-4 combinatorics.
+  const auto count = hcep::config::make_a9_k10_space(10, 10).size();
+  if (count != 36380) {
+    std::cerr << "FATAL: footnote-4 configuration count is " << count
+              << ", expected 36380\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "footnote-4 check: |space(10 ARM, 10 AMD)| = " << count
+            << " (paper: 36,380)\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Library performance: instrumented workload kernels — how fast the
+// characterization substrate itself runs.
+#include <benchmark/benchmark.h>
+
+#include "hcep/kernels/registry.hpp"
+
+namespace {
+
+using namespace hcep;
+
+void run_kernel(benchmark::State& state, const char* program,
+                std::uint64_t units) {
+  auto kernel = kernels::make_kernel(program);
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = kernel->run(units, rng);
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(units));
+}
+
+void BM_KernelEp(benchmark::State& state) { run_kernel(state, "EP", 100000); }
+void BM_KernelMemcached(benchmark::State& state) {
+  run_kernel(state, "memcached", 50000);
+}
+void BM_KernelX264(benchmark::State& state) { run_kernel(state, "x264", 2); }
+void BM_KernelBlackscholes(benchmark::State& state) {
+  run_kernel(state, "blackscholes", 20000);
+}
+void BM_KernelJulius(benchmark::State& state) {
+  run_kernel(state, "Julius", 1000);
+}
+void BM_KernelRsa(benchmark::State& state) {
+  run_kernel(state, "RSA-2048", 2);
+}
+
+BENCHMARK(BM_KernelEp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelMemcached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelX264)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelBlackscholes)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelJulius)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelRsa)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

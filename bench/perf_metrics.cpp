@@ -1,0 +1,63 @@
+// Library performance: proportionality metrics and M/D/1 analytics.
+#include <benchmark/benchmark.h>
+
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/queueing/md1.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::literals;
+
+void BM_AnalyzeLinearCurve(benchmark::State& state) {
+  const auto curve = power::PowerCurve::linear(45_W, 69_W);
+  for (auto _ : state) {
+    auto r = metrics::analyze(curve);
+    benchmark::DoNotOptimize(r.epm);
+  }
+}
+BENCHMARK(BM_AnalyzeLinearCurve);
+
+void BM_AnalyzeQuadraticCurve(benchmark::State& state) {
+  const auto curve = power::PowerCurve::quadratic(45_W, 69_W, 0.4);
+  for (auto _ : state) {
+    auto r = metrics::analyze(curve);
+    benchmark::DoNotOptimize(r.ldr_literal);
+  }
+}
+BENCHMARK(BM_AnalyzeQuadraticCurve);
+
+void BM_SublinearCrossover(benchmark::State& state) {
+  const auto curve = power::PowerCurve::linear(100_W, 400_W);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::sublinear_crossover(curve, Watts{900.0}));
+  }
+}
+BENCHMARK(BM_SublinearCrossover);
+
+void BM_Md1WaitCdf(benchmark::State& state) {
+  const queueing::MD1 q =
+      queueing::MD1::from_utilization(10_ms, 0.01 * state.range(0));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.wait_cdf(Seconds{t}));
+    t += 0.0007;
+    if (t > 0.2) t = 0.0;
+  }
+}
+BENCHMARK(BM_Md1WaitCdf)->Arg(50)->Arg(90);
+
+void BM_Md1Percentile(benchmark::State& state) {
+  const queueing::MD1 q =
+      queueing::MD1::from_utilization(10_ms, 0.01 * state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.response_percentile(95.0));
+  }
+}
+BENCHMARK(BM_Md1Percentile)->Arg(50)->Arg(90)->Arg(97);
+
+}  // namespace
+
+BENCHMARK_MAIN();

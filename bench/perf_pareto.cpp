@@ -1,0 +1,65 @@
+// Library performance: configuration-space evaluation and Pareto-frontier
+// extraction, serial vs thread pool.
+#include <benchmark/benchmark.h>
+
+#include "hcep/config/pareto.hpp"
+#include "hcep/config/space.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+
+const workload::Workload& ep() {
+  static const workload::Workload kEp = workload::make_workload("EP");
+  return kEp;
+}
+
+void BM_EvaluateSpace(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const config::ConfigSpace space = config::make_a9_k10_space(n, n);
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto evals = config::evaluate_space(space, ep(), &pool);
+    benchmark::DoNotOptimize(evals.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_EvaluateSpace)
+    ->Args({6, 1})
+    ->Args({6, 2})
+    ->Args({10, 1})
+    ->Args({10, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParetoFront(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(8, 8);
+  const auto evals = config::evaluate_space(space, ep());
+  for (auto _ : state) {
+    auto copy = evals;
+    auto front = config::pareto_front(std::move(copy));
+    benchmark::DoNotOptimize(front.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(evals.size()));
+}
+BENCHMARK(BM_ParetoFront)->Unit(benchmark::kMillisecond);
+
+void BM_DeadlineSelection(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(8, 8);
+  const auto evals = config::evaluate_space(space, ep());
+  const auto fastest_eval = config::fastest(evals);
+  const Seconds deadline = fastest_eval->time * 1.5;
+  for (auto _ : state) {
+    auto pick = config::min_energy_within_deadline(evals, deadline);
+    benchmark::DoNotOptimize(pick.has_value());
+  }
+}
+BENCHMARK(BM_DeadlineSelection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

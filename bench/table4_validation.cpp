@@ -1,0 +1,24 @@
+// Table 4 — Cluster validation: percent error between the Table 2 analytic
+// model and the simulated testbed's measured per-job execution time and
+// energy, for all six programs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hcep/analysis/validation.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Table 4: Cluster validation (model vs simulated testbed)",
+                "Table 4, Section II-C");
+
+  TextTable table({"Domain", "Program", "Execution time error[%]",
+                   "Energy error[%]"});
+  for (const auto& row : bench::study().table4()) {
+    table.add_row({row.domain, row.program, fmt(row.time_error_percent, 1),
+                   fmt(row.energy_error_percent, 1)});
+  }
+  std::cout << table
+            << "paper reports: EP 3/10, memcached 10/8, x264 11/10, "
+               "blackscholes 4/7, Julius 13/1, RSA-2048 2/8 (time/energy %)\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 6 — Performance-to-power ratio at the most energy-efficient
+// configuration per node type, for every program on A9 and K10.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Table 6: Performance-to-power ratio", "Table 6, Section III-A");
+
+  TextTable table({"Program", "Performance per Watt (PPR)", "A9 node",
+                   "K10 node", "winner"});
+  const auto analyses = bench::study().single_node_analyses();
+  for (std::size_t i = 0; i + 1 < analyses.size(); i += 2) {
+    const auto& a9 = analyses[i];
+    const auto& k10 = analyses[i + 1];
+    const auto fmt_ppr = [](double v) {
+      return v >= 100.0 ? fmt_grouped(v) : fmt(v, 1);
+    };
+    table.add_row({a9.program, "(" + a9.work_unit + "/s)/W",
+                   fmt_ppr(a9.ppr_peak), fmt_ppr(k10.ppr_peak),
+                   a9.ppr_peak > k10.ppr_peak ? "A9" : "K10"});
+  }
+  std::cout << table
+            << "paper: A9 wins everywhere except x264 (memory bandwidth) and\n"
+               "RSA-2048 (K10 crypto acceleration)\n";
+  return 0;
+}

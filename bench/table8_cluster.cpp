@@ -1,0 +1,30 @@
+// Table 8 — Cluster-wide energy proportionality for the 1 kW budget mixes
+// (128A9:0K10 ... 0A9:16K10), all six programs.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hcep;
+  bench::banner("Table 8: Cluster-wide energy proportionality (1 kW budget)",
+                "Table 8, Section III-C");
+
+  for (const auto& program : workload::program_names()) {
+    const auto mixes = bench::study().budget_mix_analyses(program);
+    TextTable table({"Mix", "DPR", "IPR", "EPM", "LDR(paper)", "idle[W]",
+                     "peak[W]", "nameplate[W]"});
+    for (const auto& m : mixes) {
+      table.add_row({m.label, fmt(m.report.dpr, 2), fmt(m.report.ipr, 2),
+                     fmt(m.report.epm, 2), fmt(m.report.ldr_paper, 2),
+                     fmt(m.idle_power.value(), 1),
+                     fmt(m.peak_power.value(), 1),
+                     fmt(m.nameplate.value(), 0)});
+    }
+    std::cout << "\n[" << program << "]\n" << table;
+  }
+  std::cout << "\npaper columns (DPR, 128A9 / 64A9:8K10 / 16K10): EP "
+               "25.97/32.66/34.57; memcached 16.78/12.44/11.05;\n"
+               "x264 35.54/37.73/38.41; blackscholes 32.11/36.10/37.30; "
+               "Julius 30.48/36.39/38.09; RSA 35.62/39.92/41.19\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Diurnal provisioning: which 1 kW mix serves a day of real-looking load
+// with the least energy?
+//
+//   $ ./diurnal_provisioning [program] [low_util] [high_util]
+//
+// Replays a 24 h day/night sine (compressed to a simulated day) through
+// every budget mix and reports energy-per-day, average power and the
+// worst bucket p95 — the numbers a capacity planner actually compares.
+#include <cstdlib>
+#include <iostream>
+
+#include "hcep/hcep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcep;
+  using namespace hcep::literals;
+
+  const std::string program = argc > 1 ? argv[1] : "EP";
+  const double low = argc > 2 ? std::atof(argv[2]) : 0.15;
+  const double high = argc > 3 ? std::atof(argv[3]) : 0.85;
+
+  const workload::Workload w = workload::make_workload(program);
+  // A "day" compressed to 10 minutes of simulated time keeps the replay
+  // fast while spanning thousands of jobs; energies scale linearly.
+  const auto day = cluster::LoadTrace::diurnal(600_s, low, high);
+
+  std::cout << "replaying a diurnal day (" << low * 100 << "%-" << high * 100
+            << "% utilization) of " << program << " over the 1 kW mixes\n\n";
+
+  TextTable table({"mix", "energy/day [kJ]", "avg power [W]",
+                   "worst bucket p95 [ms]", "jobs"});
+  std::string best_label;
+  double best_energy = 1e300;
+  for (const auto& mix : config::paper_budget_mixes()) {
+    const model::TimeEnergyModel m(mix, w);
+    cluster::TraceReplayOptions opts;
+    opts.bucket = 25_s;
+    const auto r = cluster::replay_trace(m, day, opts);
+    table.add_row({mix.label(), fmt(r.total_energy.value() / 1e3, 1),
+                   fmt(r.average_power.value(), 1),
+                   fmt(r.worst_p95.value() * 1e3, 1),
+                   std::to_string(r.jobs_completed)});
+    if (r.total_energy.value() < best_energy) {
+      best_energy = r.total_energy.value();
+      best_label = mix.label();
+    }
+  }
+  std::cout << table << "\nleast energy per day: " << best_label << " ("
+            << fmt(best_energy / 1e3, 1) << " kJ)\n"
+            << "note: mixes see the same utilization profile; absolute "
+               "work differs with capacity.\nFor iso-work comparisons "
+               "scale the utilization by capacity ratios.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Exports gnuplot-ready data files for every figure of the paper.
+//
+//   $ ./export_figures [output-dir]
+//   $ gnuplot -e "plot for [i=0:5] 'fig7_cluster_ep.dat' index i w lp"
+#include <filesystem>
+#include <iostream>
+
+#include "hcep/hcep.hpp"
+
+namespace {
+
+using namespace hcep;
+
+std::vector<double> util_grid() {
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "figdata";
+  std::filesystem::create_directories(dir);
+
+  const core::PaperStudy study;
+  unsigned files = 0;
+  const auto save = [&](const SeriesWriter& w, const std::string& name) {
+    w.save((dir / name).string());
+    ++files;
+  };
+
+  // Figures 5/6: single-node proportionality and PPR per program.
+  for (const auto* program : {"EP", "x264", "blackscholes"}) {
+    const auto& w = study.workload(program);
+    const auto a9 = analysis::analyze_single_node(w, hw::cortex_a9());
+    const auto k10 = analysis::analyze_single_node(w, hw::opteron_k10());
+
+    SeriesWriter prop;
+    prop.begin_series("ideal");
+    for (double u : util_grid()) prop.point(u, u);
+    for (const auto* a : {&k10, &a9}) {
+      prop.begin_series(a->node);
+      for (double u : util_grid())
+        prop.point(u, metrics::percent_of_peak(a->curve, u));
+    }
+    save(prop, std::string("fig5_") + program + ".dat");
+
+    SeriesWriter pprw;
+    for (const auto* a : {&k10, &a9}) {
+      pprw.begin_series(a->node);
+      for (double u : util_grid())
+        pprw.point(u, metrics::ppr(a->curve, a->peak_throughput, u / 100.0));
+    }
+    save(pprw, std::string("fig6_") + program + ".dat");
+  }
+
+  // Figures 7/8: budget mixes for EP.
+  {
+    const auto mixes = analysis::analyze_mixes(config::paper_budget_mixes(),
+                                               study.workload("EP"));
+    SeriesWriter prop;
+    prop.begin_series("ideal");
+    for (double u : util_grid()) prop.point(u, u);
+    for (const auto& m : mixes) {
+      prop.begin_series(m.label);
+      for (double u : util_grid())
+        prop.point(u, metrics::percent_of_peak(m.curve, u));
+    }
+    save(prop, "fig7_cluster_ep.dat");
+
+    SeriesWriter pprw;
+    for (const auto& m : mixes) {
+      pprw.begin_series(m.label);
+      for (double u : util_grid())
+        pprw.point(u,
+                   metrics::ppr(m.curve, m.peak_throughput, u / 100.0) / 1e6);
+    }
+    save(pprw, "fig8_cluster_ep.dat");
+  }
+
+  // Figures 9-12: Pareto mixes + response times for EP and x264.
+  for (const auto* program : {"EP", "x264"}) {
+    const auto pareto = study.pareto_study(program, false);
+    SeriesWriter prop;
+    prop.begin_series("ideal");
+    for (double u : util_grid()) prop.point(u, u);
+    for (const auto& m : pareto.mixes) {
+      prop.begin_series(m.mix.label());
+      for (double u : util_grid()) {
+        prop.point(u, metrics::percent_of_peak(m.curve, u,
+                                               pareto.reference_peak));
+      }
+    }
+    save(prop, std::string(program == std::string("EP") ? "fig9" : "fig10") +
+                   "_pareto.dat");
+
+    const auto response = study.response_study(program);
+    SeriesWriter resp;
+    for (const auto& m : response.mixes) {
+      resp.begin_series(m.mix.label());
+      for (const auto& pt : m.points)
+        resp.point(pt.utilization_percent, pt.p95_analytic.value());
+    }
+    save(resp, std::string(program == std::string("EP") ? "fig11" : "fig12") +
+                   "_response.dat");
+  }
+
+  std::cout << "wrote " << files << " data files to " << dir << "/\n"
+            << "plot e.g.: gnuplot -e \"set logscale y; plot for [i=0:4] '"
+            << (dir / "fig11_response.dat").string()
+            << "' index i using 1:2 with linespoints\"\n";
+  return 0;
+}

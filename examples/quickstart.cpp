@@ -1,0 +1,50 @@
+// Quickstart: model one workload on one heterogeneous cluster.
+//
+//   $ ./quickstart
+//
+// Walks the library's core loop in ~40 lines: build a calibrated workload
+// profile (the kernels really run), describe a cluster, and ask the
+// time-energy model for job time, job energy and the proportionality
+// metrics.
+#include <iostream>
+
+#include "hcep/hcep.hpp"
+
+int main() {
+  using namespace hcep;
+
+  // 1. A calibrated workload profile: characterizes the blackscholes
+  //    kernel on the A9 and K10 node models and pins it to the paper's
+  //    published PPR/IPR seeds.
+  const workload::Workload w = workload::make_workload("blackscholes");
+  std::cout << "workload: " << w.name << " (" << w.work_unit << "), "
+            << w.units_per_job << " units per job\n";
+
+  // 2. A cluster: 8 wimpy A9 nodes + 2 brawny K10 nodes, full cores, max
+  //    frequency, switch overhead accounted.
+  const model::ClusterSpec cluster = model::make_a9_k10_cluster(8, 2);
+  std::cout << "cluster:  " << cluster.label() << " ("
+            << cluster.total_nodes() << " nodes, nameplate "
+            << cluster.nameplate_power() << ")\n";
+
+  // 3. The Table 2 time-energy model.
+  const model::TimeEnergyModel m(cluster, w);
+  std::cout << "job time T_P:    " << m.job_time() << "\n"
+            << "job energy E_P:  " << m.job_energy(w.units_per_job).e_p
+            << "\n"
+            << "idle power:      " << m.idle_power() << "\n"
+            << "busy power:      " << m.busy_power() << "\n"
+            << "peak throughput: " << m.peak_throughput() << " "
+            << w.work_unit << "/s\n";
+
+  // 4. Energy-proportionality metrics over the power-vs-utilization curve.
+  const auto report = metrics::analyze(m.power_curve());
+  std::cout << "DPR " << report.dpr << "  IPR " << report.ipr << "  EPM "
+            << report.epm << "\n";
+
+  // 5. The queueing view: 95th-percentile response time at 70 % load.
+  const auto q = queueing::MD1::from_utilization(m.job_time(), 0.7);
+  std::cout << "p95 response @70% utilization: "
+            << q.response_percentile(95.0) << "\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Sweet-spot exploration: the energy-deadline Pareto frontier over the
+// full heterogeneous configuration space (nodes x cores x frequency per
+// type), the "sweet region" of the paper's prior work [31].
+//
+//   $ ./sweetspot_explorer [program] [max_a9] [max_k10]
+//
+// Evaluates every configuration in parallel, extracts the frontier, and
+// shows the energy saved by relaxing the execution-time deadline.
+#include <cstdlib>
+#include <iostream>
+
+#include "hcep/hcep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcep;
+
+  const std::string program = argc > 1 ? argv[1] : "EP";
+  const unsigned max_a9 = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 16;
+  const unsigned max_k10 =
+      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 6;
+
+  const workload::Workload w = workload::make_workload(program);
+  const config::ConfigSpace space = config::make_a9_k10_space(max_a9, max_k10);
+  std::cout << "exploring " << space.size() << " configurations (<= "
+            << max_a9 << " A9, <= " << max_k10 << " K10) for " << program
+            << "...\n";
+
+  const auto evals = config::evaluate_space(space, w);
+  const auto frontier = config::pareto_front(evals);
+  std::cout << "Pareto frontier: " << frontier.size()
+            << " non-dominated configurations\n\n";
+
+  TextTable table({"config (n,c,f per type)", "T_P [ms]", "E_P [J]",
+                   "idle [W]", "busy [W]"});
+  for (const auto& e : frontier) {
+    std::string desc;
+    for (const auto& g : e.config.groups) {
+      if (!desc.empty()) desc += " + ";
+      desc += std::to_string(g.count) + g.spec.name + "/" +
+              std::to_string(g.cores()) + "c@" +
+              fmt(g.freq().value() / 1e9, 1) + "GHz";
+    }
+    table.add_row({desc, fmt(e.time.value() * 1e3, 2),
+                   fmt(e.energy.value(), 2), fmt(e.idle_power.value(), 1),
+                   fmt(e.busy_power.value(), 1)});
+  }
+  std::cout << table << "\n";
+
+  // Deadline relaxation sweep: how much energy does slack buy?
+  const auto fastest_eval = config::fastest(evals);
+  std::cout << "energy vs deadline (relative to the fastest configuration, "
+            << fmt(fastest_eval->time.value() * 1e3, 2) << " ms):\n";
+  TextTable sweep({"deadline", "picked config", "E_P [J]", "saving"});
+  const Joules e_fastest = fastest_eval->energy;
+  for (double slack : {1.0, 1.2, 1.5, 2.0, 3.0, 5.0}) {
+    const auto pick =
+        config::min_energy_within_deadline(evals, fastest_eval->time * slack);
+    sweep.add_row(
+        {fmt(slack, 1) + "x fastest", pick->config.label(),
+         fmt(pick->energy.value(), 2),
+         fmt((1.0 - pick->energy / e_fastest) * 100.0, 1) + "%"});
+  }
+  std::cout << sweep;
+  return 0;
+}

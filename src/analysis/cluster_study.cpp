@@ -1,0 +1,28 @@
+#include "hcep/analysis/cluster_study.hpp"
+
+namespace hcep::analysis {
+
+std::vector<MixAnalysis> analyze_mixes(
+    const std::vector<model::ClusterSpec>& mixes,
+    const workload::Workload& workload, model::CurveFamily family,
+    double curvature) {
+  std::vector<MixAnalysis> out;
+  out.reserve(mixes.size());
+  for (const auto& mix : mixes) {
+    model::TimeEnergyModel m(mix, workload);
+    MixAnalysis a{
+        .label = mix.label(),
+        .curve = m.power_curve(family, curvature),
+        .report = {},
+        .peak_throughput = m.peak_throughput(),
+        .idle_power = m.idle_power(),
+        .peak_power = m.busy_power(),
+        .nameplate = mix.nameplate_power(),
+    };
+    a.report = metrics::analyze(a.curve);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace hcep::analysis

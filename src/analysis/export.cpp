@@ -1,0 +1,124 @@
+#include "hcep/analysis/export.hpp"
+
+#include "hcep/config/budget.hpp"
+
+namespace hcep::analysis {
+
+namespace {
+
+JsonValue report_json(const metrics::ProportionalityReport& r) {
+  return JsonValue::object()
+      .set("dpr", JsonValue::number(r.dpr))
+      .set("ipr", JsonValue::number(r.ipr))
+      .set("epm", JsonValue::number(r.epm))
+      .set("ldr_literal", JsonValue::number(r.ldr_literal))
+      .set("ldr_paper", JsonValue::number(r.ldr_paper));
+}
+
+}  // namespace
+
+JsonValue to_json(const ValidationRow& row) {
+  return JsonValue::object()
+      .set("program", JsonValue::string(row.program))
+      .set("domain", JsonValue::string(row.domain))
+      .set("model_time_s", JsonValue::number(row.model_time.value()))
+      .set("measured_time_s", JsonValue::number(row.measured_time.value()))
+      .set("model_energy_j", JsonValue::number(row.model_energy.value()))
+      .set("measured_energy_j",
+           JsonValue::number(row.measured_energy.value()))
+      .set("time_error_percent", JsonValue::number(row.time_error_percent))
+      .set("energy_error_percent",
+           JsonValue::number(row.energy_error_percent));
+}
+
+JsonValue to_json(const NodeWorkloadAnalysis& a) {
+  return JsonValue::object()
+      .set("program", JsonValue::string(a.program))
+      .set("node", JsonValue::string(a.node))
+      .set("work_unit", JsonValue::string(a.work_unit))
+      .set("ppr_peak", JsonValue::number(a.ppr_peak))
+      .set("peak_throughput", JsonValue::number(a.peak_throughput))
+      .set("idle_w", JsonValue::number(a.idle_power.value()))
+      .set("peak_w", JsonValue::number(a.peak_power.value()))
+      .set("metrics", report_json(a.report));
+}
+
+JsonValue to_json(const MixAnalysis& m) {
+  return JsonValue::object()
+      .set("mix", JsonValue::string(m.label))
+      .set("idle_w", JsonValue::number(m.idle_power.value()))
+      .set("peak_w", JsonValue::number(m.peak_power.value()))
+      .set("nameplate_w", JsonValue::number(m.nameplate.value()))
+      .set("peak_throughput", JsonValue::number(m.peak_throughput))
+      .set("metrics", report_json(m.report));
+}
+
+JsonValue to_json(const ParetoMixAnalysis& m) {
+  return JsonValue::object()
+      .set("mix", JsonValue::string(m.mix.label()))
+      .set("crossover_utilization",
+           JsonValue::number(m.crossover_utilization))
+      .set("sublinear_at_half", JsonValue::boolean(m.sublinear_at_half))
+      .set("best_job_time_s", JsonValue::number(m.best_job_time.value()))
+      .set("best_job_energy_j",
+           JsonValue::number(m.best_job_energy.value()));
+}
+
+JsonValue to_json(const MixResponse& m) {
+  JsonValue points = JsonValue::array();
+  for (const auto& pt : m.points) {
+    points.push(JsonValue::object()
+                    .set("utilization_percent",
+                         JsonValue::number(pt.utilization_percent))
+                    .set("p95_s", JsonValue::number(pt.p95_analytic.value())));
+  }
+  return JsonValue::object()
+      .set("mix", JsonValue::string(m.mix.label()))
+      .set("meets_deadline", JsonValue::boolean(m.meets_deadline))
+      .set("service_s", JsonValue::number(m.service_time.value()))
+      .set("job_energy_j", JsonValue::number(m.job_energy.value()))
+      .set("points", std::move(points));
+}
+
+JsonValue export_study(const core::PaperStudy& study) {
+  JsonValue root = JsonValue::object();
+  root.set("paper",
+           JsonValue::string("Ramapantulu/Loghin/Teo, IEEE CLUSTER 2016"));
+
+  JsonValue table4 = JsonValue::array();
+  for (const auto& row : study.table4()) table4.push(to_json(row));
+  root.set("table4", std::move(table4));
+
+  JsonValue singles = JsonValue::array();
+  for (const auto& a : study.single_node_analyses())
+    singles.push(to_json(a));
+  root.set("single_node", std::move(singles));
+
+  JsonValue table8 = JsonValue::object();
+  for (const auto& program : workload::program_names()) {
+    JsonValue mixes = JsonValue::array();
+    for (const auto& m : study.budget_mix_analyses(program))
+      mixes.push(to_json(m));
+    table8.set(program, std::move(mixes));
+  }
+  root.set("table8", std::move(table8));
+
+  JsonValue pareto = JsonValue::object();
+  JsonValue response = JsonValue::object();
+  for (const auto* program : {"EP", "x264"}) {
+    JsonValue mixes = JsonValue::array();
+    for (const auto& m : study.pareto_study(program, false).mixes)
+      mixes.push(to_json(m));
+    pareto.set(program, std::move(mixes));
+
+    JsonValue rmixes = JsonValue::array();
+    for (const auto& m : study.response_study(program).mixes)
+      rmixes.push(to_json(m));
+    response.set(program, std::move(rmixes));
+  }
+  root.set("pareto", std::move(pareto));
+  root.set("response", std::move(response));
+  return root;
+}
+
+}  // namespace hcep::analysis

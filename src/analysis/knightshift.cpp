@@ -1,0 +1,80 @@
+#include "hcep/analysis/knightshift.hpp"
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace hcep::analysis {
+
+KnightShiftSpec default_knightshift() {
+  return KnightShiftSpec{.knight = hw::cortex_a9(),
+                         .primary = hw::opteron_k10(),
+                         .primary_sleep = Watts{3.0},
+                         .knight_shadow = Watts{1.0}};
+}
+
+KnightShiftAnalysis analyze_knightshift(const workload::Workload& workload,
+                                        const KnightShiftSpec& spec) {
+  require(workload.has_node(spec.knight.name),
+          "analyze_knightshift: no demand for knight '" + spec.knight.name +
+              "'");
+  require(workload.has_node(spec.primary.name),
+          "analyze_knightshift: no demand for primary '" + spec.primary.name +
+              "'");
+
+  const auto& dk = workload.demand_for(spec.knight.name);
+  const auto& dp = workload.demand_for(spec.primary.name);
+  const double kappa_k = workload.power_scale_for(spec.knight.name);
+  const double kappa_p = workload.power_scale_for(spec.primary.name);
+
+  const double thr_knight = workload::unit_throughput(
+      dk, spec.knight, spec.knight.cores, spec.knight.dvfs.max());
+  const double thr_primary = workload::unit_throughput(
+      dp, spec.primary, spec.primary.cores, spec.primary.dvfs.max());
+  require(thr_primary > thr_knight,
+          "analyze_knightshift: the knight must be the slower node");
+
+  const Watts p_knight_busy =
+      workload::busy_power(dk, spec.knight, spec.knight.cores,
+                           spec.knight.dvfs.max(), kappa_k);
+  const Watts p_primary_busy =
+      workload::busy_power(dp, spec.primary, spec.primary.cores,
+                           spec.primary.dvfs.max(), kappa_p);
+
+  // Utilization is measured against the primary's capacity (the system's
+  // peak throughput); the knight covers u in (0, threshold].
+  const double threshold = thr_knight / thr_primary;
+
+  // Knight-mode power at system utilization u: the knight runs at its own
+  // utilization u / threshold; the primary sleeps.
+  const auto knight_mode = [&](double u) {
+    const double knight_u = u / threshold;
+    return spec.primary_sleep + spec.knight.power.idle +
+           (p_knight_busy - spec.knight.power.idle) * knight_u;
+  };
+  // Primary-mode power: the primary serves u of its capacity; the knight
+  // keeps a small shadow draw.
+  const auto primary_mode = [&](double u) {
+    return spec.knight_shadow + spec.primary.power.idle +
+           (p_primary_busy - spec.primary.power.idle) * u;
+  };
+
+  PiecewiseLinear samples;
+  samples.add(0.0, knight_mode(0.0).value());
+  samples.add(threshold, knight_mode(threshold).value());
+  // Wake step: a near-vertical segment at the handover.
+  const double eps = std::min(1e-6, (1.0 - threshold) / 2.0);
+  samples.add(threshold + eps, primary_mode(threshold + eps).value());
+  samples.add(1.0, primary_mode(1.0).value());
+
+  KnightShiftAnalysis out{
+      .curve = power::PowerCurve::sampled(std::move(samples)),
+      .switch_threshold = threshold,
+      .peak_throughput = thr_primary,
+      .report = {},
+  };
+  out.report = metrics::analyze(out.curve);
+  return out;
+}
+
+}  // namespace hcep::analysis

@@ -1,0 +1,134 @@
+#include "hcep/analysis/pareto_study.hpp"
+
+#include <limits>
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/error.hpp"
+
+namespace hcep::analysis {
+
+std::string MixCounts::label() const {
+  return std::to_string(a9) + "A9:" + std::to_string(k10) + "K10";
+}
+
+std::vector<MixCounts> paper_pareto_mixes() {
+  return {{32, 12}, {25, 10}, {25, 8}, {25, 7}, {25, 5}};
+}
+
+namespace {
+
+model::ClusterSpec mix_cluster(const MixCounts& mix) {
+  return model::make_a9_k10_cluster(mix.a9, mix.k10);
+}
+
+/// Evaluates every (c, f) operating point of a fixed mix.
+std::vector<config::Evaluation> operating_points(
+    const MixCounts& mix, const workload::Workload& workload) {
+  require(mix.a9 + mix.k10 > 0, "operating_points: empty mix");
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const hw::NodeSpec k10 = hw::opteron_k10();
+
+  // Enumerate (c, f) per present type; absent types contribute one "slot".
+  std::vector<config::Evaluation> out;
+  const auto a9_cores = mix.a9 > 0 ? a9.cores : 1;
+  const auto a9_freqs = mix.a9 > 0 ? a9.dvfs.size() : 1;
+  const auto k10_cores = mix.k10 > 0 ? k10.cores : 1;
+  const auto k10_freqs = mix.k10 > 0 ? k10.dvfs.size() : 1;
+
+  std::uint64_t index = 0;
+  for (unsigned ca = 1; ca <= a9_cores; ++ca) {
+    for (std::size_t fa = 0; fa < a9_freqs; ++fa) {
+      for (unsigned ck = 1; ck <= k10_cores; ++ck) {
+        for (std::size_t fk = 0; fk < k10_freqs; ++fk) {
+          model::ClusterSpec cfg;
+          if (mix.a9 > 0) {
+            cfg.groups.push_back(
+                model::NodeGroup{a9, mix.a9, ca, a9.dvfs.step(fa)});
+          }
+          if (mix.k10 > 0) {
+            cfg.groups.push_back(
+                model::NodeGroup{k10, mix.k10, ck, k10.dvfs.step(fk)});
+          }
+          cfg.overhead_power = hw::switch_power_for(mix.a9);
+          model::TimeEnergyModel m(cfg, workload);
+          config::Evaluation e;
+          e.index = index++;
+          e.time = m.execution_time(workload.units_per_job).t_p;
+          e.energy = m.job_energy(workload.units_per_job).e_p;
+          e.idle_power = m.idle_power();
+          e.busy_power = m.busy_power();
+          e.config = std::move(cfg);
+          out.push_back(std::move(e));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<config::Evaluation> best_operating_point(
+    const MixCounts& mix, const workload::Workload& workload,
+    Seconds deadline) {
+  return config::min_energy_within_deadline(operating_points(mix, workload),
+                                            deadline);
+}
+
+config::Evaluation fastest_operating_point(const MixCounts& mix,
+                                           const workload::Workload& workload) {
+  auto best = config::fastest(operating_points(mix, workload));
+  require(best.has_value(), "fastest_operating_point: empty mix");
+  return *best;
+}
+
+ParetoStudyResult run_pareto_study(const workload::Workload& workload,
+                                   const ParetoStudyOptions& options) {
+  require(options.max_a9 + options.max_k10 > 0,
+          "run_pareto_study: empty node budget");
+
+  ParetoStudyResult out;
+  std::vector<MixCounts> mixes =
+      options.mixes.empty() ? paper_pareto_mixes() : options.mixes;
+
+  // Reference = the largest mix's busy power (the paper normalizes the
+  // Figure 9/10 percent axis to the full 32:12 configuration).
+  require(!mixes.empty(), "run_pareto_study: no mixes");
+  {
+    model::TimeEnergyModel ref(mix_cluster(mixes.front()), workload);
+    out.reference_peak = ref.busy_power();
+    for (const auto& mix : mixes) {
+      model::TimeEnergyModel m(mix_cluster(mix), workload);
+      out.reference_peak = std::max(out.reference_peak, m.busy_power());
+    }
+  }
+
+  for (const auto& mix : mixes) {
+    model::TimeEnergyModel m(mix_cluster(mix), workload);
+    ParetoMixAnalysis a{
+        .mix = mix,
+        .curve = m.power_curve(),
+        .crossover_utilization = 0.0,
+        .sublinear_at_half = false,
+        .best_job_time = m.execution_time(workload.units_per_job).t_p,
+        .best_job_energy = m.job_energy(workload.units_per_job).e_p,
+    };
+    a.crossover_utilization =
+        metrics::sublinear_crossover(a.curve, out.reference_peak);
+    a.sublinear_at_half =
+        metrics::is_sublinear_at(a.curve, 0.5, out.reference_peak);
+    out.mixes.push_back(std::move(a));
+  }
+
+  if (options.compute_frontier) {
+    config::ConfigSpace space =
+        config::make_a9_k10_space(options.max_a9, options.max_k10);
+    out.frontier =
+        config::pareto_front(config::evaluate_space(space, workload));
+  }
+  return out;
+}
+
+}  // namespace hcep::analysis

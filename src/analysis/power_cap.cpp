@@ -1,0 +1,125 @@
+#include "hcep/analysis/power_cap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/math.hpp"
+#include "hcep/util/table.hpp"
+
+namespace hcep::analysis {
+
+namespace {
+
+struct Point {
+  double throughput = 0.0;
+  Watts idle{};
+  Watts busy{};
+  std::string label;
+};
+
+/// Sustainable throughput of one operating point under an average-power
+/// cap: duty-cycle the point so P = idle + rho (busy - idle) <= cap.
+double capped_throughput(const Point& pt, Watts cap) {
+  if (cap <= pt.idle) return 0.0;
+  const double rho =
+      std::min(1.0, (cap - pt.idle) / (pt.busy - pt.idle));
+  return pt.throughput * rho;
+}
+
+std::vector<Point> enumerate_points(const MixCounts& mix,
+                                    const workload::Workload& workload) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const hw::NodeSpec k10 = hw::opteron_k10();
+
+  std::vector<Point> out;
+  const unsigned a9_cores = mix.a9 > 0 ? a9.cores : 1;
+  const std::size_t a9_freqs = mix.a9 > 0 ? a9.dvfs.size() : 1;
+  const unsigned k10_cores = mix.k10 > 0 ? k10.cores : 1;
+  const std::size_t k10_freqs = mix.k10 > 0 ? k10.dvfs.size() : 1;
+
+  for (unsigned ca = 1; ca <= a9_cores; ++ca) {
+    for (std::size_t fa = 0; fa < a9_freqs; ++fa) {
+      for (unsigned ck = 1; ck <= k10_cores; ++ck) {
+        for (std::size_t fk = 0; fk < k10_freqs; ++fk) {
+          model::ClusterSpec cfg;
+          std::string label;
+          if (mix.a9 > 0) {
+            cfg.groups.push_back(
+                model::NodeGroup{a9, mix.a9, ca, a9.dvfs.step(fa)});
+            label += "A9@" + std::to_string(ca) + "c/" +
+                     fmt(a9.dvfs.step(fa).value() / 1e9, 1) + "GHz";
+          }
+          if (mix.k10 > 0) {
+            cfg.groups.push_back(
+                model::NodeGroup{k10, mix.k10, ck, k10.dvfs.step(fk)});
+            if (!label.empty()) label += "+";
+            label += "K10@" + std::to_string(ck) + "c/" +
+                     fmt(k10.dvfs.step(fk).value() / 1e9, 1) + "GHz";
+          }
+          model::TimeEnergyModel m(cfg, workload);
+          out.push_back(Point{.throughput = m.peak_throughput(),
+                              .idle = m.idle_power(),
+                              .busy = m.busy_power(),
+                              .label = std::move(label)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PowerCapStudyResult run_power_cap_study(const workload::Workload& workload,
+                                        const PowerCapOptions& options) {
+  require(options.mix.a9 + options.mix.k10 > 0,
+          "run_power_cap_study: empty mix");
+  const auto points = enumerate_points(options.mix, workload);
+  require(!points.empty(), "run_power_cap_study: no operating points");
+
+  const Point* race = &points.front();
+  for (const auto& pt : points)
+    if (pt.throughput > race->throughput) race = &pt;
+
+  PowerCapStudyResult out;
+  out.idle_power = race->idle;
+  out.busy_power = race->busy;
+
+  std::vector<Watts> caps = options.caps;
+  if (caps.empty()) {
+    for (double f : linspace(0.05, 1.0, 10)) {
+      caps.push_back(race->idle + (race->busy - race->idle) * f);
+    }
+  }
+
+  for (const Watts cap : caps) {
+    PowerCapPoint p;
+    p.cap = cap;
+    p.race_throughput = capped_throughput(*race, cap);
+
+    const Point* best = nullptr;
+    double best_throughput = -1.0;
+    for (const auto& pt : points) {
+      const double x = capped_throughput(pt, cap);
+      if (x > best_throughput) {
+        best_throughput = x;
+        best = &pt;
+      }
+    }
+    p.paced_throughput = best_throughput;
+    p.paced_label = best->label;
+    p.pacing_gain =
+        p.race_throughput > 0.0
+            ? p.paced_throughput / p.race_throughput
+            : (p.paced_throughput > 0.0
+                   ? std::numeric_limits<double>::infinity()
+                   : 1.0);
+    out.points.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace hcep::analysis

@@ -1,0 +1,82 @@
+#include "hcep/analysis/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "hcep/analysis/pareto_study.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/workload/calibrate.hpp"
+#include "hcep/workload/catalog.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace hcep::analysis {
+
+SensitivityResult run_sensitivity_study(const std::string& program,
+                                        const SensitivityOptions& options) {
+  require(options.trials >= 1, "run_sensitivity_study: need >= 1 trial");
+  require(options.ppr_noise >= 0.0 && options.ipr_noise >= 0.0,
+          "run_sensitivity_study: negative noise");
+
+  // Characterize once, uncalibrated; trials only re-calibrate.
+  workload::CatalogOptions copts;
+  copts.calibrate = false;
+  const workload::Workload base = workload::make_workload(program, copts);
+
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const hw::NodeSpec k10 = hw::opteron_k10();
+  const auto nominal_a9 = workload::paper_target(program, "A9");
+  const auto nominal_k10 = workload::paper_target(program, "K10");
+  require(nominal_a9 && nominal_k10,
+          "run_sensitivity_study: program lacks paper seeds");
+  const bool nominal_a9_wins = nominal_a9->ppr > nominal_k10->ppr;
+
+  Rng rng(options.seed);
+  SensitivityResult out;
+  out.trials = options.trials;
+
+  const auto perturb = [&](const workload::CalibrationTarget& t) {
+    workload::CalibrationTarget p;
+    p.ppr = t.ppr * std::max(0.05, rng.normal(1.0, options.ppr_noise));
+    p.ipr =
+        std::clamp(t.ipr * rng.normal(1.0, options.ipr_noise), 0.05, 0.98);
+    return p;
+  };
+
+  for (unsigned trial = 0; trial < options.trials; ++trial) {
+    workload::Workload w = base;
+    const auto ta = perturb(*nominal_a9);
+    const auto tk = perturb(*nominal_k10);
+    workload::calibrate_node(w, a9, ta);
+    workload::calibrate_node(w, k10, tk);
+
+    // Table 6 winner.
+    if ((ta.ppr > tk.ppr) != nominal_a9_wins) ++out.winner_flips;
+
+    // Table 8 middle column.
+    {
+      model::TimeEnergyModel m(model::make_a9_k10_cluster(64, 8), w);
+      out.dpr_mixed.add(metrics::dpr(m.power_curve()));
+    }
+
+    // Figure 9 boundary: reference is the full 32:12 mix.
+    {
+      model::TimeEnergyModel ref(model::make_a9_k10_cluster(32, 12), w);
+      const Watts ref_peak = ref.busy_power();
+      model::TimeEnergyModel m7(model::make_a9_k10_cluster(25, 7), w);
+      model::TimeEnergyModel m8(model::make_a9_k10_cluster(25, 8), w);
+      const auto c7 = m7.power_curve();
+      const auto c8 = m8.power_curve();
+      out.crossover_25_7.add(metrics::sublinear_crossover(c7, ref_peak));
+      if (metrics::is_sublinear_at(c7, 0.5, ref_peak))
+        ++out.sublinear_at_half_25_7;
+      if (!metrics::is_sublinear_at(c8, 0.5, ref_peak))
+        ++out.superlinear_at_half_25_8;
+    }
+  }
+  return out;
+}
+
+}  // namespace hcep::analysis

@@ -1,0 +1,53 @@
+#include "hcep/analysis/single_node.hpp"
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::analysis {
+
+NodeWorkloadAnalysis analyze_single_node(const workload::Workload& workload,
+                                         const hw::NodeSpec& node,
+                                         model::CurveFamily family,
+                                         double curvature) {
+  model::ClusterSpec single;
+  single.groups.push_back(model::NodeGroup{node, 1, 0, Hertz{}});
+  model::TimeEnergyModel m(std::move(single), workload);
+
+  NodeWorkloadAnalysis out{
+      .program = workload.name,
+      .node = node.name,
+      .work_unit = workload.work_unit,
+      .curve = m.power_curve(family, curvature),
+      .report = {},
+      .peak_throughput = m.peak_throughput(),
+      .ppr_peak = 0.0,
+      .idle_power = m.idle_power(),
+      .peak_power = m.busy_power(),
+  };
+  out.report = metrics::analyze(out.curve);
+  out.ppr_peak = metrics::ppr(out.curve, out.peak_throughput, 1.0);
+  return out;
+}
+
+std::vector<std::pair<double, double>> proportionality_series(
+    const power::PowerCurve& curve, const std::vector<double>& util_percents) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(util_percents.size());
+  for (double up : util_percents)
+    out.emplace_back(up, metrics::percent_of_peak(curve, up));
+  return out;
+}
+
+std::vector<std::pair<double, double>> ppr_series(
+    const power::PowerCurve& curve, double peak_throughput,
+    const std::vector<double>& util_percents) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(util_percents.size());
+  for (double up : util_percents) {
+    require(up > 0.0, "ppr_series: utilization must be positive");
+    out.emplace_back(up,
+                     metrics::ppr(curve, peak_throughput, up / 100.0));
+  }
+  return out;
+}
+
+}  // namespace hcep::analysis

@@ -1,0 +1,55 @@
+#include "hcep/analysis/validation.hpp"
+
+#include "hcep/cluster/simulator.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/math.hpp"
+
+namespace hcep::analysis {
+
+std::string program_domain(const std::string& program) {
+  if (program == "EP") return "HPC";
+  if (program == "memcached") return "Web Server";
+  if (program == "x264") return "Streaming video";
+  if (program == "blackscholes") return "Financial";
+  if (program == "Julius") return "Speech recognition";
+  if (program == "RSA-2048") return "Web security";
+  throw PreconditionError("program_domain: unknown program '" + program +
+                          "'");
+}
+
+ValidationRow validate_workload(const workload::Workload& workload,
+                                const ValidationOptions& options) {
+  model::ClusterSpec cluster = options.cluster;
+  if (cluster.groups.empty()) cluster = model::make_a9_k10_cluster(4, 2);
+
+  model::TimeEnergyModel m(cluster, workload);
+
+  ValidationRow row;
+  row.program = workload.name;
+  row.domain = program_domain(workload.name);
+  row.model_time = m.execution_time(workload.units_per_job).t_p;
+  row.model_energy = m.job_energy(workload.units_per_job).e_p;
+
+  const cluster::JobMeasurement meas =
+      cluster::measure_batch(m, options.jobs, options.seed);
+  row.measured_time = meas.time_per_job;
+  row.measured_energy = meas.energy_per_job;
+
+  row.time_error_percent =
+      percent_error(row.model_time.value(), row.measured_time.value());
+  row.energy_error_percent =
+      percent_error(row.model_energy.value(), row.measured_energy.value());
+  return row;
+}
+
+std::vector<ValidationRow> validate_all(
+    const std::vector<workload::Workload>& workloads,
+    const ValidationOptions& options) {
+  std::vector<ValidationRow> out;
+  out.reserve(workloads.size());
+  for (const auto& w : workloads) out.push_back(validate_workload(w, options));
+  return out;
+}
+
+}  // namespace hcep::analysis

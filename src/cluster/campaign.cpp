@@ -1,0 +1,58 @@
+#include "hcep/cluster/campaign.hpp"
+
+#include <algorithm>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::cluster {
+
+power::PowerCurve CampaignResult::measured_curve() const {
+  require(!points.empty(), "CampaignResult: no points");
+  PiecewiseLinear curve;
+  double last_u = -1.0;
+  double last_p = 0.0;
+  for (const auto& pt : points) {
+    // Use the target utilization as the knot (the measured one jitters);
+    // skip duplicates defensively.
+    if (pt.target_utilization <= last_u) continue;
+    curve.add(pt.target_utilization, pt.average_power.value());
+    last_u = pt.target_utilization;
+    last_p = pt.average_power.value();
+  }
+  if (last_u < 1.0) curve.add(1.0, last_p);
+  return power::PowerCurve::sampled(std::move(curve));
+}
+
+CampaignResult run_campaign(const model::TimeEnergyModel& model,
+                            const CampaignOptions& options) {
+  std::vector<double> grid = options.utilizations;
+  if (grid.empty()) {
+    grid = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95};
+  }
+  require(std::is_sorted(grid.begin(), grid.end()),
+          "run_campaign: utilization grid must be sorted");
+
+  CampaignResult out;
+  out.points.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SimOptions sim_opts;
+    sim_opts.utilization = grid[i];
+    sim_opts.min_jobs = options.min_jobs;
+    sim_opts.seed = options.seed + i * 7919;
+    sim_opts.use_testbed_overheads = options.use_testbed_overheads;
+    const SimResult r = simulate(model, sim_opts);
+
+    CampaignPoint pt;
+    pt.target_utilization = grid[i];
+    pt.measured_utilization = r.measured_utilization;
+    pt.average_power = r.average_power;
+    pt.throughput =
+        r.window.value() > 0.0 ? r.units_completed / r.window.value() : 0.0;
+    pt.p95_response = r.p95_response;
+    pt.mean_response = r.mean_response;
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace hcep::cluster

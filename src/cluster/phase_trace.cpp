@@ -1,0 +1,75 @@
+#include "hcep/cluster/phase_trace.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::cluster {
+
+PhaseBreakdown phase_breakdown(const workload::NodeDemand& demand,
+                               const hw::NodeSpec& node,
+                               unsigned active_cores, Hertz frequency,
+                               double units) {
+  require(units > 0.0, "phase_breakdown: non-positive work");
+  const workload::UnitTime per_unit =
+      workload::unit_time(demand, node, active_cores, frequency);
+
+  PhaseBreakdown out;
+  const Seconds core = per_unit.core * units;
+  const Seconds mem = per_unit.mem * units;
+  out.overlap = std::min(core, mem);
+  out.compute_only = std::max(Seconds{0.0}, core - mem);
+  out.stall_only = std::max(Seconds{0.0}, mem - core);
+  out.io_total = per_unit.io * units;
+  out.total = std::max(std::max(core, mem), out.io_total);
+  return out;
+}
+
+power::PowerTrace node_phase_trace(const workload::NodeDemand& demand,
+                                   const hw::NodeSpec& node,
+                                   unsigned active_cores, Hertz frequency,
+                                   double units, double power_scale) {
+  const PhaseBreakdown ph =
+      phase_breakdown(demand, node, active_cores, frequency, units);
+
+  const double dvfs = node.power.dvfs_scale(frequency, node.dvfs.max());
+  const double cores = static_cast<double>(active_cores);
+  const Watts p_act =
+      node.power.core_active * (cores * dvfs * power_scale);
+  const Watts p_stall =
+      node.power.core_stalled * (cores * dvfs * power_scale);
+  const Watts p_mem = node.power.mem_active * power_scale;
+  const Watts p_net = node.power.net_active * power_scale;
+  const Watts idle = node.power.idle;
+
+  // Boundaries where the active component set changes.
+  const double t_overlap = ph.overlap.value();
+  const double t_cpu =
+      t_overlap + ph.compute_only.value() + ph.stall_only.value();
+  const double t_io = ph.io_total.value();
+  const double t_end = ph.total.value();
+
+  std::vector<double> edges{0.0, t_overlap, t_cpu, t_io, t_end};
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  power::PowerTrace trace;
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    const double mid = 0.5 * (edges[i] + edges[i + 1]);
+    Watts level = idle;
+    if (mid < t_overlap) {
+      level += p_act + p_mem;
+    } else if (mid < t_cpu) {
+      // Past the overlap, exactly one of compute-only / stall-only
+      // remains (the other has zero width).
+      level += ph.compute_only.value() > 0.0 ? p_act : p_stall + p_mem;
+    }
+    if (mid < t_io) level += p_net;
+    trace.step(Seconds{edges[i]}, level);
+  }
+  trace.step(Seconds{t_end}, idle);
+  return trace;
+}
+
+}  // namespace hcep::cluster

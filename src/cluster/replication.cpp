@@ -1,0 +1,44 @@
+#include "hcep/cluster/replication.hpp"
+
+#include <cmath>
+
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+
+namespace hcep::cluster {
+
+double t_critical_95(std::size_t degrees_of_freedom) {
+  require(degrees_of_freedom >= 1, "t_critical_95: df must be >= 1");
+  // Two-sided 95 % quantiles of Student's t.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+      2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+      2.048,  2.045, 2.042};
+  if (degrees_of_freedom <= 30) return kTable[degrees_of_freedom - 1];
+  if (degrees_of_freedom <= 40) return 2.021;
+  if (degrees_of_freedom <= 60) return 2.000;
+  if (degrees_of_freedom <= 120) return 1.980;
+  return 1.960;  // normal limit
+}
+
+Estimate replicate(const std::function<double(std::uint64_t)>& metric,
+                   std::size_t replications, std::uint64_t base_seed) {
+  require(replications >= 2, "replicate: need at least two replications");
+
+  // Independent seeds from a splitmix stream.
+  SplitMix64 seeder(base_seed);
+  RunningStats stats;
+  for (std::size_t i = 0; i < replications; ++i)
+    stats.add(metric(seeder.next()));
+
+  Estimate out;
+  out.replications = replications;
+  out.mean = stats.mean();
+  out.half_width = t_critical_95(replications - 1) *
+                   std::sqrt(stats.variance() /
+                             static_cast<double>(replications));
+  return out;
+}
+
+}  // namespace hcep::cluster

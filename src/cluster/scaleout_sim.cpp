@@ -1,0 +1,114 @@
+#include "hcep/cluster/scaleout_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hcep/cluster/phase_trace.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/util/stats.hpp"
+
+namespace hcep::cluster {
+
+ScaleoutResult simulate_scaleout(const model::TimeEnergyModel& m,
+                                 const ScaleoutOptions& options) {
+  require(options.utilization >= 0.0 && options.utilization < 1.0,
+          "simulate_scaleout: utilization must lie in [0, 1)");
+  require(options.min_jobs > 0, "simulate_scaleout: min_jobs must be > 0");
+
+  const auto& workload = m.workload();
+  const model::TimeResult split = m.execution_time(workload.units_per_job);
+  const Seconds service = split.t_p;
+  const auto& groups = m.cluster().groups;
+
+  // Pre-render each group's per-node phase trace for one job (relative to
+  // the job's start); jobs are identical, so one render suffices.
+  struct GroupPlan {
+    std::vector<power::PowerSample> steps;  ///< relative phase steps
+    Seconds busy{};                         ///< share duration
+    Watts idle{};
+  };
+  std::vector<GroupPlan> plans;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const auto& g = groups[i];
+    GroupPlan plan;
+    plan.idle = g.spec.power.idle;
+    if (g.count > 0 && split.groups[i].units_per_node > 0.0) {
+      const power::PowerTrace trace = node_phase_trace(
+          workload.demand_for(g.spec.name), g.spec, g.cores(), g.freq(),
+          split.groups[i].units_per_node,
+          workload.power_scale_for(g.spec.name));
+      plan.steps = trace.steps();
+      plan.busy = split.groups[i].per_node.total;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  const double u = options.utilization;
+  const double lambda = u > 0.0 ? u / service.value() : 0.0;
+  const Seconds window =
+      u > 0.0
+          ? service * (static_cast<double>(options.min_jobs) / u)
+          : service * static_cast<double>(options.min_jobs);
+
+  // Sequentially generate the M/D/1 sample path (service deterministic),
+  // appending each job's phase steps to every group's trace.
+  Rng rng(options.seed);
+  std::vector<power::PowerTrace> traces(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    traces[i].step(Seconds{0.0}, plans[i].idle);
+
+  RunningStats response_stats;
+  std::vector<double> responses;
+  double clock = 0.0;
+  double server_free = 0.0;
+  ScaleoutResult out;
+  double busy_time = 0.0;
+
+  if (lambda > 0.0) {
+    for (;;) {
+      clock += rng.exponential(lambda);
+      if (clock >= window.value()) break;
+      ++out.jobs_arrived;
+      const double start = std::max(clock, server_free);
+      server_free = start + service.value();
+      busy_time += service.value();
+      ++out.jobs_completed;
+      const double response = server_free - clock;
+      response_stats.add(response);
+      responses.push_back(response);
+
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        for (const auto& s : plans[i].steps)
+          traces[i].step(Seconds{start} + s.start, s.level);
+        // The phase renderer ends at the share's busy time; nodes whose
+        // share is shorter than T_P idle until the job completes (already
+        // the idle level from the renderer's final step).
+      }
+    }
+  }
+
+  out.window = window;
+  out.measured_utilization = std::min(1.0, busy_time / window.value());
+  if (out.jobs_completed > 0) {
+    out.mean_response = Seconds{response_stats.mean()};
+    out.p95_response = Seconds{percentile_inplace(responses, 95.0)};
+  }
+
+  power::PowerMeter meter({}, options.seed ^ 0xfadeULL);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    NodeChannel ch;
+    ch.node_name = groups[i].spec.name;
+    ch.count = groups[i].count;
+    ch.energy_per_node = traces[i].energy(window);
+    ch.average_power_per_node = ch.energy_per_node / window;
+    ch.metered_energy_per_node = meter.measure_energy(traces[i], window);
+    out.cluster_energy +=
+        ch.energy_per_node * static_cast<double>(ch.count);
+    out.channels.push_back(std::move(ch));
+  }
+  out.average_power = out.cluster_energy / window;
+  return out;
+}
+
+}  // namespace hcep::cluster

@@ -1,0 +1,247 @@
+#include "hcep/cluster/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "hcep/des/simulator.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/util/stats.hpp"
+
+namespace hcep::cluster {
+
+namespace {
+
+/// Static per-run description of the cluster/workload pair.
+struct RunPlan {
+  Seconds model_job_time{};
+  Seconds expected_service{};      ///< with testbed overheads applied
+  Watts idle_power{};              ///< cluster idle floor
+  std::vector<Watts> group_dynamic;  ///< dyn power of each group (all nodes)
+  std::vector<double> group_busy_fraction;  ///< t_i / T_P per group
+  std::vector<double> group_units;          ///< units per group per job
+  WorkloadOverheads ovh;
+};
+
+RunPlan make_plan(const model::TimeEnergyModel& m, bool use_overheads) {
+  RunPlan plan;
+  plan.ovh = use_overheads ? testbed_overheads(m.workload().name)
+                           : ideal_overheads();
+
+  const model::TimeResult time = m.execution_time(m.workload().units_per_job);
+  plan.model_job_time = time.t_p;
+  plan.expected_service =
+      time.t_p * plan.ovh.time_factor + plan.ovh.dispatch;
+  plan.idle_power = m.idle_power();
+
+  const auto& groups = m.cluster().groups;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const auto& g = groups[i];
+    Watts dyn{0.0};
+    if (g.count > 0) {
+      const Watts busy = workload::busy_power(
+          m.workload().demand_for(g.spec.name), g.spec, g.cores(), g.freq(),
+          m.workload().power_scale_for(g.spec.name));
+      dyn = (busy - g.spec.power.idle) * static_cast<double>(g.count) *
+            plan.ovh.power_factor;
+    }
+    plan.group_dynamic.push_back(dyn);
+    plan.group_busy_fraction.push_back(
+        time.t_p.value() > 0.0
+            ? time.groups[i].per_node.total.value() / time.t_p.value()
+            : 0.0);
+    plan.group_units.push_back(time.groups[i].units_per_node *
+                               static_cast<double>(g.count));
+  }
+  return plan;
+}
+
+}  // namespace
+
+SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
+  require(options.utilization >= 0.0 && options.utilization < 1.0,
+          "simulate: utilization must lie in [0, 1)");
+  require(options.min_jobs > 0, "simulate: min_jobs must be positive");
+  require(options.batch_size >= 1, "simulate: batch_size must be >= 1");
+
+  const RunPlan plan = make_plan(m, options.use_testbed_overheads);
+  const double u = options.utilization;
+  // Batch arrivals: the batch rate carries batch_size jobs each, so it is
+  // scaled down to keep the offered utilization at the target.
+  const double lambda =
+      u > 0.0 ? u / (plan.expected_service.value() *
+                     static_cast<double>(options.batch_size))
+              : 0.0;
+
+  Seconds window = options.window;
+  if (window.value() <= 0.0) {
+    window = u > 0.0 ? plan.expected_service *
+                           (static_cast<double>(options.min_jobs) / u)
+                     : plan.expected_service *
+                           static_cast<double>(options.min_jobs);
+  }
+
+  Rng rng(options.seed);
+  des::Simulator sim;
+  power::PowerTrace trace;
+
+  // Current power level bookkeeping.
+  Watts level = plan.idle_power;
+  trace.step(Seconds{0.0}, level);
+  auto adjust = [&](Watts delta) {
+    level += delta;
+    trace.step(sim.now(), level);
+  };
+
+  SimResult out;
+  out.counters.reserve(m.cluster().groups.size());
+  for (const auto& g : m.cluster().groups)
+    out.counters.push_back(GroupCounters{g.spec.name, 0, 0, 0, 0});
+
+  std::deque<Seconds> queue;  // arrival times of waiting jobs
+  bool server_busy = false;
+  RunningStats service_stats;
+  RunningStats response_stats;
+  P2Quantile p95(0.95);
+  Seconds busy_time{0.0};
+
+  const auto& demand_groups = m.cluster().groups;
+
+  // Forward declaration dance: start_service schedules completion which
+  // may start the next service.
+  std::function<void()> try_start_service = [&]() {
+    if (server_busy || queue.empty()) return;
+    server_busy = true;
+    const Seconds arrival = queue.front();
+    queue.pop_front();
+
+    // Realized service time: model time x systematic factor x jitter.
+    double jitter = 1.0;
+    if (plan.ovh.service_noise_cv > 0.0) {
+      jitter = std::max(0.2, rng.normal(1.0, plan.ovh.service_noise_cv));
+    }
+    const Seconds exec =
+        plan.model_job_time * (plan.ovh.time_factor * jitter);
+    const Seconds service = exec + plan.ovh.dispatch;
+    const Seconds start_exec = sim.now() + plan.ovh.dispatch;
+    const Seconds done = start_exec + exec;
+
+    // Dispatch phase holds idle power; each group then draws its dynamic
+    // power until its share completes.
+    for (std::size_t i = 0; i < plan.group_dynamic.size(); ++i) {
+      if (plan.group_dynamic[i].value() <= 0.0) continue;
+      const Watts dyn = plan.group_dynamic[i];
+      const Seconds group_end =
+          start_exec + exec * plan.group_busy_fraction[i];
+      sim.schedule_at(start_exec, [&adjust, dyn] { adjust(dyn); });
+      sim.schedule_at(group_end, [&adjust, dyn] { adjust(-dyn); });
+    }
+
+    const Seconds busy_from = sim.now();
+    sim.schedule_at(done, [&, arrival, service, busy_from] {
+      server_busy = false;
+      ++out.jobs_completed;
+      out.units_completed += m.workload().units_per_job;
+      // Clip the busy interval to the observation window so the realized
+      // utilization matches the window the energy is integrated over.
+      const Seconds clipped_end = std::min(sim.now(), window);
+      if (clipped_end > busy_from)
+        busy_time += clipped_end - std::min(busy_from, window);
+      service_stats.add(service.value());
+      const double response = (sim.now() - arrival).value();
+      response_stats.add(response);
+      p95.add(response);
+      out.response_samples.push_back(response);
+      for (std::size_t i = 0; i < out.counters.size(); ++i) {
+        const auto& d =
+            m.workload().demand_for(demand_groups[i].spec.name);
+        out.counters[i].work_cycles += plan.group_units[i] * d.cycles_core;
+        out.counters[i].stall_cycles += plan.group_units[i] * d.cycles_mem;
+        out.counters[i].io_bytes +=
+            plan.group_units[i] * d.io_bytes.value();
+        out.counters[i].jobs_served += demand_groups[i].count > 0 ? 1 : 0;
+      }
+      try_start_service();
+    });
+  };
+
+  // Poisson arrival process, stopped at the window edge.
+  std::function<void()> arrive = [&]() {
+    if (lambda <= 0.0) return;
+    const Seconds next = sim.now() + Seconds{rng.exponential(lambda)};
+    if (next > window) return;
+    sim.schedule_at(next, [&]() {
+      for (unsigned b = 0; b < options.batch_size; ++b) {
+        ++out.jobs_arrived;
+        queue.push_back(sim.now());
+      }
+      try_start_service();
+      arrive();
+    });
+  };
+  arrive();
+
+  // Run: process all events (in-flight jobs past the window drain too).
+  sim.run();
+
+  out.window = window;
+  out.energy_exact = trace.energy(window);
+  power::PowerMeter meter(options.meter, options.seed ^ 0x5eedULL);
+  out.energy_measured = meter.measure_energy(trace, window);
+  out.average_power = out.energy_exact / window;
+  out.measured_utilization =
+      std::min(1.0, busy_time.value() / window.value());
+  if (out.jobs_completed > 0) {
+    out.mean_service = Seconds{service_stats.mean()};
+    out.mean_response = Seconds{response_stats.mean()};
+    out.p95_response = Seconds{p95.value()};
+  }
+  return out;
+}
+
+JobMeasurement measure_batch(const model::TimeEnergyModel& m,
+                             std::uint64_t jobs, std::uint64_t seed,
+                             bool use_testbed_overheads) {
+  require(jobs > 0, "measure_batch: need at least one job");
+  const RunPlan plan = make_plan(m, use_testbed_overheads);
+  Rng rng(seed);
+  power::PowerTrace trace;
+
+  Seconds now{0.0};
+  trace.step(now, plan.idle_power);
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    double jitter = 1.0;
+    if (plan.ovh.service_noise_cv > 0.0)
+      jitter = std::max(0.2, rng.normal(1.0, plan.ovh.service_noise_cv));
+    const Seconds exec = plan.model_job_time * (plan.ovh.time_factor * jitter);
+    const Seconds start_exec = now + plan.ovh.dispatch;
+
+    // Group power steps within the job, merged into the trace in time
+    // order: collect (time, delta) and apply.
+    std::vector<std::pair<Seconds, Watts>> deltas;
+    for (std::size_t i = 0; i < plan.group_dynamic.size(); ++i) {
+      if (plan.group_dynamic[i].value() <= 0.0) continue;
+      deltas.emplace_back(start_exec, plan.group_dynamic[i]);
+      deltas.emplace_back(start_exec + exec * plan.group_busy_fraction[i],
+                          -plan.group_dynamic[i]);
+    }
+    std::sort(deltas.begin(), deltas.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    Watts level = trace.at(now);
+    for (const auto& [t, dw] : deltas) {
+      level += dw;
+      trace.step(t, level);
+    }
+    now = start_exec + exec;
+    trace.step(now, plan.idle_power);
+  }
+
+  power::PowerMeter meter({}, seed ^ 0xbeefULL);
+  JobMeasurement out;
+  out.time_per_job = now / static_cast<double>(jobs);
+  out.energy_per_job =
+      meter.measure_energy(trace, now) / static_cast<double>(jobs);
+  return out;
+}
+
+}  // namespace hcep::cluster

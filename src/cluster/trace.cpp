@@ -1,0 +1,179 @@
+#include "hcep/cluster/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "hcep/power/meter.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/util/stats.hpp"
+
+namespace hcep::cluster {
+
+LoadTrace::LoadTrace(PiecewiseLinear profile) : profile_(std::move(profile)) {
+  require(!profile_.empty(), "LoadTrace: empty profile");
+  require(profile_.front_x() == 0.0, "LoadTrace: profile must start at t=0");
+  for (double y : profile_.ys())
+    require(y >= 0.0 && y < 1.0, "LoadTrace: utilization outside [0, 1)");
+}
+
+LoadTrace LoadTrace::diurnal(Seconds period, double low, double high,
+                             std::size_t knots) {
+  require(period.value() > 0.0, "LoadTrace::diurnal: non-positive period");
+  require(low >= 0.0 && high < 1.0 && low <= high,
+          "LoadTrace::diurnal: bad utilization range");
+  require(knots >= 3, "LoadTrace::diurnal: need at least three knots");
+  const double mid = 0.5 * (low + high);
+  const double amp = 0.5 * (high - low);
+  PiecewiseLinear profile;
+  for (std::size_t i = 0; i < knots; ++i) {
+    const double t = period.value() * static_cast<double>(i) /
+                     static_cast<double>(knots - 1);
+    const double u = std::clamp(
+        mid + amp * std::sin(2.0 * std::numbers::pi * t / period.value()),
+        low, high);
+    profile.add(t, u);
+  }
+  return LoadTrace(std::move(profile));
+}
+
+LoadTrace LoadTrace::step(Seconds horizon, double low, double high,
+                          Seconds start, Seconds width) {
+  require(horizon.value() > 0.0, "LoadTrace::step: non-positive horizon");
+  require(start.value() >= 0.0 && (start + width) <= horizon,
+          "LoadTrace::step: step outside the horizon");
+  require(low >= 0.0 && low < 1.0 && high >= 0.0 && high < 1.0,
+          "LoadTrace::step: utilization outside [0, 1)");
+  constexpr double kEdge = 1e-9;
+  require(start.value() == 0.0 || start.value() > kEdge,
+          "LoadTrace::step: step start too close to zero");
+  require(width.value() > kEdge, "LoadTrace::step: step width too small");
+  PiecewiseLinear profile;
+  if (start.value() > 0.0) {
+    profile.add(0.0, low);
+    profile.add(start.value() - kEdge, low);
+    profile.add(start.value(), high);
+  } else {
+    profile.add(0.0, high);
+  }
+  const double end = (start + width).value();
+  profile.add(end, high);
+  if (end + kEdge < horizon.value()) {
+    profile.add(end + kEdge, low);
+    profile.add(horizon.value(), low);
+  }
+  return LoadTrace(std::move(profile));
+}
+
+LoadTrace LoadTrace::flat(Seconds horizon, double level) {
+  require(horizon.value() > 0.0, "LoadTrace::flat: non-positive horizon");
+  require(level >= 0.0 && level < 1.0, "LoadTrace::flat: bad level");
+  return LoadTrace(PiecewiseLinear({0.0, horizon.value()}, {level, level}));
+}
+
+double LoadTrace::at(Seconds t) const { return profile_(t.value()); }
+
+Seconds LoadTrace::horizon() const { return Seconds{profile_.back_x()}; }
+
+double LoadTrace::peak() const {
+  double best = 0.0;
+  for (double y : profile_.ys()) best = std::max(best, y);
+  return best;
+}
+
+TraceReplayResult replay_trace(const model::TimeEnergyModel& model,
+                               const LoadTrace& trace,
+                               const TraceReplayOptions& options) {
+  const Seconds horizon = trace.horizon();
+  Seconds bucket = options.bucket;
+  if (bucket.value() <= 0.0) bucket = horizon / 24.0;
+  require(bucket.value() > 0.0 && bucket <= horizon,
+          "replay_trace: bad bucket width");
+
+  const Seconds service =
+      model.execution_time(model.workload().units_per_job).t_p;
+  const double lambda_max = trace.peak() / service.value();
+  const Watts idle = model.idle_power();
+  const Watts dynamic = model.busy_power() - idle;
+
+  Rng rng(options.seed);
+
+  // Non-homogeneous Poisson arrivals by thinning against lambda_max,
+  // served FIFO by the whole cluster (the paper's M/D/1 view).
+  const std::size_t n_buckets = static_cast<std::size_t>(
+      std::ceil(horizon.value() / bucket.value()));
+  std::vector<TraceBucket> buckets(n_buckets);
+  std::vector<std::vector<double>> responses(n_buckets);
+  std::vector<double> busy_in_bucket(n_buckets, 0.0);
+
+  double t = 0.0;
+  double server_free = 0.0;
+  std::uint64_t completed = 0;
+
+  // Charge a busy interval [a, b) to the bucket accounting.
+  const auto charge_busy = [&](double a, double b) {
+    a = std::max(0.0, a);
+    b = std::min(b, horizon.value());
+    while (a < b) {
+      const auto bi = std::min(
+          n_buckets - 1, static_cast<std::size_t>(a / bucket.value()));
+      const double edge =
+          std::min(b, (static_cast<double>(bi) + 1.0) * bucket.value());
+      busy_in_bucket[bi] += edge - a;
+      a = edge;
+    }
+  };
+
+  if (lambda_max > 0.0) {
+    while (true) {
+      t += rng.exponential(lambda_max);
+      if (t >= horizon.value()) break;
+      // Thinning: accept with probability lambda(t)/lambda_max.
+      if (rng.uniform01() * lambda_max > trace.at(Seconds{t}) / service.value())
+        continue;
+      const double start = std::max(t, server_free);
+      const double done = start + service.value();
+      server_free = done;
+      ++completed;
+      charge_busy(start, done);
+      const auto bi = std::min(
+          n_buckets - 1, static_cast<std::size_t>(t / bucket.value()));
+      responses[bi].push_back(done - t);
+    }
+  }
+
+  TraceReplayResult out;
+  out.jobs_completed = completed;
+
+  Joules energy{0.0};
+  Seconds worst_p95{0.0};
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    TraceBucket& b = buckets[i];
+    b.start = bucket * static_cast<double>(i);
+    const double width =
+        std::min(bucket.value(), horizon.value() - b.start.value());
+    // Trace average over the bucket (4-point rule is plenty for the
+    // piecewise-linear profile).
+    double acc = 0.0;
+    for (int k = 0; k < 4; ++k)
+      acc += trace.at(b.start + Seconds{width * (k + 0.5) / 4.0});
+    b.target_utilization = acc / 4.0;
+    b.realized_utilization = busy_in_bucket[i] / width;
+    b.average_power = idle + dynamic * b.realized_utilization;
+    b.jobs = responses[i].size();
+    if (!responses[i].empty()) {
+      b.p95_response = Seconds{percentile_inplace(responses[i], 95.0)};
+      worst_p95 = std::max(worst_p95, b.p95_response);
+    }
+    energy += b.average_power * Seconds{width};
+  }
+
+  out.buckets = std::move(buckets);
+  out.total_energy = energy;
+  out.average_power = energy / horizon;
+  out.worst_p95 = worst_p95;
+  return out;
+}
+
+}  // namespace hcep::cluster

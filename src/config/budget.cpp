@@ -1,0 +1,91 @@
+#include "hcep/config/budget.hpp"
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+
+namespace hcep::config {
+
+using namespace hcep::literals;
+
+Watts mix_nameplate_power(unsigned n_a9, unsigned n_k10) {
+  return hw::cortex_a9().nameplate_peak * static_cast<double>(n_a9) +
+         hw::opteron_k10().nameplate_peak * static_cast<double>(n_k10) +
+         hw::switch_power_for(n_a9);
+}
+
+unsigned substitution_ratio() {
+  // 60 W / (5 W + 20 W / 8) = 8 (footnote 3).
+  const double a9_amortized =
+      hw::cortex_a9().nameplate_peak.value() +
+      hw::a9_switch_power().value() /
+          static_cast<double>(hw::a9_nodes_per_switch());
+  return static_cast<unsigned>(hw::opteron_k10().nameplate_peak.value() /
+                               a9_amortized);
+}
+
+std::vector<model::ClusterSpec> budget_mixes(Watts budget, unsigned k10_step) {
+  require(budget.value() > 0.0, "budget_mixes: non-positive budget");
+  require(k10_step >= 1, "budget_mixes: k10_step must be >= 1");
+
+  const auto max_k10 = static_cast<unsigned>(
+      budget.value() / hw::opteron_k10().nameplate_peak.value());
+  require(max_k10 >= 1, "budget_mixes: budget below one K10 node");
+
+  const unsigned ratio = substitution_ratio();
+  std::vector<model::ClusterSpec> out;
+  for (unsigned removed = 0; removed <= max_k10; removed += k10_step) {
+    const unsigned n_k10 = max_k10 - removed;
+    const unsigned n_a9 = removed * ratio;
+    require(mix_nameplate_power(n_a9, n_k10) <= budget,
+            "budget_mixes: internal accounting exceeded the budget");
+    out.push_back(model::make_a9_k10_cluster(n_a9, n_k10));
+    if (n_k10 < k10_step) break;  // next step would underflow
+  }
+  return out;
+}
+
+unsigned substitution_ratio_for(const hw::NodeSpec& wimpy,
+                                const hw::NodeSpec& brawny) {
+  const double wimpy_amortized =
+      wimpy.nameplate_peak.value() +
+      hw::a9_switch_power().value() /
+          static_cast<double>(hw::a9_nodes_per_switch());
+  const auto ratio = static_cast<unsigned>(brawny.nameplate_peak.value() /
+                                           wimpy_amortized);
+  require(ratio >= 1, "substitution_ratio_for: wimpy node costs more than "
+                      "the brawny node");
+  return ratio;
+}
+
+std::vector<model::ClusterSpec> budget_mixes_for(const hw::NodeSpec& wimpy,
+                                                 const hw::NodeSpec& brawny,
+                                                 Watts budget,
+                                                 unsigned brawny_step) {
+  require(budget.value() > 0.0, "budget_mixes_for: non-positive budget");
+  require(brawny_step >= 1, "budget_mixes_for: brawny_step must be >= 1");
+  const auto max_brawny = static_cast<unsigned>(
+      budget.value() / brawny.nameplate_peak.value());
+  require(max_brawny >= 1, "budget_mixes_for: budget below one brawny node");
+
+  const unsigned ratio = substitution_ratio_for(wimpy, brawny);
+  std::vector<model::ClusterSpec> out;
+  for (unsigned removed = 0; removed <= max_brawny;
+       removed += brawny_step) {
+    const unsigned n_brawny = max_brawny - removed;
+    const unsigned n_wimpy = removed * ratio;
+    out.push_back(
+        model::make_two_type_cluster(wimpy, n_wimpy, brawny, n_brawny));
+    require(out.back().nameplate_power() <= budget,
+            "budget_mixes_for: internal accounting exceeded the budget");
+    if (n_brawny < brawny_step) break;
+  }
+  return out;
+}
+
+std::vector<model::ClusterSpec> paper_budget_mixes() {
+  auto mixes = budget_mixes(1_kW, 4);
+  require(mixes.size() == 5, "paper_budget_mixes: expected five 1 kW mixes");
+  return mixes;
+}
+
+}  // namespace hcep::config

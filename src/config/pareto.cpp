@@ -1,0 +1,98 @@
+#include "hcep/config/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::config {
+
+std::vector<Evaluation> evaluate_space(const ConfigSpace& space,
+                                       const workload::Workload& workload,
+                                       ThreadPool* pool) {
+  // Pre-check type coverage once instead of throwing per configuration.
+  for (const auto& t : space.types()) {
+    require(workload.has_node(t.spec.name),
+            "evaluate_space: workload '" + workload.name +
+                "' lacks demand for node type '" + t.spec.name + "'");
+  }
+
+  std::vector<Evaluation> out(space.size());
+  auto evaluate_one = [&](std::size_t i) {
+    model::ClusterSpec cfg = space.config_at(i);
+    model::TimeEnergyModel m(cfg, workload);
+    Evaluation& e = out[i];
+    e.index = i;
+    e.time = m.execution_time(workload.units_per_job).t_p;
+    e.energy = m.job_energy(workload.units_per_job).e_p;
+    e.idle_power = m.idle_power();
+    e.busy_power = m.busy_power();
+    e.config = std::move(cfg);
+  };
+
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  parallel_for(p, 0, space.size(), evaluate_one, 256);
+  return out;
+}
+
+std::vector<Evaluation> pareto_front(std::vector<Evaluation> evaluations) {
+  if (evaluations.empty()) return evaluations;
+  std::sort(evaluations.begin(), evaluations.end(),
+            [](const Evaluation& a, const Evaluation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.energy < b.energy;
+            });
+  std::vector<Evaluation> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (auto& e : evaluations) {
+    if (e.energy.value() < best_energy) {
+      best_energy = e.energy.value();
+      front.push_back(std::move(e));
+    }
+  }
+  return front;
+}
+
+std::optional<Evaluation> min_energy_within_deadline(
+    const std::vector<Evaluation>& evaluations, Seconds deadline) {
+  std::optional<Evaluation> best;
+  for (const auto& e : evaluations) {
+    if (e.time > deadline) continue;
+    if (!best || e.energy < best->energy) best = e;
+  }
+  return best;
+}
+
+std::optional<Evaluation> fastest(
+    const std::vector<Evaluation>& evaluations) {
+  std::optional<Evaluation> best;
+  for (const auto& e : evaluations) {
+    if (!best || e.time < best->time) best = e;
+  }
+  return best;
+}
+
+double energy_delay_product(const Evaluation& e) {
+  return e.energy.value() * e.time.value();
+}
+
+double energy_delay2_product(const Evaluation& e) {
+  return e.energy.value() * e.time.value() * e.time.value();
+}
+
+std::optional<Evaluation> min_edp(const std::vector<Evaluation>& evaluations,
+                                  bool squared) {
+  std::optional<Evaluation> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& e : evaluations) {
+    const double score =
+        squared ? energy_delay2_product(e) : energy_delay_product(e);
+    if (score < best_score) {
+      best_score = score;
+      best = e;
+    }
+  }
+  return best;
+}
+
+}  // namespace hcep::config

@@ -1,0 +1,101 @@
+#include "hcep/config/prune.hpp"
+
+#include <vector>
+
+#include "hcep/util/error.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace hcep::config {
+
+namespace {
+
+struct Candidate {
+  OperatingPoint op;
+  double throughput = 0.0;  ///< per node, units/s
+  Watts busy{};
+};
+
+/// True when b dominates a: at least the throughput at no more power,
+/// strictly better in one coordinate.
+bool dominates(const Candidate& b, const Candidate& a) {
+  const bool geq = b.throughput >= a.throughput && b.busy <= a.busy;
+  const bool strict = b.throughput > a.throughput || b.busy < a.busy;
+  return geq && strict;
+}
+
+}  // namespace
+
+ConfigSpace prune_operating_points(const ConfigSpace& space,
+                                   const workload::Workload& workload,
+                                   PruneStats* stats) {
+  if (stats) {
+    stats->configurations_before = space.size();
+    stats->per_type.clear();
+  }
+
+  std::vector<TypeOptions> pruned_types;
+  for (const TypeOptions& t : space.types()) {
+    require(workload.has_node(t.spec.name),
+            "prune_operating_points: workload '" + workload.name +
+                "' lacks demand for '" + t.spec.name + "'");
+    const auto& demand = workload.demand_for(t.spec.name);
+    const double kappa = workload.power_scale_for(t.spec.name);
+
+    // Materialize the type's operating points.
+    std::vector<Candidate> candidates;
+    if (!t.operating_points.empty()) {
+      for (const OperatingPoint& op : t.operating_points) {
+        candidates.push_back(Candidate{op, 0.0, Watts{}});
+      }
+    } else {
+      std::vector<unsigned> cores = t.core_counts;
+      if (cores.empty()) {
+        for (unsigned c = 1; c <= t.spec.cores; ++c) cores.push_back(c);
+      }
+      std::vector<Hertz> freqs = t.frequencies;
+      if (freqs.empty()) freqs = t.spec.dvfs.steps();
+      for (unsigned c : cores) {
+        for (Hertz f : freqs) {
+          candidates.push_back(Candidate{OperatingPoint{c, f}, 0.0, Watts{}});
+        }
+      }
+    }
+    for (auto& cand : candidates) {
+      cand.throughput = workload::unit_throughput(
+          demand, t.spec, cand.op.cores, cand.op.frequency);
+      cand.busy = workload::busy_power(demand, t.spec, cand.op.cores,
+                                       cand.op.frequency, kappa);
+    }
+
+    // Keep the non-dominated set.
+    std::vector<OperatingPoint> kept;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      bool is_dominated = false;
+      for (std::size_t j = 0; j < candidates.size() && !is_dominated; ++j) {
+        if (i == j) continue;
+        if (dominates(candidates[j], candidates[i])) is_dominated = true;
+        // Exact ties: keep the first occurrence only.
+        if (!is_dominated && j < i &&
+            candidates[j].throughput == candidates[i].throughput &&
+            candidates[j].busy == candidates[i].busy) {
+          is_dominated = true;
+        }
+      }
+      if (!is_dominated) kept.push_back(candidates[i].op);
+    }
+    require(!kept.empty(), "prune_operating_points: pruned everything");
+    if (stats) stats->per_type.emplace_back(kept.size(), candidates.size());
+
+    TypeOptions nt;
+    nt.spec = t.spec;
+    nt.max_nodes = t.max_nodes;
+    nt.operating_points = std::move(kept);
+    pruned_types.push_back(std::move(nt));
+  }
+
+  ConfigSpace pruned(std::move(pruned_types));
+  if (stats) stats->configurations_after = pruned.size();
+  return pruned;
+}
+
+}  // namespace hcep::config

@@ -1,0 +1,103 @@
+#include "hcep/config/space.hpp"
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+
+namespace hcep::config {
+
+std::uint64_t TypeOptions::tuples() const {
+  if (!operating_points.empty()) {
+    return static_cast<std::uint64_t>(max_nodes) * operating_points.size();
+  }
+  const std::uint64_t cores =
+      core_counts.empty() ? spec.cores : core_counts.size();
+  const std::uint64_t freqs =
+      frequencies.empty() ? spec.dvfs.size() : frequencies.size();
+  return static_cast<std::uint64_t>(max_nodes) * cores * freqs;
+}
+
+ConfigSpace::ConfigSpace(std::vector<TypeOptions> types)
+    : types_(std::move(types)) {
+  require(!types_.empty(), "ConfigSpace: no node types");
+  std::uint64_t product = 1;
+  for (const auto& t : types_) {
+    require(t.max_nodes >= 1, "ConfigSpace: max_nodes must be >= 1");
+    t.spec.validate();
+    for (unsigned c : t.core_counts)
+      require(c >= 1 && c <= t.spec.cores,
+              "ConfigSpace: core choice out of range for " + t.spec.name);
+    for (Hertz f : t.frequencies)
+      require(f >= t.spec.dvfs.min() && f <= t.spec.dvfs.max(),
+              "ConfigSpace: frequency choice outside ladder of " +
+                  t.spec.name);
+    for (const OperatingPoint& op : t.operating_points) {
+      require(op.cores >= 1 && op.cores <= t.spec.cores,
+              "ConfigSpace: operating-point cores out of range for " +
+                  t.spec.name);
+      require(op.frequency >= t.spec.dvfs.min() &&
+                  op.frequency <= t.spec.dvfs.max(),
+              "ConfigSpace: operating-point frequency outside ladder of " +
+                  t.spec.name);
+    }
+    radix_.push_back(t.tuples() + 1);
+    product *= radix_.back();
+  }
+  size_ = product - 1;  // exclude the all-absent combination
+}
+
+model::ClusterSpec ConfigSpace::config_at(std::uint64_t index) const {
+  require(index < size_, "ConfigSpace::config_at: index out of range");
+  std::uint64_t code = index + 1;  // code 0 is the excluded empty cluster
+
+  model::ClusterSpec cluster;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    const std::uint64_t digit = code % radix_[i];
+    code /= radix_[i];
+    if (digit == 0) continue;  // type absent
+
+    const TypeOptions& t = types_[i];
+    model::NodeGroup group;
+    group.spec = t.spec;
+
+    std::uint64_t d = digit - 1;
+    if (!t.operating_points.empty()) {
+      const std::uint64_t pi = d % t.operating_points.size();
+      d /= t.operating_points.size();
+      group.count = static_cast<unsigned>(d + 1);
+      group.active_cores = t.operating_points[pi].cores;
+      group.frequency = t.operating_points[pi].frequency;
+    } else {
+      const std::uint64_t freq_count =
+          t.frequencies.empty() ? t.spec.dvfs.size() : t.frequencies.size();
+      const std::uint64_t core_count =
+          t.core_counts.empty() ? t.spec.cores : t.core_counts.size();
+      const std::uint64_t fi = d % freq_count;
+      d /= freq_count;
+      const std::uint64_t ci = d % core_count;
+      d /= core_count;
+      group.count = static_cast<unsigned>(d + 1);
+      group.active_cores = t.core_counts.empty()
+                               ? static_cast<unsigned>(ci + 1)
+                               : t.core_counts[ci];
+      group.frequency = t.frequencies.empty() ? t.spec.dvfs.step(fi)
+                                              : t.frequencies[fi];
+    }
+    cluster.groups.push_back(std::move(group));
+  }
+  return cluster;
+}
+
+void ConfigSpace::for_each(
+    const std::function<void(const model::ClusterSpec&, std::uint64_t)>& fn)
+    const {
+  for (std::uint64_t i = 0; i < size_; ++i) fn(config_at(i), i);
+}
+
+ConfigSpace make_a9_k10_space(unsigned arm, unsigned amd) {
+  std::vector<TypeOptions> types;
+  if (arm > 0) types.push_back(TypeOptions{hw::cortex_a9(), arm, {}, {}, {}});
+  if (amd > 0) types.push_back(TypeOptions{hw::opteron_k10(), amd, {}, {}, {}});
+  return ConfigSpace(std::move(types));
+}
+
+}  // namespace hcep::config

@@ -1,0 +1,55 @@
+#include "hcep/core/paper_study.hpp"
+
+#include "hcep/config/budget.hpp"
+#include "hcep/util/error.hpp"
+
+namespace hcep::core {
+
+PaperStudy::PaperStudy(const workload::CatalogOptions& options)
+    : workloads_(workload::paper_workloads(options)) {}
+
+const workload::Workload& PaperStudy::workload(
+    const std::string& program) const {
+  for (const auto& w : workloads_)
+    if (w.name == program) return w;
+  throw PreconditionError("PaperStudy: unknown program '" + program + "'");
+}
+
+std::vector<analysis::ValidationRow> PaperStudy::table4() const {
+  return analysis::validate_all(workloads_);
+}
+
+std::vector<analysis::NodeWorkloadAnalysis> PaperStudy::single_node_analyses()
+    const {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const hw::NodeSpec k10 = hw::opteron_k10();
+  std::vector<analysis::NodeWorkloadAnalysis> out;
+  out.reserve(workloads_.size() * 2);
+  for (const auto& w : workloads_) {
+    out.push_back(analysis::analyze_single_node(w, a9));
+    out.push_back(analysis::analyze_single_node(w, k10));
+  }
+  return out;
+}
+
+std::vector<analysis::MixAnalysis> PaperStudy::budget_mix_analyses(
+    const std::string& program) const {
+  return analysis::analyze_mixes(config::paper_budget_mixes(),
+                                 workload(program));
+}
+
+analysis::ParetoStudyResult PaperStudy::pareto_study(
+    const std::string& program, bool compute_frontier) const {
+  analysis::ParetoStudyOptions opts;
+  opts.compute_frontier = compute_frontier;
+  return analysis::run_pareto_study(workload(program), opts);
+}
+
+analysis::ResponseStudyResult PaperStudy::response_study(
+    const std::string& program, bool cross_check_des) const {
+  analysis::ResponseStudyOptions opts;
+  opts.cross_check_des = cross_check_des;
+  return analysis::run_response_study(workload(program), opts);
+}
+
+}  // namespace hcep::core

@@ -1,0 +1,43 @@
+#include "hcep/des/simulator.hpp"
+
+#include <utility>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::des {
+
+void Simulator::schedule_at(Seconds t, EventCallback cb) {
+  require(t >= now_, "Simulator::schedule_at: time lies in the past");
+  require(static_cast<bool>(cb), "Simulator::schedule_at: empty callback");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_in(Seconds delay, EventCallback cb) {
+  require(delay.value() >= 0.0, "Simulator::schedule_in: negative delay");
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out via
+  // a copy of the event before pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.callback();
+  return true;
+}
+
+void Simulator::run_until(Seconds horizon) {
+  require(horizon >= now_, "Simulator::run_until: horizon in the past");
+  while (!queue_.empty() && queue_.top().time <= horizon) step();
+  now_ = horizon;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace hcep::des

@@ -1,0 +1,155 @@
+#include "hcep/hw/catalog.hpp"
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::hw {
+
+using namespace hcep::literals;
+
+NodeSpec cortex_a9() {
+  NodeSpec n;
+  n.name = "A9";
+  n.isa = Isa::kArmV7A;
+  n.cores = 4;
+  n.dvfs = DvfsLadder{{0.2_GHz, 0.5_GHz, 0.8_GHz, 1.1_GHz, 1.4_GHz}};
+  n.caches = CacheSpec{.l1d_per_core = 32_KB,
+                       .l2 = 1_MB,
+                       .l2_per_core = false,
+                       .l3 = Bytes{0}};
+  n.memory = 1_GB;
+  n.nic_bandwidth = BytesPerSecond{100e6 / 8.0};  // 100 Mbps
+  n.power = PowerComponents{.idle = 1.8_W,
+                            .core_active = 0.55_W,
+                            .core_stalled = 0.28_W,
+                            .mem_active = 0.5_W,
+                            .net_active = 0.3_W,
+                            .dvfs_exponent = 2.2};
+  // In-order-ish dual-issue core: modest CPI, weak FP, no crypto
+  // acceleration, LP-DDR2 stream bandwidth ~1.3 GB/s.
+  n.cost = CostModel{.cpi_int = 1.1,
+                     .cpi_fp = 2.2,
+                     .cpi_branch = 1.5,
+                     .cpi_crypto = 28.0,
+                     .crypto_speedup = 1.0,
+                     .mem_bandwidth = BytesPerSecond{1.3e9},
+                     .mem_core_scalability = 0.20};
+  n.nameplate_peak = 5_W;
+  n.validate();
+  return n;
+}
+
+NodeSpec opteron_k10() {
+  NodeSpec n;
+  n.name = "K10";
+  n.isa = Isa::kX86_64;
+  n.cores = 6;
+  n.dvfs = DvfsLadder{{0.8_GHz, 1.5_GHz, 2.1_GHz}};
+  n.caches = CacheSpec{.l1d_per_core = 64_KB,
+                       .l2 = 512_KB,
+                       .l2_per_core = true,
+                       .l3 = 6_MB};
+  n.memory = 8_GB;
+  n.nic_bandwidth = BytesPerSecond{1e9 / 8.0};  // 1 Gbps
+  n.power = PowerComponents{.idle = 45.0_W,
+                            .core_active = 4.3_W,
+                            .core_stalled = 2.1_W,
+                            .mem_active = 3.5_W,
+                            .net_active = 1.2_W,
+                            .dvfs_exponent = 2.5};
+  // Wide out-of-order core: low CPI, strong FP/SIMD, hardware-friendly
+  // crypto sequences, DDR3 stream bandwidth ~10 GB/s.
+  n.cost = CostModel{.cpi_int = 0.45,
+                     .cpi_fp = 0.7,
+                     .cpi_branch = 0.8,
+                     .cpi_crypto = 28.0,
+                     .crypto_speedup = 9.0,
+                     .mem_bandwidth = BytesPerSecond{10.0e9},
+                     .mem_core_scalability = 0.35};
+  n.nameplate_peak = 60_W;
+  n.validate();
+  return n;
+}
+
+NodeSpec cortex_a15() {
+  NodeSpec n;
+  n.name = "A15";
+  n.isa = Isa::kArmV7A;
+  n.cores = 4;
+  n.dvfs = DvfsLadder{{0.6_GHz, 1.0_GHz, 1.4_GHz, 1.8_GHz}};
+  n.caches = CacheSpec{.l1d_per_core = 32_KB,
+                       .l2 = 2_MB,
+                       .l2_per_core = false,
+                       .l3 = Bytes{0}};
+  n.memory = 2_GB;
+  n.nic_bandwidth = BytesPerSecond{1e9 / 8.0};
+  n.power = PowerComponents{.idle = 3.2_W,
+                            .core_active = 1.5_W,
+                            .core_stalled = 0.7_W,
+                            .mem_active = 0.9_W,
+                            .net_active = 0.4_W,
+                            .dvfs_exponent = 2.3};
+  n.cost = CostModel{.cpi_int = 0.8,
+                     .cpi_fp = 1.3,
+                     .cpi_branch = 1.1,
+                     .cpi_crypto = 28.0,
+                     .crypto_speedup = 1.0,
+                     .mem_bandwidth = BytesPerSecond{3.5e9},
+                     .mem_core_scalability = 0.25};
+  n.nameplate_peak = 12_W;
+  n.validate();
+  return n;
+}
+
+NodeSpec xeon_e5() {
+  NodeSpec n;
+  n.name = "XeonE5";
+  n.isa = Isa::kX86_64;
+  n.cores = 8;
+  n.dvfs = DvfsLadder{{1.2_GHz, 1.8_GHz, 2.4_GHz, 2.9_GHz}};
+  n.caches = CacheSpec{.l1d_per_core = 32_KB,
+                       .l2 = 256_KB,
+                       .l2_per_core = true,
+                       .l3 = 20_MB};
+  n.memory = 32_GB;
+  n.nic_bandwidth = BytesPerSecond{10e9 / 8.0};
+  n.power = PowerComponents{.idle = 62.0_W,
+                            .core_active = 6.5_W,
+                            .core_stalled = 3.0_W,
+                            .mem_active = 6.0_W,
+                            .net_active = 2.5_W,
+                            .dvfs_exponent = 2.6};
+  n.cost = CostModel{.cpi_int = 0.35,
+                     .cpi_fp = 0.5,
+                     .cpi_branch = 0.6,
+                     .cpi_crypto = 28.0,
+                     .crypto_speedup = 14.0,
+                     .mem_bandwidth = BytesPerSecond{35.0e9},
+                     .mem_core_scalability = 0.45};
+  n.nameplate_peak = 130_W;
+  n.validate();
+  return n;
+}
+
+NodeSpec by_name(const std::string& name) {
+  if (name == "A9") return cortex_a9();
+  if (name == "K10") return opteron_k10();
+  if (name == "A15") return cortex_a15();
+  if (name == "XeonE5") return xeon_e5();
+  throw PreconditionError("hw::by_name: unknown node type '" + name + "'");
+}
+
+std::vector<std::string> catalog_names() {
+  return {"A9", "K10", "A15", "XeonE5"};
+}
+
+Watts a9_switch_power() { return 20.0_W; }
+
+unsigned a9_nodes_per_switch() { return 8; }
+
+Watts switch_power_for(unsigned n_a9) {
+  const unsigned per = a9_nodes_per_switch();
+  const unsigned switches = (n_a9 + per - 1) / per;
+  return a9_switch_power() * static_cast<double>(switches);
+}
+
+}  // namespace hcep::hw

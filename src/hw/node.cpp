@@ -1,0 +1,85 @@
+#include "hcep/hw/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::hw {
+
+std::string to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kArmV7A: return "ARMv7-A";
+    case Isa::kArmV8A: return "ARMv8-A";
+    case Isa::kX86_64: return "x86_64";
+  }
+  return "unknown";
+}
+
+DvfsLadder::DvfsLadder(std::vector<Hertz> steps) : steps_(std::move(steps)) {
+  require(!steps_.empty(), "DvfsLadder: no operating points");
+  require(std::is_sorted(steps_.begin(), steps_.end()),
+          "DvfsLadder: operating points must be sorted ascending");
+  require(steps_.front().value() > 0.0, "DvfsLadder: non-positive frequency");
+}
+
+Hertz DvfsLadder::min() const {
+  require(!steps_.empty(), "DvfsLadder: empty");
+  return steps_.front();
+}
+
+Hertz DvfsLadder::max() const {
+  require(!steps_.empty(), "DvfsLadder: empty");
+  return steps_.back();
+}
+
+Hertz DvfsLadder::step(std::size_t i) const {
+  require(i < steps_.size(), "DvfsLadder: step index out of range");
+  return steps_[i];
+}
+
+Hertz DvfsLadder::quantize_up(Hertz f) const {
+  require(!steps_.empty(), "DvfsLadder: empty");
+  for (Hertz s : steps_)
+    if (s >= f) return s;
+  return steps_.back();
+}
+
+double PowerComponents::dvfs_scale(Hertz f, Hertz f_max) const {
+  require(f_max.value() > 0.0, "dvfs_scale: zero reference frequency");
+  return std::pow(f / f_max, dvfs_exponent);
+}
+
+double CostModel::mem_parallelism(unsigned active_cores) const {
+  require(active_cores >= 1, "mem_parallelism: need at least one core");
+  return 1.0 + mem_core_scalability * static_cast<double>(active_cores - 1);
+}
+
+Watts NodeSpec::node_power(unsigned cores_active, unsigned cores_stalled,
+                           bool mem_busy, bool net_busy, Hertz f) const {
+  require(cores_active + cores_stalled <= cores,
+          "node_power: more busy cores than the node has");
+  const double scale = power.dvfs_scale(f, dvfs.max());
+  Watts p = power.idle;
+  p += power.core_active * (static_cast<double>(cores_active) * scale);
+  p += power.core_stalled * (static_cast<double>(cores_stalled) * scale);
+  // Memory and NIC power do not scale with core DVFS.
+  if (mem_busy) p += power.mem_active;
+  if (net_busy) p += power.net_active;
+  return p;
+}
+
+void NodeSpec::validate() const {
+  require(!name.empty(), "NodeSpec: empty name");
+  require(cores >= 1, "NodeSpec: node must have at least one core");
+  require(dvfs.size() >= 1, "NodeSpec: empty DVFS ladder");
+  require(power.idle.value() > 0.0, "NodeSpec: idle power must be positive");
+  require(power.core_active.value() >= 0.0, "NodeSpec: negative core power");
+  require(nameplate_peak >= power.idle,
+          "NodeSpec: nameplate peak below idle power");
+  require(cost.mem_bandwidth.value > 0.0, "NodeSpec: zero memory bandwidth");
+  require(nic_bandwidth.value > 0.0, "NodeSpec: zero NIC bandwidth");
+  require(cost.crypto_speedup >= 1.0, "NodeSpec: crypto speedup below 1");
+}
+
+}  // namespace hcep::hw

@@ -1,0 +1,35 @@
+// Cluster-wide energy-proportionality analysis (Section III-C): the
+// Table 8 metrics and Figure 7/8 curves for power-budget-constrained
+// cluster mixes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct MixAnalysis {
+  std::string label;                      ///< e.g. "64A9:8K10"
+  power::PowerCurve curve;                ///< cluster P(u), nodes only
+  metrics::ProportionalityReport report;  ///< Table 8 row cells
+  double peak_throughput = 0.0;
+  Watts idle_power{};
+  Watts peak_power{};
+  Watts nameplate{};                      ///< budget accounting incl switch
+};
+
+/// Analyzes one workload across a set of cluster mixes (defaults used by
+/// the benches: config::paper_budget_mixes()).
+[[nodiscard]] std::vector<MixAnalysis> analyze_mixes(
+    const std::vector<model::ClusterSpec>& mixes,
+    const workload::Workload& workload,
+    model::CurveFamily family = model::CurveFamily::kLinear,
+    double curvature = 0.3);
+
+}  // namespace hcep::analysis

@@ -1,0 +1,26 @@
+// JSON serialization of study results for downstream tooling (dashboards,
+// notebooks, regression tracking).
+#pragma once
+
+#include "hcep/analysis/cluster_study.hpp"
+#include "hcep/analysis/pareto_study.hpp"
+#include "hcep/analysis/response_study.hpp"
+#include "hcep/analysis/single_node.hpp"
+#include "hcep/analysis/validation.hpp"
+#include "hcep/core/paper_study.hpp"
+#include "hcep/util/json.hpp"
+
+namespace hcep::analysis {
+
+[[nodiscard]] JsonValue to_json(const ValidationRow& row);
+[[nodiscard]] JsonValue to_json(const NodeWorkloadAnalysis& a);
+[[nodiscard]] JsonValue to_json(const MixAnalysis& m);
+[[nodiscard]] JsonValue to_json(const ParetoMixAnalysis& m);
+[[nodiscard]] JsonValue to_json(const MixResponse& m);
+
+/// The full reproduction as one JSON document:
+/// { "table4": [...], "single_node": [...], "table8": {program: [...]},
+///   "pareto": {...}, "response": {...} }.
+[[nodiscard]] JsonValue export_study(const core::PaperStudy& study);
+
+}  // namespace hcep::analysis

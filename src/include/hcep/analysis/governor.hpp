@@ -1,0 +1,52 @@
+// DVFS governor study (extension).
+//
+// The paper fixes each configuration's (cores, frequency) and modulates
+// utilization through job arrivals — effectively a race-to-idle governor
+// at the chosen operating point. The natural follow-up for a datacenter
+// operator: at sustained utilization u, is it cheaper to race at f_max
+// and idle, or to pace — drop to the slowest (c, f) whose capacity still
+// covers the load? This study answers that per mix and per utilization
+// with the same model, quantifying how far DVFS pacing pushes the
+// effective power curve toward (or past) the ideal line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/analysis/pareto_study.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct GovernorPoint {
+  double utilization = 0.0;
+  Watts race_power{};        ///< race-to-idle at (c_max, f_max)
+  Watts pace_power{};        ///< best pacing operating point
+  std::string pace_label;    ///< chosen (c, f) per type, e.g. "A9@4c/0.8GHz"
+  double saving_percent = 0.0;  ///< (race - pace) / race * 100
+};
+
+struct GovernorStudyResult {
+  std::vector<GovernorPoint> points;
+  /// Effective pacing power curve (sampled at the study grid).
+  power::PowerCurve pace_curve;
+  /// Race-to-idle curve (the paper's linear profile).
+  power::PowerCurve race_curve;
+  metrics::ProportionalityReport race_report;
+  metrics::ProportionalityReport pace_report;
+};
+
+struct GovernorStudyOptions {
+  MixCounts mix{4, 2};
+  /// Utilization grid; empty selects {0.1 ... 1.0}.
+  std::vector<double> utilizations;
+};
+
+/// Runs the race-vs-pace comparison for one workload on one mix.
+[[nodiscard]] GovernorStudyResult run_governor_study(
+    const workload::Workload& workload,
+    const GovernorStudyOptions& options = {});
+
+}  // namespace hcep::analysis

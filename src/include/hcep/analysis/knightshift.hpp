@@ -1,0 +1,50 @@
+// KnightShift-style server-level heterogeneity (extension).
+//
+// The paper positions itself against KnightShift (Wong & Annavaram,
+// MICRO'12 / IEEE Micro'13, refs [43], [44]): a wimpy "knight" fronts a
+// brawny primary and serves alone at low utilization while the primary
+// sleeps. That is INTRA-server heterogeneity; the paper studies
+// INTER-node mixes. This module models a KnightShift composite so the two
+// approaches can be compared with the same metric suite:
+//
+//   u <= threshold : knight active, primary in a sleep state
+//   u >  threshold : primary active at the residual load, knight idles
+//
+// where threshold = knight capacity / primary capacity. The composite
+// power curve is genuinely non-linear (a sawtooth with a wake step), so
+// the literal Table 3 LDR and PG(u) become informative.
+#pragma once
+
+#include "hcep/hw/node.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct KnightShiftSpec {
+  hw::NodeSpec knight;   ///< wimpy front (defaults: Cortex-A9)
+  hw::NodeSpec primary;  ///< brawny primary (defaults: Opteron K10)
+  /// Residual power of the sleeping primary (suspend-to-RAM class).
+  Watts primary_sleep{3.0};
+  /// Knight draw while the primary serves (it keeps the NIC/state warm).
+  Watts knight_shadow{1.0};
+};
+
+/// Defaults to the paper's node pair.
+[[nodiscard]] KnightShiftSpec default_knightshift();
+
+struct KnightShiftAnalysis {
+  power::PowerCurve curve;   ///< composite power vs whole-system utilization
+  double switch_threshold = 0.0;  ///< u where the primary wakes
+  double peak_throughput = 0.0;   ///< primary capacity (units/s)
+  metrics::ProportionalityReport report;
+};
+
+/// Builds the composite curve for `workload` and runs the metric suite.
+/// Requires workload demand for both node types.
+[[nodiscard]] KnightShiftAnalysis analyze_knightshift(
+    const workload::Workload& workload,
+    const KnightShiftSpec& spec = default_knightshift());
+
+}  // namespace hcep::analysis

@@ -1,0 +1,70 @@
+// Pareto-configuration proportionality analysis (Section III-D,
+// Figures 9/10): does inter-node heterogeneity scale the energy-
+// proportionality wall?
+//
+// Given a node budget (the paper uses at most 32 A9 + 12 K10), the study
+// computes the energy-deadline Pareto frontier over the full
+// configuration space and, for the paper's labelled mixes, the power
+// profile normalized against the *reference* (largest) configuration's
+// peak. Mixes whose profile dips below the ideal-proportional line of
+// that reference are the sub-linear configurations the paper highlights.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hcep/config/pareto.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+/// An (n_a9, n_k10) mix highlighted in Figures 9-12.
+struct MixCounts {
+  unsigned a9 = 0;
+  unsigned k10 = 0;
+  [[nodiscard]] std::string label() const;
+};
+
+/// The five mixes the paper labels: (32,12) (25,10) (25,8) (25,7) (25,5).
+[[nodiscard]] std::vector<MixCounts> paper_pareto_mixes();
+
+struct ParetoMixAnalysis {
+  MixCounts mix;
+  power::PowerCurve curve;        ///< cluster P(u) at full cores/frequency
+  double crossover_utilization;   ///< u where it becomes sub-linear (>1 = never)
+  bool sublinear_at_half;         ///< below ideal at u = 0.5 (paper's example)
+  Seconds best_job_time{};        ///< fastest achievable T_P for one job
+  Joules best_job_energy{};       ///< energy at that operating point
+};
+
+struct ParetoStudyOptions {
+  unsigned max_a9 = 32;
+  unsigned max_k10 = 12;
+  std::vector<MixCounts> mixes;  ///< empty selects paper_pareto_mixes()
+  /// Compute the full-space Pareto frontier (36k+ evaluations) too.
+  bool compute_frontier = true;
+};
+
+struct ParetoStudyResult {
+  Watts reference_peak{};                 ///< largest mix's busy power
+  std::vector<ParetoMixAnalysis> mixes;
+  std::vector<config::Evaluation> frontier;  ///< energy-deadline frontier
+};
+
+[[nodiscard]] ParetoStudyResult run_pareto_study(
+    const workload::Workload& workload, const ParetoStudyOptions& options = {});
+
+/// Minimum-energy operating point (active cores / frequency per type) for
+/// fixed node counts under a deadline; nullopt when the mix cannot meet
+/// it at any operating point.
+[[nodiscard]] std::optional<config::Evaluation> best_operating_point(
+    const MixCounts& mix, const workload::Workload& workload,
+    Seconds deadline);
+
+/// Fastest operating point for fixed node counts (all cores, f_max).
+[[nodiscard]] config::Evaluation fastest_operating_point(
+    const MixCounts& mix, const workload::Workload& workload);
+
+}  // namespace hcep::analysis

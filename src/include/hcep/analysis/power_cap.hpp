@@ -1,0 +1,51 @@
+// Power-cap study (extension).
+//
+// The paper budgets *nameplate* power (1 kW buys the mixes of Table 8);
+// operators also cap *drawn* power (RAPL-style). Under a cap C on average
+// cluster power, how much throughput survives? Two regimes per mix:
+//
+//   race:   stay at (c_max, f_max); the cap limits the duty cycle, so
+//           X(C) = X_peak * min(1, (C - P_idle)/(P_busy - P_idle))
+//   paced:  additionally allow any (c, f) operating point; slower points
+//           draw less power per unit of work and can beat racing under
+//           tight caps.
+//
+// The study sweeps caps and reports both, plus the paced operating point
+// chosen at each cap — quantifying how the DVFS dimension softens power
+// capping on heterogeneous mixes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/analysis/pareto_study.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct PowerCapPoint {
+  Watts cap{};
+  double race_throughput = 0.0;   ///< units/s sustainable when racing
+  double paced_throughput = 0.0;  ///< units/s at the best operating point
+  std::string paced_label;        ///< chosen (c, f) per type
+  /// paced / race; > 1 where pacing beats racing (0 race throughput with
+  /// positive paced throughput reports infinity()).
+  double pacing_gain = 1.0;
+};
+
+struct PowerCapStudyResult {
+  Watts idle_power{};  ///< caps below this sustain nothing
+  Watts busy_power{};  ///< caps above this don't bind
+  std::vector<PowerCapPoint> points;
+};
+
+struct PowerCapOptions {
+  MixCounts mix{4, 2};
+  /// Caps to sweep; empty selects 10 points between idle and busy power.
+  std::vector<Watts> caps;
+};
+
+[[nodiscard]] PowerCapStudyResult run_power_cap_study(
+    const workload::Workload& workload, const PowerCapOptions& options = {});
+
+}  // namespace hcep::analysis

@@ -1,0 +1,61 @@
+// 95th-percentile response-time analysis of sub-linear mixes
+// (Section III-E, Figures 11/12).
+//
+// Each mix runs at its minimum-energy operating point that still meets
+// the workload's execution-time deadline (the energy-deadline Pareto
+// discipline of [31]); a mix that cannot meet the deadline runs flat out.
+// Jobs queue M/D/1 at the dispatcher, so the 95th-percentile response at
+// utilization u is the M/D/1 95th-percentile wait plus the service time.
+// The paper's claim falls out: for EP (wimpy PPR > brawny PPR) every mix
+// meets the deadline and the curves differ sub-millisecond; for x264
+// (brawny PPR > wimpy) the K10-poor mixes miss it by seconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/analysis/pareto_study.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct ResponseStudyOptions {
+  std::vector<MixCounts> mixes;      ///< empty selects paper_pareto_mixes()
+  /// Execution-time deadline; zero selects the per-workload default
+  /// (default_deadline()).
+  Seconds deadline{};
+  /// Utilization grid in percent; empty selects {20, 30, ..., 90, 95}.
+  std::vector<double> utilization_percents;
+  /// Also measure each point on the DES testbed (slower).
+  bool cross_check_des = false;
+  std::uint64_t seed = 31;
+};
+
+struct ResponsePoint {
+  double utilization_percent = 0.0;
+  Seconds p95_analytic{};   ///< M/D/1 95th-percentile response
+  Seconds p95_simulated{};  ///< DES measurement (when requested)
+};
+
+struct MixResponse {
+  MixCounts mix;
+  bool meets_deadline = false;
+  Seconds service_time{};           ///< realized job time at the chosen point
+  Joules job_energy{};
+  std::vector<ResponsePoint> points;
+};
+
+struct ResponseStudyResult {
+  Seconds deadline{};
+  std::vector<MixResponse> mixes;
+};
+
+/// Per-workload deadline used by the reproduction (chosen so the weakest
+/// paper mix sits at the edge for EP and misses for x264; see DESIGN.md).
+[[nodiscard]] Seconds default_deadline(const std::string& program);
+
+[[nodiscard]] ResponseStudyResult run_response_study(
+    const workload::Workload& workload,
+    const ResponseStudyOptions& options = {});
+
+}  // namespace hcep::analysis

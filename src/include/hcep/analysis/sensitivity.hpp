@@ -1,0 +1,49 @@
+// Calibration-sensitivity study (extension).
+//
+// Our reproduction seeds the models with the paper's published PPR/IPR
+// values (DESIGN.md §1). Are the paper's *conclusions* robust to
+// measurement error in those seeds? This study perturbs the seeds with
+// multiplicative noise, re-runs calibration, and tracks the derived
+// conclusions across trials:
+//   - Table 6's PPR winner per program (does it ever flip?)
+//   - Table 8's mixed-cluster DPR spread
+//   - Figure 9's sub-linearity boundary (the (25,7)-at-50 % example)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hcep/util/stats.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct SensitivityOptions {
+  /// Multiplicative 1-sigma noise on the PPR seeds.
+  double ppr_noise = 0.10;
+  /// Multiplicative 1-sigma noise on the IPR seeds (clamped to (0.05, 0.98)).
+  double ipr_noise = 0.05;
+  unsigned trials = 200;
+  std::uint64_t seed = 424242;
+};
+
+struct SensitivityResult {
+  unsigned trials = 0;
+  /// How often the Table 6 winner (A9 vs K10 by PPR) flipped vs nominal.
+  unsigned winner_flips = 0;
+  /// DPR of the 64A9:8K10 mix across trials (Table 8 middle column).
+  RunningStats dpr_mixed;
+  /// Sub-linearity crossover of the 25A9:7K10 mix (Figure 9's example).
+  RunningStats crossover_25_7;
+  /// Trials in which 25A9:7K10 was sub-linear at u = 50 % (paper: yes).
+  unsigned sublinear_at_half_25_7 = 0;
+  /// Trials in which 25A9:8K10 stayed super-linear at 50 % (paper: yes).
+  unsigned superlinear_at_half_25_8 = 0;
+};
+
+/// Runs the perturbation study for one program. Characterization runs
+/// once; each trial only re-runs calibration and the derived analyses.
+[[nodiscard]] SensitivityResult run_sensitivity_study(
+    const std::string& program, const SensitivityOptions& options = {});
+
+}  // namespace hcep::analysis

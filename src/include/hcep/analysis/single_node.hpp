@@ -1,0 +1,47 @@
+// Single-node energy-proportionality analysis (Section III-A/III-B):
+// per (program, node type) the power-vs-utilization profile, the Table 7
+// metric set, and the Table 6 peak PPR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/hw/node.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct NodeWorkloadAnalysis {
+  std::string program;
+  std::string node;
+  std::string work_unit;
+  power::PowerCurve curve;                  ///< single-node P(u)
+  metrics::ProportionalityReport report;    ///< DPR/IPR/EPM/LDR (Table 7)
+  double peak_throughput = 0.0;             ///< units/s at u = 1
+  double ppr_peak = 0.0;                    ///< Table 6 PPR
+  Watts idle_power{};
+  Watts peak_power{};
+};
+
+/// Analyzes one workload on a single node of the given type.
+/// `family`/`curvature` select the power-profile family (the paper's model
+/// is linear; quadratic supports the Hsu-Poole ablation).
+[[nodiscard]] NodeWorkloadAnalysis analyze_single_node(
+    const workload::Workload& workload, const hw::NodeSpec& node,
+    model::CurveFamily family = model::CurveFamily::kLinear,
+    double curvature = 0.3);
+
+/// Convenience: the (percent-utilization, percent-of-peak-power) series of
+/// Figure 5, sampled at the given utilization percents.
+[[nodiscard]] std::vector<std::pair<double, double>> proportionality_series(
+    const power::PowerCurve& curve, const std::vector<double>& util_percents);
+
+/// The (percent-utilization, PPR) series of Figure 6.
+[[nodiscard]] std::vector<std::pair<double, double>> ppr_series(
+    const power::PowerCurve& curve, double peak_throughput,
+    const std::vector<double>& util_percents);
+
+}  // namespace hcep::analysis

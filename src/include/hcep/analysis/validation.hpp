@@ -1,0 +1,49 @@
+// Model validation (Table 4): the analytic Table 2 model against the
+// simulated testbed's measured execution time and energy per job.
+//
+// The paper validates against the physical Fig. 4 setup; we validate the
+// same model against the DES testbed, whose systematic overheads
+// (hcep/cluster/overheads.hpp) the model does not know. Errors are
+// percent differences, as Table 4 defines them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::analysis {
+
+struct ValidationRow {
+  std::string program;
+  std::string domain;      ///< Table 4's application-domain column
+  Seconds model_time{};
+  Seconds measured_time{};
+  Joules model_energy{};
+  Joules measured_energy{};
+  double time_error_percent = 0.0;
+  double energy_error_percent = 0.0;
+};
+
+struct ValidationOptions {
+  /// Validation cluster; empty groups selects the default 4 A9 + 2 K10
+  /// testbed mirroring the Fig. 4 setup.
+  model::ClusterSpec cluster;
+  std::uint64_t jobs = 40;  ///< batch length per measurement
+  std::uint64_t seed = 2016;
+};
+
+/// Table 4's application-domain label for a program.
+[[nodiscard]] std::string program_domain(const std::string& program);
+
+/// Validates one workload; model vs measured per-job time and energy.
+[[nodiscard]] ValidationRow validate_workload(
+    const workload::Workload& workload, const ValidationOptions& options = {});
+
+/// Validates a set of workloads (one Table 4 row each).
+[[nodiscard]] std::vector<ValidationRow> validate_all(
+    const std::vector<workload::Workload>& workloads,
+    const ValidationOptions& options = {});
+
+}  // namespace hcep::analysis

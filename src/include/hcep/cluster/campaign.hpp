@@ -1,0 +1,47 @@
+// Measurement campaigns: utilization sweeps on the simulated testbed.
+//
+// The paper varies "the number of jobs per batch and number of batches in
+// an observation interval" to sweep the utilization of a server or
+// cluster between 0 and 1 (Section II-C). A campaign runs the simulator
+// across a utilization grid and returns the *measured* power-vs-
+// utilization profile and PPR samples — the empirical counterparts of the
+// model's curves, used for validation and for the sampled PowerCurve
+// family.
+#pragma once
+
+#include <vector>
+
+#include "hcep/cluster/simulator.hpp"
+#include "hcep/power/curve.hpp"
+
+namespace hcep::cluster {
+
+struct CampaignOptions {
+  /// Utilization grid; defaults to {0, 0.1, ..., 0.9, 0.95}.
+  std::vector<double> utilizations;
+  std::uint64_t seed = 999;
+  std::uint64_t min_jobs = 300;
+  bool use_testbed_overheads = true;
+};
+
+struct CampaignPoint {
+  double target_utilization = 0.0;
+  double measured_utilization = 0.0;
+  Watts average_power{};
+  double throughput = 0.0;  ///< completed work units per second
+  Seconds p95_response{};
+  Seconds mean_response{};
+};
+
+struct CampaignResult {
+  std::vector<CampaignPoint> points;
+
+  /// Measured power profile as a sampled PowerCurve (knots at the
+  /// measured utilizations, extended to u = 1 with the last sample).
+  [[nodiscard]] power::PowerCurve measured_curve() const;
+};
+
+[[nodiscard]] CampaignResult run_campaign(const model::TimeEnergyModel& model,
+                                          const CampaignOptions& options = {});
+
+}  // namespace hcep::cluster

@@ -1,0 +1,50 @@
+// Failure injection (extension).
+//
+// Datacenter-scale deployments lose nodes; the paper's models assume an
+// always-healthy cluster. This simulator injects node failures (per-node
+// exponential time-to-failure, fixed repair time) into the cluster-as-
+// server view: a job admitted while nodes are down runs at the surviving
+// capacity, lengthening its service; down nodes stop drawing power. The
+// study quantifies how failures degrade both the p95 response and the
+// energy-proportionality picture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::cluster {
+
+struct FailureOptions {
+  double utilization = 0.5;
+  std::uint64_t min_jobs = 500;
+  std::uint64_t seed = 4242;
+  /// Mean time between failures of ONE node (exponential).
+  Seconds node_mtbf{3600.0};
+  /// Fixed repair (reboot/replace) time.
+  Seconds repair_time{120.0};
+};
+
+struct FailureResult {
+  std::uint64_t jobs_completed = 0;
+  Seconds window{};
+  /// Time-averaged fraction of nodes up, weighted per node.
+  double availability = 0.0;
+  std::uint64_t failures = 0;
+  Seconds mean_response{};
+  Seconds p95_response{};
+  Joules energy{};
+  Watts average_power{};
+  /// Mean realized service time vs the healthy-cluster service time.
+  double service_inflation = 1.0;
+};
+
+/// Simulates the model's cluster under failures. The healthy-cluster
+/// comparison point is the same run with an effectively infinite MTBF.
+[[nodiscard]] FailureResult simulate_with_failures(
+    const model::TimeEnergyModel& model, const FailureOptions& options = {});
+
+}  // namespace hcep::cluster

@@ -1,0 +1,47 @@
+// Phase-level power traces (extension).
+//
+// The job-level simulator draws one flat "busy power" per node; real
+// nodes step through phases. This module renders a node's execution of a
+// work share as the Table 2 phase structure:
+//
+//   [0, min(T_core, T_mem))           cores active, memory streaming
+//   [min, T_core)  (compute-bound)    cores active, memory quiet
+//   [min, T_mem)   (memory-bound)     cores stalled, memory streaming
+//   [0, T_I/O)                        NIC active (DMA overlaps the CPU)
+//   [T_CPU-or-I/O, end)               idle tail (if another phase is longer)
+//
+// The resulting trace integrates EXACTLY to the model's per-component
+// energies (unit_energy + idle floor) — asserted by tests — so the
+// phase renderer doubles as an independent check of the energy algebra.
+#pragma once
+
+#include "hcep/hw/node.hpp"
+#include "hcep/power/meter.hpp"
+#include "hcep/workload/demand.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace hcep::cluster {
+
+/// Renders the power trace of ONE node executing `units` units of work at
+/// the given operating point, with the workload's calibration factor.
+/// The trace starts at t = 0 and ends at the share's total time; the
+/// level before/after is the node's idle floor.
+[[nodiscard]] power::PowerTrace node_phase_trace(
+    const workload::NodeDemand& demand, const hw::NodeSpec& node,
+    unsigned active_cores, Hertz frequency, double units,
+    double power_scale = 1.0);
+
+/// Phase durations the trace is built from (exposed for tests/plots).
+struct PhaseBreakdown {
+  Seconds overlap{};       ///< cores active + memory busy
+  Seconds compute_only{};  ///< cores active, memory quiet
+  Seconds stall_only{};    ///< cores stalled, memory busy
+  Seconds io_total{};      ///< NIC busy (overlapped from t = 0)
+  Seconds total{};         ///< max(cpu, io)
+};
+
+[[nodiscard]] PhaseBreakdown phase_breakdown(
+    const workload::NodeDemand& demand, const hw::NodeSpec& node,
+    unsigned active_cores, Hertz frequency, double units);
+
+}  // namespace hcep::cluster

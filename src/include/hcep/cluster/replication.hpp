@@ -1,0 +1,38 @@
+// Replication statistics: run a stochastic simulation N times with
+// independent seeds and report mean +/- confidence half-width per metric.
+// Simulation results without error bars invite over-reading; the
+// reproduction benches that quote simulated numbers use this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hcep/util/stats.hpp"
+
+namespace hcep::cluster {
+
+/// Mean and half-width of a (1-alpha) confidence interval.
+struct Estimate {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t replications = 0;
+
+  [[nodiscard]] double lower() const { return mean - half_width; }
+  [[nodiscard]] double upper() const { return mean + half_width; }
+  /// True when `value` falls inside the interval.
+  [[nodiscard]] bool covers(double value) const {
+    return value >= lower() && value <= upper();
+  }
+};
+
+/// Two-sided Student-t critical value for the given degrees of freedom at
+/// 95 % confidence (table for small df, normal limit beyond).
+[[nodiscard]] double t_critical_95(std::size_t degrees_of_freedom);
+
+/// Runs `metric(seed)` for `replications` independent seeds derived from
+/// `base_seed` and returns the 95 % confidence estimate.
+[[nodiscard]] Estimate replicate(
+    const std::function<double(std::uint64_t seed)>& metric,
+    std::size_t replications, std::uint64_t base_seed = 1);
+
+}  // namespace hcep::cluster

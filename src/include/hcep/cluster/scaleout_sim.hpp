@@ -1,0 +1,57 @@
+// Scale-out simulator with phase-level node power (extension).
+//
+// The job-level simulator (simulator.hpp) draws one flat busy level per
+// node group. This variant renders every job at PHASE granularity using
+// node_phase_trace: each node of each group steps through its
+// overlap / compute-or-stall / I/O phases for its rate-matched share,
+// and a per-node power trace is maintained for the whole window — the
+// per-node Yokogawa channels of the paper's Fig. 4 setup.
+//
+// Because the phase renderer integrates exactly to the model's energy
+// algebra, this simulator's per-node energies reconcile with the
+// analytic model to meter precision — asserted in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hcep/model/time_energy.hpp"
+#include "hcep/power/meter.hpp"
+
+namespace hcep::cluster {
+
+struct ScaleoutOptions {
+  double utilization = 0.5;
+  std::uint64_t min_jobs = 200;
+  std::uint64_t seed = 77;
+};
+
+/// One node type's per-node measurement channel.
+struct NodeChannel {
+  std::string node_name;
+  unsigned count = 0;            ///< nodes of this type
+  Joules energy_per_node{};      ///< exact trace integral over the window
+  Watts average_power_per_node{};
+  Joules metered_energy_per_node{};  ///< through the meter emulation
+};
+
+struct ScaleoutResult {
+  std::uint64_t jobs_arrived = 0;
+  std::uint64_t jobs_completed = 0;
+  Seconds window{};
+  Seconds mean_response{};
+  Seconds p95_response{};
+  double measured_utilization = 0.0;
+  Joules cluster_energy{};       ///< sum over all nodes
+  Watts average_power{};
+  std::vector<NodeChannel> channels;
+};
+
+/// Simulates the model's cluster at phase granularity (model-exact
+/// service times; no testbed overheads — this simulator's purpose is the
+/// energy-algebra reconciliation, not Table 4 noise).
+[[nodiscard]] ScaleoutResult simulate_scaleout(
+    const model::TimeEnergyModel& model, const ScaleoutOptions& options = {});
+
+}  // namespace hcep::cluster

@@ -1,0 +1,79 @@
+// Load-trace replay (extension).
+//
+// The paper evaluates at fixed utilization levels; real datacenters see
+// diurnal load. A LoadTrace describes target utilization over time; the
+// replay drives the cluster simulator with a non-homogeneous Poisson
+// arrival process (thinning) and reports per-bucket power/latency plus
+// the total energy of the observation horizon — the quantity a mix
+// actually bills for over a day.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/math.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::cluster {
+
+/// Target utilization (0..<1) as a function of time, piecewise linear.
+class LoadTrace {
+ public:
+  /// From explicit (time, utilization) knots; times strictly increasing
+  /// starting at 0, utilizations in [0, 1).
+  explicit LoadTrace(PiecewiseLinear profile);
+
+  /// Sinusoidal day/night pattern: u(t) = mid + amp * sin(2 pi t / period)
+  /// clipped to [low, high]; starts at the midpoint heading up.
+  [[nodiscard]] static LoadTrace diurnal(Seconds period, double low,
+                                         double high,
+                                         std::size_t knots = 49);
+
+  /// Two-level step: `low` outside, `high` during [start, start+width).
+  [[nodiscard]] static LoadTrace step(Seconds horizon, double low,
+                                      double high, Seconds start,
+                                      Seconds width);
+
+  /// Flat load (degenerates to the paper's fixed-utilization runs).
+  [[nodiscard]] static LoadTrace flat(Seconds horizon, double level);
+
+  [[nodiscard]] double at(Seconds t) const;
+  [[nodiscard]] Seconds horizon() const;
+  /// Highest utilization anywhere on the trace.
+  [[nodiscard]] double peak() const;
+
+ private:
+  PiecewiseLinear profile_;
+};
+
+struct TraceBucket {
+  Seconds start{};
+  double target_utilization = 0.0;   ///< trace average over the bucket
+  double realized_utilization = 0.0; ///< busy time / bucket
+  Watts average_power{};
+  Seconds p95_response{};
+  std::uint64_t jobs = 0;
+};
+
+struct TraceReplayResult {
+  std::vector<TraceBucket> buckets;
+  Joules total_energy{};
+  Watts average_power{};
+  std::uint64_t jobs_completed = 0;
+  Seconds worst_p95{};
+};
+
+struct TraceReplayOptions {
+  /// Reporting bucket width; zero selects horizon / 24.
+  Seconds bucket{};
+  std::uint64_t seed = 2024;
+};
+
+/// Replays `trace` against the model's cluster (model-exact service
+/// times, exact trace-integral energy).
+[[nodiscard]] TraceReplayResult replay_trace(
+    const model::TimeEnergyModel& model, const LoadTrace& trace,
+    const TraceReplayOptions& options = {});
+
+}  // namespace hcep::cluster

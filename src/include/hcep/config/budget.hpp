@@ -1,0 +1,46 @@
+// Power-budget accounting and the paper's 1 kW cluster mixes.
+//
+// Footnote 3: one K10 draws 60 W nameplate, one A9 5 W; an Ethernet switch
+// serving 8 A9 nodes draws 20 W, so an A9 costs 7.5 W amortized and the
+// substitution ratio is 60 / 7.5 = 8 A9 per K10. Under a 1 kW budget the
+// cluster mixes step by 4 K10 <-> 32 A9: 128:0, 96:4, 64:8, 32:12, 0:16.
+#pragma once
+
+#include <vector>
+
+#include "hcep/hw/node.hpp"
+#include "hcep/model/cluster_spec.hpp"
+
+namespace hcep::config {
+
+/// Nameplate rack power of an (n_a9, n_k10) mix including switches.
+[[nodiscard]] Watts mix_nameplate_power(unsigned n_a9, unsigned n_k10);
+
+/// The paper's A9-per-K10 substitution ratio (8).
+[[nodiscard]] unsigned substitution_ratio();
+
+/// All maximal (n_a9, n_k10) mixes within `budget`, stepping `k10_step`
+/// K10 nodes at a time from the all-K10 end (each step trades k10_step
+/// K10 for k10_step * ratio A9). Clusters come with full cores/frequency
+/// and switch overhead recorded.
+[[nodiscard]] std::vector<model::ClusterSpec> budget_mixes(
+    Watts budget, unsigned k10_step = 4);
+
+/// The exact five mixes of Figures 7/8 and Table 8 (1 kW budget):
+/// 128A9:0K10, 96A9:4K10, 64A9:8K10, 32A9:12K10, 0A9:16K10.
+[[nodiscard]] std::vector<model::ClusterSpec> paper_budget_mixes();
+
+/// Substitution ratio for an arbitrary (wimpy, brawny) pair, derived the
+/// way footnote 3 derives 8:1 for A9/K10: brawny nameplate over the
+/// wimpy nameplate plus its amortized switch share.
+[[nodiscard]] unsigned substitution_ratio_for(const hw::NodeSpec& wimpy,
+                                              const hw::NodeSpec& brawny);
+
+/// Generalized budget mixes for an arbitrary node pair: maximal mixes
+/// within `budget`, trading `brawny_step` brawny nodes for
+/// brawny_step * ratio wimpy nodes per step.
+[[nodiscard]] std::vector<model::ClusterSpec> budget_mixes_for(
+    const hw::NodeSpec& wimpy, const hw::NodeSpec& brawny, Watts budget,
+    unsigned brawny_step = 1);
+
+}  // namespace hcep::config

@@ -1,0 +1,66 @@
+// Energy-deadline Pareto exploration (Section III-D).
+//
+// The paper's prior work [31] showed heterogeneity creates a "sweet
+// region": the set of configurations Pareto-optimal in (execution time,
+// energy) for a given program. This module evaluates the time-energy
+// model across a ConfigSpace (in parallel) and extracts that frontier,
+// plus the deadline-constrained minimum-energy pick used by the
+// response-time analysis of Figures 11/12.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hcep/config/space.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/parallel/thread_pool.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::config {
+
+/// One evaluated configuration.
+struct Evaluation {
+  std::uint64_t index = 0;      ///< position in the ConfigSpace
+  model::ClusterSpec config;
+  Seconds time{};               ///< job execution time T_P
+  Joules energy{};              ///< job energy E_P
+  Watts idle_power{};
+  Watts busy_power{};
+};
+
+/// Evaluates every configuration in `space` for one job of `workload`.
+/// Runs on `pool` (nullptr = the global pool). Configurations whose node
+/// types the workload lacks demand for are skipped.
+[[nodiscard]] std::vector<Evaluation> evaluate_space(
+    const ConfigSpace& space, const workload::Workload& workload,
+    ThreadPool* pool = nullptr);
+
+/// Extracts the Pareto frontier minimizing (time, energy): no returned
+/// configuration is dominated (another with <= time and <= energy, one
+/// strict). Result sorted by increasing time (hence decreasing energy).
+[[nodiscard]] std::vector<Evaluation> pareto_front(
+    std::vector<Evaluation> evaluations);
+
+/// Minimum-energy configuration meeting `deadline`; nullopt when no
+/// configuration is fast enough.
+[[nodiscard]] std::optional<Evaluation> min_energy_within_deadline(
+    const std::vector<Evaluation>& evaluations, Seconds deadline);
+
+/// Fastest configuration regardless of energy.
+[[nodiscard]] std::optional<Evaluation> fastest(
+    const std::vector<Evaluation>& evaluations);
+
+/// Energy-delay product E_P * T_P in J*s — the classic single-number
+/// compromise between the frontier's two axes.
+[[nodiscard]] double energy_delay_product(const Evaluation& e);
+
+/// Energy-delay-squared product E_P * T_P^2 (weights latency harder).
+[[nodiscard]] double energy_delay2_product(const Evaluation& e);
+
+/// Configuration minimizing EDP (or ED2P when `squared`); always a member
+/// of the Pareto frontier.
+[[nodiscard]] std::optional<Evaluation> min_edp(
+    const std::vector<Evaluation>& evaluations, bool squared = false);
+
+}  // namespace hcep::config

@@ -1,0 +1,41 @@
+// Configuration-space pruning (the paper's stated future work: "An
+// approach to reduce the configuration space is beyond the scope of this
+// paper", footnote 4 discussion).
+//
+// Per node type, an operating point (c1, f1) is *dominated* by (c2, f2)
+// when the latter delivers at least the throughput at no more busy power
+// for the given workload. Under the model's rate-matched split (every
+// group busy for the whole of T_P, docs/MODEL.md §3), swapping a dominated
+// point for its dominator never increases T_P or E_P, so pruning
+// dominated points preserves the energy-deadline Pareto frontier exactly
+// — asserted empirically in tests — while shrinking the space by the
+// product of the per-type reductions.
+#pragma once
+
+#include "hcep/config/space.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::config {
+
+struct PruneStats {
+  std::uint64_t configurations_before = 0;
+  std::uint64_t configurations_after = 0;
+  /// Per type: operating points kept / total.
+  std::vector<std::pair<std::size_t, std::size_t>> per_type;
+
+  [[nodiscard]] double reduction_factor() const {
+    return configurations_after > 0
+               ? static_cast<double>(configurations_before) /
+                     static_cast<double>(configurations_after)
+               : 0.0;
+  }
+};
+
+/// Returns a space over the same types with per-type dominated operating
+/// points removed (w.r.t. `workload`'s demands). Requires the workload to
+/// cover every type in the space.
+[[nodiscard]] ConfigSpace prune_operating_points(
+    const ConfigSpace& space, const workload::Workload& workload,
+    PruneStats* stats = nullptr);
+
+}  // namespace hcep::config

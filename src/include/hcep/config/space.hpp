@@ -1,0 +1,75 @@
+// Heterogeneous configuration-space enumeration.
+//
+// A configuration picks, for each node type that is present, a tuple
+// (node count, active cores, core frequency). The paper's footnote 4
+// counts the space for 10 ARM + 10 AMD nodes:
+//   both present: 10*5*4 * 10*3*6 = 36,000
+//   ARM only:     10*5*4         =    200
+//   AMD only:     10*3*6         =    180   -> total 36,380.
+// ConfigSpace reproduces exactly this combinatorics for any set of types
+// and supports O(1) random access by index so sweeps parallelize.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hcep/hw/node.hpp"
+#include "hcep/model/cluster_spec.hpp"
+
+namespace hcep::config {
+
+/// One explicit (active cores, frequency) operating point.
+struct OperatingPoint {
+  unsigned cores = 0;
+  Hertz frequency{};
+};
+
+/// Enumeration options for one node type.
+struct TypeOptions {
+  hw::NodeSpec spec;
+  unsigned max_nodes = 1;  ///< node count ranges over 1..max_nodes
+  /// Active-core choices; empty selects 1..spec.cores.
+  std::vector<unsigned> core_counts;
+  /// Frequency choices; empty selects the full DVFS ladder.
+  std::vector<Hertz> frequencies;
+  /// When non-empty, overrides the (core_counts x frequencies) cross
+  /// product with an explicit operating-point list — the representation
+  /// the pruner produces (prune.hpp), since a non-dominated set is not a
+  /// cross product.
+  std::vector<OperatingPoint> operating_points;
+
+  /// Number of (n, c, f) tuples when this type is present.
+  [[nodiscard]] std::uint64_t tuples() const;
+};
+
+class ConfigSpace {
+ public:
+  explicit ConfigSpace(std::vector<TypeOptions> types);
+
+  [[nodiscard]] const std::vector<TypeOptions>& types() const {
+    return types_;
+  }
+
+  /// Total number of configurations (at least one node present).
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  /// Decodes configuration `index` in [0, size()).
+  [[nodiscard]] model::ClusterSpec config_at(std::uint64_t index) const;
+
+  /// Invokes fn(config, index) over the whole space (sequential).
+  void for_each(
+      const std::function<void(const model::ClusterSpec&, std::uint64_t)>& fn)
+      const;
+
+ private:
+  std::vector<TypeOptions> types_;
+  std::vector<std::uint64_t> radix_;  ///< tuples()+1 per type (0 = absent)
+  std::uint64_t size_ = 0;
+};
+
+/// The paper's footnote-4 space: `arm` A9 nodes x 5 frequencies x 4 cores
+/// and `amd` K10 nodes x 3 frequencies x 6 cores.
+[[nodiscard]] ConfigSpace make_a9_k10_space(unsigned arm, unsigned amd);
+
+}  // namespace hcep::config

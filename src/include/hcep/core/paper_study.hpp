@@ -1,0 +1,58 @@
+// PaperStudy: one-stop reproduction facade.
+//
+// Builds the calibrated workload catalog once (kernels really run during
+// construction) and exposes each table/figure's data through a single
+// call. The bench binaries are thin wrappers over this class; library
+// users get the same entry points programmatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/analysis/cluster_study.hpp"
+#include "hcep/analysis/pareto_study.hpp"
+#include "hcep/analysis/response_study.hpp"
+#include "hcep/analysis/single_node.hpp"
+#include "hcep/analysis/validation.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace hcep::core {
+
+class PaperStudy {
+ public:
+  /// Runs characterization + calibration for all six programs.
+  explicit PaperStudy(const workload::CatalogOptions& options = {});
+
+  [[nodiscard]] const std::vector<workload::Workload>& workloads() const {
+    return workloads_;
+  }
+  [[nodiscard]] const workload::Workload& workload(
+      const std::string& program) const;
+
+  /// Table 4: model-vs-testbed validation rows.
+  [[nodiscard]] std::vector<analysis::ValidationRow> table4() const;
+
+  /// Tables 6 + 7: single-node analyses for every (program, node) pair,
+  /// ordered program-major (A9 then K10).
+  [[nodiscard]] std::vector<analysis::NodeWorkloadAnalysis>
+  single_node_analyses() const;
+
+  /// Table 8 / Figures 7-8: mix analyses of the 1 kW budget mixes for one
+  /// program.
+  [[nodiscard]] std::vector<analysis::MixAnalysis> budget_mix_analyses(
+      const std::string& program) const;
+
+  /// Figures 9/10: Pareto-mix proportionality study.
+  [[nodiscard]] analysis::ParetoStudyResult pareto_study(
+      const std::string& program, bool compute_frontier = true) const;
+
+  /// Figures 11/12: 95th-percentile response-time study.
+  [[nodiscard]] analysis::ResponseStudyResult response_study(
+      const std::string& program, bool cross_check_des = false) const;
+
+ private:
+  std::vector<workload::Workload> workloads_;
+};
+
+}  // namespace hcep::core

@@ -1,0 +1,67 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic event-queue engine: callbacks scheduled at
+// absolute or relative simulated times, executed in (time, insertion)
+// order. The cluster simulator (hcep::cluster) builds its dispatcher,
+// nodes and measurement campaign on top of this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "hcep/util/units.hpp"
+
+namespace hcep::des {
+
+using EventCallback = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must not lie in the past).
+  void schedule_at(Seconds t, EventCallback cb);
+
+  /// Schedules `cb` after `delay` from now (delay >= 0).
+  void schedule_in(Seconds delay, EventCallback cb);
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue drains or the next event lies beyond
+  /// `horizon`; the clock is finally advanced to exactly `horizon`.
+  void run_until(Seconds horizon);
+
+  /// Runs until the queue drains completely.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Seconds time{};
+    std::uint64_t seq = 0;
+    EventCallback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Seconds now_{0.0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace hcep::des

@@ -1,0 +1,49 @@
+// The node catalog: the two Table 5 nodes the paper validates with, plus
+// two extension nodes (Cortex-A15, Xeon-class) used by the what-if examples
+// to show the analysis generalizes beyond the paper's testbed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/hw/node.hpp"
+
+namespace hcep::hw {
+
+/// ARM Cortex-A9 wimpy node (Table 5 left column): 4 cores, 0.2-1.4 GHz
+/// (5 DVFS points), 1 GB LP-DDR2, 100 Mbps NIC, ~1.8 W idle / 5 W peak.
+[[nodiscard]] NodeSpec cortex_a9();
+
+/// AMD Opteron K10 brawny node (Table 5 right column): 6 cores,
+/// 0.8-2.1 GHz (3 DVFS points), 8 GB DDR3, 1 Gbps NIC, ~45 W idle /
+/// 60 W nameplate peak, crypto-accelerated RSA.
+[[nodiscard]] NodeSpec opteron_k10();
+
+/// Extension: ARM Cortex-A15 node (not in the paper) — wimpy class but with
+/// roughly 2x the A9's per-clock performance and memory bandwidth.
+[[nodiscard]] NodeSpec cortex_a15();
+
+/// Extension: Xeon-class brawny node (not in the paper) — more cores and
+/// bandwidth than the K10 at a higher idle floor.
+[[nodiscard]] NodeSpec xeon_e5();
+
+/// Looks a node up by name ("A9", "K10", "A15", "XeonE5");
+/// throws hcep::PreconditionError for unknown names.
+[[nodiscard]] NodeSpec by_name(const std::string& name);
+
+/// Names available through by_name().
+[[nodiscard]] std::vector<std::string> catalog_names();
+
+/// Power drawn by one Ethernet switch that aggregates wimpy nodes. The
+/// paper folds a 20 W switch into the A9 side of the power-substitution
+/// ratio (footnote 3).
+[[nodiscard]] Watts a9_switch_power();
+
+/// A9 nodes served per switch: 20 W / 8 nodes = 2.5 W amortized per A9,
+/// which yields the paper's 60 / (5 + 2.5) = 8:1 substitution ratio.
+[[nodiscard]] unsigned a9_nodes_per_switch();
+
+/// Total switch power for `n_a9` wimpy nodes (ceil(n/8) switches).
+[[nodiscard]] Watts switch_power_for(unsigned n_a9);
+
+}  // namespace hcep::hw

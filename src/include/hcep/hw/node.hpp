@@ -1,0 +1,119 @@
+// Hardware node models.
+//
+// The paper evaluates on two physical leaf-node types (Table 5): a wimpy
+// ARM Cortex-A9 board and a brawny AMD Opteron K10 server. We have no such
+// hardware, so a NodeSpec carries everything the paper measures on a real
+// node: the architectural parameters from Table 5, a per-component power
+// model (P_CPU,act / P_CPU,stall / P_mem / P_net / P_sys,idle from Table 1),
+// and a micro-architectural cost model that converts abstract operation
+// counts emitted by the workload kernels into core cycles and memory-stall
+// cycles — the same quantities the authors obtain from `perf` counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/util/units.hpp"
+
+namespace hcep::hw {
+
+enum class Isa {
+  kArmV7A,   ///< ARM Cortex-A9 / A15 class
+  kArmV8A,   ///< extension nodes
+  kX86_64,   ///< AMD Opteron / Intel Xeon class
+};
+
+[[nodiscard]] std::string to_string(Isa isa);
+
+/// Discrete DVFS operating points, sorted ascending. The paper's footnote 4
+/// counts 5 points for the A9 and 3 for the K10.
+class DvfsLadder {
+ public:
+  DvfsLadder() = default;
+  explicit DvfsLadder(std::vector<Hertz> steps);
+
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] Hertz min() const;
+  [[nodiscard]] Hertz max() const;
+  [[nodiscard]] Hertz step(std::size_t i) const;
+  [[nodiscard]] const std::vector<Hertz>& steps() const { return steps_; }
+  /// Nearest ladder point at or above `f` (clamps to max).
+  [[nodiscard]] Hertz quantize_up(Hertz f) const;
+
+ private:
+  std::vector<Hertz> steps_;
+};
+
+/// Cache hierarchy (informational + used by the kernels' working-set
+/// classification when deciding what traffic spills to memory).
+struct CacheSpec {
+  Bytes l1d_per_core{};
+  Bytes l2{};
+  bool l2_per_core = false;
+  Bytes l3{};  ///< zero when absent (A9 has no L3)
+};
+
+/// Per-component power at the reference operating point (all cores active
+/// at f_max). Dynamic components scale with active cores and frequency; the
+/// idle floor does not (it models the non-gateable platform power the
+/// energy-proportionality literature blames for the proportionality wall).
+struct PowerComponents {
+  Watts idle{};            ///< P_sys,idle — whole node, no work
+  Watts core_active{};     ///< P_CPU,act contribution of ONE core at f_max
+  Watts core_stalled{};    ///< P_CPU,stall contribution of ONE core at f_max
+  Watts mem_active{};      ///< P_mem — memory subsystem streaming
+  Watts net_active{};      ///< P_net — NIC moving data
+  double dvfs_exponent = 2.3;  ///< dynamic power ~ (f/f_max)^exponent
+
+  /// Dynamic scale factor for `active_cores` cores at frequency f.
+  [[nodiscard]] double dvfs_scale(Hertz f, Hertz f_max) const;
+};
+
+/// Maps abstract operation counts to cycles (the stand-in for the authors'
+/// perf-counter characterization).
+struct CostModel {
+  double cpi_int = 1.0;       ///< cycles per integer op
+  double cpi_fp = 1.0;        ///< cycles per floating-point op
+  double cpi_branch = 1.0;    ///< cycles per branch
+  double cpi_crypto = 20.0;   ///< cycles per crypto primitive op
+  double crypto_speedup = 1.0;  ///< ISA acceleration divisor (K10 > 1)
+  BytesPerSecond mem_bandwidth{};  ///< sustainable stream bandwidth
+  /// Fraction of per-core memory time recovered when adding cores on the
+  /// single shared controller (0 = fully serialized, 1 = perfect scaling).
+  double mem_core_scalability = 0.25;
+
+  /// Effective memory parallelism for c active cores.
+  [[nodiscard]] double mem_parallelism(unsigned active_cores) const;
+};
+
+/// One leaf-node type (a Table 5 column).
+struct NodeSpec {
+  std::string name;   ///< "A9", "K10", ...
+  Isa isa = Isa::kArmV7A;
+  unsigned cores = 1;
+  DvfsLadder dvfs;
+  CacheSpec caches;
+  Bytes memory{};
+  BytesPerSecond nic_bandwidth{};
+
+  PowerComponents power;
+  CostModel cost;
+
+  /// Nameplate peak power used for rack power budgeting (the paper budgets
+  /// with 5 W / 60 W, not with per-workload model peaks).
+  Watts nameplate_peak{};
+
+  /// Whole-node dynamic+idle power in a given activity state.
+  /// `cores_active`/`cores_stalled` of the node's cores are computing /
+  /// stalled on memory; mem/net flags gate those components.
+  [[nodiscard]] Watts node_power(unsigned cores_active, unsigned cores_stalled,
+                                 bool mem_busy, bool net_busy, Hertz f) const;
+
+  /// P_idle shortcut.
+  [[nodiscard]] Watts idle_power() const { return power.idle; }
+
+  /// Validates internal consistency; throws hcep::PreconditionError.
+  void validate() const;
+};
+
+}  // namespace hcep::hw

@@ -1,0 +1,24 @@
+// PARSEC blackscholes-style kernel: prices European call/put options with
+// the closed-form Black-Scholes formula using the same polynomial CNDF
+// approximation as the benchmark. Work unit: one option priced.
+// FP-compute bound with a small streaming input array.
+#pragma once
+
+#include "hcep/kernels/kernel.hpp"
+
+namespace hcep::kernels {
+
+class BlackScholesKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "blackscholes"; }
+  [[nodiscard]] std::string work_unit() const override { return "options"; }
+  [[nodiscard]] KernelResult run(std::uint64_t units, Rng& rng) override;
+
+  /// Prices one option; exposed for direct testing against reference
+  /// values. `call` selects call (true) or put (false).
+  [[nodiscard]] static double price(double spot, double strike, double rate,
+                                    double volatility, double expiry,
+                                    bool call);
+};
+
+}  // namespace hcep::kernels

@@ -1,0 +1,28 @@
+// NPB-EP style embarrassingly parallel Monte-Carlo kernel: generates
+// Gaussian pairs by the Marsaglia polar method over a multiplicative LCG
+// stream and tallies them into annuli, exactly as NAS EP does. Work unit:
+// one generated random number. Compute-bound, tiny working set.
+#pragma once
+
+#include <array>
+
+#include "hcep/kernels/kernel.hpp"
+
+namespace hcep::kernels {
+
+class EpKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "EP"; }
+  [[nodiscard]] std::string work_unit() const override { return "random no."; }
+  [[nodiscard]] KernelResult run(std::uint64_t units, Rng& rng) override;
+
+  /// Annulus tallies from the last run (NAS EP's Q[] verification output).
+  [[nodiscard]] const std::array<std::uint64_t, 10>& tallies() const {
+    return tallies_;
+  }
+
+ private:
+  std::array<std::uint64_t, 10> tallies_{};
+};
+
+}  // namespace hcep::kernels

@@ -1,0 +1,35 @@
+// Julius-style speech recognition kernel: Viterbi decoding of synthetic
+// acoustic feature frames against a left-to-right HMM with Gaussian
+// emission scoring — the inner loop that dominates a real large-vocabulary
+// decoder's first pass. Work unit: one acoustic sample (frame) decoded.
+// FP-bound with a moderate model working set.
+#pragma once
+
+#include <vector>
+
+#include "hcep/kernels/kernel.hpp"
+
+namespace hcep::kernels {
+
+class JuliusKernel final : public Kernel {
+ public:
+  /// `states` HMM states, `mixtures` Gaussians per state, `dims`
+  /// feature-vector dimensionality (MFCC-like 13 by default).
+  JuliusKernel(unsigned states = 64, unsigned mixtures = 4,
+               unsigned dims = 13);
+
+  [[nodiscard]] std::string name() const override { return "Julius"; }
+  [[nodiscard]] std::string work_unit() const override { return "samples"; }
+  [[nodiscard]] KernelResult run(std::uint64_t units, Rng& rng) override;
+
+  /// Best final-state log-probability of the last run (testing hook).
+  [[nodiscard]] double last_score() const { return last_score_; }
+
+ private:
+  unsigned states_;
+  unsigned mixtures_;
+  unsigned dims_;
+  double last_score_ = 0.0;
+};
+
+}  // namespace hcep::kernels

@@ -1,0 +1,69 @@
+// Workload kernels.
+//
+// The paper characterizes six datacenter programs (NPB-EP, memcached, x264,
+// blackscholes, Julius, OpenSSL RSA-2048) by running them under `perf`. We
+// replace each with an executable computational kernel that performs the
+// same *kind* of work (Monte-Carlo sampling, key-value lookups, block
+// video encoding, option pricing, Viterbi decoding, modular exponentiation)
+// and emits the abstract operation counts the characterization stage needs.
+// Every kernel really computes — each returns a checksum so results are
+// testable and the work cannot be optimized away.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hcep/util/rng.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::kernels {
+
+/// Abstract operation counts accumulated over a kernel run; the unit of
+/// "work" is kernel-specific (random numbers, options, frames, ...).
+struct OpCounts {
+  std::uint64_t int_ops = 0;     ///< integer ALU operations
+  std::uint64_t fp_ops = 0;      ///< floating-point operations
+  std::uint64_t branch_ops = 0;  ///< taken/evaluated branches
+  std::uint64_t crypto_ops = 0;  ///< wide-multiply crypto primitive ops
+  Bytes mem_traffic{};           ///< bytes streamed past the cache hierarchy
+  Bytes io_bytes{};              ///< bytes moved over the network
+  std::uint64_t work_units = 0;  ///< units of useful work completed
+
+  OpCounts& operator+=(const OpCounts& o);
+  [[nodiscard]] friend OpCounts operator+(OpCounts a, const OpCounts& b) {
+    a += b;
+    return a;
+  }
+  /// Per-unit counts (divides every field by work_units).
+  [[nodiscard]] OpCounts per_unit() const;
+};
+
+/// Result of a kernel invocation: the op counts plus a checksum over the
+/// actual computed values (determinism anchor for tests).
+struct KernelResult {
+  OpCounts counts;
+  std::uint64_t checksum = 0;
+};
+
+/// A runnable, instrumented workload kernel.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Program name as the paper spells it ("EP", "memcached", "x264",
+  /// "blackscholes", "Julius", "RSA-2048").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Human name of the work unit ("random no.", "bytes", "frames",
+  /// "options", "samples", "verify") — matches Table 6's PPR units.
+  [[nodiscard]] virtual std::string work_unit() const = 0;
+
+  /// Performs `units` units of real work using `rng` for any stochastic
+  /// input, returning instrumentation counts and a checksum.
+  [[nodiscard]] virtual KernelResult run(std::uint64_t units, Rng& rng) = 0;
+};
+
+using KernelPtr = std::unique_ptr<Kernel>;
+
+}  // namespace hcep::kernels

@@ -1,0 +1,43 @@
+// x264-style video encoding kernel: per frame it runs diamond-search
+// motion estimation (16x16 macroblocks, SAD cost) against the previous
+// frame, computes 4x4 integer-DCT residual transforms and quantizes the
+// coefficients — the three dominant loops of a real H.264 encoder.
+// Work unit: one encoded frame. Heavily memory-bound (frame pairs stream
+// past the cache), matching the paper's observation that x264 favours the
+// K10's memory bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hcep/kernels/kernel.hpp"
+
+namespace hcep::kernels {
+
+class X264Kernel final : public Kernel {
+ public:
+  /// Frame geometry defaults to QVGA-ish luma planes; must be multiples
+  /// of 16.
+  X264Kernel(unsigned width = 320, unsigned height = 240);
+
+  [[nodiscard]] std::string name() const override { return "x264"; }
+  [[nodiscard]] std::string work_unit() const override { return "frames"; }
+  [[nodiscard]] KernelResult run(std::uint64_t units, Rng& rng) override;
+
+  /// Sum of absolute differences between two 16x16 blocks with the given
+  /// strides; exposed for unit testing.
+  [[nodiscard]] static std::uint32_t sad16(const std::uint8_t* a,
+                                           std::size_t stride_a,
+                                           const std::uint8_t* b,
+                                           std::size_t stride_b);
+
+  /// In-place 4x4 forward integer DCT (H.264 core transform) on `block`
+  /// (row-major int16). Exposed for unit testing.
+  static void dct4x4(std::int16_t block[16]);
+
+ private:
+  unsigned width_;
+  unsigned height_;
+};
+
+}  // namespace hcep::kernels

@@ -1,0 +1,62 @@
+// Cluster configuration: the unit of analysis for everything in the paper.
+//
+// A configuration is "a set of tuples consisting of the types of nodes,
+// number of nodes for each type, the active cores per node and the
+// operating core clock frequency" (Section II-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hcep/hw/node.hpp"
+
+namespace hcep::model {
+
+/// One homogeneous group inside a heterogeneous cluster:
+/// (type, n_i, c_i, f_i).
+struct NodeGroup {
+  hw::NodeSpec spec;
+  unsigned count = 0;         ///< n_i
+  unsigned active_cores = 0;  ///< c_i (0 = all cores)
+  Hertz frequency{};          ///< f_i (0 = f_max)
+
+  /// Resolved active-core count / frequency with defaults applied.
+  [[nodiscard]] unsigned cores() const;
+  [[nodiscard]] Hertz freq() const;
+};
+
+/// A heterogeneous cluster configuration.
+struct ClusterSpec {
+  std::vector<NodeGroup> groups;
+  /// Aggregation-switch and other rack overhead power. Included in power
+  /// *budget* accounting (the paper's 8:1 substitution ratio folds in a
+  /// 20 W switch) but excluded from the proportionality metrics, which the
+  /// paper computes over node power.
+  Watts overhead_power{};
+
+  [[nodiscard]] unsigned total_nodes() const;
+  /// Short label like "32A9:12K10".
+  [[nodiscard]] std::string label() const;
+  /// Nameplate peak power (budget accounting): sum of node nameplates
+  /// plus overhead.
+  [[nodiscard]] Watts nameplate_power() const;
+
+  /// Throws hcep::PreconditionError when any group is malformed.
+  void validate() const;
+};
+
+/// Builds the paper's standard two-type cluster: `n_a9` Cortex-A9 nodes and
+/// `n_k10` Opteron K10 nodes at full cores / max frequency, with the 20 W
+/// switch overhead charged when any A9 nodes are present.
+[[nodiscard]] ClusterSpec make_a9_k10_cluster(unsigned n_a9, unsigned n_k10);
+
+/// Generic two-type cluster: `n_wimpy` nodes of `wimpy` plus `n_brawny`
+/// nodes of `brawny` at full cores / max frequency; the wimpy side is
+/// charged aggregation-switch overhead (one switch per
+/// hw::a9_nodes_per_switch() wimpy nodes, as the paper amortizes it).
+[[nodiscard]] ClusterSpec make_two_type_cluster(const hw::NodeSpec& wimpy,
+                                                unsigned n_wimpy,
+                                                const hw::NodeSpec& brawny,
+                                                unsigned n_brawny);
+
+}  // namespace hcep::model

@@ -1,0 +1,112 @@
+// The Table 2 time-energy model, extended per Section II-B.
+//
+// Time: work is split across node types proportionally to their execution
+// rates so every type finishes together ("the amount of workload executed
+// by nodes of different types is determined by matching the execution
+// rates among the different types of nodes"); per type,
+// T_i = max(T_CPU, T_I/O) with T_CPU = max(T_core, T_mem) and
+// T_P = max_i T_i.
+//
+// Energy: E_P = sum_i n_i (E_CPU + E_mem + E_I/O + E_idle) with the
+// component powers from the node's PowerComponents and the workload's
+// calibration factor.
+//
+// Utilization extension: average cluster power at utilization u follows
+// the selected PowerCurve family between P_idle (u = 0) and the
+// workload's busy power (u = 1); the paper's model is the linear family.
+#pragma once
+
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/workload/demand.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace hcep::model {
+
+/// Power-profile family for the utilization extension.
+enum class CurveFamily {
+  kLinear,     ///< the paper's model
+  kQuadratic,  ///< Hsu-Poole ablation (curvature fixed per call)
+};
+
+/// Per-group execution-time breakdown for one job.
+struct GroupTime {
+  std::string node_name;
+  double units_per_node = 0.0;  ///< work units each node of the group runs
+  workload::UnitTime per_node;  ///< phase times for the node's whole share
+};
+
+struct TimeResult {
+  Seconds t_p{};                 ///< job execution time T_P
+  std::vector<GroupTime> groups;
+};
+
+/// Per-group energy breakdown for one job (whole group, all n_i nodes).
+struct GroupEnergy {
+  std::string node_name;
+  Joules cpu_active{};
+  Joules cpu_stall{};
+  Joules mem{};
+  Joules net{};
+  Joules idle{};
+  [[nodiscard]] Joules total() const {
+    return cpu_active + cpu_stall + mem + net + idle;
+  }
+};
+
+struct EnergyResult {
+  Joules e_p{};  ///< total job energy E_P (nodes only)
+  std::vector<GroupEnergy> groups;
+};
+
+/// The model facade: a cluster configuration bound to a workload.
+class TimeEnergyModel {
+ public:
+  /// Requires the workload to carry demand for every node type used.
+  TimeEnergyModel(ClusterSpec cluster, workload::Workload workload);
+
+  [[nodiscard]] const ClusterSpec& cluster() const { return cluster_; }
+  [[nodiscard]] const workload::Workload& workload() const {
+    return workload_;
+  }
+
+  /// Cluster work throughput (units/s) with every node continuously busy.
+  [[nodiscard]] double peak_throughput() const;
+
+  /// Job execution time T_P for `units` of work (defaults to one job).
+  [[nodiscard]] TimeResult execution_time(double units) const;
+  [[nodiscard]] Seconds job_time() const;
+
+  /// Job energy E_P for `units` of work.
+  [[nodiscard]] EnergyResult job_energy(double units) const;
+
+  /// Cluster idle power (sum of node idle floors; excludes overhead).
+  [[nodiscard]] Watts idle_power() const;
+  /// Cluster power with every node continuously processing its share —
+  /// the per-workload P_peak of the proportionality analysis.
+  [[nodiscard]] Watts busy_power() const;
+
+  /// Power-vs-utilization profile in the chosen family.
+  /// `curvature` applies to the quadratic family only.
+  [[nodiscard]] power::PowerCurve power_curve(
+      CurveFamily family = CurveFamily::kLinear, double curvature = 0.3) const;
+
+  /// Average cluster power at utilization u (linear family).
+  [[nodiscard]] Watts average_power(double utilization) const;
+
+  /// Energy over an observation window T at utilization u; at u = 0 the
+  /// cluster idles for the whole window (Section II-B's E(U)/T identities).
+  [[nodiscard]] Joules window_energy(double utilization, Seconds window) const;
+
+  /// Performance-to-power ratio at utilization u: delivered throughput
+  /// per watt of average power (Section II-B's PPR(u)).
+  [[nodiscard]] double ppr(double utilization) const;
+
+ private:
+  ClusterSpec cluster_;
+  workload::Workload workload_;
+  std::vector<double> group_rates_;  ///< n_i * per-node unit throughput
+  double total_rate_ = 0.0;
+};
+
+}  // namespace hcep::model

@@ -1,0 +1,94 @@
+// A small work-stealing-free thread pool plus blocked parallel_for /
+// parallel_reduce helpers. The configuration-space sweeps enumerate tens of
+// thousands of cluster configurations and evaluate the time-energy model on
+// each; those loops are embarrassingly parallel and run through this pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hcep {
+
+/// Fixed-size thread pool executing std::function tasks FIFO.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its result.
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Process-wide default pool (lazily constructed, never destroyed before
+  /// main returns).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs f(i) for i in [begin, end) across the pool in contiguous blocks.
+/// Blocks until every iteration completes. Exceptions from iterations are
+/// rethrown (the first one encountered).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& f,
+                  std::size_t min_block = 64);
+
+/// Convenience overload on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& f,
+                  std::size_t min_block = 64);
+
+/// Blocked map-reduce: applies `map(i)` to [begin, end) and combines partial
+/// results with `combine`, starting from `init` per block.
+template <class T, class Map, class Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T init,
+                  Map map, Combine combine, std::size_t min_block = 64) {
+  if (begin >= end) return init;
+  const std::size_t n = end - begin;
+  const std::size_t max_blocks = pool.size() * 4;
+  std::size_t block = std::max(min_block, (n + max_blocks - 1) / max_blocks);
+  std::vector<std::future<T>> futures;
+  for (std::size_t lo = begin; lo < end; lo += block) {
+    const std::size_t hi = std::min(lo + block, end);
+    futures.push_back(pool.submit([=]() {
+      T acc = init;
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+      return acc;
+    }));
+  }
+  T acc = init;
+  for (auto& fut : futures) acc = combine(acc, fut.get());
+  return acc;
+}
+
+}  // namespace hcep

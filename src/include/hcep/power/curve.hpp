@@ -1,0 +1,50 @@
+// Power-vs-utilization profiles.
+//
+// The paper's model yields power linear in utilization between P_idle and
+// P_peak (its jobs run at full tilt or not at all). The energy-
+// proportionality literature it engages (Hsu & Poole, ICPP'13) observes
+// that real servers trend quadratic. A PowerCurve abstracts the family so
+// every metric works on either: linear (the paper), quadratic (Hsu-Poole
+// ablation) or sampled (measured traces from the cluster simulator).
+#pragma once
+
+#include <functional>
+
+#include "hcep/util/math.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::power {
+
+class PowerCurve {
+ public:
+  /// P(u) = P_idle + u (P_peak - P_idle), u in [0, 1].
+  [[nodiscard]] static PowerCurve linear(Watts idle, Watts peak);
+
+  /// Hsu-Poole-style quadratic: P(u) = P_idle + (P_peak - P_idle)
+  /// ((1-a) u + a u^2). `a` in [-1, 1]: positive bows the curve below the
+  /// secant (power lags utilization), negative bows it above.
+  [[nodiscard]] static PowerCurve quadratic(Watts idle, Watts peak, double a);
+
+  /// From measured samples: utilization knots in [0, 1] against watts.
+  [[nodiscard]] static PowerCurve sampled(PiecewiseLinear watts_vs_u);
+
+  /// Power at utilization u (clamped to [0, 1]).
+  [[nodiscard]] Watts at(double u) const;
+
+  [[nodiscard]] Watts idle() const { return at(0.0); }
+  [[nodiscard]] Watts peak() const { return at(1.0); }
+
+  /// Integral of P(u) du over [0, 1] (the EPM area term), in watt-units.
+  [[nodiscard]] double area() const;
+
+  /// Pointwise sum — the cluster curve is the sum of node curves.
+  friend PowerCurve operator+(const PowerCurve& x, const PowerCurve& y);
+  /// Curve scaled by a node count.
+  [[nodiscard]] PowerCurve scaled(double k) const;
+
+ private:
+  explicit PowerCurve(PiecewiseLinear samples);
+  PiecewiseLinear samples_;  ///< watts vs u in [0, 1]
+};
+
+}  // namespace hcep::power

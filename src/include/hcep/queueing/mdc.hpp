@@ -1,0 +1,49 @@
+// M/D/c multi-server queueing (extension).
+//
+// The dispatch simulator serves jobs on individual nodes; its analytic
+// counterpart is an M/D/c queue. Exact M/D/c waiting times have no closed
+// form; we carry the standard Allen-Cunneen approximation
+//
+//   Wq(M/D/c) ~ (C_a^2 + C_s^2)/2 * Wq(M/M/c) = Wq(M/M/c) / 2
+//
+// built on the Erlang-C delay probability. At c = 1 it reduces EXACTLY to
+// the M/D/1 Pollaczek-Khinchine mean (tested); for homogeneous node pools
+// it tracks the join-shortest-queue dispatch simulation within ~25 %.
+#pragma once
+
+#include "hcep/util/units.hpp"
+
+namespace hcep::queueing {
+
+/// Erlang-C: probability an arrival must wait in an M/M/c queue with
+/// offered load a = lambda/mu and c servers (a < c). Computed with the
+/// standard stable recurrence.
+[[nodiscard]] double erlang_c(double offered_load, unsigned servers);
+
+class MDc {
+ public:
+  /// `service` is the deterministic per-job service time on ONE server.
+  MDc(Seconds service, double arrival_rate_per_s, unsigned servers);
+
+  [[nodiscard]] static MDc from_utilization(Seconds service,
+                                            double utilization,
+                                            unsigned servers);
+
+  [[nodiscard]] Seconds service() const { return service_; }
+  [[nodiscard]] unsigned servers() const { return servers_; }
+  [[nodiscard]] double arrival_rate() const { return lambda_; }
+  /// Per-server utilization rho = lambda S / c.
+  [[nodiscard]] double utilization() const;
+  /// Probability of queueing (Erlang-C).
+  [[nodiscard]] double wait_probability() const;
+  /// Allen-Cunneen mean waiting time.
+  [[nodiscard]] Seconds mean_wait() const;
+  [[nodiscard]] Seconds mean_response() const;
+
+ private:
+  Seconds service_;
+  double lambda_;
+  unsigned servers_;
+};
+
+}  // namespace hcep::queueing

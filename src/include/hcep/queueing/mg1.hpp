@@ -1,0 +1,68 @@
+// M/G/1 queueing (extension of the paper's M/D/1 view).
+//
+// The simulated testbed jitters service times (overheads.hpp), so the
+// real queue is M/G/1, not M/D/1. This module carries the general
+// Pollaczek-Khinchine results parameterized by the service-time
+// squared coefficient of variation (SCV = variance / mean^2):
+//
+//   SCV = 0   deterministic service (the paper's model)
+//   SCV = 1   exponential service (M/M/1)
+//
+// Percentiles use the standard two-moment gamma approximation of the
+// waiting time conditioned on waiting, which is exact for M/M/1 and
+// within a few percent of simulation for the small SCVs the testbed
+// produces (cross-checked in tests).
+#pragma once
+
+#include <cstdint>
+
+#include "hcep/util/units.hpp"
+
+namespace hcep::queueing {
+
+class MG1 {
+ public:
+  /// `scv` >= 0 is the service-time squared coefficient of variation.
+  MG1(Seconds mean_service, double arrival_rate_per_s, double scv);
+
+  [[nodiscard]] static MG1 from_utilization(Seconds mean_service,
+                                            double utilization, double scv);
+
+  [[nodiscard]] Seconds mean_service() const { return service_; }
+  [[nodiscard]] double arrival_rate() const { return lambda_; }
+  [[nodiscard]] double scv() const { return scv_; }
+  [[nodiscard]] double utilization() const;
+
+  /// P-K: W = rho S (1 + SCV) / (2 (1 - rho)).
+  [[nodiscard]] Seconds mean_wait() const;
+  [[nodiscard]] Seconds mean_response() const;
+
+  /// First and second moments of the waiting time (second via the P-K
+  /// transform moments with the gamma service assumption matching the
+  /// first two service moments).
+  [[nodiscard]] double wait_variance() const;
+
+  /// Approximate P(W <= t): atom 1-rho at zero plus a gamma tail fitted
+  /// to the conditional wait's first two moments.
+  [[nodiscard]] double wait_cdf(Seconds t) const;
+  [[nodiscard]] Seconds wait_percentile(double p) const;
+  [[nodiscard]] Seconds response_percentile(double p) const;
+
+ private:
+  Seconds service_;
+  double lambda_;
+  double scv_;
+};
+
+/// Event-driven M/G/1 simulation with gamma-distributed service of the
+/// given SCV (degenerates to deterministic at scv == 0).
+struct MG1SimResult {
+  double mean_wait_s = 0.0;
+  double p95_response_s = 0.0;
+};
+[[nodiscard]] MG1SimResult simulate_mg1(Seconds mean_service,
+                                        double arrival_rate_per_s, double scv,
+                                        std::uint64_t jobs,
+                                        std::uint64_t seed = 1);
+
+}  // namespace hcep::queueing

@@ -1,0 +1,32 @@
+// Error handling primitives shared by every hcep module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hcep {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when a caller violates an API precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a numerical routine fails to converge / produce a result.
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws PreconditionError with `what` when `ok` is false.
+inline void require(bool ok, const std::string& what) {
+  if (!ok) throw PreconditionError(what);
+}
+
+}  // namespace hcep

@@ -1,0 +1,56 @@
+// Minimal JSON writer (no parsing): enough to serialize study results for
+// downstream tooling. Produces deterministic, RFC 8259-conformant output
+// with keys in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hcep {
+
+/// A write-only JSON value tree.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue number(std::int64_t v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Array append (requires kind kArray).
+  JsonValue& push(JsonValue v);
+  /// Object insert/overwrite-free append (requires kind kObject; duplicate
+  /// keys are a programming error and throw).
+  JsonValue& set(const std::string& key, JsonValue v);
+
+  /// Compact serialization.
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with 2-space indentation.
+  [[nodiscard]] std::string dump_pretty() const;
+
+ private:
+  void write(std::string& out, int indent, bool pretty) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool integral_ = false;
+  std::int64_t int_number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+/// Escapes a string per JSON rules (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace hcep

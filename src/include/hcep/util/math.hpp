@@ -1,0 +1,82 @@
+// Small numerical toolbox: interpolation, integration, root finding and
+// error measures used throughout the models and metrics.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hcep {
+
+/// |a - b| / |b| expressed as a percentage; the paper's Table 4 reports
+/// model-vs-measurement error this way. `b` is the reference (measured).
+[[nodiscard]] double percent_error(double a, double b);
+
+/// True when a and b agree to within `rel` relative tolerance (with an
+/// absolute floor `abs` for values near zero).
+[[nodiscard]] bool approx_equal(double a, double b, double rel = 1e-9,
+                                double abs = 1e-12);
+
+/// Composite trapezoid rule over [a, b] with n uniform panels.
+[[nodiscard]] double trapezoid(const std::function<double(double)>& f, double a,
+                               double b, std::size_t n);
+
+/// Trapezoid rule over tabulated samples (xs strictly increasing).
+[[nodiscard]] double trapezoid(std::span<const double> xs,
+                               std::span<const double> ys);
+
+/// Bisection root of f on [lo, hi]; requires a sign change.
+[[nodiscard]] double bisect(const std::function<double(double)>& f, double lo,
+                            double hi, double tol = 1e-12,
+                            std::size_t max_iter = 200);
+
+/// A piecewise-linear curve y(x) over sorted knots; the canonical
+/// representation of a power-vs-utilization profile sampled at discrete
+/// utilization levels.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  /// Builds from parallel knot arrays; xs must be strictly increasing.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  /// Appends a knot; x must exceed the current last knot.
+  void add(double x, double y);
+
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] double front_x() const;
+  [[nodiscard]] double back_x() const;
+
+  /// Linear interpolation; clamps outside the knot range.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Exact integral of the interpolant over [a, b] (clamped evaluation
+  /// outside the knots).
+  [[nodiscard]] double integral(double a, double b) const;
+
+  [[nodiscard]] std::span<const double> xs() const { return xs_; }
+  [[nodiscard]] std::span<const double> ys() const { return ys_; }
+
+  /// Returns a curve with every y multiplied by k.
+  [[nodiscard]] PiecewiseLinear scaled(double k) const;
+
+  /// Pointwise sum of two curves over the union of their knots.
+  friend PiecewiseLinear operator+(const PiecewiseLinear& a,
+                                   const PiecewiseLinear& b);
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Evenly spaced grid of n points covering [lo, hi] inclusive (n >= 2).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Regularized lower incomplete gamma function P(a, x) = gamma(a, x)/Gamma(a),
+/// a > 0, x >= 0. Series expansion for x < a + 1, continued fraction
+/// otherwise (the gamma CDF with shape a and unit scale).
+[[nodiscard]] double gamma_p(double a, double x);
+
+}  // namespace hcep

@@ -1,0 +1,70 @@
+// Deterministic, stream-splittable random number generation.
+//
+// The discrete-event simulator and the workload kernels both need
+// reproducible randomness; std::mt19937 seeding is awkward to split across
+// simulation entities, so we carry a xoshiro256** generator with a
+// splitmix64 seeder and an efficient jump() for independent streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hcep {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), plus distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL);
+
+  /// Raw 64-bit output (UniformRandomBitGenerator interface).
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  std::uint64_t next();
+
+  /// Advances 2^128 steps; use to derive independent parallel streams.
+  void jump();
+
+  /// Returns a generator jumped `n + 1` times past this one, leaving this
+  /// generator untouched. Stream i and stream j != i never overlap.
+  [[nodiscard]] Rng split(unsigned n = 0) const;
+
+  /// Uniform in [0, 1).
+  double uniform01();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Standard normal via Box-Muller (cached pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Gamma(shape, scale) via Marsaglia-Tsang (with the shape<1 boost).
+  double gamma(double shape, double scale = 1.0);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace hcep

@@ -1,0 +1,84 @@
+// Online and batch statistics used by the simulator's measurement layer:
+// Welford running moments, exact percentiles from samples, the P-squared
+// streaming quantile estimator and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hcep {
+
+/// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation between closest ranks) of a
+/// sample set; `p` in [0, 100]. Sorts a copy; use for batch analysis.
+[[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+/// In-place variant for callers that can afford mutating their buffer.
+[[nodiscard]] double percentile_inplace(std::vector<double>& samples, double p);
+
+/// P-squared (P2) streaming quantile estimator (Jain & Chlamtac, 1985).
+/// Tracks one quantile with O(1) memory; the cluster simulator uses it for
+/// 95th-percentile response times over long runs.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Current estimate; exact until 5 samples have arrived.
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  double heights_[5] = {};
+  double positions_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so mass is never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total() const { return total_; }
+  /// Smallest x with CDF(x) >= p/100 (bin upper edge granularity).
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace hcep

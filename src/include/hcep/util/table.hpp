@@ -1,0 +1,69 @@
+// Text output helpers: paper-style aligned tables, CSV, and gnuplot-ready
+// series files. All reproduction benches render through these so their
+// output can be diffed against the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hcep {
+
+/// Column-aligned plain-text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+/// Formats a double in engineering style: 6048057 -> "6,048,057" when
+/// `thousands` is true (the paper prints Table 6 PPRs this way).
+[[nodiscard]] std::string fmt_grouped(double v);
+
+/// Writes (x, y...) series blocks in gnuplot "plot ... index n" format.
+class SeriesWriter {
+ public:
+  /// Starts a new named series (becomes a `# name` comment block).
+  void begin_series(const std::string& name);
+  void point(double x, double y);
+  void point(double x, const std::vector<double>& ys);
+
+  /// Full file contents.
+  [[nodiscard]] std::string str() const { return out_; }
+  /// Writes contents to `path`; throws hcep::Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::string out_;
+  bool any_series_ = false;
+};
+
+/// Minimal CSV writer (quotes fields containing separators).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+  void add_row(const std::vector<std::string>& row);
+  [[nodiscard]] std::string str() const { return out_; }
+  void save(const std::string& path) const;
+
+ private:
+  std::size_t width_;
+  std::string out_;
+  void emit(const std::vector<std::string>& row);
+};
+
+}  // namespace hcep

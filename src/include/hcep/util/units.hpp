@@ -1,0 +1,167 @@
+// Strong unit types for the time-energy domain.
+//
+// The paper's model mixes seconds, watts, joules, hertz and byte counts in
+// almost every equation; strong types make the Table 2 / Table 3 algebra
+// checkable by the compiler (J = W * s, s = cycles / Hz, ...).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace hcep {
+
+/// A dimension-tagged arithmetic wrapper around double.
+///
+/// Only same-dimension addition/subtraction and scalar scaling are defined
+/// here; physically meaningful cross-dimension products (e.g. W * s -> J)
+/// are provided as free functions below.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double k) {
+    value_ *= k;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double k) {
+    value_ /= k;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double k) {
+    return Quantity{a.value_ * k};
+  }
+  friend constexpr Quantity operator*(double k, Quantity a) {
+    return Quantity{k * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double k) {
+    return Quantity{a.value_ / k};
+  }
+  /// Ratio of two same-dimension quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.value_ << Tag::symbol();
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+namespace unit_tags {
+struct WattsTag {
+  static constexpr const char* symbol() { return "W"; }
+};
+struct JoulesTag {
+  static constexpr const char* symbol() { return "J"; }
+};
+struct SecondsTag {
+  static constexpr const char* symbol() { return "s"; }
+};
+struct HertzTag {
+  static constexpr const char* symbol() { return "Hz"; }
+};
+struct BytesTag {
+  static constexpr const char* symbol() { return "B"; }
+};
+struct CyclesTag {
+  static constexpr const char* symbol() { return "cyc"; }
+};
+}  // namespace unit_tags
+
+using Watts = Quantity<unit_tags::WattsTag>;
+using Joules = Quantity<unit_tags::JoulesTag>;
+using Seconds = Quantity<unit_tags::SecondsTag>;
+using Hertz = Quantity<unit_tags::HertzTag>;
+using Bytes = Quantity<unit_tags::BytesTag>;
+using Cycles = Quantity<unit_tags::CyclesTag>;
+
+// --- Physically meaningful cross-dimension operations -----------------------
+
+/// Energy accumulated by drawing power P for duration t.
+[[nodiscard]] constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+[[nodiscard]] constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+
+/// Average power over a window.
+[[nodiscard]] constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+/// Time to burn energy e at power p.
+[[nodiscard]] constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+
+/// Execution time of a cycle count at a clock frequency (Table 2:
+/// T_core = cycles_core / f).
+[[nodiscard]] constexpr Seconds operator/(Cycles c, Hertz f) {
+  return Seconds{c.value() / f.value()};
+}
+/// Cycles elapsed in a window at a clock frequency.
+[[nodiscard]] constexpr Cycles operator*(Hertz f, Seconds t) {
+  return Cycles{f.value() * t.value()};
+}
+[[nodiscard]] constexpr Cycles operator*(Seconds t, Hertz f) { return f * t; }
+
+/// Transfer time for a byte count at a bandwidth expressed in bytes/second.
+struct BytesPerSecond {
+  double value = 0.0;
+};
+[[nodiscard]] constexpr Seconds operator/(Bytes b, BytesPerSecond bw) {
+  return Seconds{b.value() / bw.value};
+}
+
+// --- Literals ----------------------------------------------------------------
+
+namespace literals {
+constexpr Watts operator""_W(long double v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_W(unsigned long long v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_kW(long double v) { return Watts{static_cast<double>(v) * 1e3}; }
+constexpr Watts operator""_kW(unsigned long long v) { return Watts{static_cast<double>(v) * 1e3}; }
+constexpr Joules operator""_J(long double v) { return Joules{static_cast<double>(v)}; }
+constexpr Joules operator""_J(unsigned long long v) { return Joules{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(long double v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(unsigned long long v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_ms(long double v) { return Seconds{static_cast<double>(v) * 1e-3}; }
+constexpr Seconds operator""_ms(unsigned long long v) { return Seconds{static_cast<double>(v) * 1e-3}; }
+constexpr Seconds operator""_us(long double v) { return Seconds{static_cast<double>(v) * 1e-6}; }
+constexpr Seconds operator""_us(unsigned long long v) { return Seconds{static_cast<double>(v) * 1e-6}; }
+constexpr Hertz operator""_Hz(long double v) { return Hertz{static_cast<double>(v)}; }
+constexpr Hertz operator""_Hz(unsigned long long v) { return Hertz{static_cast<double>(v)}; }
+constexpr Hertz operator""_MHz(long double v) { return Hertz{static_cast<double>(v) * 1e6}; }
+constexpr Hertz operator""_MHz(unsigned long long v) { return Hertz{static_cast<double>(v) * 1e6}; }
+constexpr Hertz operator""_GHz(long double v) { return Hertz{static_cast<double>(v) * 1e9}; }
+constexpr Hertz operator""_GHz(unsigned long long v) { return Hertz{static_cast<double>(v) * 1e9}; }
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes{static_cast<double>(v)}; }
+constexpr Bytes operator""_KB(unsigned long long v) { return Bytes{static_cast<double>(v) * 1024.0}; }
+constexpr Bytes operator""_MB(unsigned long long v) { return Bytes{static_cast<double>(v) * 1024.0 * 1024.0}; }
+constexpr Bytes operator""_GB(unsigned long long v) { return Bytes{static_cast<double>(v) * 1024.0 * 1024.0 * 1024.0}; }
+constexpr Cycles operator""_cyc(unsigned long long v) { return Cycles{static_cast<double>(v)}; }
+}  // namespace literals
+
+}  // namespace hcep

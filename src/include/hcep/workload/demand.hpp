@@ -1,0 +1,57 @@
+// Workload service-demand representation.
+//
+// The paper characterizes a program P on each node type as total CPU work
+// cycles, memory-stall cycles and I/O demand (Table 1/2). We carry those
+// quantities per *unit of work* (random number, option, frame, ...) so the
+// same profile serves jobs of any size; the time model multiplies by the
+// units assigned to a node.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hcep/util/units.hpp"
+
+namespace hcep::workload {
+
+/// Demand of one work unit on one node type, measured at the node's
+/// maximum frequency (Table 2 divides cycle counts by the operating f).
+struct NodeDemand {
+  double cycles_core = 0.0;  ///< work cycles on one core per unit
+  double cycles_mem = 0.0;   ///< memory-stall cycles per unit
+  Bytes io_bytes{};          ///< network bytes per unit
+
+  /// Scales every field by k (used by the calibration solver).
+  [[nodiscard]] NodeDemand scaled(double k) const;
+};
+
+/// Per-node power calibration produced by the calibration solver: the
+/// dynamic power components of the node are multiplied by `power_scale`
+/// when running this workload, pinning the model's busy power to the
+/// paper-derived per-workload peak.
+struct NodePowerCal {
+  double power_scale = 1.0;
+  Watts peak_power{};        ///< model busy power at (c_max, f_max)
+  double peak_throughput = 0.0;  ///< units/s at (c_max, f_max)
+};
+
+/// A fully described workload: demands (and optional power calibration)
+/// per node type, plus job sizing and I/O arrival parameters.
+struct Workload {
+  std::string name;       ///< paper program name ("EP", "x264", ...)
+  std::string work_unit;  ///< Table 6 unit ("random no.", "frames", ...)
+  double units_per_job = 1.0;  ///< work units constituting one job
+  /// I/O request inter-arrival floor 1/lambda_I/O (Table 2); zero when the
+  /// workload is not request-paced.
+  Seconds io_request_interval{};
+
+  std::map<std::string, NodeDemand> demand;     ///< keyed by node name
+  std::map<std::string, NodePowerCal> power_cal;  ///< keyed by node name
+
+  [[nodiscard]] const NodeDemand& demand_for(const std::string& node) const;
+  [[nodiscard]] double power_scale_for(const std::string& node) const;
+  [[nodiscard]] bool has_node(const std::string& node) const;
+};
+
+}  // namespace hcep::workload

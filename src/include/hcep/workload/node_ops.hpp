@@ -1,0 +1,54 @@
+// Single-node, per-unit primitives shared by the calibration solver and the
+// cluster-level time-energy model: how long one unit of work takes on a
+// node at a given operating point, and the average power drawn while the
+// node continuously processes units.
+//
+// These encode the Table 2 single-node rows:
+//   T_core = cycles_core / f   (spread over c active cores)
+//   T_mem  = cycles_mem / f    (shared memory controller, partial scaling)
+//   T_CPU  = max(T_core, T_mem)      -- out-of-order overlap
+//   T_I/O  = io_bytes / NIC bandwidth -- DMA overlaps with CPU
+//   T      = max(T_CPU, T_I/O)
+#pragma once
+
+#include "hcep/hw/node.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::workload {
+
+/// Per-unit phase times on one node.
+struct UnitTime {
+  Seconds core{};   ///< time executing work cycles (per unit)
+  Seconds mem{};    ///< time servicing memory stalls
+  Seconds cpu{};    ///< max(core, mem)
+  Seconds io{};     ///< network transfer time
+  Seconds total{};  ///< max(cpu, io)
+};
+
+/// Computes per-unit phase times for `demand` on `node` with
+/// `active_cores` cores at frequency `f`.
+[[nodiscard]] UnitTime unit_time(const NodeDemand& demand,
+                                 const hw::NodeSpec& node,
+                                 unsigned active_cores, Hertz f);
+
+/// Units of work per second when the node continuously processes units.
+[[nodiscard]] double unit_throughput(const NodeDemand& demand,
+                                     const hw::NodeSpec& node,
+                                     unsigned active_cores, Hertz f);
+
+/// Average node power while continuously processing units, with the
+/// workload's dynamic-power calibration factor applied. Component
+/// occupancies follow the phase times: cores draw active power during
+/// T_core and stall power during max(0, T_mem - T_core); the memory system
+/// is busy during T_mem and the NIC during T_I/O.
+[[nodiscard]] Watts busy_power(const NodeDemand& demand,
+                               const hw::NodeSpec& node, unsigned active_cores,
+                               Hertz f, double power_scale = 1.0);
+
+/// Energy consumed per unit of work = busy_power * unit total time.
+[[nodiscard]] Joules unit_energy(const NodeDemand& demand,
+                                 const hw::NodeSpec& node,
+                                 unsigned active_cores, Hertz f,
+                                 double power_scale = 1.0);
+
+}  // namespace hcep::workload

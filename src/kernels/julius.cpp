@@ -1,0 +1,94 @@
+#include "hcep/kernels/julius.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::kernels {
+
+JuliusKernel::JuliusKernel(unsigned states, unsigned mixtures, unsigned dims)
+    : states_(states), mixtures_(mixtures), dims_(dims) {
+  require(states_ >= 2, "JuliusKernel: need at least two states");
+  require(mixtures_ >= 1, "JuliusKernel: need at least one mixture");
+  require(dims_ >= 1, "JuliusKernel: need at least one feature dimension");
+}
+
+KernelResult JuliusKernel::run(std::uint64_t units, Rng& rng) {
+  Rng local = rng.split(5);
+
+  // Model: per-state Gaussian mixtures (diagonal covariance) + left-to-right
+  // transitions (self-loop or advance).
+  const std::size_t gaussians = static_cast<std::size_t>(states_) * mixtures_;
+  std::vector<double> means(gaussians * dims_);
+  std::vector<double> inv_var(gaussians * dims_);
+  std::vector<double> log_weight(gaussians);
+  for (auto& m : means) m = local.normal(0.0, 1.0);
+  for (auto& v : inv_var) v = 1.0 / local.uniform(0.5, 2.0);
+  for (auto& w : log_weight)
+    w = std::log(1.0 / static_cast<double>(mixtures_));
+  const double log_self = std::log(0.6);
+  const double log_next = std::log(0.4);
+
+  std::vector<double> alpha(states_, -std::numeric_limits<double>::infinity());
+  std::vector<double> next(states_);
+  alpha[0] = 0.0;
+
+  std::vector<double> feat(dims_);
+  OpCounts ops;
+
+  for (std::uint64_t t = 0; t < units; ++t) {
+    // Synthetic MFCC frame drifting through the state means.
+    const std::size_t target =
+        static_cast<std::size_t>((t * states_) / std::max<std::uint64_t>(units, 1)) %
+        states_;
+    for (unsigned d = 0; d < dims_; ++d) {
+      feat[d] = means[(target * mixtures_) * dims_ + d] +
+                local.normal(0.0, 0.3);
+    }
+    ops.fp_ops += dims_ * 2;
+
+    // Emission scores: log-sum over mixtures of diagonal Gaussians
+    // (max-approximation, as real decoders use).
+    for (unsigned s = 0; s < states_; ++s) {
+      double best = -std::numeric_limits<double>::infinity();
+      for (unsigned m = 0; m < mixtures_; ++m) {
+        const std::size_t g = static_cast<std::size_t>(s) * mixtures_ + m;
+        double d2 = 0.0;
+        for (unsigned d = 0; d < dims_; ++d) {
+          const double diff = feat[d] - means[g * dims_ + d];
+          d2 += diff * diff * inv_var[g * dims_ + d];
+        }
+        best = std::max(best, log_weight[g] - 0.5 * d2);
+        ops.fp_ops += dims_ * 3 + 2;
+        ops.branch_ops += 1;
+      }
+      // Viterbi recursion (left-to-right: from s or s-1).
+      const double stay = alpha[s] + log_self;
+      const double advance =
+          s > 0 ? alpha[s - 1] + log_next
+                : -std::numeric_limits<double>::infinity();
+      next[s] = std::max(stay, advance) + best;
+      ops.fp_ops += 3;
+      ops.branch_ops += 1;
+    }
+    alpha.swap(next);
+    ops.int_ops += states_ * 4;
+    // Model parameters stream each frame: means + variances touched once.
+    ops.mem_traffic += Bytes{static_cast<double>(gaussians * dims_ * 2) * 8.0};
+  }
+
+  last_score_ = *std::max_element(alpha.begin(), alpha.end());
+  ops.work_units = units;
+  // Audio in: ~2 bytes/sample at the acoustic frame rate equivalent.
+  ops.io_bytes = Bytes{static_cast<double>(units) * 320.0};
+
+  KernelResult result;
+  result.counts = ops;
+  result.checksum =
+      static_cast<std::uint64_t>(std::llround(std::abs(last_score_) * 1e3));
+  return result;
+}
+
+}  // namespace hcep::kernels

@@ -1,0 +1,34 @@
+#include "hcep/kernels/kernel.hpp"
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::kernels {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  int_ops += o.int_ops;
+  fp_ops += o.fp_ops;
+  branch_ops += o.branch_ops;
+  crypto_ops += o.crypto_ops;
+  mem_traffic += o.mem_traffic;
+  io_bytes += o.io_bytes;
+  work_units += o.work_units;
+  return *this;
+}
+
+OpCounts OpCounts::per_unit() const {
+  require(work_units > 0, "OpCounts::per_unit: no work recorded");
+  const double n = static_cast<double>(work_units);
+  OpCounts out;
+  out.int_ops = static_cast<std::uint64_t>(static_cast<double>(int_ops) / n);
+  out.fp_ops = static_cast<std::uint64_t>(static_cast<double>(fp_ops) / n);
+  out.branch_ops =
+      static_cast<std::uint64_t>(static_cast<double>(branch_ops) / n);
+  out.crypto_ops =
+      static_cast<std::uint64_t>(static_cast<double>(crypto_ops) / n);
+  out.mem_traffic = mem_traffic / n;
+  out.io_bytes = io_bytes / n;
+  out.work_units = 1;
+  return out;
+}
+
+}  // namespace hcep::kernels

@@ -1,0 +1,130 @@
+#include "hcep/kernels/kvstore.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::kernels {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+FlatKvTable::FlatKvTable(std::size_t capacity) {
+  require(capacity >= 1, "FlatKvTable: zero capacity");
+  const std::size_t pow2 = std::bit_ceil(capacity * 2);  // load factor <= 0.5
+  slots_.resize(pow2);
+  mask_ = pow2 - 1;
+}
+
+std::size_t FlatKvTable::bucket(std::uint64_t key) const {
+  return static_cast<std::size_t>(mix(key)) & mask_;
+}
+
+bool FlatKvTable::set(std::uint64_t key, const unsigned char* value) {
+  require(key != kEmpty, "FlatKvTable: reserved key");
+  std::size_t i = bucket(key);
+  last_probes_ = 0;
+  for (std::size_t probes = 0; probes <= mask_; ++probes) {
+    ++last_probes_;
+    Slot& s = slots_[i];
+    if (s.key == kEmpty || s.key == key) {
+      if (s.key == kEmpty) {
+        if (2 * (size_ + 1) > slots_.size()) return false;  // keep LF <= 0.5
+        ++size_;
+      }
+      s.key = key;
+      std::memcpy(s.value, value, kValueSize);
+      return true;
+    }
+    i = (i + 1) & mask_;
+  }
+  return false;
+}
+
+bool FlatKvTable::get(std::uint64_t key, unsigned char* out) const {
+  std::size_t i = bucket(key);
+  last_probes_ = 0;
+  for (std::size_t probes = 0; probes <= mask_; ++probes) {
+    ++last_probes_;
+    const Slot& s = slots_[i];
+    if (s.key == key) {
+      std::memcpy(out, s.value, kValueSize);
+      return true;
+    }
+    if (s.key == kEmpty) return false;
+    i = (i + 1) & mask_;
+  }
+  return false;
+}
+
+KvStoreKernel::KvStoreKernel(std::size_t entries) : entries_(entries) {
+  require(entries_ >= 1, "KvStoreKernel: need at least one entry");
+}
+
+KernelResult KvStoreKernel::run(std::uint64_t units, Rng& rng) {
+  Rng local = rng.split(3);
+  FlatKvTable table(entries_);
+
+  // Populate with `entries_` fixed-size values (memslap uses fixed
+  // key/value sizes, uniform popularity).
+  unsigned char value[FlatKvTable::kValueSize];
+  for (std::size_t k = 0; k < entries_; ++k) {
+    for (auto& b : value)
+      b = static_cast<unsigned char>(mix(k * 1315423911ULL + &b - value));
+    const bool ok = table.set(static_cast<std::uint64_t>(k), value);
+    require(ok, "KvStoreKernel: population overflow");
+  }
+
+  // 9:1 GET:SET mix, uniform key popularity.
+  constexpr std::size_t kRequestBytes = 40;  // key + protocol overhead
+  constexpr std::size_t kResponseBytes = FlatKvTable::kValueSize + 24;
+  const std::uint64_t bytes_per_get = kRequestBytes + kResponseBytes;
+
+  OpCounts ops;
+  std::uint64_t checksum = 0;
+  std::uint64_t served = 0;
+  unsigned char out[FlatKvTable::kValueSize];
+  std::uint64_t requests = 0;
+  while (served < units) {
+    const std::uint64_t key = local.uniform_int(entries_);
+    ++requests;
+    if (requests % 10 == 0) {  // SET
+      for (std::size_t b = 0; b < sizeof(value); ++b)
+        value[b] = static_cast<unsigned char>(key + b);
+      table.set(key, value);
+      served += kRequestBytes + FlatKvTable::kValueSize;
+      ops.io_bytes += Bytes{kRequestBytes + FlatKvTable::kValueSize};
+    } else {  // GET
+      const bool hit = table.get(key, out);
+      require(hit, "KvStoreKernel: populated key missing");
+      checksum = checksum * 1099511628211ULL + out[key % sizeof(out)];
+      served += bytes_per_get;
+      ops.io_bytes += Bytes{static_cast<double>(bytes_per_get)};
+    }
+    // Hash + probe walk + copy: ~30 integer ops per request.
+    ops.int_ops += 22 + 8 * table.last_probes();
+    ops.branch_ops += 4 + table.last_probes();
+    // Each probe touches a 72B slot outside the cache (18 MB table), and
+    // the value copy streams kValueSize bytes.
+    ops.mem_traffic +=
+        Bytes{static_cast<double>(table.last_probes() * 72 +
+                                  FlatKvTable::kValueSize)};
+  }
+  ops.work_units = served;
+
+  KernelResult result;
+  result.counts = ops;
+  result.checksum = checksum;
+  return result;
+}
+
+}  // namespace hcep::kernels

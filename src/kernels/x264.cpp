@@ -1,0 +1,179 @@
+#include "hcep/kernels/x264.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::kernels {
+
+X264Kernel::X264Kernel(unsigned width, unsigned height)
+    : width_(width), height_(height) {
+  require(width_ % 16 == 0 && height_ % 16 == 0,
+          "X264Kernel: dimensions must be multiples of 16");
+  require(width_ >= 32 && height_ >= 32, "X264Kernel: frame too small");
+}
+
+std::uint32_t X264Kernel::sad16(const std::uint8_t* a, std::size_t stride_a,
+                                const std::uint8_t* b, std::size_t stride_b) {
+  std::uint32_t acc = 0;
+  for (unsigned y = 0; y < 16; ++y) {
+    for (unsigned x = 0; x < 16; ++x) {
+      acc += static_cast<std::uint32_t>(
+          std::abs(static_cast<int>(a[y * stride_a + x]) -
+                   static_cast<int>(b[y * stride_b + x])));
+    }
+  }
+  return acc;
+}
+
+void X264Kernel::dct4x4(std::int16_t block[16]) {
+  // H.264 forward core transform: butterfly on rows then columns.
+  for (int i = 0; i < 4; ++i) {
+    std::int16_t* r = block + 4 * i;
+    const std::int16_t s0 = static_cast<std::int16_t>(r[0] + r[3]);
+    const std::int16_t s1 = static_cast<std::int16_t>(r[1] + r[2]);
+    const std::int16_t d0 = static_cast<std::int16_t>(r[0] - r[3]);
+    const std::int16_t d1 = static_cast<std::int16_t>(r[1] - r[2]);
+    r[0] = static_cast<std::int16_t>(s0 + s1);
+    r[2] = static_cast<std::int16_t>(s0 - s1);
+    r[1] = static_cast<std::int16_t>(2 * d0 + d1);
+    r[3] = static_cast<std::int16_t>(d0 - 2 * d1);
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::int16_t* c = block + i;
+    const std::int16_t s0 = static_cast<std::int16_t>(c[0] + c[12]);
+    const std::int16_t s1 = static_cast<std::int16_t>(c[4] + c[8]);
+    const std::int16_t d0 = static_cast<std::int16_t>(c[0] - c[12]);
+    const std::int16_t d1 = static_cast<std::int16_t>(c[4] - c[8]);
+    c[0] = static_cast<std::int16_t>(s0 + s1);
+    c[8] = static_cast<std::int16_t>(s0 - s1);
+    c[4] = static_cast<std::int16_t>(2 * d0 + d1);
+    c[12] = static_cast<std::int16_t>(d0 - 2 * d1);
+  }
+}
+
+KernelResult X264Kernel::run(std::uint64_t units, Rng& rng) {
+  Rng local = rng.split(4);
+  const std::size_t plane = static_cast<std::size_t>(width_) * height_;
+  std::vector<std::uint8_t> ref(plane);
+  std::vector<std::uint8_t> cur(plane);
+
+  // Synthesize a reference frame: smooth gradient + noise (gives motion
+  // estimation realistic non-flat content).
+  for (unsigned y = 0; y < height_; ++y) {
+    for (unsigned x = 0; x < width_; ++x) {
+      ref[y * width_ + x] = static_cast<std::uint8_t>(
+          (x * 3 + y * 2 + local.uniform_int(32)) & 0xff);
+    }
+  }
+
+  OpCounts ops;
+  std::uint64_t checksum = 0;
+
+  for (std::uint64_t frame = 0; frame < units; ++frame) {
+    // Current frame: reference shifted by a global motion vector + noise.
+    const int gmx = static_cast<int>(local.uniform_int(5)) - 2;
+    const int gmy = static_cast<int>(local.uniform_int(5)) - 2;
+    for (unsigned y = 0; y < height_; ++y) {
+      for (unsigned x = 0; x < width_; ++x) {
+        const unsigned sx = static_cast<unsigned>(
+            std::clamp<int>(static_cast<int>(x) + gmx, 0,
+                            static_cast<int>(width_) - 1));
+        const unsigned sy = static_cast<unsigned>(
+            std::clamp<int>(static_cast<int>(y) + gmy, 0,
+                            static_cast<int>(height_) - 1));
+        cur[y * width_ + x] = static_cast<std::uint8_t>(
+            ref[sy * width_ + sx] + (local.uniform_int(8) == 0 ? 1 : 0));
+      }
+    }
+    ops.int_ops += plane / 4;  // frame synthesis isn't charged fully
+
+    std::uint64_t frame_cost = 0;
+    for (unsigned by = 0; by + 16 <= height_; by += 16) {
+      for (unsigned bx = 0; bx + 16 <= width_; bx += 16) {
+        const std::uint8_t* mb = &cur[by * width_ + bx];
+
+        // Diamond-search motion estimation in a ±8 window.
+        int best_dx = 0, best_dy = 0;
+        auto sad_at = [&](int dx, int dy) -> std::uint32_t {
+          const int rx = std::clamp<int>(static_cast<int>(bx) + dx, 0,
+                                         static_cast<int>(width_) - 16);
+          const int ry = std::clamp<int>(static_cast<int>(by) + dy, 0,
+                                         static_cast<int>(height_) - 16);
+          ops.int_ops += 16 * 16 * 3;  // abs-diff-accumulate per pixel
+          ops.mem_traffic += Bytes{16 * 16 * 2};  // both blocks stream
+          return sad16(mb, width_, &ref[static_cast<unsigned>(ry) * width_ +
+                                        static_cast<unsigned>(rx)],
+                       width_);
+        };
+        std::uint32_t best = sad_at(0, 0);
+        for (int step = 4; step >= 1; step /= 2) {
+          bool improved = true;
+          while (improved) {
+            improved = false;
+            static constexpr int kDx[4] = {1, -1, 0, 0};
+            static constexpr int kDy[4] = {0, 0, 1, -1};
+            for (int d = 0; d < 4; ++d) {
+              const int dx = best_dx + kDx[d] * step;
+              const int dy = best_dy + kDy[d] * step;
+              if (std::abs(dx) > 8 || std::abs(dy) > 8) continue;
+              const std::uint32_t s = sad_at(dx, dy);
+              ops.branch_ops += 1;
+              if (s < best) {
+                best = s;
+                best_dx = dx;
+                best_dy = dy;
+                improved = true;
+              }
+            }
+          }
+        }
+
+        // Residual: 16 4x4 sub-blocks -> DCT + dead-zone quantization.
+        const int rx = std::clamp<int>(static_cast<int>(bx) + best_dx, 0,
+                                       static_cast<int>(width_) - 16);
+        const int ry = std::clamp<int>(static_cast<int>(by) + best_dy, 0,
+                                       static_cast<int>(height_) - 16);
+        const std::uint8_t* pred = &ref[static_cast<unsigned>(ry) * width_ +
+                                        static_cast<unsigned>(rx)];
+        for (unsigned sy = 0; sy < 16; sy += 4) {
+          for (unsigned sx = 0; sx < 16; sx += 4) {
+            std::int16_t block[16];
+            for (unsigned y = 0; y < 4; ++y) {
+              for (unsigned x = 0; x < 4; ++x) {
+                block[y * 4 + x] = static_cast<std::int16_t>(
+                    static_cast<int>(mb[(sy + y) * width_ + sx + x]) -
+                    static_cast<int>(pred[(sy + y) * width_ + sx + x]));
+              }
+            }
+            dct4x4(block);
+            for (std::int16_t coeff : block) {
+              const int q = coeff / 8;  // flat quantizer
+              frame_cost += static_cast<std::uint64_t>(std::abs(q));
+            }
+            ops.int_ops += 16 * 2 /*residual*/ + 64 /*dct*/ + 16 /*quant*/;
+            ops.mem_traffic += Bytes{16 * 2};
+          }
+        }
+      }
+    }
+
+    checksum = checksum * 16777619ULL + frame_cost;
+    std::swap(ref, cur);
+    // Whole current + reference planes stream through memory once more for
+    // reconstruction/writeback.
+    ops.mem_traffic += Bytes{static_cast<double>(plane) * 2.0};
+  }
+
+  ops.work_units = units;
+  ops.io_bytes = Bytes{static_cast<double>(units) * 1e4};  // bitstream out
+
+  KernelResult result;
+  result.counts = ops;
+  result.checksum = checksum;
+  return result;
+}
+
+}  // namespace hcep::kernels

@@ -1,0 +1,108 @@
+#include "hcep/metrics/proportionality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::metrics {
+
+namespace {
+void check_peak(const power::PowerCurve& curve) {
+  require(curve.peak().value() > 0.0, "metrics: curve peak must be positive");
+}
+}  // namespace
+
+double ipr(const power::PowerCurve& curve) {
+  check_peak(curve);
+  return curve.idle() / curve.peak();
+}
+
+double dpr(const power::PowerCurve& curve) {
+  return 100.0 * (1.0 - ipr(curve));
+}
+
+double epm(const power::PowerCurve& curve) {
+  check_peak(curve);
+  // Normalized areas over u in [0, 1]: ideal integrates to 1/2.
+  const double p_area = curve.area() / curve.peak().value();
+  constexpr double kIdealArea = 0.5;
+  return 1.0 - (p_area - kIdealArea) / kIdealArea;
+}
+
+double ldr(const power::PowerCurve& curve, std::size_t grid) {
+  check_peak(curve);
+  require(grid >= 2, "ldr: need at least two grid points");
+  const double idle = curve.idle().value();
+  const double span = curve.peak().value() - idle;
+  double best = 0.0;
+  for (std::size_t i = 0; i <= grid; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(grid);
+    const double secant = idle + span * u;
+    if (secant <= 0.0) continue;
+    const double dev = (curve.at(u).value() - secant) / secant;
+    if (std::abs(dev) > std::abs(best)) best = dev;
+  }
+  return best;
+}
+
+double ldr_paper(const power::PowerCurve& curve) {
+  // The paper's Tables 7/8 report LDR numerically equal to EPM (both
+  // 1 - IPR for its linear profiles); see the header note.
+  return epm(curve);
+}
+
+double pg(const power::PowerCurve& curve, double u) {
+  check_peak(curve);
+  require(u > 0.0 && u <= 1.0, "pg: utilization outside (0, 1]");
+  const double p = curve.at(u) / curve.peak();
+  return (p - u) / u;
+}
+
+double ppr(const power::PowerCurve& curve, double peak_throughput, double u) {
+  require(peak_throughput > 0.0, "ppr: non-positive peak throughput");
+  require(u > 0.0 && u <= 1.0, "ppr: utilization outside (0, 1]");
+  const double power_w = curve.at(u).value();
+  require(power_w > 0.0, "ppr: zero power");
+  return peak_throughput * u / power_w;
+}
+
+ProportionalityReport analyze(const power::PowerCurve& curve) {
+  ProportionalityReport r;
+  r.dpr = dpr(curve);
+  r.ipr = ipr(curve);
+  r.epm = epm(curve);
+  r.ldr_literal = ldr(curve);
+  r.ldr_paper = ldr_paper(curve);
+  return r;
+}
+
+double percent_of_peak(const power::PowerCurve& curve,
+                       double utilization_percent, Watts reference_peak) {
+  require(utilization_percent >= 0.0 && utilization_percent <= 100.0,
+          "percent_of_peak: utilization % outside [0, 100]");
+  const double peak = reference_peak.value() > 0.0 ? reference_peak.value()
+                                                   : curve.peak().value();
+  require(peak > 0.0, "percent_of_peak: zero reference peak");
+  return 100.0 * curve.at(utilization_percent / 100.0).value() / peak;
+}
+
+bool is_sublinear_at(const power::PowerCurve& curve, double u,
+                     Watts reference_peak) {
+  require(u > 0.0 && u <= 1.0, "is_sublinear_at: utilization outside (0, 1]");
+  require(reference_peak.value() > 0.0,
+          "is_sublinear_at: reference peak must be positive");
+  return curve.at(u).value() < u * reference_peak.value();
+}
+
+double sublinear_crossover(const power::PowerCurve& curve,
+                           Watts reference_peak, std::size_t grid) {
+  require(grid >= 2, "sublinear_crossover: need at least two grid points");
+  for (std::size_t i = 1; i <= grid; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(grid);
+    if (is_sublinear_at(curve, u, reference_peak)) return u;
+  }
+  return 1.0 + 1.0 / static_cast<double>(grid);  // never sub-linear
+}
+
+}  // namespace hcep::metrics

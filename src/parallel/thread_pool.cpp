@@ -1,0 +1,82 @@
+#include "hcep/parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace hcep {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& f,
+                  std::size_t min_block) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t max_blocks = pool.size() * 4;
+  const std::size_t block =
+      std::max(min_block, (n + max_blocks - 1) / max_blocks);
+
+  if (n <= block) {  // not worth dispatching
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  for (std::size_t lo = begin; lo < end; lo += block) {
+    const std::size_t hi = std::min(lo + block, end);
+    futures.push_back(pool.submit([lo, hi, &f] {
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& f,
+                  std::size_t min_block) {
+  parallel_for(ThreadPool::global(), begin, end, f, min_block);
+}
+
+}  // namespace hcep

@@ -1,0 +1,51 @@
+#include "hcep/power/curve.hpp"
+
+#include <algorithm>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::power {
+
+PowerCurve::PowerCurve(PiecewiseLinear samples) : samples_(std::move(samples)) {
+  require(!samples_.empty(), "PowerCurve: no samples");
+  require(samples_.front_x() <= 0.0 && samples_.back_x() >= 1.0,
+          "PowerCurve: samples must cover [0, 1]");
+}
+
+PowerCurve PowerCurve::linear(Watts idle, Watts peak) {
+  require(peak >= idle, "PowerCurve::linear: peak below idle");
+  return PowerCurve{PiecewiseLinear({0.0, 1.0}, {idle.value(), peak.value()})};
+}
+
+PowerCurve PowerCurve::quadratic(Watts idle, Watts peak, double a) {
+  require(peak >= idle, "PowerCurve::quadratic: peak below idle");
+  require(a >= -1.0 && a <= 1.0, "PowerCurve::quadratic: |a| must be <= 1");
+  const double span = (peak - idle).value();
+  std::vector<double> us = linspace(0.0, 1.0, 65);
+  std::vector<double> ps;
+  ps.reserve(us.size());
+  for (double u : us)
+    ps.push_back(idle.value() + span * ((1.0 - a) * u + a * u * u));
+  return PowerCurve{PiecewiseLinear(std::move(us), std::move(ps))};
+}
+
+PowerCurve PowerCurve::sampled(PiecewiseLinear watts_vs_u) {
+  return PowerCurve{std::move(watts_vs_u)};
+}
+
+Watts PowerCurve::at(double u) const {
+  return Watts{samples_(std::clamp(u, 0.0, 1.0))};
+}
+
+double PowerCurve::area() const { return samples_.integral(0.0, 1.0); }
+
+PowerCurve operator+(const PowerCurve& x, const PowerCurve& y) {
+  return PowerCurve{x.samples_ + y.samples_};
+}
+
+PowerCurve PowerCurve::scaled(double k) const {
+  require(k >= 0.0, "PowerCurve::scaled: negative scale");
+  return PowerCurve{samples_.scaled(k)};
+}
+
+}  // namespace hcep::power

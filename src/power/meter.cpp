@@ -1,0 +1,82 @@
+#include "hcep/power/meter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::power {
+
+void PowerTrace::step(Seconds start, Watts level) {
+  require(steps_.empty() || start >= steps_.back().start,
+          "PowerTrace::step: starts must be non-decreasing");
+  if (!steps_.empty() && steps_.back().start == start) {
+    steps_.back().level = level;  // same-instant update wins
+    return;
+  }
+  steps_.push_back(PowerSample{start, level});
+}
+
+Watts PowerTrace::at(Seconds t) const {
+  if (steps_.empty() || t < steps_.front().start) return Watts{0.0};
+  // Last step with start <= t.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Seconds value, const PowerSample& s) { return value < s.start; });
+  --it;
+  return it->level;
+}
+
+Joules PowerTrace::energy(Seconds horizon) const {
+  Joules acc{0.0};
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Seconds start = std::max(Seconds{0.0}, steps_[i].start);
+    if (start >= horizon) break;
+    const Seconds end =
+        i + 1 < steps_.size() ? std::min(steps_[i + 1].start, horizon)
+                              : horizon;
+    if (end > start) acc += steps_[i].level * (end - start);
+  }
+  return acc;
+}
+
+Watts PowerTrace::average(Seconds horizon) const {
+  require(horizon.value() > 0.0, "PowerTrace::average: empty window");
+  return energy(horizon) / horizon;
+}
+
+PowerMeter::PowerMeter(MeterSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  require(spec_.sample_rate.value() > 0.0, "PowerMeter: zero sample rate");
+}
+
+Watts PowerMeter::sample(Watts true_power) {
+  const double gain = 1.0 + rng_.normal(0.0, spec_.gain_error);
+  double reading =
+      true_power.value() * gain + rng_.normal(0.0, spec_.noise_floor.value());
+  if (spec_.quantization.value() > 0.0) {
+    reading = std::round(reading / spec_.quantization.value()) *
+              spec_.quantization.value();
+  }
+  return Watts{std::max(0.0, reading)};
+}
+
+Joules PowerMeter::measure_energy(const PowerTrace& trace, Seconds horizon) {
+  require(horizon.value() > 0.0, "PowerMeter: empty window");
+  const double period = 1.0 / spec_.sample_rate.value();
+  Joules acc{0.0};
+  // Rectangle rule at the meter's sampling instants, as the instrument's
+  // integrator does; the final partial interval is included.
+  for (double t = 0.0; t < horizon.value(); t += period) {
+    const double dt = std::min(period, horizon.value() - t);
+    const Watts reading = sample(trace.at(Seconds{t + 0.5 * dt}));
+    acc += reading * Seconds{dt};
+  }
+  return acc;
+}
+
+Watts PowerMeter::measure_average(const PowerTrace& trace, Seconds horizon) {
+  return measure_energy(trace, horizon) / horizon;
+}
+
+}  // namespace hcep::power

@@ -1,0 +1,199 @@
+#include "hcep/queueing/md1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "hcep/util/error.hpp"
+#include "hcep/util/math.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/util/stats.hpp"
+
+namespace hcep::queueing {
+
+MD1::MD1(Seconds service, double arrival_rate_per_s)
+    : service_(service), lambda_(arrival_rate_per_s) {
+  require(service_.value() > 0.0, "MD1: service time must be positive");
+  require(lambda_ >= 0.0, "MD1: negative arrival rate");
+  require(utilization() < 1.0, "MD1: utilization must be below 1");
+}
+
+MD1 MD1::from_utilization(Seconds service, double utilization) {
+  require(service.value() > 0.0, "MD1: service time must be positive");
+  require(utilization >= 0.0 && utilization < 1.0,
+          "MD1: utilization must lie in [0, 1)");
+  return MD1(service, utilization / service.value());
+}
+
+double MD1::utilization() const { return lambda_ * service_.value(); }
+
+Seconds MD1::mean_wait() const {
+  const double rho = utilization();
+  return Seconds{rho * service_.value() / (2.0 * (1.0 - rho))};
+}
+
+Seconds MD1::mean_response() const { return mean_wait() + service_; }
+
+double MD1::mean_in_system() const {
+  return lambda_ * mean_response().value();
+}
+
+namespace {
+
+/// Erlang's exact M/D/1 waiting-time CDF,
+///   F_W(t) = (1 - rho) sum_{k=0}^{floor(t/D)} (-x_k)^k e^{x_k} / k!,
+/// with x_k = lambda (t - k D) >= 0. The series alternates and the leading
+/// term grows like e^{lambda t}; in long double it is accurate while
+/// lambda t stays below kSeriesLimit. Above that the caller switches to
+/// the geometric-tail extrapolation.
+double erlang_series(double t, double service, double lambda, double rho) {
+  const auto k_max = static_cast<long long>(std::floor(t / service));
+  long double sum = 0.0L;
+  for (long long k = 0; k <= k_max; ++k) {
+    long double x =
+        static_cast<long double>(lambda) *
+        (static_cast<long double>(t) - static_cast<long double>(k) * service);
+    // Floating rounding can push x just below zero when t sits on a panel
+    // edge (t = kD); clamp, or log(x) poisons the sum with NaN.
+    if (x < 0.0L) x = 0.0L;
+    long double mag;
+    if (k == 0) {
+      mag = std::exp(x);
+    } else if (x == 0.0L) {
+      mag = 0.0L;  // (-x)^k vanishes at the panel edge
+    } else {
+      // term = (-x)^k e^x / k!, built in log space for the magnitude.
+      mag = std::exp(x + static_cast<long double>(k) * std::log(x) -
+                     std::lgamma(static_cast<long double>(k) + 1.0L));
+    }
+    sum += (k % 2 == 0) ? mag : -mag;
+  }
+  const double value = static_cast<double>((1.0L - rho) * sum);
+  return std::clamp(value, 0.0, 1.0);
+}
+
+/// Decay rate of the M/D/1 waiting-time tail: the positive root of
+/// lambda (e^{theta D} - 1) = theta.
+double tail_decay_rate(double service, double lambda) {
+  const auto f = [&](double theta) {
+    return lambda * (std::exp(theta * service) - 1.0) - theta;
+  };
+  // f(0) = 0 and f'(0) = lambda D - 1 < 0; the second root is positive.
+  // Bracket it by doubling.
+  double hi = 1.0 / service;
+  while (f(hi) < 0.0) hi *= 2.0;
+  return bisect(f, 1e-12 / service, hi, 1e-14 / service);
+}
+
+// Max lambda*t for the direct series. The alternating sum cancels terms of
+// magnitude ~e^{lambda t}; beyond ~18 the residual noise (>1e-8) exceeds
+// what percentile inversion tolerates, so the geometric tail takes over.
+constexpr double kSeriesLimit = 18.0;
+
+}  // namespace
+
+double MD1::wait_cdf(Seconds t) const {
+  if (t.value() < 0.0) return 0.0;
+  const double rho = utilization();
+  if (rho == 0.0) return 1.0;
+  const double ts = t.value();
+  const double d = service_.value();
+
+  if (lambda_ * ts <= kSeriesLimit) return erlang_series(ts, d, lambda_, rho);
+
+  // Geometric tail: P(W > t) ~ C e^{-theta t}, anchored where the series
+  // is still trustworthy.
+  const double anchor_t = kSeriesLimit / lambda_;
+  const double anchor_cdf = erlang_series(anchor_t, d, lambda_, rho);
+  const double theta = tail_decay_rate(d, lambda_);
+  const double tail =
+      (1.0 - anchor_cdf) * std::exp(-theta * (ts - anchor_t));
+  return std::clamp(1.0 - tail, 0.0, 1.0);
+}
+
+double MD1::response_cdf(Seconds t) const {
+  return wait_cdf(t - service_);
+}
+
+Seconds MD1::wait_percentile(double p) const {
+  require(p > 0.0 && p < 100.0, "MD1::wait_percentile: p out of (0, 100)");
+  const double target = p / 100.0;
+  if (wait_cdf(Seconds{0.0}) >= target) return Seconds{0.0};
+  // Bracket by doubling from the mean.
+  double hi = std::max(mean_wait().value(), service_.value());
+  while (wait_cdf(Seconds{hi}) < target) hi *= 2.0;
+  const double t = bisect(
+      [&](double x) { return wait_cdf(Seconds{x}) - target; }, 0.0, hi,
+      hi * 1e-12);
+  return Seconds{t};
+}
+
+Seconds MD1::response_percentile(double p) const {
+  return wait_percentile(p) + service_;
+}
+
+MM1::MM1(Seconds mean_service, double arrival_rate_per_s)
+    : service_(mean_service), lambda_(arrival_rate_per_s) {
+  require(service_.value() > 0.0, "MM1: service time must be positive");
+  require(lambda_ >= 0.0, "MM1: negative arrival rate");
+  require(utilization() < 1.0, "MM1: utilization must be below 1");
+}
+
+double MM1::utilization() const { return lambda_ * service_.value(); }
+
+Seconds MM1::mean_wait() const {
+  const double rho = utilization();
+  return Seconds{rho * service_.value() / (1.0 - rho)};
+}
+
+Seconds MM1::mean_response() const { return mean_wait() + service_; }
+
+double MM1::response_cdf(Seconds t) const {
+  if (t.value() < 0.0) return 0.0;
+  // Sojourn time is exponential with rate mu - lambda.
+  const double mu = 1.0 / service_.value();
+  return 1.0 - std::exp(-(mu - lambda_) * t.value());
+}
+
+Seconds MM1::response_percentile(double p) const {
+  require(p > 0.0 && p < 100.0, "MM1::response_percentile: p out of range");
+  const double mu = 1.0 / service_.value();
+  return Seconds{-std::log(1.0 - p / 100.0) / (mu - lambda_)};
+}
+
+QueueSimResult simulate_md1(Seconds service, double arrival_rate_per_s,
+                            std::uint64_t jobs, std::uint64_t seed) {
+  require(service.value() > 0.0, "simulate_md1: service time must be positive");
+  require(jobs > 0, "simulate_md1: need at least one job");
+  Rng rng(seed);
+
+  const double d = service.value();
+  double clock = 0.0;           // arrival clock
+  double server_free = 0.0;     // time the server next becomes idle
+  RunningStats wait_stats;
+  RunningStats response_stats;
+  std::vector<double> responses;
+  responses.reserve(jobs);
+  double busy_time = 0.0;
+
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    clock += rng.exponential(arrival_rate_per_s);
+    const double start = std::max(clock, server_free);
+    const double wait = start - clock;
+    server_free = start + d;
+    busy_time += d;
+    wait_stats.add(wait);
+    response_stats.add(wait + d);
+    responses.push_back(wait + d);
+  }
+
+  QueueSimResult out;
+  out.mean_wait_s = wait_stats.mean();
+  out.mean_response_s = response_stats.mean();
+  out.p95_response_s = percentile_inplace(responses, 95.0);
+  out.measured_utilization = busy_time / server_free;
+  return out;
+}
+
+}  // namespace hcep::queueing

@@ -1,0 +1,64 @@
+#include "hcep/queueing/mdc.hpp"
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::queueing {
+
+double erlang_c(double offered_load, unsigned servers) {
+  require(servers >= 1, "erlang_c: need at least one server");
+  require(offered_load >= 0.0, "erlang_c: negative offered load");
+  require(offered_load < static_cast<double>(servers),
+          "erlang_c: offered load must be below the server count");
+  if (offered_load == 0.0) return 0.0;
+
+  // Erlang-B recurrence: B(0) = 1, B(k) = a B(k-1) / (k + a B(k-1)).
+  double b = 1.0;
+  for (unsigned k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  // Erlang-C from Erlang-B.
+  const double c = static_cast<double>(servers);
+  const double rho = offered_load / c;
+  return b / (1.0 - rho + rho * b);
+}
+
+MDc::MDc(Seconds service, double arrival_rate_per_s, unsigned servers)
+    : service_(service), lambda_(arrival_rate_per_s), servers_(servers) {
+  require(service_.value() > 0.0, "MDc: service time must be positive");
+  require(lambda_ >= 0.0, "MDc: negative arrival rate");
+  require(servers_ >= 1, "MDc: need at least one server");
+  require(utilization() < 1.0, "MDc: utilization must be below 1");
+}
+
+MDc MDc::from_utilization(Seconds service, double utilization,
+                          unsigned servers) {
+  require(service.value() > 0.0, "MDc: service time must be positive");
+  require(utilization >= 0.0 && utilization < 1.0,
+          "MDc: utilization must lie in [0, 1)");
+  return MDc(service,
+             utilization * static_cast<double>(servers) / service.value(),
+             servers);
+}
+
+double MDc::utilization() const {
+  return lambda_ * service_.value() / static_cast<double>(servers_);
+}
+
+double MDc::wait_probability() const {
+  return erlang_c(lambda_ * service_.value(), servers_);
+}
+
+Seconds MDc::mean_wait() const {
+  const double rho = utilization();
+  if (rho == 0.0) return Seconds{0.0};
+  // Wq(M/M/c) = ErlangC / (c mu - lambda); halved for deterministic
+  // service (Allen-Cunneen with C_a^2 = 1, C_s^2 = 0).
+  const double mu = 1.0 / service_.value();
+  const double mmc_wait =
+      wait_probability() / (static_cast<double>(servers_) * mu - lambda_);
+  return Seconds{0.5 * mmc_wait};
+}
+
+Seconds MDc::mean_response() const { return mean_wait() + service_; }
+
+}  // namespace hcep::queueing

@@ -1,0 +1,135 @@
+#include "hcep/queueing/mg1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hcep/util/error.hpp"
+#include "hcep/util/math.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/util/stats.hpp"
+
+namespace hcep::queueing {
+
+MG1::MG1(Seconds mean_service, double arrival_rate_per_s, double scv)
+    : service_(mean_service), lambda_(arrival_rate_per_s), scv_(scv) {
+  require(service_.value() > 0.0, "MG1: service time must be positive");
+  require(lambda_ >= 0.0, "MG1: negative arrival rate");
+  require(scv_ >= 0.0, "MG1: negative SCV");
+  require(utilization() < 1.0, "MG1: utilization must be below 1");
+}
+
+MG1 MG1::from_utilization(Seconds mean_service, double utilization,
+                          double scv) {
+  require(mean_service.value() > 0.0, "MG1: service time must be positive");
+  require(utilization >= 0.0 && utilization < 1.0,
+          "MG1: utilization must lie in [0, 1)");
+  return MG1(mean_service, utilization / mean_service.value(), scv);
+}
+
+double MG1::utilization() const { return lambda_ * service_.value(); }
+
+Seconds MG1::mean_wait() const {
+  const double rho = utilization();
+  return Seconds{rho * service_.value() * (1.0 + scv_) /
+                 (2.0 * (1.0 - rho))};
+}
+
+Seconds MG1::mean_response() const { return mean_wait() + service_; }
+
+namespace {
+
+/// Second and third raw moments of a gamma service matching (mean, scv).
+/// (scv = 0 degenerates to the deterministic moments.)
+void service_moments(double mean, double scv, double& m2, double& m3) {
+  m2 = mean * mean * (1.0 + scv);
+  m3 = mean * mean * mean * (1.0 + scv) * (1.0 + 2.0 * scv);
+}
+
+}  // namespace
+
+double MG1::wait_variance() const {
+  const double rho = utilization();
+  if (rho == 0.0) return 0.0;
+  double m2, m3;
+  service_moments(service_.value(), scv_, m2, m3);
+  // Takacs: E[W] = lam m2 / (2(1-rho)); E[W^2] = 2 E[W]^2 + lam m3/(3(1-rho)).
+  const double ew = lambda_ * m2 / (2.0 * (1.0 - rho));
+  const double ew2 =
+      2.0 * ew * ew + lambda_ * m3 / (3.0 * (1.0 - rho));
+  return ew2 - ew * ew;
+}
+
+double MG1::wait_cdf(Seconds t) const {
+  if (t.value() < 0.0) return 0.0;
+  const double rho = utilization();
+  if (rho == 0.0) return 1.0;
+  if (t.value() == 0.0) return 1.0 - rho;  // the P(W = 0) atom
+  // Conditional wait (W | W > 0): mean and variance.
+  const double ew = mean_wait().value();
+  const double ew2 = wait_variance() + ew * ew;
+  const double m1 = ew / rho;
+  const double v1 = ew2 / rho - m1 * m1;
+  if (v1 <= 0.0 || m1 <= 0.0) {
+    // Degenerate: treat the conditional wait as a point mass at m1.
+    return t.value() >= m1 ? 1.0 : 1.0 - rho;
+  }
+  const double shape = m1 * m1 / v1;
+  const double scale = v1 / m1;
+  return std::clamp(1.0 - rho + rho * gamma_p(shape, t.value() / scale),
+                    0.0, 1.0);
+}
+
+Seconds MG1::wait_percentile(double p) const {
+  require(p > 0.0 && p < 100.0, "MG1::wait_percentile: p out of (0, 100)");
+  const double target = p / 100.0;
+  if (wait_cdf(Seconds{0.0}) >= target) return Seconds{0.0};
+  double hi = std::max(mean_wait().value(), service_.value());
+  while (wait_cdf(Seconds{hi}) < target) hi *= 2.0;
+  const double t = bisect(
+      [&](double x) { return wait_cdf(Seconds{x}) - target; }, 0.0, hi,
+      hi * 1e-12);
+  return Seconds{t};
+}
+
+Seconds MG1::response_percentile(double p) const {
+  return wait_percentile(p) + service_;
+}
+
+MG1SimResult simulate_mg1(Seconds mean_service, double arrival_rate_per_s,
+                          double scv, std::uint64_t jobs,
+                          std::uint64_t seed) {
+  require(mean_service.value() > 0.0,
+          "simulate_mg1: service time must be positive");
+  require(jobs > 0, "simulate_mg1: need at least one job");
+  require(scv >= 0.0, "simulate_mg1: negative SCV");
+  Rng rng(seed);
+
+  const double mean = mean_service.value();
+  double clock = 0.0;
+  double server_free = 0.0;
+  RunningStats wait_stats;
+  std::vector<double> responses;
+  responses.reserve(jobs);
+
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    clock += rng.exponential(arrival_rate_per_s);
+    double service = mean;
+    if (scv > 0.0) {
+      const double shape = 1.0 / scv;
+      service = rng.gamma(shape, mean / shape);
+    }
+    const double start = std::max(clock, server_free);
+    const double wait = start - clock;
+    server_free = start + service;
+    wait_stats.add(wait);
+    responses.push_back(wait + service);
+  }
+
+  MG1SimResult out;
+  out.mean_wait_s = wait_stats.mean();
+  out.p95_response_s = percentile_inplace(responses, 95.0);
+  return out;
+}
+
+}  // namespace hcep::queueing

@@ -1,0 +1,157 @@
+#include "hcep/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  require(std::isfinite(value), "JsonValue: non-finite number");
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(std::int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.integral_ = true;
+  v.int_number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  require(kind_ == Kind::kArray, "JsonValue::push: not an array");
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  require(kind_ == Kind::kObject, "JsonValue::set: not an object");
+  for (const auto& [k, unused] : fields_)
+    require(k != key, "JsonValue::set: duplicate key '" + key + "'");
+  fields_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+void append_indent(std::string& out, int indent) {
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+}  // namespace
+
+void JsonValue::write(std::string& out, int indent, bool pretty) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      char buf[40];
+      if (integral_) {
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(int_number_));
+      } else {
+        std::snprintf(buf, sizeof buf, "%.12g", number_);
+      }
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      out += '"' + json_escape(string_) + '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) append_indent(out, indent + 1);
+        items_[i].write(out, indent + 1, pretty);
+      }
+      if (pretty && !items_.empty()) append_indent(out, indent);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) append_indent(out, indent + 1);
+        out += '"' + json_escape(fields_[i].first) + "\":";
+        if (pretty) out += ' ';
+        fields_[i].second.write(out, indent + 1, pretty);
+      }
+      if (pretty && !fields_.empty()) append_indent(out, indent);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  write(out, 0, false);
+  return out;
+}
+
+std::string JsonValue::dump_pretty() const {
+  std::string out;
+  write(out, 0, true);
+  return out;
+}
+
+}  // namespace hcep

@@ -1,0 +1,192 @@
+#include "hcep/util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep {
+
+double percent_error(double a, double b) {
+  require(b != 0.0, "percent_error: reference value is zero");
+  return std::abs(a - b) / std::abs(b) * 100.0;
+}
+
+bool approx_equal(double a, double b, double rel, double abs) {
+  const double diff = std::abs(a - b);
+  if (diff <= abs) return true;
+  return diff <= rel * std::max(std::abs(a), std::abs(b));
+}
+
+double trapezoid(const std::function<double(double)>& f, double a, double b,
+                 std::size_t n) {
+  require(n >= 1, "trapezoid: need at least one panel");
+  const double h = (b - a) / static_cast<double>(n);
+  double acc = 0.5 * (f(a) + f(b));
+  for (std::size_t i = 1; i < n; ++i)
+    acc += f(a + h * static_cast<double>(i));
+  return acc * h;
+}
+
+double trapezoid(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "trapezoid: mismatched sample arrays");
+  require(xs.size() >= 2, "trapezoid: need at least two samples");
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    require(xs[i] > xs[i - 1], "trapezoid: xs must be strictly increasing");
+    acc += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+  }
+  return acc;
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, std::size_t max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  require(std::signbit(flo) != std::signbit(fhi),
+          "bisect: f(lo) and f(hi) must differ in sign");
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (std::isnan(fmid))
+      throw NumericalError("bisect: f(mid) is NaN");
+    if (fmid == 0.0 || (hi - lo) < tol) return mid;
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  throw NumericalError("bisect: failed to converge");
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  require(xs_.size() == ys_.size(), "PiecewiseLinear: mismatched knot arrays");
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    require(xs_[i] > xs_[i - 1], "PiecewiseLinear: xs must be strictly increasing");
+}
+
+void PiecewiseLinear::add(double x, double y) {
+  require(xs_.empty() || x > xs_.back(),
+          "PiecewiseLinear::add: knots must be added in increasing x order");
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+double PiecewiseLinear::front_x() const {
+  require(!xs_.empty(), "PiecewiseLinear: empty curve");
+  return xs_.front();
+}
+
+double PiecewiseLinear::back_x() const {
+  require(!xs_.empty(), "PiecewiseLinear: empty curve");
+  return xs_.back();
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  require(!xs_.empty(), "PiecewiseLinear: empty curve");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - xs_.begin());
+  const double t = (x - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+  return ys_[i - 1] + t * (ys_[i] - ys_[i - 1]);
+}
+
+double PiecewiseLinear::integral(double a, double b) const {
+  require(!xs_.empty(), "PiecewiseLinear: empty curve");
+  if (a > b) return -integral(b, a);
+  if (a == b) return 0.0;
+  // Walk segment boundaries between a and b, treating the curve as clamped
+  // (constant) outside the knot range.
+  double acc = 0.0;
+  double x0 = a;
+  double y0 = (*this)(a);
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    const double xk = xs_[i];
+    if (xk <= x0) continue;
+    if (xk >= b) break;
+    const double yk = ys_[i];
+    acc += 0.5 * (y0 + yk) * (xk - x0);
+    x0 = xk;
+    y0 = yk;
+  }
+  acc += 0.5 * (y0 + (*this)(b)) * (b - x0);
+  return acc;
+}
+
+PiecewiseLinear PiecewiseLinear::scaled(double k) const {
+  std::vector<double> ys = ys_;
+  for (auto& y : ys) y *= k;
+  return PiecewiseLinear{xs_, std::move(ys)};
+}
+
+PiecewiseLinear operator+(const PiecewiseLinear& a, const PiecewiseLinear& b) {
+  require(!a.empty() && !b.empty(), "PiecewiseLinear+: empty operand");
+  std::vector<double> xs;
+  xs.reserve(a.size() + b.size());
+  std::merge(a.xs_.begin(), a.xs_.end(), b.xs_.begin(), b.xs_.end(),
+             std::back_inserter(xs));
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::vector<double> ys;
+  ys.reserve(xs.size());
+  for (double x : xs) ys.push_back(a(x) + b(x));
+  return PiecewiseLinear{std::move(xs), std::move(ys)};
+}
+
+double gamma_p(double a, double x) {
+  require(a > 0.0, "gamma_p: shape must be positive");
+  require(x >= 0.0, "gamma_p: negative argument");
+  if (x == 0.0) return 0.0;
+
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a (a+1) ... (a+n)).
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a,x) (modified Lentz).
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  require(n >= 2, "linspace: need at least two points");
+  std::vector<double> out(n);
+  const double h = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo + h * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace hcep

@@ -1,0 +1,147 @@
+#include "hcep/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "TextTable: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_grouped(double v) {
+  const bool negative = v < 0;
+  auto n = static_cast<long long>(std::llround(std::abs(v)));
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void SeriesWriter::begin_series(const std::string& name) {
+  if (any_series_) out_ += "\n\n";  // gnuplot index separator
+  any_series_ = true;
+  out_ += "# " + name + "\n";
+}
+
+void SeriesWriter::point(double x, double y) {
+  require(any_series_, "SeriesWriter::point: begin_series first");
+  out_ += fmt(x, 6) + " " + fmt(y, 6) + "\n";
+}
+
+void SeriesWriter::point(double x, const std::vector<double>& ys) {
+  require(any_series_, "SeriesWriter::point: begin_series first");
+  out_ += fmt(x, 6);
+  for (double y : ys) {
+    out_ += ' ';
+    out_ += fmt(y, 6);
+  }
+  out_ += '\n';
+}
+
+void SeriesWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  require(static_cast<bool>(f), "SeriesWriter::save: cannot open " + path);
+  f << out_;
+  require(static_cast<bool>(f), "SeriesWriter::save: write failed " + path);
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : width_(header.size()) {
+  require(width_ > 0, "CsvWriter: empty header");
+  emit(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  require(row.size() == width_, "CsvWriter: row width mismatch");
+  emit(row);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ += ',';
+    const std::string& field = row[i];
+    if (field.find_first_of(",\"\n") != std::string::npos) {
+      out_ += '"';
+      for (char ch : field) {
+        if (ch == '"') out_ += '"';
+        out_ += ch;
+      }
+      out_ += '"';
+    } else {
+      out_ += field;
+    }
+  }
+  out_ += '\n';
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  require(static_cast<bool>(f), "CsvWriter::save: cannot open " + path);
+  f << out_;
+  require(static_cast<bool>(f), "CsvWriter::save: write failed " + path);
+}
+
+}  // namespace hcep

@@ -1,0 +1,88 @@
+#include "hcep/workload/calibrate.hpp"
+
+#include "hcep/util/error.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace hcep::workload {
+
+const std::map<std::string, std::map<std::string, CalibrationTarget>>&
+paper_targets() {
+  // Table 6 (PPR, work units per second per watt) and Table 7 (IPR).
+  static const std::map<std::string, std::map<std::string, CalibrationTarget>>
+      kTargets = {
+          {"EP",
+           {{"A9", {.ppr = 6048057.0, .ipr = 0.74}},
+            {"K10", {.ppr = 1414922.0, .ipr = 0.65}}}},
+          {"memcached",
+           {{"A9", {.ppr = 5224004.0, .ipr = 0.83}},
+            {"K10", {.ppr = 268067.0, .ipr = 0.89}}}},
+          {"x264",
+           {{"A9", {.ppr = 0.7, .ipr = 0.64}},
+            {"K10", {.ppr = 1.0, .ipr = 0.62}}}},
+          {"blackscholes",
+           {{"A9", {.ppr = 11413.0, .ipr = 0.68}},
+            {"K10", {.ppr = 2902.0, .ipr = 0.63}}}},
+          {"Julius",
+           {{"A9", {.ppr = 69654.0, .ipr = 0.70}},
+            {"K10", {.ppr = 21390.0, .ipr = 0.62}}}},
+          {"RSA-2048",
+           {{"A9", {.ppr = 968.0, .ipr = 0.64}},
+            {"K10", {.ppr = 1091.0, .ipr = 0.59}}}},
+      };
+  return kTargets;
+}
+
+std::optional<CalibrationTarget> paper_target(const std::string& program,
+                                              const std::string& node) {
+  const auto pit = paper_targets().find(program);
+  if (pit == paper_targets().end()) return std::nullopt;
+  const auto nit = pit->second.find(node);
+  if (nit == pit->second.end()) return std::nullopt;
+  return nit->second;
+}
+
+Watts target_peak_power(const hw::NodeSpec& node,
+                        const CalibrationTarget& target) {
+  require(target.ipr > 0.0 && target.ipr < 1.0,
+          "calibrate: IPR must lie in (0, 1)");
+  return node.power.idle / target.ipr;
+}
+
+double target_peak_throughput(const hw::NodeSpec& node,
+                              const CalibrationTarget& target) {
+  require(target.ppr > 0.0, "calibrate: PPR must be positive");
+  return target.ppr * target_peak_power(node, target).value();
+}
+
+void calibrate_node(Workload& w, const hw::NodeSpec& node,
+                    const CalibrationTarget& target) {
+  require(w.has_node(node.name),
+          "calibrate_node: workload '" + w.name +
+              "' has no characterized demand for '" + node.name + "'");
+
+  const Watts p_peak = target_peak_power(node, target);
+  const double x_peak = target_peak_throughput(node, target);
+
+  // 1. Pin throughput: scale demand so 1 / T_unit(c_max, f_max) = x_peak.
+  NodeDemand& demand = w.demand.at(node.name);
+  const double x_raw =
+      unit_throughput(demand, node, node.cores, node.dvfs.max());
+  demand = demand.scaled(x_raw / x_peak);
+
+  // 2. Pin busy power: the dynamic component mix is scale-invariant in the
+  //    demand, so a single multiplicative factor reaches the target peak.
+  const Watts p_raw =
+      busy_power(demand, node, node.cores, node.dvfs.max(), 1.0);
+  const Watts dyn_raw = p_raw - node.power.idle;
+  require(dyn_raw.value() > 0.0,
+          "calibrate_node: raw busy power does not exceed idle");
+  const double kappa = (p_peak - node.power.idle) / dyn_raw;
+
+  w.power_cal[node.name] = NodePowerCal{
+      .power_scale = kappa,
+      .peak_power = p_peak,
+      .peak_throughput = x_peak,
+  };
+}
+
+}  // namespace hcep::workload

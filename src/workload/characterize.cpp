@@ -1,0 +1,58 @@
+#include "hcep/workload/characterize.hpp"
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::workload {
+
+NodeDemand demand_from_counts(const kernels::OpCounts& per_unit,
+                              const hw::NodeSpec& node) {
+  const hw::CostModel& cm = node.cost;
+  NodeDemand d;
+  d.cycles_core = static_cast<double>(per_unit.int_ops) * cm.cpi_int +
+                  static_cast<double>(per_unit.fp_ops) * cm.cpi_fp +
+                  static_cast<double>(per_unit.branch_ops) * cm.cpi_branch +
+                  static_cast<double>(per_unit.crypto_ops) * cm.cpi_crypto /
+                      cm.crypto_speedup;
+  // Memory-stall cycles at f_max: stream time over the node's sustainable
+  // bandwidth, expressed in core cycles (Table 2 keeps stalls in cycles).
+  const Seconds mem_time = per_unit.mem_traffic / cm.mem_bandwidth;
+  d.cycles_mem = (node.dvfs.max() * mem_time).value();
+  d.io_bytes = per_unit.io_bytes;
+  return d;
+}
+
+NodeDemand characterize(kernels::Kernel& kernel, const hw::NodeSpec& node,
+                        std::uint64_t units, std::uint64_t seed) {
+  require(units > 0, "characterize: need at least one work unit");
+  Rng rng(seed);
+  const kernels::KernelResult result = kernel.run(units, rng);
+  require(result.counts.work_units > 0,
+          "characterize: kernel reported no work");
+  // Use exact per-unit averages (double precision) rather than the
+  // truncated integer per_unit() to avoid quantization on small runs.
+  const double n = static_cast<double>(result.counts.work_units);
+  kernels::OpCounts avg;
+  avg.int_ops = result.counts.int_ops;
+  avg.fp_ops = result.counts.fp_ops;
+  avg.branch_ops = result.counts.branch_ops;
+  avg.crypto_ops = result.counts.crypto_ops;
+  avg.mem_traffic = result.counts.mem_traffic;
+  avg.io_bytes = result.counts.io_bytes;
+  avg.work_units = 1;
+
+  NodeDemand total = demand_from_counts(avg, node);
+  return total.scaled(1.0 / n);
+}
+
+std::uint64_t default_characterization_units(const std::string& program) {
+  if (program == "EP") return 400000;
+  if (program == "memcached") return 200000;  // bytes served
+  if (program == "x264") return 4;            // frames
+  if (program == "blackscholes") return 40000;
+  if (program == "Julius") return 3000;       // samples
+  if (program == "RSA-2048") return 6;        // verifies
+  throw PreconditionError("default_characterization_units: unknown program '" +
+                          program + "'");
+}
+
+}  // namespace hcep::workload

@@ -1,0 +1,329 @@
+// Analysis studies: each must reproduce the corresponding paper result.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+
+#include "hcep/analysis/cluster_study.hpp"
+#include "hcep/analysis/pareto_study.hpp"
+#include "hcep/analysis/response_study.hpp"
+#include "hcep/analysis/single_node.hpp"
+#include "hcep/analysis/validation.hpp"
+#include "hcep/config/budget.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::analysis;
+
+const std::vector<workload::Workload>& catalog() {
+  static const auto kCatalog = workload::paper_workloads();
+  return kCatalog;
+}
+
+const workload::Workload& wl(const std::string& name) {
+  for (const auto& w : catalog())
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+// ------------------------------------------------- Table 7 reproduction
+
+struct Table7Row {
+  const char* program;
+  const char* node;
+  double dpr;
+  double ipr;
+  double epm;
+  double ldr;
+};
+
+class Table7 : public ::testing::TestWithParam<Table7Row> {};
+
+TEST_P(Table7, SingleNodeMetricsMatchPaper) {
+  const Table7Row row = GetParam();
+  const auto a = analyze_single_node(wl(row.program), hw::by_name(row.node));
+  // The paper prints two decimals; allow rounding slack.
+  EXPECT_NEAR(a.report.dpr, row.dpr, 0.51);
+  EXPECT_NEAR(a.report.ipr, row.ipr, 0.006);
+  // The paper's own EPM/LDR cells round inconsistently against its DPR
+  // column (e.g. EP/K10: DPR 34.57 but EPM printed 0.34); allow 0.011.
+  EXPECT_NEAR(a.report.epm, row.epm, 0.011);
+  EXPECT_NEAR(a.report.ldr_paper, row.ldr, 0.011);
+}
+
+// Values transcribed from Table 7 of the paper.
+INSTANTIATE_TEST_SUITE_P(
+    PaperValues, Table7,
+    ::testing::Values(
+        Table7Row{"EP", "A9", 25.97, 0.74, 0.26, 0.26},
+        Table7Row{"EP", "K10", 34.57, 0.65, 0.34, 0.35},
+        Table7Row{"memcached", "A9", 16.78, 0.83, 0.17, 0.17},
+        Table7Row{"memcached", "K10", 11.05, 0.89, 0.11, 0.11},
+        Table7Row{"x264", "A9", 35.54, 0.64, 0.36, 0.36},
+        Table7Row{"x264", "K10", 38.41, 0.62, 0.38, 0.39},
+        Table7Row{"blackscholes", "A9", 32.11, 0.68, 0.32, 0.32},
+        Table7Row{"blackscholes", "K10", 37.30, 0.63, 0.37, 0.37},
+        Table7Row{"Julius", "A9", 30.48, 0.70, 0.30, 0.31},
+        Table7Row{"Julius", "K10", 38.10, 0.62, 0.38, 0.38},
+        Table7Row{"RSA-2048", "A9", 35.62, 0.64, 0.36, 0.36},
+        Table7Row{"RSA-2048", "K10", 41.19, 0.59, 0.41, 0.41}),
+    [](const auto& inst) {
+      std::string n =
+          std::string(inst.param.program) + "_" + inst.param.node;
+      for (auto& ch : n)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return n;
+    });
+
+// ------------------------------------------------- Table 6 reproduction
+
+TEST(Table6, PeakPprMatchesPaper) {
+  const std::map<std::string, std::pair<double, double>> expected = {
+      {"EP", {6048057.0, 1414922.0}},
+      {"memcached", {5224004.0, 268067.0}},
+      {"x264", {0.7, 1.0}},
+      {"blackscholes", {11413.0, 2902.0}},
+      {"Julius", {69654.0, 21390.0}},
+      {"RSA-2048", {968.0, 1091.0}},
+  };
+  for (const auto& [program, pprs] : expected) {
+    const auto a9 = analyze_single_node(wl(program), hw::cortex_a9());
+    const auto k10 = analyze_single_node(wl(program), hw::opteron_k10());
+    EXPECT_NEAR(a9.ppr_peak / pprs.first, 1.0, 1e-6) << program;
+    EXPECT_NEAR(k10.ppr_peak / pprs.second, 1.0, 1e-6) << program;
+  }
+}
+
+TEST(Table6, WimpyWinsExceptRsaAndX264) {
+  // "A9 has a better PPR than K10, but with two notable exceptions" —
+  // RSA-2048 (crypto acceleration) and x264 (memory bandwidth).
+  for (const auto& w : catalog()) {
+    const auto a9 = analyze_single_node(w, hw::cortex_a9());
+    const auto k10 = analyze_single_node(w, hw::opteron_k10());
+    if (w.name == "RSA-2048" || w.name == "x264") {
+      EXPECT_GT(k10.ppr_peak, a9.ppr_peak) << w.name;
+    } else {
+      EXPECT_GT(a9.ppr_peak, k10.ppr_peak) << w.name;
+    }
+  }
+}
+
+TEST(SingleNode, BrawnyIsMoreProportionalButWimpyDrawsLess) {
+  // Section III-B's counter-intuitive pair of facts for EP.
+  const auto a9 = analyze_single_node(wl("EP"), hw::cortex_a9());
+  const auto k10 = analyze_single_node(wl("EP"), hw::opteron_k10());
+  EXPECT_GT(k10.report.epm, a9.report.epm);     // K10 more proportional
+  EXPECT_GT(a9.report.ipr, k10.report.ipr);
+  EXPECT_GE(k10.idle_power.value() / a9.idle_power.value(), 25.0);
+}
+
+TEST(SingleNode, SeriesHelpers) {
+  const auto a = analyze_single_node(wl("EP"), hw::cortex_a9());
+  const auto prop = proportionality_series(a.curve, {10, 50, 100});
+  ASSERT_EQ(prop.size(), 3u);
+  EXPECT_NEAR(prop[2].second, 100.0, 1e-9);
+  EXPECT_GT(prop[0].second, 70.0);  // IPR 0.74 -> ~76.6 % at u=10 %
+
+  const auto pprs = ppr_series(a.curve, a.peak_throughput, {10, 100});
+  ASSERT_EQ(pprs.size(), 2u);
+  EXPECT_LT(pprs[0].second, pprs[1].second);  // PPR grows with utilization
+  EXPECT_NEAR(pprs[1].second, a.ppr_peak, 1e-6);
+  EXPECT_THROW((void)ppr_series(a.curve, a.peak_throughput, {0.0}),
+               PreconditionError);
+}
+
+// ------------------------------------------------- Table 8 reproduction
+
+struct Table8Row {
+  const char* program;
+  // DPR for 128A9:0K10, 64A9:8K10, 0A9:16K10 (paper's three columns).
+  double dpr_all_a9;
+  double dpr_mixed;
+  double dpr_all_k10;
+};
+
+class Table8 : public ::testing::TestWithParam<Table8Row> {};
+
+TEST_P(Table8, ClusterMetricsMatchPaperColumns) {
+  const Table8Row row = GetParam();
+  const auto mixes = analyze_mixes(config::paper_budget_mixes(),
+                                   wl(row.program));
+  ASSERT_EQ(mixes.size(), 5u);
+  // Order: 16K10, 32:12, 64:8, 96:4, 128A9.
+  EXPECT_NEAR(mixes[0].report.dpr, row.dpr_all_k10, 0.6);
+  EXPECT_NEAR(mixes[2].report.dpr, row.dpr_mixed, 0.8);
+  EXPECT_NEAR(mixes[4].report.dpr, row.dpr_all_a9, 0.6);
+  for (const auto& m : mixes) {
+    // Identities hold at cluster level too.
+    EXPECT_NEAR(m.report.dpr, (1.0 - m.report.ipr) * 100.0, 1e-6);
+    EXPECT_NEAR(m.report.epm, 1.0 - m.report.ipr, 1e-6);
+  }
+}
+
+// Values transcribed from Table 8.
+INSTANTIATE_TEST_SUITE_P(
+    PaperValues, Table8,
+    ::testing::Values(Table8Row{"EP", 25.97, 32.66, 34.57},
+                      Table8Row{"memcached", 16.78, 12.44, 11.05},
+                      Table8Row{"x264", 35.54, 37.73, 38.41},
+                      Table8Row{"blackscholes", 32.11, 36.10, 37.30},
+                      Table8Row{"Julius", 30.48, 36.39, 38.09},
+                      Table8Row{"RSA-2048", 35.62, 39.92, 41.19}),
+    [](const auto& inst) {
+      std::string n = inst.param.program;
+      for (auto& ch : n)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return n;
+    });
+
+TEST(ClusterStudy, K10ClusterIdleIsAboutThreeTimesA9Cluster) {
+  // Section III-C: "the K10 cluster consumes an idle power of around
+  // 720 W which is about three times higher compared to the A9 cluster".
+  const auto mixes = analyze_mixes(config::paper_budget_mixes(), wl("EP"));
+  const double k10_idle = mixes[0].idle_power.value();
+  const double a9_idle = mixes[4].idle_power.value();
+  EXPECT_NEAR(k10_idle, 720.0, 1.0);
+  EXPECT_NEAR(k10_idle / a9_idle, 3.0, 0.3);
+}
+
+// -------------------------------------------- Figures 9/10 (Pareto study)
+
+TEST(ParetoStudy, Fig9SublinearityPatternForEp) {
+  ParetoStudyOptions opts;
+  opts.compute_frontier = false;
+  const auto result = run_pareto_study(wl("EP"), opts);
+  ASSERT_EQ(result.mixes.size(), 5u);
+
+  // The paper's Section III-D example: (25,8) is above the ideal line at
+  // u = 50 % while (25,7) is below it.
+  std::map<std::string, const ParetoMixAnalysis*> by_label;
+  for (const auto& m : result.mixes) by_label[m.mix.label()] = &m;
+  EXPECT_FALSE(by_label.at("25A9:8K10")->sublinear_at_half);
+  EXPECT_TRUE(by_label.at("25A9:7K10")->sublinear_at_half);
+  // The reference configuration itself never dips below its own ideal.
+  EXPECT_GT(by_label.at("32A9:12K10")->crossover_utilization, 1.0);
+  // Fewer brawny nodes -> earlier crossover (more sub-linear).
+  EXPECT_LT(by_label.at("25A9:5K10")->crossover_utilization,
+            by_label.at("25A9:7K10")->crossover_utilization);
+}
+
+TEST(ParetoStudy, FrontierMembersAreMutuallyNonDominated) {
+  ParetoStudyOptions opts;
+  opts.max_a9 = 6;
+  opts.max_k10 = 3;
+  opts.mixes = {{6, 3}, {5, 2}};
+  const auto result = run_pareto_study(wl("EP"), opts);
+  ASSERT_GT(result.frontier.size(), 0u);
+  for (std::size_t i = 1; i < result.frontier.size(); ++i) {
+    EXPECT_GT(result.frontier[i].time, result.frontier[i - 1].time);
+    EXPECT_LT(result.frontier[i].energy, result.frontier[i - 1].energy);
+  }
+}
+
+TEST(ParetoStudy, OperatingPointSearch) {
+  const MixCounts mix{25, 5};
+  const auto fast = fastest_operating_point(mix, wl("EP"));
+  // Fastest point uses all cores at max frequency.
+  for (const auto& g : fast.config.groups) {
+    EXPECT_EQ(g.cores(), g.spec.cores);
+    EXPECT_DOUBLE_EQ(g.freq().value(), g.spec.dvfs.max().value());
+  }
+  // A deadline below the fastest time is infeasible.
+  EXPECT_FALSE(
+      best_operating_point(mix, wl("EP"), fast.time * 0.9).has_value());
+  // A generous deadline returns a point that meets it.
+  const auto pt = best_operating_point(mix, wl("EP"), fast.time * 3.0);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_LE(pt->time, fast.time * 3.0);
+  EXPECT_LE(pt->energy, fast.energy);
+}
+
+// ----------------------------------------- Figures 11/12 (response study)
+
+TEST(ResponseStudy, EpEveryMixMeetsTheDeadline) {
+  const auto result = run_response_study(wl("EP"));
+  ASSERT_EQ(result.mixes.size(), 5u);
+  for (const auto& m : result.mixes) {
+    EXPECT_TRUE(m.meets_deadline) << m.mix.label();
+    EXPECT_LE(m.service_time, result.deadline);
+  }
+}
+
+TEST(ResponseStudy, X264LosesTheDeadlineWithoutBrawnyNodes) {
+  // Section III-E: for x264 the sub-linear mixes degrade to seconds.
+  const auto result = run_response_study(wl("x264"));
+  std::map<std::string, const MixResponse*> by_label;
+  for (const auto& m : result.mixes) by_label[m.mix.label()] = &m;
+  EXPECT_TRUE(by_label.at("32A9:12K10")->meets_deadline);
+  EXPECT_FALSE(by_label.at("25A9:5K10")->meets_deadline);
+  const double degradation =
+      by_label.at("25A9:5K10")->service_time.value() -
+      result.deadline.value();
+  EXPECT_GT(degradation, 0.3);  // order of seconds, not milliseconds
+}
+
+TEST(ResponseStudy, P95GrowsWithUtilization) {
+  const auto result = run_response_study(wl("EP"));
+  for (const auto& m : result.mixes) {
+    double prev = 0.0;
+    for (const auto& pt : m.points) {
+      EXPECT_GT(pt.p95_analytic.value(), prev) << m.mix.label();
+      prev = pt.p95_analytic.value();
+    }
+  }
+}
+
+TEST(ResponseStudy, DesCrossCheckAgreesAtModerateLoad) {
+  ResponseStudyOptions opts;
+  opts.mixes = {{25, 5}};
+  opts.utilization_percents = {50};
+  opts.cross_check_des = true;
+  const auto result = run_response_study(wl("EP"), opts);
+  ASSERT_EQ(result.mixes.size(), 1u);
+  const ResponsePoint& pt = result.mixes[0].points[0];
+  EXPECT_GT(pt.p95_simulated.value(), 0.0);
+  EXPECT_NEAR(pt.p95_simulated.value(), pt.p95_analytic.value(),
+              pt.p95_analytic.value() * 0.25);
+}
+
+// ------------------------------------------------- Table 4 (validation)
+
+TEST(Validation, ErrorsAreNonTrivialAndBounded) {
+  const auto rows = validate_all(catalog());
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    // Table 4's errors span 1-13 %; ours must land in the same regime:
+    // nonzero (the testbed is not the model) yet clearly bounded.
+    EXPECT_GT(r.time_error_percent, 0.1) << r.program;
+    EXPECT_LT(r.time_error_percent, 20.0) << r.program;
+    EXPECT_LT(r.energy_error_percent, 20.0) << r.program;
+    EXPECT_GT(r.measured_time, r.model_time) << r.program;
+  }
+}
+
+TEST(Validation, DomainsMatchTable4) {
+  EXPECT_EQ(program_domain("EP"), "HPC");
+  EXPECT_EQ(program_domain("memcached"), "Web Server");
+  EXPECT_EQ(program_domain("x264"), "Streaming video");
+  EXPECT_EQ(program_domain("blackscholes"), "Financial");
+  EXPECT_EQ(program_domain("Julius"), "Speech recognition");
+  EXPECT_EQ(program_domain("RSA-2048"), "Web security");
+  EXPECT_THROW((void)program_domain("doom"), PreconditionError);
+}
+
+TEST(Validation, TimeErrorOrderingFollowsOverheadTable) {
+  // Julius carries the largest modelling gap (13 % in Table 4), RSA the
+  // smallest (2 %); the reproduction must preserve that ordering.
+  const auto rows = validate_all(catalog());
+  std::map<std::string, double> err;
+  for (const auto& r : rows) err[r.program] = r.time_error_percent;
+  EXPECT_GT(err.at("Julius"), err.at("EP"));
+  EXPECT_GT(err.at("x264"), err.at("RSA-2048"));
+  EXPECT_GT(err.at("memcached"), err.at("blackscholes"));
+}
+
+}  // namespace

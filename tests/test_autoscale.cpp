@@ -1,0 +1,101 @@
+// Autoscaling replay: dynamic node on/off following the load must beat
+// every static mix's proportionality.
+#include <gtest/gtest.h>
+
+#include "hcep/cluster/autoscale.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::cluster;
+using namespace hcep::literals;
+
+const workload::Workload& ep() {
+  static const workload::Workload kEp = workload::make_workload("EP");
+  return kEp;
+}
+
+model::TimeEnergyModel fleet() {
+  return {model::make_a9_k10_cluster(32, 4), ep()};
+}
+
+const LoadTrace& day_trace() {
+  static const LoadTrace kTrace = LoadTrace::diurnal(600_s, 0.1, 0.8);
+  return kTrace;
+}
+
+TEST(Autoscale, SavesEnergyAgainstAlwaysOn) {
+  const auto m = fleet();
+  const auto r = autoscale_replay(m, day_trace());
+  // The always-on fleet pays idle power over the whole horizon; the
+  // autoscaled fleet parks most nodes in the trough.
+  const double always_on_floor =
+      m.idle_power().value() * day_trace().horizon().value();
+  EXPECT_LT(r.total_energy.value(), always_on_floor);
+  EXPECT_GT(r.jobs_completed, 500u);
+}
+
+TEST(Autoscale, ActiveFractionFollowsTheLoad) {
+  const auto r = autoscale_replay(fleet(), day_trace());
+  ASSERT_EQ(r.buckets.size(), 24u);
+  // Peak (~bucket 6) runs far more of the fleet than the trough (~18).
+  EXPECT_GT(r.buckets[6].active_fraction,
+            r.buckets[18].active_fraction + 0.2);
+  EXPECT_GT(r.buckets[6].average_power.value(),
+            r.buckets[18].average_power.value());
+}
+
+TEST(Autoscale, EffectiveProfileBeatsTheStaticCurve) {
+  // The headline: dynamic adaptation pushes EPM well above the static
+  // mix's (which is capped at 1 - IPR ~ 0.33 for this fleet).
+  const auto r = autoscale_replay(fleet(), day_trace());
+  EXPECT_GT(r.effective_report.epm, r.static_report.epm + 0.2);
+  // And the effective idle floor collapses towards the sleep power.
+  EXPECT_LT(r.effective_curve.idle().value(),
+            fleet().idle_power().value() * 0.25);
+}
+
+TEST(Autoscale, HeadroomBoundsTheLatencyDamage) {
+  // More headroom -> more active capacity -> lower p95.
+  AutoscaleOptions lean;
+  lean.headroom = 0.05;
+  AutoscaleOptions generous;
+  generous.headroom = 0.6;
+  const auto a = autoscale_replay(fleet(), day_trace(), lean);
+  const auto b = autoscale_replay(fleet(), day_trace(), generous);
+  EXPECT_GT(a.worst_p95.value(), b.worst_p95.value());
+  EXPECT_LT(a.total_energy.value(), b.total_energy.value());
+}
+
+TEST(Autoscale, FlatTraceHoldsASteadyFleet) {
+  const auto r =
+      autoscale_replay(fleet(), LoadTrace::flat(300_s, 0.5));
+  double lo = 1.0, hi = 0.0;
+  for (const auto& b : r.buckets) {
+    lo = std::min(lo, b.active_fraction);
+    hi = std::max(hi, b.active_fraction);
+  }
+  EXPECT_LT(hi - lo, 0.15);  // no thrash under constant load
+}
+
+TEST(Autoscale, DeterministicForFixedSeed) {
+  const auto a = autoscale_replay(fleet(), day_trace());
+  const auto b = autoscale_replay(fleet(), day_trace());
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_DOUBLE_EQ(a.total_energy.value(), b.total_energy.value());
+}
+
+TEST(Autoscale, Validation) {
+  AutoscaleOptions opts;
+  opts.control_period = Seconds{0.0};
+  EXPECT_THROW((void)autoscale_replay(fleet(), day_trace(), opts),
+               PreconditionError);
+  opts.control_period = Seconds{5.0};
+  opts.min_active_fraction = 1.5;
+  EXPECT_THROW((void)autoscale_replay(fleet(), day_trace(), opts),
+               PreconditionError);
+}
+
+}  // namespace

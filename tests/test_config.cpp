@@ -1,0 +1,260 @@
+// Configuration space, power budgets, Pareto frontier.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hcep/config/budget.hpp"
+#include "hcep/config/pareto.hpp"
+#include "hcep/config/space.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::config;
+using namespace hcep::literals;
+
+const workload::Workload& ep() {
+  static const workload::Workload kEp = workload::make_workload("EP");
+  return kEp;
+}
+
+TEST(ConfigSpace, Footnote4CountIs36380) {
+  // 10 ARM x 5 freq x 4 cores and 10 AMD x 3 freq x 6 cores:
+  // 36,000 mixed + 200 ARM-only + 180 AMD-only = 36,380.
+  const ConfigSpace space = make_a9_k10_space(10, 10);
+  EXPECT_EQ(space.size(), 36380u);
+}
+
+TEST(ConfigSpace, SingleTypeCounts) {
+  EXPECT_EQ(make_a9_k10_space(10, 0).size(), 200u);  // 10 x 4 x 5
+  EXPECT_EQ(make_a9_k10_space(0, 10).size(), 180u);  // 10 x 6 x 3
+  EXPECT_EQ(make_a9_k10_space(1, 1).size(),
+            20u + 18u + 20u * 18u);
+}
+
+TEST(ConfigSpace, EveryDecodedConfigIsValid) {
+  const ConfigSpace space = make_a9_k10_space(2, 2);
+  std::set<std::string> signatures;
+  space.for_each([&](const model::ClusterSpec& cfg, std::uint64_t) {
+    cfg.validate();
+    std::string sig;
+    for (const auto& g : cfg.groups) {
+      sig += g.spec.name + ":" + std::to_string(g.count) + ":" +
+             std::to_string(g.cores()) + ":" +
+             std::to_string(g.freq().value()) + ";";
+    }
+    const bool inserted = signatures.insert(sig).second;
+    EXPECT_TRUE(inserted) << "duplicate configuration " << sig;
+  });
+  EXPECT_EQ(signatures.size(), space.size());
+}
+
+TEST(ConfigSpace, IndexDecodeIsStable) {
+  const ConfigSpace space = make_a9_k10_space(3, 2);
+  for (std::uint64_t i : std::vector<std::uint64_t>{0, 7, space.size() - 1}) {
+    const model::ClusterSpec a = space.config_at(i);
+    const model::ClusterSpec b = space.config_at(i);
+    EXPECT_EQ(a.label(), b.label());
+  }
+  EXPECT_THROW((void)space.config_at(space.size()), PreconditionError);
+}
+
+TEST(ConfigSpace, CustomCoreAndFrequencyChoices) {
+  TypeOptions t{hw::cortex_a9(), 2, {2, 4}, {0.8_GHz, 1.4_GHz}, {}};
+  EXPECT_EQ(t.tuples(), 2u * 2u * 2u);
+  const ConfigSpace space({t});
+  EXPECT_EQ(space.size(), 8u);
+  space.for_each([&](const model::ClusterSpec& cfg, std::uint64_t) {
+    ASSERT_EQ(cfg.groups.size(), 1u);
+    EXPECT_TRUE(cfg.groups[0].cores() == 2 || cfg.groups[0].cores() == 4);
+  });
+}
+
+TEST(ConfigSpace, RejectsInvalidOptions) {
+  EXPECT_THROW(ConfigSpace({}), PreconditionError);
+  TypeOptions bad_core{hw::cortex_a9(), 2, {9}, {}, {}};
+  EXPECT_THROW(ConfigSpace({bad_core}), PreconditionError);
+  TypeOptions bad_freq{hw::cortex_a9(), 2, {}, {9_GHz}, {}};
+  EXPECT_THROW(ConfigSpace({bad_freq}), PreconditionError);
+}
+
+TEST(Budget, SubstitutionRatioIsEight) {
+  EXPECT_EQ(substitution_ratio(), 8u);
+}
+
+TEST(Budget, MixNameplateAccounting) {
+  EXPECT_DOUBLE_EQ(mix_nameplate_power(0, 16).value(), 960.0);
+  EXPECT_DOUBLE_EQ(mix_nameplate_power(32, 12).value(),
+                   160.0 + 80.0 + 720.0);
+  EXPECT_DOUBLE_EQ(mix_nameplate_power(128, 0).value(), 640.0 + 320.0);
+}
+
+TEST(Budget, PaperMixesAreTheFiveFromFigure7) {
+  const auto mixes = paper_budget_mixes();
+  ASSERT_EQ(mixes.size(), 5u);
+  EXPECT_EQ(mixes[0].label(), "16K10");
+  EXPECT_EQ(mixes[1].label(), "32A9:12K10");
+  EXPECT_EQ(mixes[2].label(), "64A9:8K10");
+  EXPECT_EQ(mixes[3].label(), "96A9:4K10");
+  EXPECT_EQ(mixes[4].label(), "128A9");
+  for (const auto& m : mixes) {
+    EXPECT_LE(m.nameplate_power().value(), 1000.0) << m.label();
+  }
+}
+
+TEST(Budget, GeneralBudgetsRespectTheCap) {
+  for (double budget : {300.0, 500.0, 2000.0}) {
+    const auto mixes = budget_mixes(Watts{budget}, 2);
+    EXPECT_FALSE(mixes.empty());
+    for (const auto& m : mixes)
+      EXPECT_LE(m.nameplate_power().value(), budget) << m.label();
+  }
+  EXPECT_THROW((void)budget_mixes(10_W), PreconditionError);  // < one K10
+  EXPECT_THROW((void)budget_mixes(1_kW, 0), PreconditionError);
+}
+
+TEST(Budget, GeneralizedMixesForOtherNodePairs) {
+  // The footnote-3 derivation generalizes: A15 (12 W + 2.5 W switch
+  // share) vs XeonE5 (130 W) gives ratio floor(130/14.5) = 8.
+  const auto wimpy = hw::cortex_a15();
+  const auto brawny = hw::xeon_e5();
+  EXPECT_EQ(substitution_ratio_for(wimpy, brawny), 8u);
+  // And the paper pair reproduces its own ratio through the generic path.
+  EXPECT_EQ(substitution_ratio_for(hw::cortex_a9(), hw::opteron_k10()), 8u);
+
+  const auto mixes = budget_mixes_for(wimpy, brawny, Watts{1000.0}, 2);
+  ASSERT_GE(mixes.size(), 3u);
+  for (const auto& mix : mixes) {
+    mix.validate();
+    EXPECT_LE(mix.nameplate_power().value(), 1000.0) << mix.label();
+  }
+  // Endpoints: all-brawny first, all-wimpy last.
+  EXPECT_EQ(mixes.front().groups.back().spec.name, "XeonE5");
+  EXPECT_EQ(mixes.back().groups.front().spec.name, "A15");
+
+  EXPECT_THROW(
+      (void)substitution_ratio_for(hw::opteron_k10(), hw::cortex_a9()),
+      PreconditionError);
+  EXPECT_THROW((void)budget_mixes_for(wimpy, brawny, Watts{10.0}),
+               PreconditionError);
+}
+
+TEST(EvaluateSpace, EvaluatesEveryConfiguration) {
+  const ConfigSpace space = make_a9_k10_space(2, 1);
+  const auto evals = evaluate_space(space, ep());
+  ASSERT_EQ(evals.size(), space.size());
+  for (const auto& e : evals) {
+    EXPECT_GT(e.time.value(), 0.0);
+    EXPECT_GT(e.energy.value(), 0.0);
+    EXPECT_GT(e.busy_power, e.idle_power);
+  }
+}
+
+TEST(EvaluateSpace, RejectsUncoveredNodeTypes) {
+  workload::CatalogOptions opts;
+  opts.nodes = {hw::cortex_a9()};
+  const workload::Workload a9_only = workload::make_workload("EP", opts);
+  const ConfigSpace space = make_a9_k10_space(1, 1);
+  EXPECT_THROW((void)evaluate_space(space, a9_only), PreconditionError);
+}
+
+TEST(ParetoFront, NoMemberIsDominated) {
+  const ConfigSpace space = make_a9_k10_space(3, 2);
+  const auto evals = evaluate_space(space, ep());
+  const auto front = pareto_front(evals);
+  ASSERT_FALSE(front.empty());
+  // Sorted by time, strictly decreasing energy.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].time, front[i - 1].time);
+    EXPECT_LT(front[i].energy, front[i - 1].energy);
+  }
+  // Property: nothing in the full set dominates a frontier member.
+  for (const auto& f : front) {
+    for (const auto& e : evals) {
+      const bool dominates = e.time <= f.time && e.energy <= f.energy &&
+                             (e.time < f.time || e.energy < f.energy);
+      EXPECT_FALSE(dominates)
+          << e.config.label() << " dominates " << f.config.label();
+    }
+  }
+}
+
+TEST(ParetoFront, FrontierEndpoints) {
+  const ConfigSpace space = make_a9_k10_space(3, 2);
+  auto evals = evaluate_space(space, ep());
+  const auto front = pareto_front(evals);
+  const auto fastest_eval = fastest(evals);
+  ASSERT_TRUE(fastest_eval.has_value());
+  EXPECT_DOUBLE_EQ(front.front().time.value(),
+                   fastest_eval->time.value());
+  // The last frontier member carries the global minimum energy.
+  double min_energy = 1e300;
+  for (const auto& e : evals) min_energy = std::min(min_energy, e.energy.value());
+  EXPECT_DOUBLE_EQ(front.back().energy.value(), min_energy);
+}
+
+TEST(ParetoFront, EmptyInputYieldsEmptyFront) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  EXPECT_FALSE(fastest({}).has_value());
+  EXPECT_FALSE(min_energy_within_deadline({}, Seconds{1.0}).has_value());
+}
+
+TEST(EnergyDelay, ProductsAndMinimum) {
+  const ConfigSpace space = make_a9_k10_space(3, 2);
+  const auto evals = evaluate_space(space, ep());
+
+  // EDP/ED2P formulas.
+  const Evaluation& e0 = evals.front();
+  EXPECT_DOUBLE_EQ(energy_delay_product(e0),
+                   e0.energy.value() * e0.time.value());
+  EXPECT_DOUBLE_EQ(energy_delay2_product(e0),
+                   e0.energy.value() * e0.time.value() * e0.time.value());
+
+  // The EDP optimum is never dominated: it must sit on the frontier.
+  const auto best = min_edp(evals);
+  ASSERT_TRUE(best.has_value());
+  for (const auto& e : evals)
+    EXPECT_GE(energy_delay_product(e), energy_delay_product(*best) - 1e-12);
+  const auto front = pareto_front(evals);
+  bool on_front = false;
+  for (const auto& f : front) {
+    if (f.time == best->time && f.energy == best->energy) on_front = true;
+  }
+  EXPECT_TRUE(on_front);
+
+  // ED2P weights latency harder: its pick is at least as fast.
+  const auto best2 = min_edp(evals, /*squared=*/true);
+  ASSERT_TRUE(best2.has_value());
+  EXPECT_LE(best2->time, best->time);
+
+  EXPECT_FALSE(min_edp({}).has_value());
+}
+
+TEST(MinEnergyWithinDeadline, PicksCheapestFeasible) {
+  const ConfigSpace space = make_a9_k10_space(3, 2);
+  const auto evals = evaluate_space(space, ep());
+  const auto fastest_eval = fastest(evals);
+  ASSERT_TRUE(fastest_eval.has_value());
+
+  // Generous deadline: must return the global energy minimum.
+  const auto loose =
+      min_energy_within_deadline(evals, Seconds{1e9});
+  ASSERT_TRUE(loose.has_value());
+  for (const auto& e : evals) EXPECT_GE(e.energy, loose->energy);
+
+  // Impossible deadline: nothing qualifies.
+  const auto none = min_energy_within_deadline(
+      evals, fastest_eval->time * 0.5);
+  EXPECT_FALSE(none.has_value());
+
+  // Tight-but-feasible deadline: result respects it.
+  const auto tight =
+      min_energy_within_deadline(evals, fastest_eval->time * 1.2);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_LE(tight->time, fastest_eval->time * 1.2);
+}
+
+}  // namespace

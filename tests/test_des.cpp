@@ -1,0 +1,111 @@
+// Discrete-event kernel: ordering, FIFO tie-breaking, horizons.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hcep/des/simulator.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::des;
+using namespace hcep::literals;
+
+TEST(Des, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3_s, [&] { order.push_back(3); });
+  sim.schedule_at(1_s, [&] { order.push_back(1); });
+  sim.schedule_at(2_s, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Des, SimultaneousEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(1_s, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Des, ClockAdvancesToEventTime) {
+  Simulator sim;
+  Seconds seen{};
+  sim.schedule_at(5_s, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen.value(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 5.0);
+}
+
+TEST(Des, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(2_s, [&] {
+    sim.schedule_in(3_s, [&] { times.push_back(sim.now().value()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Des, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) sim.schedule_in(1_ms, chain);
+  };
+  sim.schedule_at(0_s, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_NEAR(sim.now().value(), 0.099, 1e-12);
+}
+
+TEST(Des, RunUntilStopsAtHorizonAndSetsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1_s, [&] { ++fired; });
+  sim.schedule_at(10_s, [&] { ++fired; });
+  sim.run_until(5_s);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 5.0);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Des, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5_s, [&] { fired = true; });
+  sim.run_until(5_s);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Des, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1_s, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Des, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(2_s, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1_s, [] {}), PreconditionError);
+  EXPECT_THROW(sim.schedule_in(Seconds{-1.0}, [] {}), PreconditionError);
+  EXPECT_THROW(sim.run_until(1_s), PreconditionError);
+}
+
+TEST(Des, RejectsEmptyCallback) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1_s, EventCallback{}), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Failure injection: availability, response inflation and power under
+// node failures.
+#include <gtest/gtest.h>
+
+#include "hcep/cluster/failures.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::cluster;
+using namespace hcep::literals;
+
+const workload::Workload& ep() {
+  static const workload::Workload kEp = workload::make_workload("EP");
+  return kEp;
+}
+
+model::TimeEnergyModel ep_model() {
+  return {model::make_a9_k10_cluster(4, 2), ep()};
+}
+
+TEST(Failures, NoFailuresReproducesHealthyCluster) {
+  const auto m = ep_model();
+  FailureOptions opts;
+  opts.node_mtbf = Seconds{1e12};  // effectively never fails
+  opts.min_jobs = 400;
+  const auto r = simulate_with_failures(m, opts);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_NEAR(r.service_inflation, 1.0, 1e-9);
+  // Average power matches the linear model at the realized utilization.
+  const double realized =
+      static_cast<double>(r.jobs_completed) *
+      m.execution_time(ep().units_per_job).t_p.value() / r.window.value();
+  EXPECT_NEAR(r.average_power.value(),
+              m.average_power(std::min(realized, 1.0)).value(),
+              m.average_power(0.5).value() * 0.05);
+}
+
+TEST(Failures, AvailabilityMatchesRenewalTheory) {
+  const auto m = ep_model();
+  FailureOptions opts;
+  opts.node_mtbf = Seconds{50.0};
+  opts.repair_time = Seconds{10.0};
+  opts.utilization = 0.3;
+  opts.min_jobs = 3000;  // long window for the time average
+  const auto r = simulate_with_failures(m, opts);
+  // Steady-state availability = MTBF / (MTBF + MTTR) = 50/60.
+  EXPECT_NEAR(r.availability, 50.0 / 60.0, 0.05);
+  EXPECT_GT(r.failures, 10u);
+}
+
+TEST(Failures, FailuresInflateServiceAndResponse) {
+  const auto m = ep_model();
+  FailureOptions healthy;
+  healthy.node_mtbf = Seconds{1e12};
+  healthy.min_jobs = 600;
+  FailureOptions flaky = healthy;
+  flaky.node_mtbf = Seconds{20.0};
+  flaky.repair_time = Seconds{5.0};
+
+  const auto a = simulate_with_failures(m, healthy);
+  const auto b = simulate_with_failures(m, flaky);
+  EXPECT_GT(b.service_inflation, 1.02);
+  EXPECT_GT(b.p95_response.value(), a.p95_response.value());
+}
+
+TEST(Failures, DownNodesDrawNoPower) {
+  // With very frequent failures the average power must sit clearly below
+  // the healthy cluster's at the same offered load.
+  const auto m = ep_model();
+  FailureOptions healthy;
+  healthy.node_mtbf = Seconds{1e12};
+  healthy.utilization = 0.2;
+  healthy.min_jobs = 800;
+  FailureOptions flaky = healthy;
+  flaky.node_mtbf = Seconds{10.0};
+  flaky.repair_time = Seconds{10.0};  // ~50 % availability
+
+  const auto a = simulate_with_failures(m, healthy);
+  const auto b = simulate_with_failures(m, flaky);
+  EXPECT_LT(b.average_power.value(), a.average_power.value() * 0.75);
+}
+
+TEST(Failures, DeterministicForFixedSeed) {
+  const auto m = ep_model();
+  FailureOptions opts;
+  opts.node_mtbf = Seconds{30.0};
+  opts.repair_time = Seconds{5.0};
+  opts.min_jobs = 300;
+  const auto a = simulate_with_failures(m, opts);
+  const auto b = simulate_with_failures(m, opts);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.energy.value(), b.energy.value());
+  EXPECT_DOUBLE_EQ(a.p95_response.value(), b.p95_response.value());
+}
+
+TEST(Failures, Validation) {
+  const auto m = ep_model();
+  FailureOptions opts;
+  opts.utilization = 1.0;
+  EXPECT_THROW((void)simulate_with_failures(m, opts), PreconditionError);
+  opts.utilization = 0.5;
+  opts.min_jobs = 0;
+  EXPECT_THROW((void)simulate_with_failures(m, opts), PreconditionError);
+  opts.min_jobs = 10;
+  opts.node_mtbf = Seconds{0.0};
+  EXPECT_THROW((void)simulate_with_failures(m, opts), PreconditionError);
+}
+
+}  // namespace

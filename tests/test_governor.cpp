@@ -1,0 +1,97 @@
+// DVFS governor study (extension): race-to-idle vs pacing.
+#include <gtest/gtest.h>
+
+#include "hcep/analysis/governor.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::analysis;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+TEST(Governor, PacingNeverWorseThanRacing) {
+  // Race-to-idle is itself one of the candidate operating points, so the
+  // pacing optimum can only match or beat it.
+  const auto r = run_governor_study(wl("EP"));
+  for (const auto& pt : r.points) {
+    EXPECT_LE(pt.pace_power.value(), pt.race_power.value() + 1e-9)
+        << "u=" << pt.utilization;
+    EXPECT_GE(pt.saving_percent, -1e-9);
+  }
+}
+
+TEST(Governor, FullLoadLeavesNoPacingRoom) {
+  const auto r = run_governor_study(wl("EP"));
+  const auto& last = r.points.back();
+  ASSERT_DOUBLE_EQ(last.utilization, 1.0);
+  // At u=1 only the fastest point covers the demand.
+  EXPECT_NEAR(last.pace_power.value(), last.race_power.value(),
+              last.race_power.value() * 1e-9);
+  EXPECT_NEAR(last.saving_percent, 0.0, 1e-6);
+}
+
+TEST(Governor, LowUtilizationSavesMost) {
+  const auto r = run_governor_study(wl("blackscholes"));
+  // Savings shrink (weakly) as utilization rises toward capacity.
+  EXPECT_GT(r.points.front().saving_percent,
+            r.points.back().saving_percent);
+  EXPECT_GT(r.points.front().saving_percent, 1.0);  // pacing pays at 10 %
+}
+
+TEST(Governor, PacingImprovesProportionality) {
+  const auto r = run_governor_study(wl("EP"));
+  EXPECT_GE(r.pace_report.epm, r.race_report.epm - 1e-9);
+  // The pacing curve lies at or below the race curve pointwise.
+  for (double u = 0.1; u <= 1.0; u += 0.1) {
+    EXPECT_LE(r.pace_curve.at(u).value(),
+              r.race_curve.at(u).value() + 1e-6)
+        << "u=" << u;
+  }
+}
+
+TEST(Governor, ChosenPointsHaveLabels) {
+  const auto r = run_governor_study(wl("EP"));
+  for (const auto& pt : r.points) EXPECT_FALSE(pt.pace_label.empty());
+}
+
+TEST(Governor, HomogeneousMixesWork) {
+  GovernorStudyOptions opts;
+  opts.mix = {6, 0};
+  const auto a9_only = run_governor_study(wl("EP"), opts);
+  EXPECT_EQ(a9_only.points.size(), 10u);
+  opts.mix = {0, 3};
+  const auto k10_only = run_governor_study(wl("EP"), opts);
+  EXPECT_EQ(k10_only.points.size(), 10u);
+}
+
+TEST(Governor, CustomGridRespected) {
+  GovernorStudyOptions opts;
+  opts.utilizations = {0.25, 0.75};
+  const auto r = run_governor_study(wl("EP"), opts);
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.points[0].utilization, 0.25);
+  EXPECT_DOUBLE_EQ(r.points[1].utilization, 0.75);
+  // The pace curve must still cover [0, 1] for the metric suite.
+  EXPECT_NO_THROW((void)metrics::analyze(r.pace_curve));
+}
+
+TEST(Governor, Validation) {
+  GovernorStudyOptions opts;
+  opts.mix = {0, 0};
+  EXPECT_THROW((void)run_governor_study(wl("EP"), opts), PreconditionError);
+  opts.mix = {2, 1};
+  opts.utilizations = {0.0};
+  EXPECT_THROW((void)run_governor_study(wl("EP"), opts), PreconditionError);
+  opts.utilizations = {1.5};
+  EXPECT_THROW((void)run_governor_study(wl("EP"), opts), PreconditionError);
+}
+
+}  // namespace

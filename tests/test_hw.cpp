@@ -1,0 +1,162 @@
+// Hardware node models: Table 5 specs, DVFS, power components, catalog.
+#include <gtest/gtest.h>
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/hw/node.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::hw;
+using namespace hcep::literals;
+
+TEST(Catalog, A9MatchesTable5) {
+  const NodeSpec a9 = cortex_a9();
+  EXPECT_EQ(a9.name, "A9");
+  EXPECT_EQ(a9.isa, Isa::kArmV7A);
+  EXPECT_EQ(a9.cores, 4u);
+  EXPECT_EQ(a9.dvfs.size(), 5u);  // footnote 4: 5 core frequencies
+  EXPECT_DOUBLE_EQ(a9.dvfs.min().value(), 0.2e9);
+  EXPECT_DOUBLE_EQ(a9.dvfs.max().value(), 1.4e9);
+  EXPECT_DOUBLE_EQ(a9.memory.value(), 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(a9.nic_bandwidth.value, 100e6 / 8.0);  // 100 Mbps
+  EXPECT_NEAR(a9.power.idle.value(), 1.8, 1e-9);   // Section III-B
+  EXPECT_DOUBLE_EQ(a9.nameplate_peak.value(), 5.0);
+  EXPECT_DOUBLE_EQ(a9.caches.l3.value(), 0.0);  // no L3
+}
+
+TEST(Catalog, K10MatchesTable5) {
+  const NodeSpec k10 = opteron_k10();
+  EXPECT_EQ(k10.name, "K10");
+  EXPECT_EQ(k10.isa, Isa::kX86_64);
+  EXPECT_EQ(k10.cores, 6u);
+  EXPECT_EQ(k10.dvfs.size(), 3u);  // footnote 4: 3 core frequencies
+  EXPECT_DOUBLE_EQ(k10.dvfs.min().value(), 0.8e9);
+  EXPECT_DOUBLE_EQ(k10.dvfs.max().value(), 2.1e9);
+  EXPECT_DOUBLE_EQ(k10.nic_bandwidth.value, 1e9 / 8.0);  // 1 Gbps
+  EXPECT_NEAR(k10.power.idle.value(), 45.0, 1e-9);
+  EXPECT_DOUBLE_EQ(k10.nameplate_peak.value(), 60.0);
+  EXPECT_GT(k10.cost.crypto_speedup, 1.0);  // RSA acceleration
+}
+
+TEST(Catalog, IdlePowerRatioIsAtLeast25x) {
+  // Section III-B: A9 idle (~1.8 W) at least 25x lower than K10 (~45 W).
+  EXPECT_GE(opteron_k10().power.idle / cortex_a9().power.idle, 25.0);
+}
+
+TEST(Catalog, ByNameRoundTrip) {
+  for (const auto& name : catalog_names()) {
+    EXPECT_EQ(by_name(name).name, name);
+  }
+  EXPECT_THROW((void)by_name("Pentium"), PreconditionError);
+}
+
+TEST(Catalog, ExtensionNodesValidate) {
+  cortex_a15().validate();
+  xeon_e5().validate();
+  EXPECT_GT(xeon_e5().cores, opteron_k10().cores);
+}
+
+TEST(Catalog, SwitchPowerAmortization) {
+  EXPECT_DOUBLE_EQ(a9_switch_power().value(), 20.0);
+  EXPECT_EQ(a9_nodes_per_switch(), 8u);
+  EXPECT_DOUBLE_EQ(switch_power_for(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(switch_power_for(1).value(), 20.0);
+  EXPECT_DOUBLE_EQ(switch_power_for(8).value(), 20.0);
+  EXPECT_DOUBLE_EQ(switch_power_for(9).value(), 40.0);
+  EXPECT_DOUBLE_EQ(switch_power_for(128).value(), 320.0);
+}
+
+TEST(DvfsLadder, MinMaxStepAccess) {
+  DvfsLadder l({1_GHz, 2_GHz, 3_GHz});
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_EQ(l.min(), 1_GHz);
+  EXPECT_EQ(l.max(), 3_GHz);
+  EXPECT_EQ(l.step(1), 2_GHz);
+  EXPECT_THROW((void)l.step(3), PreconditionError);
+}
+
+TEST(DvfsLadder, QuantizeUp) {
+  DvfsLadder l({1_GHz, 2_GHz, 3_GHz});
+  EXPECT_EQ(l.quantize_up(1.5_GHz), 2_GHz);
+  EXPECT_EQ(l.quantize_up(2_GHz), 2_GHz);
+  EXPECT_EQ(l.quantize_up(9_GHz), 3_GHz);  // clamps
+  EXPECT_EQ(l.quantize_up(0.1_GHz), 1_GHz);
+}
+
+TEST(DvfsLadder, RejectsBadLadders) {
+  EXPECT_THROW(DvfsLadder(std::vector<Hertz>{}), PreconditionError);
+  EXPECT_THROW(DvfsLadder({2_GHz, 1_GHz}), PreconditionError);
+}
+
+TEST(PowerComponents, DvfsScaleIsOneAtFmax) {
+  const NodeSpec a9 = cortex_a9();
+  EXPECT_DOUBLE_EQ(a9.power.dvfs_scale(a9.dvfs.max(), a9.dvfs.max()), 1.0);
+}
+
+TEST(PowerComponents, DvfsScaleDecreasesSuperLinearly) {
+  const NodeSpec a9 = cortex_a9();
+  const double half = a9.power.dvfs_scale(a9.dvfs.max() * 0.5, a9.dvfs.max());
+  EXPECT_LT(half, 0.5);  // exponent > 1
+  EXPECT_GT(half, 0.0);
+}
+
+TEST(NodePower, IdleWhenNothingActive) {
+  const NodeSpec a9 = cortex_a9();
+  EXPECT_DOUBLE_EQ(a9.node_power(0, 0, false, false, a9.dvfs.max()).value(),
+                   a9.power.idle.value());
+}
+
+TEST(NodePower, FullBlastNearNameplate) {
+  const NodeSpec a9 = cortex_a9();
+  const Watts p = a9.node_power(a9.cores, 0, true, true, a9.dvfs.max());
+  EXPECT_GT(p.value(), a9.power.idle.value());
+  EXPECT_NEAR(p.value(), a9.nameplate_peak.value(), 1.0);
+}
+
+TEST(NodePower, MonotoneInActiveCores) {
+  const NodeSpec k10 = opteron_k10();
+  double prev = 0.0;
+  for (unsigned c = 0; c <= k10.cores; ++c) {
+    const double p = k10.node_power(c, 0, false, false, k10.dvfs.max()).value();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NodePower, RejectsTooManyBusyCores) {
+  const NodeSpec a9 = cortex_a9();
+  EXPECT_THROW((void)a9.node_power(3, 2, false, false, a9.dvfs.max()),
+               PreconditionError);
+}
+
+TEST(NodeSpec, ValidateCatchesCorruption) {
+  NodeSpec n = cortex_a9();
+  n.power.idle = Watts{0.0};
+  EXPECT_THROW(n.validate(), PreconditionError);
+
+  n = cortex_a9();
+  n.nameplate_peak = Watts{0.5};
+  EXPECT_THROW(n.validate(), PreconditionError);
+
+  n = cortex_a9();
+  n.cost.crypto_speedup = 0.5;
+  EXPECT_THROW(n.validate(), PreconditionError);
+}
+
+TEST(Isa, ToString) {
+  EXPECT_EQ(to_string(Isa::kArmV7A), "ARMv7-A");
+  EXPECT_EQ(to_string(Isa::kX86_64), "x86_64");
+  EXPECT_EQ(to_string(Isa::kArmV8A), "ARMv8-A");
+}
+
+TEST(CostModel, MemParallelismGrowsSubLinearly) {
+  const CostModel& cm = cortex_a9().cost;
+  EXPECT_DOUBLE_EQ(cm.mem_parallelism(1), 1.0);
+  EXPECT_GT(cm.mem_parallelism(4), 1.0);
+  EXPECT_LT(cm.mem_parallelism(4), 4.0);
+  EXPECT_THROW((void)cm.mem_parallelism(0), PreconditionError);
+}
+
+}  // namespace

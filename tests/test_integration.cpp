@@ -1,0 +1,171 @@
+// End-to-end integration: the full pipeline from kernels through
+// characterization, calibration, the analytic model, and the simulated
+// testbed must stay mutually consistent.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "hcep/cluster/simulator.hpp"
+#include "hcep/config/budget.hpp"
+#include "hcep/config/pareto.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/queueing/md1.hpp"
+#include "hcep/workload/calibrate.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::literals;
+
+const std::vector<workload::Workload>& catalog() {
+  static const auto kCatalog = workload::paper_workloads();
+  return kCatalog;
+}
+
+class EveryWorkload : public ::testing::TestWithParam<int> {
+ protected:
+  const workload::Workload& w() const { return catalog()[GetParam()]; }
+};
+
+TEST_P(EveryWorkload, SimulatedThroughputMatchesModelAtFullLoad) {
+  // Back-to-back jobs (ideal overheads) must reproduce the model's T_P.
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(2, 1), w());
+  const cluster::JobMeasurement meas =
+      cluster::measure_batch(m, 20, 5, /*use_testbed_overheads=*/false);
+  const Seconds model_time = m.execution_time(w().units_per_job).t_p;
+  EXPECT_NEAR(meas.time_per_job.value(), model_time.value(),
+              model_time.value() * 1e-9);
+}
+
+TEST_P(EveryWorkload, SimulatedEnergyMatchesModelAtFullLoad) {
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(2, 1), w());
+  const cluster::JobMeasurement meas =
+      cluster::measure_batch(m, 20, 5, /*use_testbed_overheads=*/false);
+  const Joules model_energy = m.job_energy(w().units_per_job).e_p;
+  // Meter noise only: within a percent.
+  EXPECT_NEAR(meas.energy_per_job.value(), model_energy.value(),
+              model_energy.value() * 0.02);
+}
+
+TEST_P(EveryWorkload, ClusterPprInterpolatesSingleNodePprs) {
+  // A mixed cluster's full-load PPR must lie between the two node PPRs.
+  model::TimeEnergyModel a9(model::make_a9_k10_cluster(1, 0), w());
+  model::TimeEnergyModel k10(model::make_a9_k10_cluster(0, 1), w());
+  model::TimeEnergyModel mixed(model::make_a9_k10_cluster(8, 1), w());
+  const double lo = std::min(a9.ppr(1.0), k10.ppr(1.0));
+  const double hi = std::max(a9.ppr(1.0), k10.ppr(1.0));
+  EXPECT_GE(mixed.ppr(1.0), lo * 0.999);
+  EXPECT_LE(mixed.ppr(1.0), hi * 1.001);
+}
+
+TEST_P(EveryWorkload, EnergyNeverBelowIdleFloorTimesTime) {
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(3, 2), w());
+  const auto t = m.execution_time(w().units_per_job);
+  const auto e = m.job_energy(w().units_per_job);
+  EXPECT_GE(e.e_p.value(), (m.idle_power() * t.t_p).value() * 0.999);
+  EXPECT_LE(e.e_p.value(), (m.busy_power() * t.t_p).value() * 1.001);
+}
+
+TEST_P(EveryWorkload, MetricIdentitiesHoldOnEveryBudgetMix) {
+  for (const auto& mix : config::paper_budget_mixes()) {
+    model::TimeEnergyModel m(mix, w());
+    const auto curve = m.power_curve();
+    const auto r = metrics::analyze(curve);
+    EXPECT_NEAR(r.dpr, (1.0 - r.ipr) * 100.0, 1e-6) << mix.label();
+    EXPECT_NEAR(r.epm, 1.0 - r.ipr, 1e-6) << mix.label();
+    EXPECT_NEAR(r.ldr_paper, r.epm, 1e-9) << mix.label();
+    EXPECT_NEAR(metrics::pg(curve, 1.0), 0.0, 1e-9) << mix.label();
+  }
+}
+
+TEST_P(EveryWorkload, HeterogeneousMixesInterpolateClusterIpr) {
+  // Moving from the all-K10 mix to the all-A9 mix, the cluster IPR moves
+  // monotonically between the two homogeneous endpoints.
+  std::vector<double> iprs;
+  for (const auto& mix : config::paper_budget_mixes()) {
+    model::TimeEnergyModel m(mix, w());
+    iprs.push_back(m.idle_power() / m.busy_power());
+  }
+  const bool increasing = iprs.back() > iprs.front();
+  for (std::size_t i = 1; i < iprs.size(); ++i) {
+    if (increasing) {
+      EXPECT_GE(iprs[i], iprs[i - 1] - 1e-9);
+    } else {
+      EXPECT_LE(iprs[i], iprs[i - 1] + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, EveryWorkload,
+                         ::testing::Range(0, 6),
+                         [](const auto& inst) {
+                           std::string n = catalog()[inst.param].name;
+                           for (auto& ch : n)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return n;
+                         });
+
+TEST(Integration, QueueingViewMatchesClusterSimulatorResponse) {
+  // The paper treats the cluster as an M/D/1 server; the DES implements
+  // exactly that, so analytic and simulated p95 must agree closely when
+  // testbed noise is off.
+  const auto& ep = catalog()[0];
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), ep);
+  const Seconds service = m.execution_time(ep.units_per_job).t_p;
+
+  cluster::SimOptions so;
+  so.utilization = 0.6;
+  so.min_jobs = 4000;
+  so.use_testbed_overheads = false;
+  const auto sim = cluster::simulate(m, so);
+
+  const queueing::MD1 q(service, so.utilization / service.value());
+  EXPECT_NEAR(sim.p95_response.value(), q.response_percentile(95.0).value(),
+              q.response_percentile(95.0).value() * 0.15);
+}
+
+TEST(Integration, SubLinearParetoMixSavesEnergyAgainstReference) {
+  // The Figure 9 story end-to-end: the sub-linear (25,5) mix consumes
+  // less energy per EP job than the (32,12) reference but takes longer.
+  const auto& ep = catalog()[0];
+  model::TimeEnergyModel ref(model::make_a9_k10_cluster(32, 12), ep);
+  model::TimeEnergyModel small(model::make_a9_k10_cluster(25, 5), ep);
+  const auto t_ref = ref.execution_time(ep.units_per_job).t_p;
+  const auto t_small = small.execution_time(ep.units_per_job).t_p;
+  const auto e_ref = ref.job_energy(ep.units_per_job).e_p;
+  const auto e_small = small.job_energy(ep.units_per_job).e_p;
+  EXPECT_GT(t_small, t_ref);   // trades time...
+  EXPECT_LT(e_small, e_ref);   // ...for energy
+}
+
+TEST(Integration, EvaluateSpaceAgreesWithDirectModel) {
+  const auto& ep = catalog()[0];
+  const config::ConfigSpace space = config::make_a9_k10_space(2, 1);
+  const auto evals = config::evaluate_space(space, ep);
+  for (std::uint64_t i : std::vector<std::uint64_t>{0, 5, space.size() - 1}) {
+    model::TimeEnergyModel m(space.config_at(i), ep);
+    EXPECT_NEAR(evals[i].time.value(),
+                m.execution_time(ep.units_per_job).t_p.value(), 1e-12);
+    EXPECT_NEAR(evals[i].energy.value(),
+                m.job_energy(ep.units_per_job).e_p.value(), 1e-9);
+  }
+}
+
+TEST(Integration, RecalibrationIsIdempotent) {
+  // Re-running calibration on an already calibrated profile must not
+  // drift: targets are fixed points of the procedure.
+  auto w = workload::make_workload("blackscholes");
+  const auto a9 = hw::cortex_a9();
+  const auto target = workload::paper_target("blackscholes", "A9");
+  ASSERT_TRUE(target.has_value());
+  const double before = w.demand_for("A9").cycles_core;
+  workload::calibrate_node(w, a9, *target);
+  const double after = w.demand_for("A9").cycles_core;
+  EXPECT_NEAR(after / before, 1.0, 1e-9);
+}
+
+}  // namespace

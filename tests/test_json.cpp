@@ -1,0 +1,92 @@
+// JSON writer and study export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hcep/analysis/export.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/json.hpp"
+
+namespace {
+
+using namespace hcep;
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue::boolean(true).dump(), "true");
+  EXPECT_EQ(JsonValue::boolean(false).dump(), "false");
+  EXPECT_EQ(JsonValue::number(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(JsonValue::number(-3.5).dump(), "-3.5");
+  EXPECT_EQ(JsonValue::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  EXPECT_THROW((void)JsonValue::number(
+                   std::numeric_limits<double>::quiet_NaN()),
+               PreconditionError);
+  EXPECT_THROW((void)JsonValue::number(
+                   std::numeric_limits<double>::infinity()),
+               PreconditionError);
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonValue::string("tab\there").dump(), "\"tab\\there\"");
+}
+
+TEST(Json, ArraysAndObjects) {
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::number(std::int64_t{1}))
+      .push(JsonValue::string("two"));
+  EXPECT_EQ(arr.dump(), "[1,\"two\"]");
+
+  JsonValue obj = JsonValue::object();
+  obj.set("a", JsonValue::number(std::int64_t{1}));
+  obj.set("b", std::move(arr));
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":[1,\"two\"]}");
+}
+
+TEST(Json, KindMismatchAndDuplicateKeysThrow) {
+  JsonValue arr = JsonValue::array();
+  EXPECT_THROW(arr.set("k", JsonValue()), PreconditionError);
+  JsonValue obj = JsonValue::object();
+  obj.set("k", JsonValue());
+  EXPECT_THROW(obj.set("k", JsonValue()), PreconditionError);
+  EXPECT_THROW(obj.push(JsonValue()), PreconditionError);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::object();
+  obj.set("k", JsonValue::number(std::int64_t{1}));
+  const std::string pretty = obj.dump_pretty();
+  EXPECT_NE(pretty.find("{\n  \"k\": 1\n}"), std::string::npos);
+  EXPECT_EQ(JsonValue::object().dump_pretty(), "{}");
+  EXPECT_EQ(JsonValue::array().dump_pretty(), "[]");
+}
+
+TEST(Export, StudyDocumentContainsEverySection) {
+  const core::PaperStudy study;
+  const JsonValue doc = analysis::export_study(study);
+  const std::string json = doc.dump();
+
+  for (const auto* key :
+       {"\"table4\"", "\"single_node\"", "\"table8\"", "\"pareto\"",
+        "\"response\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Spot values: EP PPR seed and the knife-edge mix.
+  EXPECT_NE(json.find("6048057"), std::string::npos);
+  EXPECT_NE(json.find("25A9:7K10"), std::string::npos);
+  // Valid bracket balance (cheap sanity: equal counts).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace

@@ -1,0 +1,426 @@
+// Workload kernels: the computations are real — verify them against
+// reference values — and the instrumentation is consistent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+#include "hcep/kernels/blackscholes.hpp"
+#include "hcep/kernels/ep.hpp"
+#include "hcep/kernels/julius.hpp"
+#include "hcep/kernels/kvstore.hpp"
+#include "hcep/kernels/registry.hpp"
+#include "hcep/kernels/rsa.hpp"
+#include "hcep/kernels/x264.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::kernels;
+
+// ---------------------------------------------------------------- generic
+
+class EveryKernel : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryKernel, DeterministicForFixedSeed) {
+  auto k1 = make_kernel(GetParam());
+  auto k2 = make_kernel(GetParam());
+  Rng r1(99), r2(99);
+  const auto units = GetParam() == "RSA-2048" ? 2ULL
+                     : GetParam() == "x264"   ? 2ULL
+                                              : 2000ULL;
+  const KernelResult a = k1->run(units, r1);
+  const KernelResult b = k2->run(units, r2);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.counts.int_ops, b.counts.int_ops);
+  EXPECT_EQ(a.counts.fp_ops, b.counts.fp_ops);
+  EXPECT_EQ(a.counts.work_units, b.counts.work_units);
+}
+
+TEST_P(EveryKernel, ReportsWork) {
+  auto k = make_kernel(GetParam());
+  Rng rng(5);
+  const auto units = GetParam() == "RSA-2048" ? 2ULL
+                     : GetParam() == "x264"   ? 2ULL
+                                              : 1000ULL;
+  const KernelResult r = k->run(units, rng);
+  EXPECT_GE(r.counts.work_units, units);
+  EXPECT_GT(r.counts.int_ops + r.counts.fp_ops + r.counts.crypto_ops, 0u);
+  EXPECT_FALSE(k->work_unit().empty());
+  EXPECT_EQ(k->name(), GetParam());
+}
+
+TEST_P(EveryKernel, CountsScaleRoughlyLinearly) {
+  auto k = make_kernel(GetParam());
+  Rng r1(5), r2(5);
+  const std::uint64_t base = GetParam() == "RSA-2048" ? 3ULL
+                             : GetParam() == "x264"   ? 2ULL
+                                                      : 2000ULL;
+  const auto small = k->run(base, r1);
+  const auto large = k->run(base * 3, r2);
+  const double ratio =
+      (static_cast<double>(large.counts.int_ops) +
+       static_cast<double>(large.counts.fp_ops) +
+       static_cast<double>(large.counts.crypto_ops)) /
+      (static_cast<double>(small.counts.int_ops) +
+       static_cast<double>(small.counts.fp_ops) +
+       static_cast<double>(small.counts.crypto_ops));
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, EveryKernel,
+                         ::testing::ValuesIn(kernel_names()),
+                         [](const auto& inst) {
+                           std::string n = inst.param;
+                           for (auto& ch : n)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return n;
+                         });
+
+TEST(Registry, SixProgramsInPaperOrder) {
+  const auto names = kernel_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "EP");
+  EXPECT_EQ(names[1], "memcached");
+  EXPECT_EQ(names[2], "x264");
+  EXPECT_EQ(names[3], "blackscholes");
+  EXPECT_EQ(names[4], "Julius");
+  EXPECT_EQ(names[5], "RSA-2048");
+}
+
+TEST(Registry, UnknownProgramThrows) {
+  EXPECT_THROW((void)make_kernel("doom"), PreconditionError);
+}
+
+TEST(OpCounts, AccumulateAndPerUnit) {
+  OpCounts a{.int_ops = 10, .fp_ops = 20, .branch_ops = 2, .crypto_ops = 0,
+             .mem_traffic = Bytes{100.0}, .io_bytes = Bytes{8.0},
+             .work_units = 2};
+  OpCounts b = a;
+  b += a;
+  EXPECT_EQ(b.int_ops, 20u);
+  EXPECT_EQ(b.work_units, 4u);
+  const OpCounts per = b.per_unit();
+  EXPECT_EQ(per.int_ops, 5u);
+  EXPECT_EQ(per.work_units, 1u);
+  EXPECT_DOUBLE_EQ(per.mem_traffic.value(), 50.0);
+  OpCounts empty;
+  EXPECT_THROW((void)empty.per_unit(), PreconditionError);
+}
+
+// --------------------------------------------------------------------- EP
+
+TEST(EpKernel, TalliesTrackAcceptedGaussians) {
+  EpKernel ep;
+  Rng rng(1);
+  const auto r = ep.run(100000, rng);
+  std::uint64_t tallied = 0;
+  for (auto t : ep.tallies()) tallied += t;
+  EXPECT_GT(tallied, 0u);
+  // Acceptance rate of the polar method is pi/4 ~ 0.785; each accepted
+  // pair contributes one tally.
+  EXPECT_NEAR(static_cast<double>(tallied) / 50000.0, 0.785, 0.05);
+  // Gaussians concentrate in the first annuli.
+  EXPECT_GT(ep.tallies()[0], ep.tallies()[2]);
+  EXPECT_EQ(r.counts.io_bytes.value(), 0.0);
+}
+
+// ----------------------------------------------------------- blackscholes
+
+TEST(BlackScholes, MatchesReferencePrice) {
+  // Standard textbook case: S=100, K=100, r=5 %, sigma=20 %, T=1y.
+  const double call =
+      BlackScholesKernel::price(100.0, 100.0, 0.05, 0.2, 1.0, true);
+  const double put =
+      BlackScholesKernel::price(100.0, 100.0, 0.05, 0.2, 1.0, false);
+  EXPECT_NEAR(call, 10.4506, 1e-3);
+  EXPECT_NEAR(put, 5.5735, 1e-3);
+}
+
+TEST(BlackScholes, PutCallParity) {
+  const double s = 120.0, k = 95.0, r = 0.03, v = 0.35, t = 0.7;
+  const double call = BlackScholesKernel::price(s, k, r, v, t, true);
+  const double put = BlackScholesKernel::price(s, k, r, v, t, false);
+  EXPECT_NEAR(call - put, s - k * std::exp(-r * t), 1e-6);
+}
+
+TEST(BlackScholes, DeepInTheMoneyCallNearIntrinsic) {
+  const double call =
+      BlackScholesKernel::price(200.0, 50.0, 0.01, 0.1, 0.1, true);
+  EXPECT_NEAR(call, 200.0 - 50.0 * std::exp(-0.001), 0.01);
+}
+
+// -------------------------------------------------------------------- RSA
+
+TEST(Rsa, MulModMatchesNativeForSmallModulus) {
+  // Single-limb modulus: cross-check against __int128 arithmetic.
+  const std::uint64_t n = 0x0000000100000001ULL | 1ULL;  // odd
+  UInt2048 modulus(n);
+  ModContext ctx(modulus);
+  const std::uint64_t a = 0x123456789ULL % n;
+  const std::uint64_t b = 0xfedcba987ULL % n;
+  const UInt2048 r = ctx.mul_mod(UInt2048(a), UInt2048(b));
+  __extension__ using u128 = unsigned __int128;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>((static_cast<u128>(a) * b) % n);
+  EXPECT_EQ(r.limb(0), expected);
+  for (std::size_t i = 1; i < UInt2048::kLimbs; ++i) EXPECT_EQ(r.limb(i), 0u);
+}
+
+TEST(Rsa, PowF4MatchesNativeForSmallModulus) {
+  const std::uint64_t n = 1000003ULL;  // odd prime-ish small modulus
+  UInt2048 modulus(n);
+  ModContext ctx(modulus);
+  const std::uint64_t a = 123456ULL;
+  const UInt2048 r = ctx.pow_f4(UInt2048(a));
+  // Native square-and-multiply of a^65537 mod n.
+  __extension__ using u128 = unsigned __int128;
+  std::uint64_t acc = a % n;
+  for (int i = 0; i < 16; ++i)
+    acc = static_cast<std::uint64_t>((static_cast<u128>(acc) * acc) % n);
+  acc = static_cast<std::uint64_t>((static_cast<u128>(acc) * (a % n)) % n);
+  EXPECT_EQ(r.limb(0), acc);
+}
+
+TEST(Rsa, ResultAlwaysBelowModulus) {
+  Rng rng(77);
+  UInt2048 modulus;
+  SplitMix64 sm(123);
+  for (std::size_t i = 0; i < UInt2048::kLimbs; ++i)
+    modulus.set_limb(i, sm.next());
+  modulus.set_limb(UInt2048::kLimbs - 1,
+                   modulus.limb(UInt2048::kLimbs - 1) | (1ULL << 63));
+  modulus.set_limb(0, modulus.limb(0) | 1ULL);
+  ModContext ctx(modulus);
+  for (int trial = 0; trial < 3; ++trial) {
+    const UInt2048 a = UInt2048::random_below(modulus, rng);
+    const UInt2048 b = UInt2048::random_below(modulus, rng);
+    const UInt2048 r = ctx.mul_mod(a, b);
+    EXPECT_TRUE(r < modulus);
+  }
+}
+
+TEST(Rsa, BitLengthAndComparison) {
+  UInt2048 x(0x10ULL);
+  EXPECT_EQ(x.bit_length(), 5u);
+  EXPECT_EQ(x.bit(4), 1);
+  EXPECT_EQ(x.bit(3), 0);
+  UInt2048 y(0x11ULL);
+  EXPECT_TRUE(x < y);
+  EXPECT_FALSE(y < x);
+  EXPECT_FALSE(UInt2048().bit_length());
+  EXPECT_TRUE(UInt2048().is_zero());
+}
+
+TEST(Rsa, SubtractionWithBorrow) {
+  UInt2048 a;
+  a.set_limb(1, 1);  // 2^64
+  UInt2048 b(1ULL);
+  a.sub(b);  // 2^64 - 1
+  EXPECT_EQ(a.limb(0), ~0ULL);
+  EXPECT_EQ(a.limb(1), 0u);
+}
+
+TEST(Rsa, ModContextRejectsBadModulus) {
+  EXPECT_THROW(ModContext{UInt2048{}}, PreconditionError);
+  EXPECT_THROW(ModContext{UInt2048{4ULL}}, PreconditionError);  // even
+}
+
+TEST(Rsa, CountsCryptoOps) {
+  RsaKernel k;
+  Rng rng(3);
+  const auto r = k.run(1, rng);
+  // 17 modular multiplications of 32x32 limbs each; a random operand has
+  // no zero limbs (probability ~2^-64 per limb), so the count is exact.
+  EXPECT_EQ(r.counts.crypto_ops, 17u * 32u * 32u);
+  Rng rng2(3);
+  const auto r3 = RsaKernel().run(3, rng2);
+  EXPECT_EQ(r3.counts.crypto_ops, 3u * 17u * 32u * 32u);
+}
+
+TEST(BlackScholesKernel, ExactPerUnitInstrumentation) {
+  BlackScholesKernel k;
+  Rng rng(5);
+  const auto r = k.run(1000, rng);
+  // The kernel charges a fixed op budget per pricing.
+  EXPECT_EQ(r.counts.fp_ops, 1000u * 58u);
+  EXPECT_EQ(r.counts.int_ops, 1000u * 4u);
+  EXPECT_DOUBLE_EQ(r.counts.mem_traffic.value(), 1000.0 * 36.0);
+}
+
+TEST(X264, Sad16FindsAKnownShift) {
+  // Build a 64x64 textured frame and a copy shifted by (+3, -2); the SAD
+  // landscape over candidate offsets must bottom out at that shift.
+  constexpr int W = 64, H = 64;
+  std::uint8_t ref[W * H], cur[W * H];
+  Rng rng(9);
+  for (int i = 0; i < W * H; ++i)
+    ref[i] = static_cast<std::uint8_t>(rng.uniform_int(256));
+  const int dx = 3, dy = -2;
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const int sx = std::clamp(x + dx, 0, W - 1);
+      const int sy = std::clamp(y + dy, 0, H - 1);
+      cur[y * W + x] = ref[sy * W + sx];
+    }
+  }
+  // Search the central macroblock.
+  const int bx = 24, by = 24;
+  std::uint32_t best = ~0u;
+  int best_dx = 99, best_dy = 99;
+  for (int cy = -4; cy <= 4; ++cy) {
+    for (int cx = -4; cx <= 4; ++cx) {
+      const std::uint32_t s =
+          X264Kernel::sad16(&cur[by * W + bx], W,
+                            &ref[(by + cy) * W + bx + cx], W);
+      if (s < best) {
+        best = s;
+        best_dx = cx;
+        best_dy = cy;
+      }
+    }
+  }
+  EXPECT_EQ(best, 0u);
+  EXPECT_EQ(best_dx, dx);
+  EXPECT_EQ(best_dy, dy);
+}
+
+// ------------------------------------------------------------------- x264
+
+TEST(X264, Sad16ZeroForIdenticalBlocks) {
+  std::uint8_t block[16 * 16];
+  for (auto& b : block) b = 42;
+  EXPECT_EQ(X264Kernel::sad16(block, 16, block, 16), 0u);
+}
+
+TEST(X264, Sad16CountsAbsoluteDifferences) {
+  std::uint8_t a[16 * 16], b[16 * 16];
+  for (int i = 0; i < 256; ++i) {
+    a[i] = 10;
+    b[i] = 13;
+  }
+  EXPECT_EQ(X264Kernel::sad16(a, 16, b, 16), 256u * 3u);
+}
+
+TEST(X264, Dct4x4DcOnlyForFlatBlock) {
+  std::int16_t block[16];
+  for (auto& v : block) v = 1;
+  X264Kernel::dct4x4(block);
+  EXPECT_EQ(block[0], 16);  // 4x4 butterfly gain on DC
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(block[i], 0);
+}
+
+TEST(X264, Dct4x4IsLinear) {
+  std::int16_t a[16], b[16], sum[16];
+  for (int i = 0; i < 16; ++i) {
+    a[i] = static_cast<std::int16_t>(i);
+    b[i] = static_cast<std::int16_t>(3 - (i % 7));
+    sum[i] = static_cast<std::int16_t>(a[i] + b[i]);
+  }
+  X264Kernel::dct4x4(a);
+  X264Kernel::dct4x4(b);
+  X264Kernel::dct4x4(sum);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sum[i], a[i] + b[i]);
+}
+
+TEST(X264, RejectsBadGeometry) {
+  EXPECT_THROW(X264Kernel(100, 240), PreconditionError);  // not /16
+  EXPECT_THROW(X264Kernel(16, 16), PreconditionError);    // too small
+}
+
+TEST(X264, MemoryTrafficDominatesPerFrame) {
+  X264Kernel k(320, 240);
+  Rng rng(4);
+  const auto r = k.run(2, rng);
+  // Memory-bound: traffic per frame well above the plane size.
+  EXPECT_GT(r.counts.mem_traffic.value() / 2.0, 320.0 * 240.0);
+}
+
+// ----------------------------------------------------------------- Julius
+
+TEST(Julius, ScoreIsFiniteAndDeterministic) {
+  JuliusKernel a, b;
+  Rng r1(6), r2(6);
+  const auto ra = a.run(500, r1);
+  const auto rb = b.run(500, r2);
+  EXPECT_TRUE(std::isfinite(a.last_score()));
+  EXPECT_DOUBLE_EQ(a.last_score(), b.last_score());
+  EXPECT_EQ(ra.checksum, rb.checksum);
+}
+
+TEST(Julius, RejectsDegenerateModels) {
+  EXPECT_THROW(JuliusKernel(1, 4, 13), PreconditionError);
+  EXPECT_THROW(JuliusKernel(8, 0, 13), PreconditionError);
+  EXPECT_THROW(JuliusKernel(8, 4, 0), PreconditionError);
+}
+
+// -------------------------------------------------------------- memcached
+
+TEST(KvTable, SetGetRoundTrip) {
+  FlatKvTable t(64);
+  unsigned char in[FlatKvTable::kValueSize], out[FlatKvTable::kValueSize];
+  for (std::size_t i = 0; i < sizeof(in); ++i)
+    in[i] = static_cast<unsigned char>(i * 3);
+  ASSERT_TRUE(t.set(7, in));
+  ASSERT_TRUE(t.get(7, out));
+  EXPECT_EQ(0, std::memcmp(in, out, sizeof(in)));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(KvTable, MissReturnsFalse) {
+  FlatKvTable t(64);
+  unsigned char out[FlatKvTable::kValueSize];
+  EXPECT_FALSE(t.get(123, out));
+}
+
+TEST(KvTable, OverwriteKeepsSize) {
+  FlatKvTable t(64);
+  unsigned char v[FlatKvTable::kValueSize] = {};
+  ASSERT_TRUE(t.set(1, v));
+  v[0] = 9;
+  ASSERT_TRUE(t.set(1, v));
+  EXPECT_EQ(t.size(), 1u);
+  unsigned char out[FlatKvTable::kValueSize];
+  ASSERT_TRUE(t.get(1, out));
+  EXPECT_EQ(out[0], 9);
+}
+
+TEST(KvTable, LoadFactorCapRejectsOverfill) {
+  FlatKvTable t(4);  // capacity rounds to 8, cap at 4 entries
+  unsigned char v[FlatKvTable::kValueSize] = {};
+  std::size_t inserted = 0;
+  for (std::uint64_t k = 0; k < 100; ++k)
+    if (t.set(k, v)) ++inserted;
+  EXPECT_EQ(inserted, t.capacity() / 2);
+}
+
+TEST(KvTable, HandlesManyKeys) {
+  FlatKvTable t(5000);
+  unsigned char v[FlatKvTable::kValueSize] = {};
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    v[0] = static_cast<unsigned char>(k);
+    ASSERT_TRUE(t.set(k, v));
+  }
+  unsigned char out[FlatKvTable::kValueSize];
+  for (std::uint64_t k = 0; k < 5000; k += 37) {
+    ASSERT_TRUE(t.get(k, out));
+    EXPECT_EQ(out[0], static_cast<unsigned char>(k));
+  }
+}
+
+TEST(KvStoreKernel, ServesRequestedBytesWithIo) {
+  KvStoreKernel k(4096);
+  Rng rng(8);
+  const auto r = k.run(50000, rng);
+  EXPECT_GE(r.counts.work_units, 50000u);
+  EXPECT_GT(r.counts.io_bytes.value(), 0.0);
+  // Every served byte crossed the NIC (work unit == byte).
+  EXPECT_NEAR(r.counts.io_bytes.value(),
+              static_cast<double>(r.counts.work_units), 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// KnightShift composite-node analysis (extension).
+#include <gtest/gtest.h>
+
+#include "hcep/analysis/knightshift.hpp"
+#include "hcep/analysis/single_node.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::analysis;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+TEST(KnightShift, ThresholdIsCapacityRatio) {
+  const auto r = analyze_knightshift(wl("EP"));
+  // EP: A9 ~14.7M units/s, K10 ~98M units/s -> threshold ~0.15.
+  EXPECT_GT(r.switch_threshold, 0.05);
+  EXPECT_LT(r.switch_threshold, 0.5);
+  EXPECT_GT(r.peak_throughput, 0.0);
+}
+
+TEST(KnightShift, LowUtilizationPowerIsKnightClass) {
+  const auto spec = default_knightshift();
+  const auto r = analyze_knightshift(wl("EP"), spec);
+  // Below the threshold only the knight + sleeping primary draw power:
+  // single-digit watts instead of the K10's 45 W idle floor.
+  const Watts low = r.curve.at(r.switch_threshold * 0.5);
+  EXPECT_LT(low.value(), 10.0);
+  EXPECT_GE(low.value(),
+            (spec.knight.power.idle + spec.primary_sleep).value());
+}
+
+TEST(KnightShift, WakeStepIsVisible) {
+  const auto r = analyze_knightshift(wl("EP"));
+  const Watts before = r.curve.at(r.switch_threshold * 0.99);
+  const Watts after = r.curve.at(r.switch_threshold + 1e-3);
+  EXPECT_GT(after.value(), before.value() + 30.0);  // the K10 wakes
+}
+
+TEST(KnightShift, MoreProportionalThanBareBrawnyNode) {
+  // The whole point of KnightShift: the composite's EPM beats the bare
+  // K10's because the idle floor collapses at low utilization.
+  const auto ks = analyze_knightshift(wl("EP"));
+  const auto k10 = analyze_single_node(wl("EP"), hw::opteron_k10());
+  EXPECT_GT(ks.report.epm, k10.report.epm);
+  EXPECT_LT(ks.report.ipr, k10.report.ipr);
+}
+
+TEST(KnightShift, LiteralLdrIsInformative) {
+  // The composite curve is non-linear, so the literal Table 3 LDR is
+  // non-zero (unlike every linear profile in the paper).
+  const auto r = analyze_knightshift(wl("EP"));
+  EXPECT_GT(std::abs(r.report.ldr_literal), 0.05);
+}
+
+TEST(KnightShift, WorksForEveryProgram) {
+  for (const auto& name : workload::program_names()) {
+    const auto r = analyze_knightshift(wl(name));
+    EXPECT_GT(r.switch_threshold, 0.0) << name;
+    EXPECT_LT(r.switch_threshold, 1.0) << name;
+    EXPECT_GT(r.report.epm, 0.0) << name;
+    // Curve endpoints: composite idle far below primary idle; peak above
+    // primary busy-at-full minus the knight shadow.
+    EXPECT_LT(r.curve.idle().value(), 10.0) << name;
+    EXPECT_GT(r.curve.peak().value(), 45.0) << name;
+  }
+}
+
+TEST(KnightShift, RejectsInvertedRoles) {
+  KnightShiftSpec spec = default_knightshift();
+  std::swap(spec.knight, spec.primary);  // brawny "knight"
+  EXPECT_THROW((void)analyze_knightshift(wl("EP"), spec),
+               PreconditionError);
+}
+
+TEST(KnightShift, RejectsMissingDemand) {
+  KnightShiftSpec spec = default_knightshift();
+  spec.knight = hw::cortex_a15();  // not characterized in paper catalog
+  EXPECT_THROW((void)analyze_knightshift(wl("EP"), spec),
+               PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Numerical toolbox: integration, interpolation, root finding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hcep/util/error.hpp"
+#include "hcep/util/math.hpp"
+
+namespace {
+
+using namespace hcep;
+
+TEST(PercentError, Basics) {
+  EXPECT_DOUBLE_EQ(percent_error(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(100.0, 100.0), 0.0);
+  EXPECT_THROW((void)percent_error(1.0, 0.0), PreconditionError);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_TRUE(approx_equal(1e6, 1e6 * (1 + 1e-10)));
+}
+
+TEST(Trapezoid, IntegratesLinearExactly) {
+  const auto f = [](double x) { return 2.0 * x + 1.0; };
+  EXPECT_NEAR(trapezoid(f, 0.0, 4.0, 1), 20.0, 1e-12);
+}
+
+TEST(Trapezoid, ConvergesForQuadratic) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(trapezoid(f, 0.0, 1.0, 2000), 1.0 / 3.0, 1e-6);
+}
+
+TEST(Trapezoid, SampledForm) {
+  std::vector<double> xs{0.0, 1.0, 3.0};
+  std::vector<double> ys{0.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(trapezoid(xs, ys), 1.0 + 8.0);
+}
+
+TEST(Trapezoid, RejectsBadInput) {
+  std::vector<double> xs{0.0, 0.0};
+  std::vector<double> ys{1.0, 1.0};
+  EXPECT_THROW((void)trapezoid(xs, ys), PreconditionError);
+  std::vector<double> one{0.0};
+  EXPECT_THROW((void)trapezoid(one, one), PreconditionError);
+}
+
+TEST(Bisect, FindsRoot) {
+  const double r =
+      bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-13);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, HandlesEndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Bisect, RequiresSignChange) {
+  EXPECT_THROW((void)bisect([](double) { return 1.0; }, 0.0, 1.0),
+               PreconditionError);
+}
+
+TEST(PiecewiseLinear, EvaluatesAndClamps) {
+  PiecewiseLinear pl({0.0, 1.0, 2.0}, {0.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(pl(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(pl(1.5), 10.0);
+  EXPECT_DOUBLE_EQ(pl(-1.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(pl(5.0), 10.0);   // clamp right
+}
+
+TEST(PiecewiseLinear, IntegralExact) {
+  PiecewiseLinear pl({0.0, 1.0, 2.0}, {0.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(pl.integral(0.0, 2.0), 5.0 + 10.0);
+  EXPECT_DOUBLE_EQ(pl.integral(0.0, 0.5), 0.5 * 0.5 * 5.0);
+  EXPECT_DOUBLE_EQ(pl.integral(2.0, 0.0), -15.0);  // reversed bounds
+  EXPECT_DOUBLE_EQ(pl.integral(1.0, 1.0), 0.0);
+}
+
+TEST(PiecewiseLinear, IntegralClampsOutsideKnots) {
+  PiecewiseLinear pl({0.0, 1.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(pl.integral(-1.0, 2.0), 6.0);
+}
+
+TEST(PiecewiseLinear, AddEnforcesOrder) {
+  PiecewiseLinear pl;
+  pl.add(0.0, 1.0);
+  pl.add(1.0, 2.0);
+  EXPECT_THROW(pl.add(0.5, 3.0), PreconditionError);
+}
+
+TEST(PiecewiseLinear, SumOverUnionOfKnots) {
+  PiecewiseLinear a({0.0, 2.0}, {0.0, 2.0});
+  PiecewiseLinear b({0.0, 1.0, 2.0}, {1.0, 1.0, 3.0});
+  PiecewiseLinear c = a + b;
+  EXPECT_DOUBLE_EQ(c(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(c(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(c(0.5), 0.5 + 1.0);
+}
+
+TEST(PiecewiseLinear, Scaled) {
+  PiecewiseLinear a({0.0, 1.0}, {1.0, 3.0});
+  PiecewiseLinear s = a.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s(1.0), 6.0);
+}
+
+TEST(PiecewiseLinear, RejectsMismatchedKnots) {
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {1.0}), PreconditionError);
+  EXPECT_THROW(PiecewiseLinear({1.0, 0.0}, {1.0, 2.0}), PreconditionError);
+}
+
+TEST(Linspace, CoversRangeInclusive) {
+  const auto g = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+  EXPECT_THROW((void)linspace(0.0, 1.0, 1), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Energy-proportionality metrics: Table 3 definitions and the identities
+// the paper reports (Section III-B).
+#include <gtest/gtest.h>
+
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::metrics;
+using namespace hcep::literals;
+using power::PowerCurve;
+
+PowerCurve ideal_curve() { return PowerCurve::linear(0_W, 100_W); }
+
+TEST(Metrics, IdealCurveIsPerfectlyProportional) {
+  const PowerCurve c = ideal_curve();
+  EXPECT_DOUBLE_EQ(ipr(c), 0.0);
+  EXPECT_DOUBLE_EQ(dpr(c), 100.0);
+  EXPECT_NEAR(epm(c), 1.0, 1e-9);
+  EXPECT_NEAR(pg(c, 0.3), 0.0, 1e-12);
+  EXPECT_NEAR(pg(c, 1.0), 0.0, 1e-12);
+}
+
+TEST(Metrics, ConstantPowerIsZeroProportional) {
+  const PowerCurve c = PowerCurve::linear(100_W, 100_W);
+  EXPECT_DOUBLE_EQ(ipr(c), 1.0);
+  EXPECT_DOUBLE_EQ(dpr(c), 0.0);
+  EXPECT_NEAR(epm(c), 0.0, 1e-9);
+}
+
+class LinearIdentity : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinearIdentity, PaperIdentitiesHoldForLinearProfiles) {
+  // Section III-B: "the EPM and LDR values are equal to 1 - IPR, the DPR
+  // value is (1 - IPR) x 100".
+  const double ipr_target = GetParam();
+  const PowerCurve c = PowerCurve::linear(Watts{100.0 * ipr_target}, 100_W);
+  EXPECT_NEAR(ipr(c), ipr_target, 1e-12);
+  EXPECT_NEAR(dpr(c), (1.0 - ipr_target) * 100.0, 1e-9);
+  EXPECT_NEAR(epm(c), 1.0 - ipr_target, 1e-9);
+  EXPECT_NEAR(ldr_paper(c), 1.0 - ipr_target, 1e-9);
+  // The literal Table 3 LDR degenerates to 0 on linear profiles.
+  EXPECT_NEAR(ldr(c), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(IprSweep, LinearIdentity,
+                         ::testing::Values(0.59, 0.64, 0.68, 0.74, 0.83,
+                                           0.89));
+
+TEST(Metrics, PgFormulaForLinearCurve) {
+  // PG(u) = IPR (1/u - 1) for a linear profile.
+  const PowerCurve c = PowerCurve::linear(50_W, 100_W);
+  for (double u : {0.1, 0.3, 0.5, 1.0}) {
+    EXPECT_NEAR(pg(c, u), 0.5 * (1.0 / u - 1.0), 1e-9) << "u=" << u;
+  }
+}
+
+TEST(Metrics, PgDecreasesWithUtilization) {
+  const PowerCurve c = PowerCurve::linear(45_W, 69_W);
+  double prev = 1e18;
+  for (double u = 0.1; u <= 1.0; u += 0.1) {
+    const double g = pg(c, u);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+  EXPECT_NEAR(pg(c, 1.0), 0.0, 1e-12);
+}
+
+TEST(Metrics, QuadraticCurveHasNonzeroLiteralLdr) {
+  const PowerCurve c = PowerCurve::quadratic(40_W, 100_W, 0.5);
+  EXPECT_LT(ldr(c), 0.0);   // bows below the secant -> negative deviation
+  EXPECT_GT(epm(c), epm(PowerCurve::linear(40_W, 100_W)));
+}
+
+TEST(Metrics, NegativeCurvatureGivesPositiveLdr) {
+  const PowerCurve c = PowerCurve::quadratic(40_W, 100_W, -0.5);
+  EXPECT_GT(ldr(c), 0.0);
+}
+
+TEST(Metrics, PprScalesThroughputOverPower) {
+  const PowerCurve c = PowerCurve::linear(50_W, 100_W);
+  EXPECT_DOUBLE_EQ(ppr(c, 1000.0, 1.0), 10.0);
+  // At half utilization: 500 ops over 75 W.
+  EXPECT_NEAR(ppr(c, 1000.0, 0.5), 500.0 / 75.0, 1e-12);
+}
+
+TEST(Metrics, PprIncreasesWithUtilizationWhenIdleDominates) {
+  const PowerCurve c = PowerCurve::linear(80_W, 100_W);
+  double prev = 0.0;
+  for (double u = 0.1; u <= 1.0; u += 0.1) {
+    const double v = ppr(c, 1e6, u);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Metrics, AnalyzeBundlesAllMetrics) {
+  const PowerCurve c = PowerCurve::linear(65_W, 100_W);
+  const ProportionalityReport r = analyze(c);
+  EXPECT_NEAR(r.ipr, 0.65, 1e-12);
+  EXPECT_NEAR(r.dpr, 35.0, 1e-9);
+  EXPECT_NEAR(r.epm, 0.35, 1e-9);
+  EXPECT_NEAR(r.ldr_paper, 0.35, 1e-9);
+  EXPECT_NEAR(r.ldr_literal, 0.0, 1e-9);
+}
+
+TEST(Metrics, PercentOfPeakSelfNormalized) {
+  const PowerCurve c = PowerCurve::linear(50_W, 100_W);
+  EXPECT_DOUBLE_EQ(percent_of_peak(c, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_of_peak(c, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percent_of_peak(c, 50.0), 75.0);
+}
+
+TEST(Metrics, PercentOfPeakAgainstReference) {
+  // A small config against a large reference peak can sit below the
+  // ideal line — the Figure 9 normalization.
+  const PowerCurve small = PowerCurve::linear(10_W, 40_W);
+  EXPECT_DOUBLE_EQ(percent_of_peak(small, 100.0, 100_W), 40.0);
+  EXPECT_DOUBLE_EQ(percent_of_peak(small, 0.0, 100_W), 10.0);
+}
+
+TEST(Metrics, SublinearityAgainstReference) {
+  const PowerCurve small = PowerCurve::linear(10_W, 40_W);
+  const Watts ref{100.0};
+  // At u=0.1 ideal share is 10 W, curve sits at 13 W: super-linear.
+  EXPECT_FALSE(is_sublinear_at(small, 0.1, ref));
+  // At u=0.5 ideal share is 50 W, curve sits at 25 W: sub-linear.
+  EXPECT_TRUE(is_sublinear_at(small, 0.5, ref));
+  const double crossover = sublinear_crossover(small, ref);
+  EXPECT_GT(crossover, 0.1);
+  EXPECT_LT(crossover, 0.5);
+  // Against its own peak a linear curve never goes sub-linear.
+  EXPECT_GT(sublinear_crossover(small, Watts{40.0}), 1.0);
+}
+
+TEST(Metrics, Validation) {
+  const PowerCurve c = PowerCurve::linear(50_W, 100_W);
+  EXPECT_THROW((void)pg(c, 0.0), PreconditionError);
+  EXPECT_THROW((void)pg(c, 1.5), PreconditionError);
+  EXPECT_THROW((void)ppr(c, 0.0, 0.5), PreconditionError);
+  EXPECT_THROW((void)ppr(c, 10.0, 0.0), PreconditionError);
+  EXPECT_THROW((void)percent_of_peak(c, 150.0), PreconditionError);
+  EXPECT_THROW((void)is_sublinear_at(c, 0.5, Watts{0.0}), PreconditionError);
+  EXPECT_THROW((void)ldr(c, 1), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// M/G/1 queueing: P-K with SCV, moments, gamma-approximated percentiles
+// cross-checked against simulation and the M/D/1 / M/M/1 specializations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hcep/queueing/md1.hpp"
+#include "hcep/queueing/mg1.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/math.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/util/stats.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::queueing;
+using namespace hcep::literals;
+
+TEST(GammaP, ReferenceValues) {
+  // P(1, x) = 1 - e^-x (exponential CDF).
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+  // P(a, 0) = 0 and P -> 1 for large x.
+  EXPECT_DOUBLE_EQ(gamma_p(2.5, 0.0), 0.0);
+  EXPECT_NEAR(gamma_p(2.5, 100.0), 1.0, 1e-12);
+  // Median of gamma(shape=2): P(2, x*) = 0.5 at x* ~ 1.6783.
+  EXPECT_NEAR(gamma_p(2.0, 1.67835), 0.5, 1e-4);
+  EXPECT_THROW((void)gamma_p(0.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)gamma_p(1.0, -1.0), PreconditionError);
+}
+
+TEST(RngGamma, MomentsMatch) {
+  Rng rng(21);
+  for (double shape : {0.5, 1.0, 4.0}) {
+    const double scale = 2.0;
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i) s.add(rng.gamma(shape, scale));
+    EXPECT_NEAR(s.mean(), shape * scale, shape * scale * 0.02) << shape;
+    EXPECT_NEAR(s.variance(), shape * scale * scale,
+                shape * scale * scale * 0.06)
+        << shape;
+  }
+}
+
+TEST(MG1, ScvZeroMatchesMD1) {
+  const MD1 d = MD1::from_utilization(10_ms, 0.7);
+  const MG1 g = MG1::from_utilization(10_ms, 0.7, 0.0);
+  EXPECT_NEAR(g.mean_wait().value(), d.mean_wait().value(), 1e-15);
+  // CDF atom agrees.
+  EXPECT_NEAR(g.wait_cdf(0_s), 0.3, 1e-12);
+}
+
+TEST(MG1, ScvOneMatchesMM1MeanWait) {
+  // M/M/1: W = rho S / (1 - rho) — exactly the P-K value at SCV = 1.
+  const MG1 g = MG1::from_utilization(10_ms, 0.6, 1.0);
+  EXPECT_NEAR(g.mean_wait().value(), 0.6 * 0.010 / 0.4, 1e-15);
+}
+
+TEST(MG1, ScvOnePercentileIsExactExponential) {
+  // At SCV = 1 the conditional wait is exponential and the two-moment
+  // gamma fit is exact: P(W <= t) = 1 - rho e^{-(mu - lam) t}.
+  const double rho = 0.5;
+  const Seconds s = 10_ms;
+  const MG1 g = MG1::from_utilization(s, rho, 1.0);
+  const double mu = 1.0 / s.value();
+  const double lam = rho * mu;
+  for (double t : {0.005, 0.02, 0.05}) {
+    const double exact = 1.0 - rho * std::exp(-(mu - lam) * t);
+    EXPECT_NEAR(g.wait_cdf(Seconds{t}), exact, 1e-9) << t;
+  }
+}
+
+class ScvSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScvSweep, PercentilesTrackSimulation) {
+  const double scv = GetParam();
+  const Seconds s = 10_ms;
+  const double rho = 0.7;
+  const MG1 g = MG1::from_utilization(s, rho, scv);
+  const auto sim = simulate_mg1(s, rho / s.value(), scv, 200000, 17);
+  EXPECT_NEAR(sim.mean_wait_s, g.mean_wait().value(),
+              g.mean_wait().value() * 0.05)
+      << "scv=" << scv;
+  EXPECT_NEAR(sim.p95_response_s, g.response_percentile(95.0).value(),
+              g.response_percentile(95.0).value() * 0.08)
+      << "scv=" << scv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scvs, ScvSweep,
+                         ::testing::Values(0.0, 0.05, 0.25, 1.0, 2.0));
+
+TEST(MG1, WaitGrowsWithScv) {
+  double prev = 0.0;
+  for (double scv : {0.0, 0.5, 1.0, 2.0}) {
+    const MG1 g = MG1::from_utilization(10_ms, 0.8, scv);
+    EXPECT_GT(g.mean_wait().value(), prev);
+    prev = g.mean_wait().value();
+  }
+}
+
+TEST(MG1, VarianceReducesToKnownCases) {
+  // M/M/1 waiting-time variance: rho (2 - rho) / (mu - lam)^2... use the
+  // standard result Var(W) = (2 - rho) rho / ((1-rho)^2 mu^2) for M/M/1.
+  const double rho = 0.5;
+  const double mu = 100.0;
+  const MG1 g(Seconds{1.0 / mu}, rho * mu, 1.0);
+  const double expected = rho * (2.0 - rho) / ((1.0 - rho) * (1.0 - rho)) /
+                          (mu * mu);
+  EXPECT_NEAR(g.wait_variance(), expected, expected * 1e-9);
+}
+
+TEST(MG1, PercentileInvertsCdf) {
+  const MG1 g = MG1::from_utilization(1_s, 0.75, 0.3);
+  for (double p : {50.0, 90.0, 99.0}) {
+    const Seconds t = g.wait_percentile(p);
+    EXPECT_NEAR(g.wait_cdf(t), p / 100.0, 1e-6) << p;
+  }
+  EXPECT_DOUBLE_EQ(
+      MG1::from_utilization(1_s, 0.3, 0.5).wait_percentile(50.0).value(),
+      0.0);  // below the atom
+}
+
+TEST(MG1, Validation) {
+  EXPECT_THROW(MG1(0_s, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(MG1(1_s, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(MG1(1_s, 0.5, -0.1), PreconditionError);
+  EXPECT_THROW((void)simulate_mg1(1_s, 0.5, -1.0, 10), PreconditionError);
+  EXPECT_THROW((void)simulate_mg1(1_s, 0.5, 0.0, 0), PreconditionError);
+}
+
+}  // namespace

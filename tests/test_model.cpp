@@ -1,0 +1,250 @@
+// The Table 2 cluster time-energy model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::model;
+using namespace hcep::literals;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+TEST(ClusterSpec, DefaultsResolveToFullCoresAndFmax) {
+  NodeGroup g{hw::cortex_a9(), 2, 0, Hertz{}};
+  EXPECT_EQ(g.cores(), 4u);
+  EXPECT_DOUBLE_EQ(g.freq().value(), 1.4e9);
+  g.active_cores = 2;
+  g.frequency = 0.8_GHz;
+  EXPECT_EQ(g.cores(), 2u);
+  EXPECT_DOUBLE_EQ(g.freq().value(), 0.8e9);
+}
+
+TEST(ClusterSpec, LabelAndTotals) {
+  const ClusterSpec c = make_a9_k10_cluster(32, 12);
+  EXPECT_EQ(c.label(), "32A9:12K10");
+  EXPECT_EQ(c.total_nodes(), 44u);
+  EXPECT_EQ(make_a9_k10_cluster(0, 16).label(), "16K10");
+  EXPECT_EQ(make_a9_k10_cluster(128, 0).label(), "128A9");
+}
+
+TEST(ClusterSpec, NameplateIncludesSwitches) {
+  // 32 A9 (160 W) + 4 switches (80 W) + 12 K10 (720 W) = 960 W.
+  EXPECT_DOUBLE_EQ(make_a9_k10_cluster(32, 12).nameplate_power().value(),
+                   960.0);
+  EXPECT_DOUBLE_EQ(make_a9_k10_cluster(0, 16).nameplate_power().value(),
+                   960.0);
+  EXPECT_DOUBLE_EQ(make_a9_k10_cluster(128, 0).nameplate_power().value(),
+                   960.0);
+}
+
+TEST(ClusterSpec, ValidationCatchesBadGroups) {
+  ClusterSpec c;
+  EXPECT_THROW(c.validate(), PreconditionError);  // empty
+
+  c = make_a9_k10_cluster(1, 1);
+  c.groups[0].active_cores = 9;
+  EXPECT_THROW(c.validate(), PreconditionError);
+
+  c = make_a9_k10_cluster(1, 1);
+  c.groups[0].frequency = 9_GHz;
+  EXPECT_THROW(c.validate(), PreconditionError);
+
+  EXPECT_THROW((void)make_a9_k10_cluster(0, 0), PreconditionError);
+}
+
+TEST(TimeEnergyModel, RequiresDemandForEveryGroup) {
+  workload::Workload w;
+  w.name = "partial";
+  w.demand["A9"] = workload::NodeDemand{1e6, 1e5, Bytes{0.0}};
+  EXPECT_THROW(TimeEnergyModel(make_a9_k10_cluster(1, 1), w),
+               PreconditionError);
+}
+
+TEST(TimeEnergyModel, ClusterThroughputIsSumOfGroupRates) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel a9_only(make_a9_k10_cluster(3, 0), ep);
+  const TimeEnergyModel k10_only(make_a9_k10_cluster(0, 2), ep);
+  const TimeEnergyModel both(make_a9_k10_cluster(3, 2), ep);
+  EXPECT_NEAR(both.peak_throughput(),
+              a9_only.peak_throughput() + k10_only.peak_throughput(), 1e-6);
+}
+
+TEST(TimeEnergyModel, RateMatchedGroupsFinishTogether) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(5, 3), ep);
+  const TimeResult t = m.execution_time(1e8);
+  ASSERT_EQ(t.groups.size(), 2u);
+  // EP has no binding I/O floor, so the balanced split equalizes times.
+  EXPECT_NEAR(t.groups[0].per_node.total.value(),
+              t.groups[1].per_node.total.value(),
+              t.t_p.value() * 1e-9);
+  EXPECT_NEAR(t.t_p.value(), t.groups[0].per_node.total.value(),
+              t.t_p.value() * 1e-9);
+}
+
+TEST(TimeEnergyModel, WorkSharesSumToTotal) {
+  const auto& bs = wl("blackscholes");
+  const TimeEnergyModel m(make_a9_k10_cluster(4, 2), bs);
+  const double total = 5e6;
+  const TimeResult t = m.execution_time(total);
+  double assigned = 0.0;
+  for (std::size_t i = 0; i < t.groups.size(); ++i) {
+    assigned += t.groups[i].units_per_node *
+                static_cast<double>(m.cluster().groups[i].count);
+  }
+  EXPECT_NEAR(assigned, total, total * 1e-12);
+}
+
+TEST(TimeEnergyModel, TimeScalesLinearlyWithWork) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(2, 1), ep);
+  const Seconds t1 = m.execution_time(1e7).t_p;
+  const Seconds t2 = m.execution_time(2e7).t_p;
+  EXPECT_NEAR(t2.value(), 2.0 * t1.value(), t1.value() * 1e-9);
+}
+
+TEST(TimeEnergyModel, MoreNodesNeverSlower) {
+  const auto& x = wl("x264");
+  const Seconds small =
+      TimeEnergyModel(make_a9_k10_cluster(4, 1), x).execution_time(100).t_p;
+  const Seconds large =
+      TimeEnergyModel(make_a9_k10_cluster(8, 2), x).execution_time(100).t_p;
+  EXPECT_LT(large, small);
+}
+
+TEST(TimeEnergyModel, EnergyComponentsSumToTotal) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(2, 2), ep);
+  const EnergyResult e = m.job_energy(1e7);
+  Joules sum{0.0};
+  for (const auto& g : e.groups) sum += g.total();
+  EXPECT_NEAR(sum.value(), e.e_p.value(), e.e_p.value() * 1e-12);
+  for (const auto& g : e.groups) {
+    EXPECT_GE(g.cpu_active.value(), 0.0);
+    EXPECT_GE(g.idle.value(), 0.0);
+  }
+}
+
+TEST(TimeEnergyModel, IdleEnergyMatchesIdlePowerTimesJobTime) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(3, 1), ep);
+  const TimeResult t = m.execution_time(1e7);
+  const EnergyResult e = m.job_energy(1e7);
+  Joules idle{0.0};
+  for (const auto& g : e.groups) idle += g.idle;
+  EXPECT_NEAR(idle.value(), (m.idle_power() * t.t_p).value(),
+              idle.value() * 1e-9);
+}
+
+TEST(TimeEnergyModel, PowerCurveEndpoints) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(64, 8), ep);
+  const power::PowerCurve c = m.power_curve();
+  EXPECT_NEAR(c.idle().value(), m.idle_power().value(), 1e-9);
+  EXPECT_NEAR(c.peak().value(), m.busy_power().value(), 1e-9);
+  // Linear family: midpoint is the average.
+  EXPECT_NEAR(c.at(0.5).value(),
+              0.5 * (m.idle_power() + m.busy_power()).value(), 1e-9);
+}
+
+TEST(TimeEnergyModel, ClusterIprIsIdleOverBusySum) {
+  // The Table 8 identity: cluster IPR = sum(P_idle) / sum(P_peak).
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(64, 8), ep);
+  const double expected = (64 * 1.8 + 8 * 45.0) /
+                          (64 * (1.8 / 0.74) + 8 * (45.0 / 0.65));
+  EXPECT_NEAR(m.idle_power() / m.busy_power(), expected, 1e-6);
+}
+
+TEST(TimeEnergyModel, WindowEnergyEndpoints) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(1, 1), ep);
+  // Section II-B: P_idle = E(U=0)/T and P_peak = E(U=1)/T.
+  EXPECT_NEAR(m.window_energy(0.0, 100_s).value(),
+              (m.idle_power() * 100_s).value(), 1e-9);
+  EXPECT_NEAR(m.window_energy(1.0, 100_s).value(),
+              (m.busy_power() * 100_s).value(), 1e-9);
+  EXPECT_THROW((void)m.window_energy(1.5, 1_s), PreconditionError);
+  EXPECT_THROW((void)m.window_energy(0.5, 0_s), PreconditionError);
+}
+
+TEST(TimeEnergyModel, PprAtFullUtilizationMatchesTable6) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel a9(make_a9_k10_cluster(1, 0), ep);
+  EXPECT_NEAR(a9.ppr(1.0), 6048057.0, 6048057.0 * 1e-9);
+  const TimeEnergyModel k10(make_a9_k10_cluster(0, 1), ep);
+  EXPECT_NEAR(k10.ppr(1.0), 1414922.0, 1414922.0 * 1e-9);
+}
+
+TEST(TimeEnergyModel, PprIncreasesWithUtilization) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(2, 1), ep);
+  double prev = 0.0;
+  for (double u = 0.1; u <= 1.0; u += 0.1) {
+    const double p = m.ppr(u);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_THROW((void)m.ppr(0.0), PreconditionError);
+}
+
+TEST(TimeEnergyModel, QuadraticFamilyKeepsEndpoints) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(2, 1), ep);
+  const power::PowerCurve lin = m.power_curve(CurveFamily::kLinear);
+  const power::PowerCurve quad = m.power_curve(CurveFamily::kQuadratic, 0.4);
+  EXPECT_NEAR(quad.idle().value(), lin.idle().value(), 1e-9);
+  EXPECT_NEAR(quad.peak().value(), lin.peak().value(), 1e-9);
+  EXPECT_LT(quad.at(0.5).value(), lin.at(0.5).value());
+}
+
+TEST(TimeEnergyModel, MemcachedIoFloorBindsOnManyNodes) {
+  // With the 1/lambda_I/O floor divided by n_i (Table 2), a single-node
+  // group's I/O floor can exceed its transfer time on tiny jobs.
+  auto mc = wl("memcached");
+  mc.units_per_job = 1.0;  // one byte: transfer time ~ns, floor 50 us
+  const TimeEnergyModel m(make_a9_k10_cluster(1, 0), mc);
+  const TimeResult t = m.execution_time(mc.units_per_job);
+  EXPECT_GE(t.groups[0].per_node.io.value(), 50e-6 - 1e-12);
+}
+
+TEST(TimeEnergyModel, SmallerInputScalesTimeLinearly) {
+  // Table 1's P_s: job time and energy-above-idle scale with the input.
+  const auto& ep = wl("EP");
+  const auto small = workload::with_input_scale(ep, 0.5);
+  const TimeEnergyModel big_m(make_a9_k10_cluster(3, 1), ep);
+  const TimeEnergyModel small_m(make_a9_k10_cluster(3, 1), small);
+  EXPECT_NEAR(small_m.job_time().value(), big_m.job_time().value() * 0.5,
+              big_m.job_time().value() * 1e-9);
+  const double big_dyn =
+      (big_m.job_energy(ep.units_per_job).e_p -
+       big_m.idle_power() * big_m.job_time())
+          .value();
+  const double small_dyn =
+      (small_m.job_energy(small.units_per_job).e_p -
+       small_m.idle_power() * small_m.job_time())
+          .value();
+  EXPECT_NEAR(small_dyn, big_dyn * 0.5, std::abs(big_dyn) * 1e-9);
+}
+
+TEST(TimeEnergyModel, RejectsNonPositiveWork) {
+  const auto& ep = wl("EP");
+  const TimeEnergyModel m(make_a9_k10_cluster(1, 0), ep);
+  EXPECT_THROW((void)m.execution_time(0.0), PreconditionError);
+  EXPECT_THROW((void)m.execution_time(-1.0), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Single-node per-unit primitives: the Table 2 single-node rows.
+#include <gtest/gtest.h>
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::workload;
+using namespace hcep::literals;
+
+NodeDemand core_bound() {
+  return NodeDemand{.cycles_core = 1.4e9, .cycles_mem = 1e6,
+                    .io_bytes = Bytes{0.0}};
+}
+
+NodeDemand mem_bound() {
+  return NodeDemand{.cycles_core = 1e6, .cycles_mem = 1.4e9,
+                    .io_bytes = Bytes{0.0}};
+}
+
+NodeDemand io_bound() {
+  return NodeDemand{.cycles_core = 1e3, .cycles_mem = 1e3,
+                    .io_bytes = Bytes{12.5e6}};  // 1 s at A9's 100 Mbps
+}
+
+TEST(UnitTime, CoreBoundScalesWithFrequencyAndCores) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const UnitTime one = unit_time(core_bound(), a9, 1, 1.4_GHz);
+  EXPECT_NEAR(one.core.value(), 1.0, 1e-9);
+  EXPECT_NEAR(one.total.value(), 1.0, 1e-9);
+
+  const UnitTime four = unit_time(core_bound(), a9, 4, 1.4_GHz);
+  EXPECT_NEAR(four.core.value(), 0.25, 1e-9);  // ideal core scaling
+
+  const UnitTime slow = unit_time(core_bound(), a9, 1, 0.7_GHz);
+  EXPECT_NEAR(slow.core.value(), 2.0, 1e-9);  // T = cycles / f
+}
+
+TEST(UnitTime, CpuIsMaxOfCoreAndMem) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const UnitTime t = unit_time(mem_bound(), a9, 1, 1.4_GHz);
+  EXPECT_DOUBLE_EQ(t.cpu.value(), t.mem.value());
+  EXPECT_GT(t.mem, t.core);
+}
+
+TEST(UnitTime, MemTimeScalesSubLinearlyWithCores) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const UnitTime one = unit_time(mem_bound(), a9, 1, 1.4_GHz);
+  const UnitTime four = unit_time(mem_bound(), a9, 4, 1.4_GHz);
+  EXPECT_LT(four.mem, one.mem);                        // some scaling
+  EXPECT_GT(four.mem.value(), one.mem.value() / 4.0);  // but not ideal
+}
+
+TEST(UnitTime, IoOverlapsWithCpu) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const UnitTime t = unit_time(io_bound(), a9, 4, 1.4_GHz);
+  EXPECT_NEAR(t.io.value(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.total.value(), t.io.value());  // DMA fully overlapped
+}
+
+TEST(UnitTime, Validation) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  EXPECT_THROW((void)unit_time(core_bound(), a9, 0, 1.4_GHz),
+               PreconditionError);
+  EXPECT_THROW((void)unit_time(core_bound(), a9, 5, 1.4_GHz),
+               PreconditionError);
+  EXPECT_THROW((void)unit_time(core_bound(), a9, 1, Hertz{0.0}),
+               PreconditionError);
+}
+
+TEST(UnitThroughput, InverseOfUnitTime) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const double thr = unit_throughput(core_bound(), a9, 4, 1.4_GHz);
+  const Seconds t = unit_time(core_bound(), a9, 4, 1.4_GHz).total;
+  EXPECT_NEAR(thr * t.value(), 1.0, 1e-12);
+}
+
+TEST(BusyPower, AboveIdleBelowComponentSum) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const Watts p = busy_power(core_bound(), a9, 4, 1.4_GHz);
+  EXPECT_GT(p, a9.power.idle);
+  const Watts ceiling = a9.power.idle + a9.power.core_active * 4.0 +
+                        a9.power.core_stalled * 4.0 + a9.power.mem_active +
+                        a9.power.net_active;
+  EXPECT_LT(p, ceiling);
+}
+
+TEST(BusyPower, PowerScaleIsLinearInDynamicPart) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const Watts p1 = busy_power(core_bound(), a9, 4, 1.4_GHz, 1.0);
+  const Watts p2 = busy_power(core_bound(), a9, 4, 1.4_GHz, 2.0);
+  EXPECT_NEAR((p2 - a9.power.idle).value(),
+              2.0 * (p1 - a9.power.idle).value(), 1e-9);
+}
+
+TEST(BusyPower, LowerFrequencyDrawsLessPower) {
+  const hw::NodeSpec k10 = hw::opteron_k10();
+  const Watts fast = busy_power(core_bound(), k10, 6, 2.1_GHz);
+  const Watts slow = busy_power(core_bound(), k10, 6, 0.8_GHz);
+  EXPECT_LT(slow, fast);
+  EXPECT_GT(slow, k10.power.idle);
+}
+
+TEST(BusyPower, MemBoundChargesStallPower) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  // Memory-bound: cores stall most of the time, so busy power sits well
+  // below the core-active ceiling but above idle + mem alone.
+  const Watts p = busy_power(mem_bound(), a9, 1, 1.4_GHz);
+  EXPECT_GT(p, a9.power.idle + a9.power.mem_active * 0.9);
+  EXPECT_LT(p, a9.power.idle + a9.power.core_active +
+                   a9.power.mem_active + Watts{0.5});
+}
+
+TEST(UnitEnergy, EqualsBusyPowerTimesUnitTime) {
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const Joules e = unit_energy(core_bound(), a9, 2, 1.1_GHz, 1.3);
+  const Watts p = busy_power(core_bound(), a9, 2, 1.1_GHz, 1.3);
+  const Seconds t = unit_time(core_bound(), a9, 2, 1.1_GHz).total;
+  EXPECT_NEAR(e.value(), (p * t).value(), 1e-12);
+}
+
+class FrequencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrequencySweep, EnergyTimeTradeoffIsConsistent) {
+  // Property: at any frequency, throughput x unit energy == busy power.
+  const hw::NodeSpec a9 = hw::cortex_a9();
+  const Hertz f{GetParam()};
+  const double thr = unit_throughput(core_bound(), a9, 4, f);
+  const Joules e = unit_energy(core_bound(), a9, 4, f);
+  const Watts p = busy_power(core_bound(), a9, 4, f);
+  EXPECT_NEAR(thr * e.value(), p.value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(A9Ladder, FrequencySweep,
+                         ::testing::Values(0.2e9, 0.5e9, 0.8e9, 1.1e9, 1.4e9));
+
+}  // namespace

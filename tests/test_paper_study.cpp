@@ -1,0 +1,73 @@
+// The PaperStudy facade: consistency between the one-stop entry points and
+// the underlying studies.
+#include <gtest/gtest.h>
+
+#include "hcep/core/paper_study.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+
+const core::PaperStudy& study() {
+  static const core::PaperStudy kStudy;
+  return kStudy;
+}
+
+TEST(PaperStudy, CarriesAllSixWorkloads) {
+  ASSERT_EQ(study().workloads().size(), 6u);
+  EXPECT_EQ(study().workload("EP").name, "EP");
+  EXPECT_EQ(study().workload("RSA-2048").work_unit, "verify");
+  EXPECT_THROW((void)study().workload("doom"), PreconditionError);
+}
+
+TEST(PaperStudy, Table4HasOneRowPerProgram) {
+  const auto rows = study().table4();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].program, "EP");
+  EXPECT_EQ(rows[0].domain, "HPC");
+}
+
+TEST(PaperStudy, SingleNodeAnalysesCoverTwelvePairs) {
+  const auto analyses = study().single_node_analyses();
+  ASSERT_EQ(analyses.size(), 12u);
+  // Program-major, A9 then K10.
+  EXPECT_EQ(analyses[0].program, "EP");
+  EXPECT_EQ(analyses[0].node, "A9");
+  EXPECT_EQ(analyses[1].node, "K10");
+  EXPECT_EQ(analyses[10].program, "RSA-2048");
+}
+
+TEST(PaperStudy, BudgetMixAnalysesReturnFiveMixes) {
+  const auto mixes = study().budget_mix_analyses("EP");
+  ASSERT_EQ(mixes.size(), 5u);
+  EXPECT_EQ(mixes[0].label, "16K10");
+  EXPECT_EQ(mixes[4].label, "128A9");
+}
+
+TEST(PaperStudy, ParetoStudySkipsFrontierWhenAsked) {
+  const auto r = study().pareto_study("EP", /*compute_frontier=*/false);
+  EXPECT_TRUE(r.frontier.empty());
+  EXPECT_EQ(r.mixes.size(), 5u);
+  EXPECT_GT(r.reference_peak.value(), 0.0);
+}
+
+TEST(PaperStudy, ResponseStudyUsesWorkloadDefaults) {
+  const auto r = study().response_study("x264");
+  EXPECT_NEAR(r.deadline.value(),
+              analysis::default_deadline("x264").value(), 1e-12);
+  ASSERT_EQ(r.mixes.size(), 5u);
+  ASSERT_FALSE(r.mixes[0].points.empty());
+  // DES cross-check disabled by default: simulated percentile left zero.
+  EXPECT_DOUBLE_EQ(r.mixes[0].points[0].p95_simulated.value(), 0.0);
+}
+
+TEST(PaperStudy, CustomCatalogOptionsPropagate) {
+  workload::CatalogOptions opts;
+  opts.calibrate = false;
+  const core::PaperStudy uncalibrated(opts);
+  for (const auto& w : uncalibrated.workloads())
+    EXPECT_TRUE(w.power_cal.empty()) << w.name;
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Thread pool and parallel loop helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "hcep/parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace hcep;
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeReflectsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizePositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  ThreadPool pool(2);
+  int count = 0;  // non-atomic: safe only if inline
+  parallel_for(pool, 0, 4, [&](std::size_t) { ++count; }, 64);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(
+          pool, 0, 1000,
+          [](std::size_t i) {
+            if (i == 777) throw std::runtime_error("at 777");
+          },
+          8),
+      std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsRange) {
+  ThreadPool pool(4);
+  const auto total = parallel_reduce<long long>(
+      pool, 1, 1001, 0LL,
+      [](std::size_t i) { return static_cast<long long>(i); },
+      [](long long a, long long b) { return a + b; }, 16);
+  EXPECT_EQ(total, 500500LL);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const auto v = parallel_reduce<int>(
+      pool, 3, 3, -7, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, -7);
+}
+
+TEST(GlobalPool, Works) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 100, [&](std::size_t) { ++counter; }, 4);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Phase-level traces: the rendered trace must integrate exactly to the
+// model's energy algebra — an independent check of Table 2's energy rows.
+#include <gtest/gtest.h>
+
+#include "hcep/cluster/phase_trace.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::cluster;
+
+const std::vector<workload::Workload>& catalog() {
+  static const auto kCatalog = workload::paper_workloads();
+  return kCatalog;
+}
+
+class EveryProgram : public ::testing::TestWithParam<int> {
+ protected:
+  const workload::Workload& w() const { return catalog()[GetParam()]; }
+};
+
+TEST_P(EveryProgram, TraceEnergyEqualsModelEnergy) {
+  for (const auto& node : {hw::cortex_a9(), hw::opteron_k10()}) {
+    const auto& d = w().demand_for(node.name);
+    const double kappa = w().power_scale_for(node.name);
+    const double units = w().units_per_job / 4.0;
+
+    const power::PowerTrace trace = node_phase_trace(
+        d, node, node.cores, node.dvfs.max(), units, kappa);
+    const workload::UnitTime t =
+        workload::unit_time(d, node, node.cores, node.dvfs.max());
+    const Seconds total = t.total * units;
+    const Joules model_energy =
+        workload::unit_energy(d, node, node.cores, node.dvfs.max(), kappa) *
+        units;
+
+    EXPECT_NEAR(trace.energy(total).value(), model_energy.value(),
+                model_energy.value() * 1e-9)
+        << w().name << "/" << node.name;
+  }
+}
+
+TEST_P(EveryProgram, PhaseDurationsSumCorrectly) {
+  const auto& node = hw::cortex_a9();
+  const auto& d = w().demand_for(node.name);
+  const double units = 1000.0;
+  const PhaseBreakdown ph =
+      phase_breakdown(d, node, node.cores, node.dvfs.max(), units);
+  const workload::UnitTime t =
+      workload::unit_time(d, node, node.cores, node.dvfs.max());
+
+  // overlap + compute_only == core time; overlap + stall_only == mem time.
+  EXPECT_NEAR((ph.overlap + ph.compute_only).value(),
+              t.core.value() * units, 1e-12);
+  EXPECT_NEAR((ph.overlap + ph.stall_only).value(), t.mem.value() * units,
+              1e-12);
+  EXPECT_NEAR(ph.io_total.value(), t.io.value() * units, 1e-12);
+  EXPECT_NEAR(ph.total.value(), t.total.value() * units,
+              t.total.value() * units * 1e-12);
+  // Exactly one of compute_only / stall_only is non-zero.
+  EXPECT_TRUE(ph.compute_only.value() < 1e-15 ||
+              ph.stall_only.value() < 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, EveryProgram, ::testing::Range(0, 6));
+
+TEST(PhaseTrace, ComputeBoundShape) {
+  // Pure compute demand: one flat busy level, then idle.
+  workload::NodeDemand d{.cycles_core = 1.4e9, .cycles_mem = 0.0,
+                         .io_bytes = Bytes{0.0}};
+  const auto node = hw::cortex_a9();
+  const auto trace = node_phase_trace(d, node, 1, node.dvfs.max(), 1.0);
+  EXPECT_NEAR(trace.at(Seconds{0.5}).value(),
+              (node.power.idle + node.power.core_active).value(), 1e-9);
+  EXPECT_NEAR(trace.at(Seconds{1.5}).value(), node.power.idle.value(),
+              1e-9);
+}
+
+TEST(PhaseTrace, MemoryBoundShowsStallPhase) {
+  workload::NodeDemand d{.cycles_core = 0.7e9, .cycles_mem = 1.4e9,
+                         .io_bytes = Bytes{0.0}};
+  const auto node = hw::cortex_a9();
+  const auto trace = node_phase_trace(d, node, 1, node.dvfs.max(), 1.0);
+  // Overlap phase [0, 0.5): active + mem.
+  EXPECT_NEAR(trace.at(Seconds{0.25}).value(),
+              (node.power.idle + node.power.core_active +
+               node.power.mem_active)
+                  .value(),
+              1e-9);
+  // Stall phase [0.5, 1.0): stalled + mem.
+  EXPECT_NEAR(trace.at(Seconds{0.75}).value(),
+              (node.power.idle + node.power.core_stalled +
+               node.power.mem_active)
+                  .value(),
+              1e-9);
+}
+
+TEST(PhaseTrace, IoTailKeepsNicOnly) {
+  // I/O longer than CPU: the tail draws idle + NIC.
+  workload::NodeDemand d{.cycles_core = 0.14e9, .cycles_mem = 0.0,
+                         .io_bytes = Bytes{12.5e6}};  // 1 s at 100 Mbps
+  const auto node = hw::cortex_a9();
+  const auto trace = node_phase_trace(d, node, 1, node.dvfs.max(), 1.0);
+  EXPECT_NEAR(trace.at(Seconds{0.5}).value(),
+              (node.power.idle + node.power.net_active).value(), 1e-9);
+}
+
+TEST(PhaseTrace, Validation) {
+  workload::NodeDemand d{.cycles_core = 1.0, .cycles_mem = 1.0,
+                         .io_bytes = Bytes{0.0}};
+  EXPECT_THROW((void)phase_breakdown(d, hw::cortex_a9(), 1,
+                                     hw::cortex_a9().dvfs.max(), 0.0),
+               PreconditionError);
+}
+
+}  // namespace

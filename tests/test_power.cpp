@@ -1,0 +1,160 @@
+// Power curves, traces and the Yokogawa-style meter emulation.
+#include <gtest/gtest.h>
+
+#include "hcep/power/curve.hpp"
+#include "hcep/power/meter.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::power;
+using namespace hcep::literals;
+
+TEST(PowerCurve, LinearEndpointsAndMidpoint) {
+  const PowerCurve c = PowerCurve::linear(40_W, 100_W);
+  EXPECT_DOUBLE_EQ(c.idle().value(), 40.0);
+  EXPECT_DOUBLE_EQ(c.peak().value(), 100.0);
+  EXPECT_DOUBLE_EQ(c.at(0.5).value(), 70.0);
+}
+
+TEST(PowerCurve, AtClampsUtilization) {
+  const PowerCurve c = PowerCurve::linear(40_W, 100_W);
+  EXPECT_DOUBLE_EQ(c.at(-0.5).value(), 40.0);
+  EXPECT_DOUBLE_EQ(c.at(1.5).value(), 100.0);
+}
+
+TEST(PowerCurve, LinearArea) {
+  const PowerCurve c = PowerCurve::linear(40_W, 100_W);
+  EXPECT_NEAR(c.area(), 70.0, 1e-9);  // average of endpoints
+}
+
+TEST(PowerCurve, QuadraticBowsBelowSecantForPositiveA) {
+  const PowerCurve lin = PowerCurve::linear(40_W, 100_W);
+  const PowerCurve quad = PowerCurve::quadratic(40_W, 100_W, 0.5);
+  EXPECT_DOUBLE_EQ(quad.idle().value(), 40.0);
+  EXPECT_DOUBLE_EQ(quad.peak().value(), 100.0);
+  EXPECT_LT(quad.at(0.5).value(), lin.at(0.5).value());
+  EXPECT_LT(quad.area(), lin.area());
+}
+
+TEST(PowerCurve, QuadraticBowsAboveSecantForNegativeA) {
+  const PowerCurve lin = PowerCurve::linear(40_W, 100_W);
+  const PowerCurve quad = PowerCurve::quadratic(40_W, 100_W, -0.5);
+  EXPECT_GT(quad.at(0.5).value(), lin.at(0.5).value());
+}
+
+TEST(PowerCurve, SumIsPointwise) {
+  const PowerCurve a = PowerCurve::linear(10_W, 20_W);
+  const PowerCurve b = PowerCurve::linear(5_W, 45_W);
+  const PowerCurve s = a + b;
+  EXPECT_DOUBLE_EQ(s.idle().value(), 15.0);
+  EXPECT_DOUBLE_EQ(s.peak().value(), 65.0);
+  EXPECT_DOUBLE_EQ(s.at(0.5).value(), 15.0 + 25.0);
+}
+
+TEST(PowerCurve, ScaledByNodeCount) {
+  const PowerCurve one = PowerCurve::linear(1.8_W, 5_W);
+  const PowerCurve many = one.scaled(128.0);
+  EXPECT_DOUBLE_EQ(many.idle().value(), 1.8 * 128.0);
+  EXPECT_DOUBLE_EQ(many.peak().value(), 5.0 * 128.0);
+  EXPECT_THROW((void)one.scaled(-1.0), PreconditionError);
+}
+
+TEST(PowerCurve, SampledFromMeasurements) {
+  PiecewiseLinear samples({0.0, 0.5, 1.0}, {50.0, 90.0, 100.0});
+  const PowerCurve c = PowerCurve::sampled(std::move(samples));
+  EXPECT_DOUBLE_EQ(c.at(0.25).value(), 70.0);
+}
+
+TEST(PowerCurve, Validation) {
+  EXPECT_THROW((void)PowerCurve::linear(10_W, 5_W), PreconditionError);
+  EXPECT_THROW((void)PowerCurve::quadratic(1_W, 2_W, 1.5), PreconditionError);
+  PiecewiseLinear partial({0.2, 0.9}, {1.0, 2.0});
+  EXPECT_THROW((void)PowerCurve::sampled(std::move(partial)),
+               PreconditionError);
+}
+
+TEST(PowerTrace, ExactEnergyOfSteps) {
+  PowerTrace t;
+  t.step(0_s, 10_W);
+  t.step(2_s, 20_W);
+  t.step(5_s, 0_W);
+  EXPECT_DOUBLE_EQ(t.energy(5_s).value(), 10.0 * 2 + 20.0 * 3);
+  EXPECT_DOUBLE_EQ(t.energy(10_s).value(), 80.0);  // trailing zero level
+  EXPECT_DOUBLE_EQ(t.energy(1_s).value(), 10.0);   // clipped window
+  EXPECT_DOUBLE_EQ(t.average(4_s).value(), (20.0 + 40.0) / 4.0);
+}
+
+TEST(PowerTrace, AtReturnsCurrentLevel) {
+  PowerTrace t;
+  t.step(1_s, 5_W);
+  t.step(3_s, 7_W);
+  EXPECT_DOUBLE_EQ(t.at(0.5_s).value(), 0.0);  // before first step
+  EXPECT_DOUBLE_EQ(t.at(1_s).value(), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2.9_s).value(), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(3_s).value(), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(100_s).value(), 7.0);
+}
+
+TEST(PowerTrace, SameInstantUpdateWins) {
+  PowerTrace t;
+  t.step(0_s, 5_W);
+  t.step(0_s, 9_W);
+  EXPECT_DOUBLE_EQ(t.at(0_s).value(), 9.0);
+  EXPECT_EQ(t.steps().size(), 1u);
+}
+
+TEST(PowerTrace, RejectsDecreasingStarts) {
+  PowerTrace t;
+  t.step(2_s, 5_W);
+  EXPECT_THROW(t.step(1_s, 1_W), PreconditionError);
+}
+
+TEST(PowerMeter, AccurateOnConstantLoad) {
+  PowerTrace t;
+  t.step(0_s, 100_W);
+  PowerMeter meter({}, 42);
+  const Joules measured = meter.measure_energy(t, 100_s);
+  EXPECT_NEAR(measured.value(), 100.0 * 100.0, 100.0 * 100.0 * 0.005);
+}
+
+TEST(PowerMeter, CapturesStepChanges) {
+  PowerTrace t;
+  t.step(0_s, 50_W);
+  t.step(50_s, 150_W);
+  PowerMeter meter({}, 43);
+  const Joules measured = meter.measure_energy(t, 100_s);
+  EXPECT_NEAR(measured.value(), 50.0 * 50 + 150.0 * 50, 10000.0 * 0.01);
+}
+
+TEST(PowerMeter, NoiseFreeSpecIsExactForAlignedSteps) {
+  MeterSpec spec;
+  spec.gain_error = 0.0;
+  spec.noise_floor = Watts{0.0};
+  spec.quantization = Watts{0.0};
+  spec.sample_rate = Hertz{10.0};
+  PowerTrace t;
+  t.step(0_s, 80_W);
+  PowerMeter meter(spec, 44);
+  EXPECT_NEAR(meter.measure_energy(t, 10_s).value(), 800.0, 1e-9);
+}
+
+TEST(PowerMeter, MeasureAverage) {
+  PowerTrace t;
+  t.step(0_s, 60_W);
+  PowerMeter meter({}, 45);
+  EXPECT_NEAR(meter.measure_average(t, 20_s).value(), 60.0, 1.0);
+}
+
+TEST(PowerMeter, Validation) {
+  MeterSpec spec;
+  spec.sample_rate = Hertz{0.0};
+  EXPECT_THROW(PowerMeter{spec}, PreconditionError);
+  PowerMeter ok({}, 1);
+  PowerTrace t;
+  t.step(0_s, 1_W);
+  EXPECT_THROW((void)ok.measure_energy(t, 0_s), PreconditionError);
+}
+
+}  // namespace

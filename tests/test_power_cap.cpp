@@ -1,0 +1,102 @@
+// Power-cap study (extension): throughput under average-power caps,
+// racing vs pacing.
+#include <gtest/gtest.h>
+
+#include "hcep/analysis/power_cap.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::analysis;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+TEST(PowerCap, UncappedRegimeKeepsFullThroughput) {
+  PowerCapOptions opts;
+  opts.mix = {4, 2};
+  const auto base = run_power_cap_study(wl("EP"), opts);
+  opts.caps = {base.busy_power * 2.0};
+  const auto r = run_power_cap_study(wl("EP"), opts);
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), wl("EP"));
+  EXPECT_NEAR(r.points[0].race_throughput, m.peak_throughput(),
+              m.peak_throughput() * 1e-9);
+  EXPECT_GE(r.points[0].paced_throughput,
+            r.points[0].race_throughput * (1.0 - 1e-9));
+}
+
+TEST(PowerCap, CapBelowIdleSustainsNothing) {
+  PowerCapOptions opts;
+  const auto base = run_power_cap_study(wl("EP"), opts);
+  opts.caps = {base.idle_power * 0.5};
+  const auto r = run_power_cap_study(wl("EP"), opts);
+  EXPECT_DOUBLE_EQ(r.points[0].race_throughput, 0.0);
+  EXPECT_DOUBLE_EQ(r.points[0].paced_throughput, 0.0);
+}
+
+TEST(PowerCap, PacedNeverWorseThanRace) {
+  const auto r = run_power_cap_study(wl("blackscholes"));
+  ASSERT_FALSE(r.points.empty());
+  for (const auto& p : r.points) {
+    EXPECT_GE(p.paced_throughput, p.race_throughput - 1e-9)
+        << "cap=" << p.cap.value();
+    EXPECT_GE(p.pacing_gain, 1.0 - 1e-12);
+  }
+}
+
+TEST(PowerCap, ThroughputMonotoneInCap) {
+  const auto r = run_power_cap_study(wl("EP"));
+  double prev_race = -1.0, prev_paced = -1.0;
+  for (const auto& p : r.points) {
+    EXPECT_GE(p.race_throughput, prev_race - 1e-9);
+    EXPECT_GE(p.paced_throughput, prev_paced - 1e-9);
+    prev_race = p.race_throughput;
+    prev_paced = p.paced_throughput;
+  }
+}
+
+TEST(PowerCap, TightCapsRewardPacing) {
+  // Near the idle floor, downclocked points convert scarce watts into
+  // more work than duty-cycled full-speed execution.
+  const auto base = run_power_cap_study(wl("EP"));
+  PowerCapOptions opts;
+  opts.caps = {base.idle_power + (base.busy_power - base.idle_power) * 0.15};
+  const auto r = run_power_cap_study(wl("EP"), opts);
+  EXPECT_GT(r.points[0].pacing_gain, 1.01);
+  EXPECT_FALSE(r.points[0].paced_label.empty());
+}
+
+TEST(PowerCap, RaceLinearInterpolationFormula) {
+  // X(C) = X_peak * (C - idle)/(busy - idle) in the binding regime.
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), wl("EP"));
+  const Watts cap = m.idle_power() + (m.busy_power() - m.idle_power()) * 0.4;
+  PowerCapOptions opts;
+  opts.caps = {cap};
+  const auto r = run_power_cap_study(wl("EP"), opts);
+  EXPECT_NEAR(r.points[0].race_throughput, m.peak_throughput() * 0.4,
+              m.peak_throughput() * 1e-9);
+}
+
+TEST(PowerCap, HomogeneousMixesWork) {
+  PowerCapOptions opts;
+  opts.mix = {6, 0};
+  EXPECT_FALSE(run_power_cap_study(wl("EP"), opts).points.empty());
+  opts.mix = {0, 3};
+  EXPECT_FALSE(run_power_cap_study(wl("EP"), opts).points.empty());
+}
+
+TEST(PowerCap, Validation) {
+  PowerCapOptions opts;
+  opts.mix = {0, 0};
+  EXPECT_THROW((void)run_power_cap_study(wl("EP"), opts),
+               PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Property-based suites: invariants that must hold over randomized inputs
+// (random power curves, random demand mixes, random traces), checked over
+// many seeds via TEST_P sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hcep/hw/catalog.hpp"
+#include "hcep/metrics/proportionality.hpp"
+#include "hcep/model/time_energy.hpp"
+#include "hcep/power/curve.hpp"
+#include "hcep/queueing/md1.hpp"
+#include "hcep/util/math.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace {
+
+using namespace hcep;
+
+/// Random monotone-nondecreasing power curve with positive peak.
+power::PowerCurve random_curve(Rng& rng) {
+  const std::size_t knots = 3 + rng.uniform_int(8);
+  const double idle = rng.uniform(1.0, 100.0);
+  PiecewiseLinear samples;
+  double level = idle;
+  for (std::size_t i = 0; i < knots; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(knots - 1);
+    samples.add(u, level);
+    level += rng.uniform(0.0, 40.0);
+  }
+  return power::PowerCurve::sampled(std::move(samples));
+}
+
+class RandomCurves : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCurves, EpmEqualsOneMinusTwicePgWeightedArea) {
+  // Identity relating the two families of metrics:
+  //   EPM = 1 - 2 * Int_0^1 PG(u) * u du
+  // (both sides measure the normalized area between P(u)/P_peak and the
+  // ideal line).
+  Rng rng(GetParam());
+  const auto curve = random_curve(rng);
+  const double pg_area = trapezoid(
+      [&](double u) {
+        return u < 1e-9 ? 0.0 : metrics::pg(curve, u) * u;
+      },
+      1e-9, 1.0, 4000);
+  EXPECT_NEAR(metrics::epm(curve), 1.0 - 2.0 * pg_area, 1e-3);
+}
+
+TEST_P(RandomCurves, MetricRangesAndEndpoints) {
+  Rng rng(GetParam() ^ 0xabcdULL);
+  const auto curve = random_curve(rng);
+  const double i = metrics::ipr(curve);
+  EXPECT_GE(i, 0.0);
+  EXPECT_LE(i, 1.0);
+  EXPECT_NEAR(metrics::dpr(curve), (1.0 - i) * 100.0, 1e-9);
+  // PG at u=1 vanishes by construction (power normalized by P(1)).
+  EXPECT_NEAR(metrics::pg(curve, 1.0), 0.0, 1e-12);
+  // EPM of a monotone curve with idle >= 0 stays within [0 - eps, 2].
+  EXPECT_GT(metrics::epm(curve), -1e-9);
+  EXPECT_LT(metrics::epm(curve), 2.0);
+}
+
+TEST_P(RandomCurves, SumPreservesIpBounds) {
+  // Cluster composition: the IPR of a sum of curves lies between the
+  // member IPRs (weighted mediant property).
+  Rng rng(GetParam() ^ 0x1234ULL);
+  const auto a = random_curve(rng);
+  const auto b = random_curve(rng);
+  const double ia = metrics::ipr(a);
+  const double ib = metrics::ipr(b);
+  const double isum = metrics::ipr(a + b);
+  EXPECT_GE(isum, std::min(ia, ib) - 1e-9);
+  EXPECT_LE(isum, std::max(ia, ib) + 1e-9);
+}
+
+TEST_P(RandomCurves, ScalingLeavesNormalizedMetricsInvariant) {
+  Rng rng(GetParam() ^ 0x5678ULL);
+  const auto curve = random_curve(rng);
+  const auto scaled = curve.scaled(rng.uniform(2.0, 50.0));
+  EXPECT_NEAR(metrics::ipr(curve), metrics::ipr(scaled), 1e-9);
+  EXPECT_NEAR(metrics::epm(curve), metrics::epm(scaled), 1e-9);
+  EXPECT_NEAR(metrics::pg(curve, 0.4), metrics::pg(scaled, 0.4), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCurves,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+// ---------------------------------------------------------------- model
+
+class RandomMixes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMixes, ThroughputAdditiveAndTimeConsistent) {
+  // For random demands and random mixes: cluster throughput is the sum of
+  // group rates, and T_P * throughput == work.
+  Rng rng(GetParam());
+  workload::Workload w;
+  w.name = "random";
+  w.units_per_job = rng.uniform(1e4, 1e7);
+  w.demand["A9"] = workload::NodeDemand{
+      rng.uniform(1e3, 1e6), rng.uniform(1e2, 1e6),
+      Bytes{rng.uniform(0.0, 100.0)}};
+  w.demand["K10"] = workload::NodeDemand{
+      rng.uniform(1e3, 1e6), rng.uniform(1e2, 1e6),
+      Bytes{rng.uniform(0.0, 100.0)}};
+
+  const auto n_a9 = static_cast<unsigned>(1 + rng.uniform_int(16));
+  const auto n_k10 = static_cast<unsigned>(1 + rng.uniform_int(8));
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(n_a9, n_k10), w);
+
+  const double thr_a9 =
+      workload::unit_throughput(w.demand_for("A9"), hw::cortex_a9(),
+                                hw::cortex_a9().cores,
+                                hw::cortex_a9().dvfs.max()) *
+      n_a9;
+  const double thr_k10 =
+      workload::unit_throughput(w.demand_for("K10"), hw::opteron_k10(),
+                                hw::opteron_k10().cores,
+                                hw::opteron_k10().dvfs.max()) *
+      n_k10;
+  EXPECT_NEAR(m.peak_throughput(), thr_a9 + thr_k10,
+              (thr_a9 + thr_k10) * 1e-9);
+
+  const auto t = m.execution_time(w.units_per_job);
+  EXPECT_NEAR(t.t_p.value() * m.peak_throughput(), w.units_per_job,
+              w.units_per_job * 1e-6);
+}
+
+TEST_P(RandomMixes, EnergyBoundedByPowerEnvelope) {
+  Rng rng(GetParam() ^ 0x9999ULL);
+  workload::Workload w;
+  w.name = "random";
+  w.units_per_job = rng.uniform(1e4, 1e6);
+  w.demand["A9"] = workload::NodeDemand{rng.uniform(1e3, 1e5),
+                                        rng.uniform(1e2, 1e5), Bytes{0.0}};
+  w.demand["K10"] = workload::NodeDemand{rng.uniform(1e3, 1e5),
+                                         rng.uniform(1e2, 1e5), Bytes{0.0}};
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(3, 2), w);
+  const auto t = m.execution_time(w.units_per_job).t_p;
+  const auto e = m.job_energy(w.units_per_job).e_p;
+  EXPECT_GE(e.value(), (m.idle_power() * t).value() * (1.0 - 1e-9));
+  EXPECT_LE(e.value(), (m.busy_power() * t).value() * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMixes,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ------------------------------------------------------------- queueing
+
+class RandomQueues : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomQueues, CdfMonotoneAndPercentileConsistent) {
+  Rng rng(GetParam());
+  const Seconds d{rng.uniform(1e-3, 2.0)};
+  const double rho = rng.uniform(0.05, 0.93);
+  const queueing::MD1 q = queueing::MD1::from_utilization(d, rho);
+
+  double prev = -1.0;
+  for (double k = 0.0; k <= 12.0; k += 0.25) {
+    const double c = q.wait_cdf(d * k);
+    EXPECT_GE(c, prev - 1e-8) << "k=" << k;
+    prev = c;
+  }
+  for (double p : {60.0, 90.0, 99.0}) {
+    const Seconds t = q.wait_percentile(p);
+    EXPECT_GE(q.wait_cdf(t), p / 100.0 - 1e-5);
+  }
+  // M/M/1 with equal mean waits more: deterministic service dominates.
+  const queueing::MM1 mm1(d, rho / d.value());
+  EXPECT_GE(mm1.mean_wait().value(), q.mean_wait().value() - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueues,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace

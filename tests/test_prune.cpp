@@ -1,0 +1,126 @@
+// Configuration-space pruning: dominated operating points go, the
+// energy-deadline Pareto frontier stays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hcep/config/prune.hpp"
+#include "hcep/hw/catalog.hpp"
+#include "hcep/config/pareto.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::config;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+TEST(Prune, ShrinksTheSpace) {
+  const ConfigSpace space = make_a9_k10_space(10, 10);
+  PruneStats stats;
+  const ConfigSpace pruned =
+      prune_operating_points(space, wl("EP"), &stats);
+  EXPECT_EQ(stats.configurations_before, 36380u);
+  EXPECT_LT(stats.configurations_after, stats.configurations_before);
+  EXPECT_GT(stats.reduction_factor(), 2.0);  // substantial pruning
+  ASSERT_EQ(stats.per_type.size(), 2u);
+  for (const auto& [kept, total] : stats.per_type) {
+    EXPECT_GE(kept, 1u);
+    EXPECT_LT(kept, total);
+  }
+}
+
+TEST(Prune, KeptPointsAreMutuallyNonDominated) {
+  const ConfigSpace space = make_a9_k10_space(2, 2);
+  const ConfigSpace pruned = prune_operating_points(space, wl("EP"));
+  for (const auto& t : pruned.types()) {
+    const auto& demand = wl("EP").demand_for(t.spec.name);
+    const double kappa = wl("EP").power_scale_for(t.spec.name);
+    const auto& pts = t.operating_points;
+    ASSERT_FALSE(pts.empty());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (i == j) continue;
+        const double xi = workload::unit_throughput(
+            demand, t.spec, pts[i].cores, pts[i].frequency);
+        const double xj = workload::unit_throughput(
+            demand, t.spec, pts[j].cores, pts[j].frequency);
+        const double pi = workload::busy_power(demand, t.spec, pts[i].cores,
+                                               pts[i].frequency, kappa)
+                              .value();
+        const double pj = workload::busy_power(demand, t.spec, pts[j].cores,
+                                               pts[j].frequency, kappa)
+                              .value();
+        const bool j_dominates_i =
+            xj >= xi && pj <= pi && (xj > xi || pj < pi);
+        EXPECT_FALSE(j_dominates_i) << t.spec.name << " " << i << "," << j;
+      }
+    }
+  }
+}
+
+class FrontierPreservation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FrontierPreservation, ParetoFrontierSurvivesPruning) {
+  // For every point on the FULL space's frontier there is a pruned-space
+  // configuration at least as good in both coordinates (the dominance
+  // argument of prune.hpp), so the pruned frontier matches the full one.
+  const auto& w = wl(GetParam());
+  const ConfigSpace space = make_a9_k10_space(4, 3);
+  const ConfigSpace pruned = prune_operating_points(space, w);
+
+  const auto full_front = pareto_front(evaluate_space(space, w));
+  const auto pruned_evals = evaluate_space(pruned, w);
+
+  for (const auto& f : full_front) {
+    bool matched = false;
+    for (const auto& e : pruned_evals) {
+      if (e.time.value() <= f.time.value() * (1.0 + 1e-9) &&
+          e.energy.value() <= f.energy.value() * (1.0 + 1e-9)) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << GetParam() << ": frontier point at t="
+                         << f.time.value() << " e=" << f.energy.value()
+                         << " lost by pruning";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, FrontierPreservation,
+                         ::testing::Values("EP", "x264", "RSA-2048"));
+
+TEST(Prune, PrunedSpaceDecodesValidConfigs) {
+  const ConfigSpace pruned =
+      prune_operating_points(make_a9_k10_space(3, 2), wl("EP"));
+  pruned.for_each([](const model::ClusterSpec& cfg, std::uint64_t) {
+    cfg.validate();
+  });
+}
+
+TEST(Prune, IdempotentOnPrunedSpaces) {
+  const ConfigSpace once =
+      prune_operating_points(make_a9_k10_space(3, 2), wl("EP"));
+  PruneStats stats;
+  const ConfigSpace twice = prune_operating_points(once, wl("EP"), &stats);
+  EXPECT_EQ(once.size(), twice.size());
+  EXPECT_DOUBLE_EQ(stats.reduction_factor(), 1.0);
+}
+
+TEST(Prune, RejectsUncoveredWorkloads) {
+  workload::CatalogOptions opts;
+  opts.nodes = {hw::cortex_a9()};
+  const auto a9_only = workload::make_workload("EP", opts);
+  EXPECT_THROW(
+      (void)prune_operating_points(make_a9_k10_space(1, 1), a9_only),
+      PreconditionError);
+}
+
+}  // namespace

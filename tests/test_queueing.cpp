@@ -1,0 +1,166 @@
+// M/D/1 analytics: Pollaczek-Khinchine, exact waiting CDF, percentiles —
+// cross-validated against event-driven simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hcep/queueing/md1.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::queueing;
+using namespace hcep::literals;
+
+TEST(MD1, UtilizationIsLambdaTimesService) {
+  const MD1 q(10_ms, 50.0);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(q.service().value(), 0.010);
+  EXPECT_DOUBLE_EQ(q.arrival_rate(), 50.0);
+}
+
+TEST(MD1, FromUtilization) {
+  const MD1 q = MD1::from_utilization(10_ms, 0.8);
+  EXPECT_NEAR(q.utilization(), 0.8, 1e-12);
+}
+
+TEST(MD1, PollaczekKhinchineMeanWait) {
+  // W = rho S / (2 (1 - rho)); at rho = 0.5, W = S / 2.
+  const MD1 q = MD1::from_utilization(10_ms, 0.5);
+  EXPECT_NEAR(q.mean_wait().value(), 0.005, 1e-12);
+  EXPECT_NEAR(q.mean_response().value(), 0.015, 1e-12);
+}
+
+TEST(MD1, LittlesLaw) {
+  const MD1 q = MD1::from_utilization(10_ms, 0.7);
+  EXPECT_NEAR(q.mean_in_system(),
+              q.arrival_rate() * q.mean_response().value(), 1e-12);
+}
+
+TEST(MD1, ZeroArrivalRateMeansNoWait) {
+  const MD1 q(10_ms, 0.0);
+  EXPECT_DOUBLE_EQ(q.mean_wait().value(), 0.0);
+  EXPECT_DOUBLE_EQ(q.wait_cdf(0_s), 1.0);
+}
+
+TEST(MD1, WaitCdfAtomAtZeroIsOneMinusRho) {
+  for (double rho : {0.2, 0.5, 0.8}) {
+    const MD1 q = MD1::from_utilization(1_s, rho);
+    EXPECT_NEAR(q.wait_cdf(0_s), 1.0 - rho, 1e-9) << "rho=" << rho;
+  }
+}
+
+TEST(MD1, WaitCdfIsMonotoneAndBounded) {
+  const MD1 q = MD1::from_utilization(1_s, 0.8);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 30.0; t += 0.5) {
+    const double c = q.wait_cdf(Seconds{t});
+    // The alternating series leaves ~1e-9 cancellation noise deep in the
+    // tail (lambda*t ~ 24 here); monotone up to that.
+    EXPECT_GE(c, prev - 1e-8);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_LT(q.wait_cdf(Seconds{-1.0}), 1e-12);
+}
+
+TEST(MD1, MeanWaitConsistentWithCdf) {
+  // Integrate the complementary CDF numerically and compare to P-K.
+  const MD1 q = MD1::from_utilization(1_s, 0.6);
+  double mean = 0.0;
+  const double dt = 0.005;
+  for (double t = 0.0; t < 40.0; t += dt)
+    mean += (1.0 - q.wait_cdf(Seconds{t + dt / 2})) * dt;
+  EXPECT_NEAR(mean, q.mean_wait().value(), 0.01);
+}
+
+class MD1SimCrossCheck : public ::testing::TestWithParam<double> {};
+
+TEST_P(MD1SimCrossCheck, AnalyticMatchesSimulation) {
+  const double rho = GetParam();
+  const Seconds service = 10_ms;
+  const MD1 q = MD1::from_utilization(service, rho);
+  const QueueSimResult sim =
+      simulate_md1(service, rho / service.value(), 200000, 5);
+
+  EXPECT_NEAR(sim.mean_wait_s, q.mean_wait().value(),
+              q.mean_wait().value() * 0.10 + 1e-5);
+  EXPECT_NEAR(sim.p95_response_s, q.response_percentile(95.0).value(),
+              q.response_percentile(95.0).value() * 0.10);
+  EXPECT_NEAR(sim.measured_utilization, rho, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, MD1SimCrossCheck,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85, 0.95));
+
+TEST(MD1, PercentileInvertsCdf) {
+  const MD1 q = MD1::from_utilization(1_s, 0.75);
+  for (double p : {50.0, 90.0, 95.0, 99.0}) {
+    const Seconds t = q.wait_percentile(p);
+    EXPECT_NEAR(q.wait_cdf(t), p / 100.0, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(MD1, PercentileBelowAtomIsZero) {
+  const MD1 q = MD1::from_utilization(1_s, 0.3);  // P(W=0) = 0.7
+  EXPECT_DOUBLE_EQ(q.wait_percentile(50.0).value(), 0.0);
+  EXPECT_GT(q.wait_percentile(90.0).value(), 0.0);
+}
+
+TEST(MD1, ResponsePercentileAddsService) {
+  const MD1 q = MD1::from_utilization(2_s, 0.6);
+  EXPECT_NEAR(q.response_percentile(95.0).value(),
+              q.wait_percentile(95.0).value() + 2.0, 1e-9);
+}
+
+TEST(MD1, HighRhoTailPathIsUsable) {
+  // lambda * t beyond the direct-series limit exercises the geometric
+  // tail; CDF must stay monotone and reach ~1.
+  const MD1 q = MD1::from_utilization(1_s, 0.97);
+  const double far = q.wait_cdf(Seconds{300.0});
+  EXPECT_GT(far, 0.999);
+  EXPECT_LE(far, 1.0);
+  const Seconds p99 = q.wait_percentile(99.0);
+  EXPECT_GT(p99.value(), q.mean_wait().value());
+}
+
+TEST(MD1, Validation) {
+  EXPECT_THROW(MD1(0_s, 1.0), PreconditionError);
+  EXPECT_THROW(MD1(1_s, 1.0), PreconditionError);  // rho = 1
+  EXPECT_THROW(MD1(1_s, -0.1), PreconditionError);
+  EXPECT_THROW((void)MD1::from_utilization(1_s, 1.0), PreconditionError);
+  const MD1 q = MD1::from_utilization(1_s, 0.5);
+  EXPECT_THROW((void)q.wait_percentile(0.0), PreconditionError);
+  EXPECT_THROW((void)q.wait_percentile(100.0), PreconditionError);
+}
+
+TEST(MM1, MeanWaitIsTwiceMD1) {
+  // Deterministic service halves the P-K waiting time.
+  const MD1 d = MD1::from_utilization(10_ms, 0.6);
+  const MM1 m(10_ms, 60.0);
+  EXPECT_NEAR(m.mean_wait().value(), 2.0 * d.mean_wait().value(), 1e-12);
+}
+
+TEST(MM1, ResponseIsExponential) {
+  const MM1 m(10_ms, 50.0);  // rho = 0.5, mu - lambda = 50
+  EXPECT_NEAR(m.response_cdf(Seconds{1.0 / 50.0}), 1.0 - std::exp(-1.0),
+              1e-12);
+  EXPECT_NEAR(m.response_percentile(95.0).value(), -std::log(0.05) / 50.0,
+              1e-12);
+}
+
+TEST(MM1, Validation) {
+  EXPECT_THROW(MM1(0_s, 1.0), PreconditionError);
+  EXPECT_THROW(MM1(1_s, 1.0), PreconditionError);
+  const MM1 m(1_s, 0.5);
+  EXPECT_THROW((void)m.response_percentile(100.0), PreconditionError);
+}
+
+TEST(SimulateMD1, Validation) {
+  EXPECT_THROW((void)simulate_md1(0_s, 1.0, 10), PreconditionError);
+  EXPECT_THROW((void)simulate_md1(1_s, 0.5, 0), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Replication statistics: confidence intervals over independent runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hcep/cluster/replication.hpp"
+#include "hcep/cluster/simulator.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::cluster;
+
+TEST(TCritical, TableValuesAndLimit) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical_95(9), 2.262, 1e-9);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-9);
+  EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-9);
+  EXPECT_GT(t_critical_95(2), t_critical_95(20));  // monotone down
+  EXPECT_THROW((void)t_critical_95(0), PreconditionError);
+}
+
+TEST(Replicate, RecoversKnownMean) {
+  // Metric: mean of 1000 normals with mu = 5; CI must cover 5.
+  const auto estimate = replicate(
+      [](std::uint64_t seed) {
+        Rng rng(seed);
+        double acc = 0.0;
+        for (int i = 0; i < 1000; ++i) acc += rng.normal(5.0, 2.0);
+        return acc / 1000.0;
+      },
+      20, 99);
+  EXPECT_EQ(estimate.replications, 20u);
+  EXPECT_TRUE(estimate.covers(5.0))
+      << estimate.mean << " +/- " << estimate.half_width;
+  EXPECT_LT(estimate.half_width, 0.2);
+  EXPECT_NEAR(estimate.upper() - estimate.lower(),
+              2.0 * estimate.half_width, 1e-12);
+}
+
+TEST(Replicate, DeterministicMetricHasZeroWidth) {
+  const auto estimate =
+      replicate([](std::uint64_t) { return 7.0; }, 5, 1);
+  EXPECT_DOUBLE_EQ(estimate.mean, 7.0);
+  EXPECT_DOUBLE_EQ(estimate.half_width, 0.0);
+}
+
+TEST(Replicate, MoreReplicationsShrinkTheInterval) {
+  const auto metric = [](std::uint64_t seed) {
+    Rng rng(seed);
+    return rng.normal(0.0, 1.0);
+  };
+  const auto small = replicate(metric, 5, 7);
+  const auto large = replicate(metric, 80, 7);
+  EXPECT_LT(large.half_width, small.half_width);
+}
+
+TEST(Replicate, ClusterSimPowerIntervalCoversModel) {
+  static const auto ep = workload::make_workload("EP");
+  const model::TimeEnergyModel m(model::make_a9_k10_cluster(2, 1), ep);
+  const auto estimate = replicate(
+      [&](std::uint64_t seed) {
+        SimOptions opts;
+        opts.utilization = 0.5;
+        opts.min_jobs = 400;
+        opts.seed = seed;
+        opts.use_testbed_overheads = false;
+        const auto r = simulate(m, opts);
+        // Normalize out the realized-utilization jitter.
+        return r.average_power.value() -
+               m.average_power(r.measured_utilization).value();
+      },
+      12, 3);
+  // The sim-minus-model discrepancy interval must cover zero up to
+  // floating-point residue (the deterministic parts cancel exactly, so
+  // both mean and width sit at the 1e-13 level).
+  EXPECT_LE(std::abs(estimate.mean), estimate.half_width + 1e-9)
+      << estimate.mean << " +/- " << estimate.half_width;
+}
+
+TEST(Replicate, Validation) {
+  EXPECT_THROW((void)replicate([](std::uint64_t) { return 0.0; }, 1),
+               PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// RNG: determinism, stream splitting, distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "hcep/util/rng.hpp"
+
+namespace {
+
+using hcep::Rng;
+using hcep::SplitMix64;
+
+TEST(SplitMix, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitLeavesParentUntouched) {
+  Rng parent(3);
+  Rng reference(3);
+  (void)parent.split(2);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(parent.next(), reference.next());
+}
+
+TEST(Rng, SplitStreamsAreDistinct) {
+  Rng base(11);
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0.next() == s1.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng rng(5);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform01();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit in 1000 draws
+}
+
+TEST(Rng, UniformIntZeroIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  const double rate = 4.0;
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(rate);
+  EXPECT_NEAR(acc / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(2.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+  Rng rng(1);
+  (void)rng();  // callable
+}
+
+}  // namespace

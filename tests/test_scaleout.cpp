@@ -1,0 +1,116 @@
+// Scale-out phase-granular simulator: per-node channels must reconcile
+// with the analytic model's energy algebra.
+#include <gtest/gtest.h>
+
+#include "hcep/cluster/scaleout_sim.hpp"
+#include "hcep/queueing/md1.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::cluster;
+
+const std::vector<workload::Workload>& catalog() {
+  static const auto kCatalog = workload::paper_workloads();
+  return kCatalog;
+}
+
+class EveryProgram : public ::testing::TestWithParam<int> {
+ protected:
+  const workload::Workload& w() const { return catalog()[GetParam()]; }
+};
+
+TEST_P(EveryProgram, AveragePowerMatchesModelAtRealizedUtilization) {
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(3, 2), w());
+  ScaleoutOptions opts;
+  opts.utilization = 0.5;
+  opts.min_jobs = 400;
+  const ScaleoutResult r = simulate_scaleout(m, opts);
+  const double model_power =
+      m.average_power(r.measured_utilization).value();
+  EXPECT_NEAR(r.average_power.value(), model_power, model_power * 0.02)
+      << w().name;
+}
+
+TEST_P(EveryProgram, PerNodeEnergyReconcilesWithGroupAlgebra) {
+  // Channel energy = idle*window + jobs * (unit_energy - idle*unit_time)
+  // per node; cross-check against the model's group energies.
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(2, 1), w());
+  ScaleoutOptions opts;
+  opts.utilization = 0.4;
+  opts.min_jobs = 200;
+  const ScaleoutResult r = simulate_scaleout(m, opts);
+  const model::TimeResult split = m.execution_time(w().units_per_job);
+  const model::EnergyResult energy = m.job_energy(w().units_per_job);
+
+  for (std::size_t i = 0; i < r.channels.size(); ++i) {
+    const auto& ch = r.channels[i];
+    const auto& group = m.cluster().groups[i];
+    // Per job per node: dynamic energy above the idle floor.
+    const double group_dynamic_per_node =
+        (energy.groups[i].total() - energy.groups[i].idle).value() /
+        static_cast<double>(group.count);
+    const double expected =
+        group.spec.power.idle.value() * r.window.value() +
+        static_cast<double>(r.jobs_completed) * group_dynamic_per_node;
+    EXPECT_NEAR(ch.energy_per_node.value(), expected, expected * 1e-6)
+        << w().name << "/" << ch.node_name;
+  }
+}
+
+TEST_P(EveryProgram, MeteredChannelsTrackExactChannels) {
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(2, 1), w());
+  const ScaleoutResult r = simulate_scaleout(m, {});
+  for (const auto& ch : r.channels) {
+    // The 10 Hz meter aliases against millisecond phase steps, so the
+    // tolerance is wider than the instrument's accuracy class.
+    EXPECT_NEAR(ch.metered_energy_per_node.value(),
+                ch.energy_per_node.value(),
+                ch.energy_per_node.value() * 0.05 + 1.0)
+        << ch.node_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, EveryProgram, ::testing::Range(0, 6));
+
+TEST(Scaleout, IdleWindowIsIdleFloorExactly) {
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(2, 1),
+                           catalog().front());
+  ScaleoutOptions opts;
+  opts.utilization = 0.0;
+  opts.min_jobs = 10;
+  const ScaleoutResult r = simulate_scaleout(m, opts);
+  EXPECT_EQ(r.jobs_completed, 0u);
+  EXPECT_NEAR(r.average_power.value(), m.idle_power().value(), 1e-9);
+}
+
+TEST(Scaleout, ResponsesMatchJobLevelSimulatorStatistics) {
+  // Same M/D/1 discipline as the job-level simulator: the percentiles
+  // must land close for the same utilization.
+  const auto& ep = catalog().front();
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), ep);
+  ScaleoutOptions opts;
+  opts.utilization = 0.6;
+  opts.min_jobs = 3000;
+  const ScaleoutResult r = simulate_scaleout(m, opts);
+  const Seconds service = m.execution_time(ep.units_per_job).t_p;
+  const queueing::MD1 q =
+      queueing::MD1::from_utilization(service, opts.utilization);
+  EXPECT_NEAR(r.p95_response.value(), q.response_percentile(95.0).value(),
+              q.response_percentile(95.0).value() * 0.15);
+}
+
+TEST(Scaleout, Validation) {
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(1, 0),
+                           catalog().front());
+  ScaleoutOptions opts;
+  opts.utilization = 1.0;
+  EXPECT_THROW((void)simulate_scaleout(m, opts), PreconditionError);
+  opts.utilization = 0.5;
+  opts.min_jobs = 0;
+  EXPECT_THROW((void)simulate_scaleout(m, opts), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Calibration-sensitivity study: the paper's conclusions should be robust
+// to plausible measurement error in the seeds.
+#include <gtest/gtest.h>
+
+#include "hcep/analysis/sensitivity.hpp"
+#include "hcep/util/error.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::analysis;
+
+TEST(Sensitivity, ZeroNoiseReproducesNominalExactly) {
+  SensitivityOptions opts;
+  opts.ppr_noise = 0.0;
+  opts.ipr_noise = 0.0;
+  opts.trials = 3;
+  const auto r = run_sensitivity_study("EP", opts);
+  EXPECT_EQ(r.trials, 3u);
+  EXPECT_EQ(r.winner_flips, 0u);
+  // Nominal: (25,7) sub-linear at 50 %, (25,8) not — in every trial.
+  EXPECT_EQ(r.sublinear_at_half_25_7, 3u);
+  EXPECT_EQ(r.superlinear_at_half_25_8, 3u);
+  // Nominal Table 8 middle column DPR.
+  EXPECT_NEAR(r.dpr_mixed.mean(), 33.03, 0.1);
+  EXPECT_NEAR(r.crossover_25_7.max(), r.crossover_25_7.min(), 1e-12);
+}
+
+TEST(Sensitivity, EpConclusionsRobustAtTenPercentNoise) {
+  SensitivityOptions opts;
+  opts.trials = 120;
+  const auto r = run_sensitivity_study("EP", opts);
+  // EP's PPR gap is 4.3x; 10 % noise must essentially never flip it.
+  EXPECT_LT(r.winner_flips, 3u);
+  // The (25,7) sub-linearity boundary sits right AT 50 % nominally, so
+  // noise pushes it to either side — but the crossover itself stays in a
+  // tight band around 0.5.
+  EXPECT_NEAR(r.crossover_25_7.mean(), 0.50, 0.05);
+  EXPECT_GT(r.sublinear_at_half_25_7, r.trials / 5);
+  // Table 8's mixed DPR varies by a couple of points, not tens.
+  EXPECT_NEAR(r.dpr_mixed.mean(), 33.0, 1.5);
+  EXPECT_LT(r.dpr_mixed.stddev(), 4.0);
+}
+
+TEST(Sensitivity, Rsa2048WinnerIsFragile) {
+  // RSA's PPR margin is only ~13 % (968 vs 1091): at 10 % noise the
+  // Table 6 winner flips in a substantial fraction of trials — a caveat
+  // the reproduction surfaces.
+  SensitivityOptions opts;
+  opts.trials = 150;
+  const auto r = run_sensitivity_study("RSA-2048", opts);
+  EXPECT_GT(r.winner_flips, 10u);
+  EXPECT_LT(r.winner_flips, r.trials);
+}
+
+TEST(Sensitivity, DeterministicForFixedSeed) {
+  SensitivityOptions opts;
+  opts.trials = 20;
+  const auto a = run_sensitivity_study("blackscholes", opts);
+  const auto b = run_sensitivity_study("blackscholes", opts);
+  EXPECT_EQ(a.winner_flips, b.winner_flips);
+  EXPECT_DOUBLE_EQ(a.dpr_mixed.mean(), b.dpr_mixed.mean());
+}
+
+TEST(Sensitivity, Validation) {
+  SensitivityOptions opts;
+  opts.trials = 0;
+  EXPECT_THROW((void)run_sensitivity_study("EP", opts), PreconditionError);
+  opts.trials = 1;
+  opts.ppr_noise = -0.1;
+  EXPECT_THROW((void)run_sensitivity_study("EP", opts), PreconditionError);
+  opts.ppr_noise = 0.1;
+  EXPECT_THROW((void)run_sensitivity_study("doom", opts),
+               PreconditionError);
+}
+
+}  // namespace

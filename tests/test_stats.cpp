@@ -1,0 +1,151 @@
+// Statistics: Welford moments, percentiles, P2 estimator, histograms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/util/stats.hpp"
+
+namespace {
+
+using namespace hcep;
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW((void)s.mean(), PreconditionError);
+  EXPECT_THROW((void)s.min(), PreconditionError);
+  s.add(1.0);
+  EXPECT_THROW((void)s.variance(), PreconditionError);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(Percentile, SingleSample) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 95.0), 42.0);
+}
+
+TEST(Percentile, Validation) {
+  std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), PreconditionError);
+  std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, 101.0), PreconditionError);
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2Quantile, TracksMedianOfUniform) {
+  P2Quantile q(0.5);
+  Rng rng(17);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform01());
+  EXPECT_NEAR(q.value(), 0.5, 0.02);
+}
+
+TEST(P2Quantile, Tracks95thOfExponential) {
+  P2Quantile q(0.95);
+  Rng rng(19);
+  std::vector<double> all;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.exponential(1.0);
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = percentile_inplace(all, 95.0);
+  EXPECT_NEAR(q.value(), exact, exact * 0.05);
+}
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(1.0), PreconditionError);
+  P2Quantile q(0.9);
+  EXPECT_THROW((void)q.value(), PreconditionError);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, PercentileAtBinGranularity) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(95.0), 95.0, 1.0);
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 1.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 10), PreconditionError);
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.percentile(50.0), PreconditionError);  // empty
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Text output: tables, number formatting, CSV, gnuplot series.
+#include <gtest/gtest.h>
+
+#include "hcep/util/error.hpp"
+#include "hcep/util/table.hpp"
+
+namespace {
+
+using namespace hcep;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Program", "PPR"});
+  t.add_row({"EP", "6,048,057"});
+  t.add_row({"x264", "0.7"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Program | PPR       |"), std::string::npos);
+  EXPECT_NE(s.find("| EP      | 6,048,057 |"), std::string::npos);
+  EXPECT_NE(s.find("| x264    | 0.7       |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(0.5, 3), "0.500");
+}
+
+TEST(FmtGrouped, ThousandsSeparators) {
+  EXPECT_EQ(fmt_grouped(6048057.0), "6,048,057");
+  EXPECT_EQ(fmt_grouped(968.0), "968");
+  EXPECT_EQ(fmt_grouped(1000.0), "1,000");
+  EXPECT_EQ(fmt_grouped(0.0), "0");
+  EXPECT_EQ(fmt_grouped(-12345.0), "-12,345");
+  EXPECT_EQ(fmt_grouped(1414922.4), "1,414,922");  // rounds
+}
+
+TEST(SeriesWriter, GnuplotIndexBlocks) {
+  SeriesWriter w;
+  w.begin_series("A9");
+  w.point(10.0, 76.6);
+  w.begin_series("K10");
+  w.point(10.0, 68.5);
+  const std::string s = w.str();
+  EXPECT_NE(s.find("# A9\n"), std::string::npos);
+  EXPECT_NE(s.find("\n\n\n# K10\n"), std::string::npos);
+}
+
+TEST(SeriesWriter, MultiColumnPoints) {
+  SeriesWriter w;
+  w.begin_series("multi");
+  w.point(1.0, {2.0, 3.0});
+  EXPECT_NE(w.str().find("1.000000 2.000000 3.000000\n"), std::string::npos);
+}
+
+TEST(SeriesWriter, PointBeforeSeriesThrows) {
+  SeriesWriter w;
+  EXPECT_THROW(w.point(1.0, 2.0), PreconditionError);
+}
+
+TEST(CsvWriter, HeaderAndQuoting) {
+  CsvWriter w({"name", "value"});
+  w.add_row({"plain", "1"});
+  w.add_row({"with,comma", "with\"quote"});
+  const std::string s = w.str();
+  EXPECT_NE(s.find("name,value\n"), std::string::npos);
+  EXPECT_NE(s.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(s.find("\"with,comma\",\"with\"\"quote\"\n"), std::string::npos);
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.add_row({"1", "2"}), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Load-trace replay (extension): diurnal/step profiles through the
+// cluster model.
+#include <gtest/gtest.h>
+
+#include "hcep/cluster/trace.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::cluster;
+using namespace hcep::literals;
+
+const workload::Workload& ep() {
+  static const workload::Workload kEp = workload::make_workload("EP");
+  return kEp;
+}
+
+model::TimeEnergyModel ep_model() {
+  return {model::make_a9_k10_cluster(4, 2), ep()};
+}
+
+TEST(LoadTrace, FlatIsConstant) {
+  const LoadTrace t = LoadTrace::flat(100_s, 0.4);
+  EXPECT_DOUBLE_EQ(t.at(0_s), 0.4);
+  EXPECT_DOUBLE_EQ(t.at(50_s), 0.4);
+  EXPECT_DOUBLE_EQ(t.horizon().value(), 100.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 0.4);
+}
+
+TEST(LoadTrace, DiurnalOscillatesWithinBounds) {
+  const LoadTrace t = LoadTrace::diurnal(86400_s, 0.2, 0.8);
+  EXPECT_NEAR(t.at(0_s), 0.5, 1e-9);  // midpoint at t=0
+  double lo = 1.0, hi = 0.0;
+  for (double x = 0; x <= 86400; x += 600) {
+    const double u = t.at(Seconds{x});
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    EXPECT_GE(u, 0.2 - 1e-9);
+    EXPECT_LE(u, 0.8 + 1e-9);
+  }
+  EXPECT_NEAR(lo, 0.2, 0.02);
+  EXPECT_NEAR(hi, 0.8, 0.02);
+  EXPECT_NEAR(t.peak(), 0.8, 0.02);
+}
+
+TEST(LoadTrace, StepShapeAndEdges) {
+  const LoadTrace t = LoadTrace::step(100_s, 0.1, 0.7, 40_s, 20_s);
+  EXPECT_NEAR(t.at(10_s), 0.1, 1e-6);
+  EXPECT_NEAR(t.at(50_s), 0.7, 1e-6);
+  EXPECT_NEAR(t.at(90_s), 0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(t.horizon().value(), 100.0);
+
+  // Step starting at zero.
+  const LoadTrace t0 = LoadTrace::step(50_s, 0.1, 0.6, 0_s, 10_s);
+  EXPECT_NEAR(t0.at(5_s), 0.6, 1e-6);
+  EXPECT_NEAR(t0.at(30_s), 0.1, 1e-6);
+}
+
+TEST(LoadTrace, Validation) {
+  EXPECT_THROW((void)LoadTrace::flat(0_s, 0.5), PreconditionError);
+  EXPECT_THROW((void)LoadTrace::flat(1_s, 1.0), PreconditionError);
+  EXPECT_THROW((void)LoadTrace::diurnal(1_s, 0.8, 0.2), PreconditionError);
+  EXPECT_THROW((void)LoadTrace::step(10_s, 0.1, 0.5, 8_s, 5_s),
+               PreconditionError);
+  EXPECT_THROW(LoadTrace(PiecewiseLinear({1.0, 2.0}, {0.1, 0.2})),
+               PreconditionError);  // must start at t=0
+}
+
+TEST(Replay, FlatTraceMatchesAnalyticPower) {
+  const auto m = ep_model();
+  // Long flat window: realized utilization and power converge to model.
+  const LoadTrace t = LoadTrace::flat(Seconds{60.0}, 0.5);
+  const auto r = replay_trace(m, t, {.bucket = Seconds{10.0}, .seed = 5});
+  EXPECT_NEAR(r.average_power.value(), m.average_power(0.5).value(),
+              m.average_power(0.5).value() * 0.05);
+  EXPECT_GT(r.jobs_completed, 100u);
+}
+
+TEST(Replay, ZeroLoadDrawsIdleExactly) {
+  const auto m = ep_model();
+  const LoadTrace t = LoadTrace::flat(Seconds{10.0}, 0.0);
+  const auto r = replay_trace(m, t);
+  EXPECT_EQ(r.jobs_completed, 0u);
+  EXPECT_NEAR(r.average_power.value(), m.idle_power().value(), 1e-9);
+  EXPECT_NEAR(r.total_energy.value(),
+              (m.idle_power() * Seconds{10.0}).value(), 1e-6);
+}
+
+TEST(Replay, BucketsFollowTheDiurnalShape) {
+  const auto m = ep_model();
+  const LoadTrace t = LoadTrace::diurnal(Seconds{120.0}, 0.1, 0.7);
+  const auto r = replay_trace(m, t, {.bucket = Seconds{5.0}, .seed = 11});
+  ASSERT_EQ(r.buckets.size(), 24u);
+  // Peak-load buckets draw more power than trough buckets.
+  const auto& quarter = r.buckets[6];   // ~peak of the sine
+  const auto& three_q = r.buckets[18];  // ~trough
+  EXPECT_GT(quarter.target_utilization, three_q.target_utilization);
+  EXPECT_GT(quarter.average_power.value(), three_q.average_power.value());
+}
+
+TEST(Replay, EnergyEqualsBucketSum) {
+  const auto m = ep_model();
+  const LoadTrace t = LoadTrace::diurnal(Seconds{60.0}, 0.2, 0.6);
+  const auto r = replay_trace(m, t, {.bucket = Seconds{6.0}});
+  Joules sum{0.0};
+  for (const auto& b : r.buckets)
+    sum += b.average_power * Seconds{6.0};
+  EXPECT_NEAR(sum.value(), r.total_energy.value(),
+              r.total_energy.value() * 1e-9);
+}
+
+TEST(Replay, StepTraceRaisesP95DuringTheBurst) {
+  const auto m = ep_model();
+  const LoadTrace t = LoadTrace::step(Seconds{60.0}, 0.1, 0.85,
+                                      Seconds{20.0}, Seconds{20.0});
+  const auto r = replay_trace(m, t, {.bucket = Seconds{10.0}, .seed = 9});
+  ASSERT_EQ(r.buckets.size(), 6u);
+  // Burst buckets (2, 3) see more jobs and higher p95 than quiet ones.
+  EXPECT_GT(r.buckets[2].jobs, r.buckets[0].jobs);
+  EXPECT_GT(r.buckets[3].p95_response.value(),
+            r.buckets[0].p95_response.value());
+  EXPECT_GE(r.worst_p95.value(), r.buckets[3].p95_response.value());
+}
+
+TEST(Replay, DeterministicForFixedSeed) {
+  const auto m = ep_model();
+  const LoadTrace t = LoadTrace::diurnal(Seconds{30.0}, 0.2, 0.6);
+  const auto a = replay_trace(m, t, {.bucket = Seconds{5.0}, .seed = 3});
+  const auto b = replay_trace(m, t, {.bucket = Seconds{5.0}, .seed = 3});
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_DOUBLE_EQ(a.total_energy.value(), b.total_energy.value());
+}
+
+TEST(Replay, Validation) {
+  const auto m = ep_model();
+  const LoadTrace t = LoadTrace::flat(Seconds{10.0}, 0.3);
+  TraceReplayOptions o;
+  o.bucket = Seconds{20.0};  // wider than the horizon
+  EXPECT_THROW((void)replay_trace(m, t, o), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Unit-type algebra: the compile-time dimensional rules plus runtime
+// arithmetic identities used throughout the Table 2/3 implementations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hcep/util/units.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::literals;
+
+TEST(Units, LiteralsProduceExpectedValues) {
+  EXPECT_DOUBLE_EQ((5_W).value(), 5.0);
+  EXPECT_DOUBLE_EQ((1_kW).value(), 1000.0);
+  EXPECT_DOUBLE_EQ((2.5_J).value(), 2.5);
+  EXPECT_DOUBLE_EQ((3_s).value(), 3.0);
+  EXPECT_DOUBLE_EQ((10_ms).value(), 0.010);
+  EXPECT_DOUBLE_EQ((50_us).value(), 50e-6);
+  EXPECT_DOUBLE_EQ((1.4_GHz).value(), 1.4e9);
+  EXPECT_DOUBLE_EQ((800_MHz).value(), 0.8e9);
+  EXPECT_DOUBLE_EQ((1_KB).value(), 1024.0);
+  EXPECT_DOUBLE_EQ((1_MB).value(), 1024.0 * 1024.0);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  EXPECT_DOUBLE_EQ((2_W + 3_W).value(), 5.0);
+  EXPECT_DOUBLE_EQ((5_W - 3_W).value(), 2.0);
+  Watts w{1.0};
+  w += 2_W;
+  EXPECT_DOUBLE_EQ(w.value(), 3.0);
+  w -= 1_W;
+  EXPECT_DOUBLE_EQ(w.value(), 2.0);
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_DOUBLE_EQ((4_W * 2.5).value(), 10.0);
+  EXPECT_DOUBLE_EQ((2.5 * 4_W).value(), 10.0);
+  EXPECT_DOUBLE_EQ((10_W / 4.0).value(), 2.5);
+  Watts w{8.0};
+  w *= 0.5;
+  EXPECT_DOUBLE_EQ(w.value(), 4.0);
+  w /= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 2.0);
+}
+
+TEST(Units, SameDimensionRatioIsDimensionless) {
+  const double ratio = 30_W / 60_W;
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+}
+
+TEST(Units, EnergyEqualsPowerTimesTime) {
+  const Joules e = 10_W * 3_s;
+  EXPECT_DOUBLE_EQ(e.value(), 30.0);
+  EXPECT_DOUBLE_EQ((3_s * 10_W).value(), 30.0);
+}
+
+TEST(Units, PowerEqualsEnergyOverTime) {
+  const Watts p = 30_J / 3_s;
+  EXPECT_DOUBLE_EQ(p.value(), 10.0);
+}
+
+TEST(Units, TimeEqualsEnergyOverPower) {
+  const Seconds t = 30_J / 10_W;
+  EXPECT_DOUBLE_EQ(t.value(), 3.0);
+}
+
+TEST(Units, CyclesOverFrequencyIsTime) {
+  const Seconds t = Cycles{2.8e9} / 1.4_GHz;
+  EXPECT_DOUBLE_EQ(t.value(), 2.0);
+}
+
+TEST(Units, FrequencyTimesTimeIsCycles) {
+  EXPECT_DOUBLE_EQ((1.4_GHz * 2_s).value(), 2.8e9);
+  EXPECT_DOUBLE_EQ((2_s * 1.4_GHz).value(), 2.8e9);
+}
+
+TEST(Units, BytesOverBandwidthIsTime) {
+  const Seconds t = Bytes{1e6} / BytesPerSecond{1e5};
+  EXPECT_DOUBLE_EQ(t.value(), 10.0);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(1_W, 2_W);
+  EXPECT_GT(3_s, 2_s);
+  EXPECT_EQ(5_J, 5_J);
+  EXPECT_LE(2_W, 2_W);
+  EXPECT_GE(2_W, 1_W);
+}
+
+TEST(Units, StreamOutputIncludesSymbol) {
+  std::ostringstream os;
+  os << 5_W << " " << 2_s;
+  EXPECT_EQ(os.str(), "5W 2s");
+}
+
+TEST(Units, NegationAndDefaultConstruction) {
+  EXPECT_DOUBLE_EQ((-(3_W)).value(), -3.0);
+  EXPECT_DOUBLE_EQ(Watts{}.value(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// hcep — command-line front end to the reproduction library.
+//
+//   hcep help                         this text
+//   hcep report [path]               full markdown report (default REPORT.md)
+//   hcep table <4|6|7|8>             one paper table on stdout
+//   hcep metrics <program> <nA9> <nK10>
+//                                    proportionality metrics of one mix
+//   hcep sweep <program> [maxA9 maxK10]
+//                                    Pareto frontier over the config space
+//   hcep response <program>          Figures 11/12-style p95 table
+//   hcep sensitivity <program>       seed-perturbation robustness
+//   hcep governor <program> [nA9 nK10]
+//                                    race-to-idle vs DVFS pacing
+//   hcep autoscale <program>         diurnal autoscaling vs static fleet
+//   hcep export <json|figures> [path]
+//                                    machine-readable study results
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hcep/hcep.hpp"
+
+namespace {
+
+using namespace hcep;
+
+int usage() {
+  std::cerr
+      << "usage: hcep <command> [args]\n"
+         "  report [path]                   full markdown report\n"
+         "  table <4|6|7|8>                 one paper table\n"
+         "  metrics <program> <nA9> <nK10>  metrics of one mix\n"
+         "  sweep <program> [maxA9 maxK10]  Pareto frontier\n"
+         "  response <program>              p95 vs utilization\n"
+         "  sensitivity <program>           seed robustness\n"
+         "  governor <program> [nA9 nK10]   race vs pace\n"
+         "  autoscale <program>             autoscaling vs static fleet\n"
+         "  export json [path]              full study as JSON\n"
+         "programs: EP memcached x264 blackscholes Julius RSA-2048\n";
+  return 1;
+}
+
+const core::PaperStudy& study() {
+  static const core::PaperStudy kStudy;
+  return kStudy;
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  const std::string path = args.empty() ? "REPORT.md" : args[0];
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  out << analysis::render_report(study());
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+int cmd_table(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string which = args[0];
+  if (which == "4") {
+    TextTable t({"Domain", "Program", "time err[%]", "energy err[%]"});
+    for (const auto& r : study().table4())
+      t.add_row({r.domain, r.program, fmt(r.time_error_percent, 1),
+                 fmt(r.energy_error_percent, 1)});
+    std::cout << t;
+    return 0;
+  }
+  if (which == "6" || which == "7") {
+    TextTable t({"Program", "Node", "PPR", "DPR", "IPR", "EPM"});
+    for (const auto& a : study().single_node_analyses())
+      t.add_row({a.program, a.node,
+                 a.ppr_peak >= 100 ? fmt_grouped(a.ppr_peak)
+                                   : fmt(a.ppr_peak, 2),
+                 fmt(a.report.dpr, 2), fmt(a.report.ipr, 2),
+                 fmt(a.report.epm, 2)});
+    std::cout << t;
+    return 0;
+  }
+  if (which == "8") {
+    for (const auto& program : workload::program_names()) {
+      TextTable t({"Mix", "DPR", "IPR", "EPM"});
+      for (const auto& m : study().budget_mix_analyses(program))
+        t.add_row({m.label, fmt(m.report.dpr, 2), fmt(m.report.ipr, 2),
+                   fmt(m.report.epm, 2)});
+      std::cout << "[" << program << "]\n" << t << "\n";
+    }
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_metrics(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const auto& w = study().workload(args[0]);
+  const auto n_a9 = static_cast<unsigned>(std::stoul(args[1]));
+  const auto n_k10 = static_cast<unsigned>(std::stoul(args[2]));
+  model::TimeEnergyModel m(model::make_a9_k10_cluster(n_a9, n_k10), w);
+  const auto r = metrics::analyze(m.power_curve());
+  std::cout << "mix " << m.cluster().label() << " running " << w.name
+            << ":\n"
+            << "  T_P " << m.job_time() << "   E_P "
+            << m.job_energy(w.units_per_job).e_p << "\n"
+            << "  idle " << m.idle_power() << "   busy " << m.busy_power()
+            << "   nameplate " << m.cluster().nameplate_power() << "\n"
+            << "  DPR " << fmt(r.dpr, 2) << "  IPR " << fmt(r.ipr, 2)
+            << "  EPM " << fmt(r.epm, 2) << "  PPR@peak "
+            << fmt(m.ppr(1.0), 2) << "\n";
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto& w = study().workload(args[0]);
+  const unsigned max_a9 =
+      args.size() > 1 ? static_cast<unsigned>(std::stoul(args[1])) : 10;
+  const unsigned max_k10 =
+      args.size() > 2 ? static_cast<unsigned>(std::stoul(args[2])) : 5;
+  const auto space = config::make_a9_k10_space(max_a9, max_k10);
+  std::cout << "evaluating " << space.size() << " configurations...\n";
+  const auto evals = config::evaluate_space(space, w);
+  const auto front = config::pareto_front(evals);
+  TextTable t({"config", "T_P [ms]", "E_P [J]", "EDP [J*s]"});
+  for (const auto& e : front)
+    t.add_row({e.config.label(), fmt(e.time.value() * 1e3, 2),
+               fmt(e.energy.value(), 2),
+               fmt(config::energy_delay_product(e), 4)});
+  std::cout << t;
+  const auto edp = config::min_edp(evals);
+  std::cout << "EDP optimum: " << edp->config.label() << "\n";
+  return 0;
+}
+
+int cmd_response(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto r = study().response_study(args[0]);
+  std::cout << "deadline " << r.deadline << "\n";
+  TextTable t({"mix", "meets", "service [ms]", "p95@50% [ms]",
+               "p95@90% [ms]"});
+  for (const auto& m : r.mixes) {
+    const auto at = [&](double up) -> double {
+      for (const auto& pt : m.points)
+        if (pt.utilization_percent == up) return pt.p95_analytic.value();
+      return 0.0;
+    };
+    t.add_row({m.mix.label(), m.meets_deadline ? "yes" : "NO",
+               fmt(m.service_time.value() * 1e3, 2), fmt(at(50) * 1e3, 2),
+               fmt(at(90) * 1e3, 2)});
+  }
+  std::cout << t;
+  return 0;
+}
+
+int cmd_sensitivity(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto r = analysis::run_sensitivity_study(args[0]);
+  std::cout << "trials: " << r.trials << "\n"
+            << "Table 6 winner flips: " << r.winner_flips << "\n"
+            << "Table 8 DPR(64A9:8K10): " << fmt(r.dpr_mixed.mean(), 2)
+            << " +/- " << fmt(r.dpr_mixed.stddev(), 2) << "\n"
+            << "Fig 9 (25,7) crossover: "
+            << fmt(r.crossover_25_7.mean(), 3) << " +/- "
+            << fmt(r.crossover_25_7.stddev(), 3) << "\n";
+  return 0;
+}
+
+int cmd_autoscale(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto& w = study().workload(args[0]);
+  const model::TimeEnergyModel m(model::make_a9_k10_cluster(32, 12), w);
+  const auto day =
+      cluster::LoadTrace::diurnal(Seconds{600.0}, 0.1, 0.8);
+  const auto r = cluster::autoscale_replay(m, day);
+  std::cout << "fleet 32A9:12K10 over a diurnal day (compressed):\n"
+            << "  energy " << fmt(r.total_energy.value() / 1e3, 1)
+            << " kJ   avg power " << fmt(r.average_power.value(), 1)
+            << " W   worst p95 " << fmt(r.worst_p95.value() * 1e3, 1)
+            << " ms\n"
+            << "  effective EPM " << fmt(r.effective_report.epm, 2)
+            << " (static fleet: " << fmt(r.static_report.epm, 2) << ")\n"
+            << "  effective idle floor "
+            << fmt(r.effective_curve.idle().value(), 1) << " W (static: "
+            << fmt(m.idle_power().value(), 1) << " W)\n";
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "json") return usage();
+  const std::string path = args.size() > 1 ? args[1] : "study.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  out << analysis::export_study(study()).dump_pretty() << "\n";
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+int cmd_governor(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  analysis::GovernorStudyOptions opts;
+  if (args.size() > 2) {
+    opts.mix = {static_cast<unsigned>(std::stoul(args[1])),
+                static_cast<unsigned>(std::stoul(args[2]))};
+  }
+  const auto r =
+      analysis::run_governor_study(study().workload(args[0]), opts);
+  TextTable t({"util", "race [W]", "pace [W]", "saving"});
+  for (const auto& pt : r.points)
+    t.add_row({fmt(pt.utilization * 100, 0) + "%",
+               fmt(pt.race_power.value(), 1), fmt(pt.pace_power.value(), 1),
+               fmt(pt.saving_percent, 1) + "%"});
+  std::cout << t;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage();
+    if (cmd == "report") return cmd_report(args);
+    if (cmd == "table") return cmd_table(args);
+    if (cmd == "metrics") return cmd_metrics(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "response") return cmd_response(args);
+    if (cmd == "sensitivity") return cmd_sensitivity(args);
+    if (cmd == "governor") return cmd_governor(args);
+    if (cmd == "autoscale") return cmd_autoscale(args);
+    if (cmd == "export") return cmd_export(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
