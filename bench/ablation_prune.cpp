@@ -34,9 +34,9 @@ int main() {
     bool preserved = true;
     for (const auto& f : full_front) {
       bool matched = false;
-      for (const auto& e : pruned_evals) {
-        if (e.time.value() <= f.time.value() * (1 + 1e-9) &&
-            e.energy.value() <= f.energy.value() * (1 + 1e-9)) {
+      for (std::size_t i = 0; i < pruned_evals.size(); ++i) {
+        if (pruned_evals.times()[i] <= f.time.value() * (1 + 1e-9) &&
+            pruned_evals.energies()[i] <= f.energy.value() * (1 + 1e-9)) {
           matched = true;
           break;
         }

@@ -32,7 +32,38 @@ void BM_ConfigDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ConfigDecode);
 
+void BM_DecodeAt(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(10, 10);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    config::DecodedGroup groups[config::kMaxTypes];
+    const std::size_t n = space.decode_at(i, groups);
+    std::uint64_t nodes = 0;
+    for (std::size_t g = 0; g < n; ++g) nodes += groups[g].count;
+    benchmark::DoNotOptimize(nodes);
+    i = (i + 7919) % space.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeAt);
+
 void BM_FullSweep(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(10, 10);
+  for (auto _ : state) {
+    std::uint64_t nodes = 0;
+    space.for_each_decoded([&](const config::DecodedGroup* groups,
+                               std::size_t n, std::uint64_t) {
+      for (std::size_t g = 0; g < n; ++g) nodes += groups[g].count;
+    });
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_FullSweep);
+
+void BM_FullSweepMaterialized(benchmark::State& state) {
   const config::ConfigSpace space = config::make_a9_k10_space(10, 10);
   for (auto _ : state) {
     std::uint64_t nodes = 0;
@@ -45,7 +76,7 @@ void BM_FullSweep(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) *
       static_cast<std::int64_t>(space.size()));
 }
-BENCHMARK(BM_FullSweep);
+BENCHMARK(BM_FullSweepMaterialized);
 
 }  // namespace
 

@@ -1,5 +1,6 @@
 // Library performance: configuration-space evaluation and Pareto-frontier
-// extraction, serial vs thread pool.
+// extraction — memoized fast path vs the naive per-config model path,
+// serial vs thread pool.
 #include <benchmark/benchmark.h>
 
 #include "hcep/config/pareto.hpp"
@@ -21,7 +22,7 @@ void BM_EvaluateSpace(benchmark::State& state) {
   ThreadPool pool(static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
     auto evals = config::evaluate_space(space, ep(), &pool);
-    benchmark::DoNotOptimize(evals.data());
+    benchmark::DoNotOptimize(evals.times().data());
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations()) *
@@ -34,9 +35,48 @@ BENCHMARK(BM_EvaluateSpace)
     ->Args({10, 4})
     ->Unit(benchmark::kMillisecond);
 
+void BM_EvaluateSpaceNaive(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const config::ConfigSpace space = config::make_a9_k10_space(n, n);
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto evals = config::evaluate_space_naive(space, ep(), &pool);
+    benchmark::DoNotOptimize(evals.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_EvaluateSpaceNaive)
+    ->Args({6, 1})
+    ->Args({10, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OperatingPointTableBuild(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(10, 10);
+  for (auto _ : state) {
+    config::OperatingPointTable table(space, ep());
+    benchmark::DoNotOptimize(table.num_types());
+  }
+}
+BENCHMARK(BM_OperatingPointTableBuild);
+
 void BM_ParetoFront(benchmark::State& state) {
   const config::ConfigSpace space = config::make_a9_k10_space(8, 8);
   const auto evals = config::evaluate_space(space, ep());
+  for (auto _ : state) {
+    auto front = config::pareto_front(evals);
+    benchmark::DoNotOptimize(front.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(evals.size()));
+}
+BENCHMARK(BM_ParetoFront)->Unit(benchmark::kMillisecond);
+
+void BM_ParetoFrontMaterialized(benchmark::State& state) {
+  const config::ConfigSpace space = config::make_a9_k10_space(8, 8);
+  const auto evals = config::evaluate_space_naive(space, ep());
   for (auto _ : state) {
     auto copy = evals;
     auto front = config::pareto_front(std::move(copy));
@@ -46,7 +86,7 @@ void BM_ParetoFront(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) *
       static_cast<std::int64_t>(evals.size()));
 }
-BENCHMARK(BM_ParetoFront)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParetoFrontMaterialized)->Unit(benchmark::kMillisecond);
 
 void BM_DeadlineSelection(benchmark::State& state) {
   const config::ConfigSpace space = config::make_a9_k10_space(8, 8);

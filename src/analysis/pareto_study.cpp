@@ -23,48 +23,65 @@ model::ClusterSpec mix_cluster(const MixCounts& mix) {
   return model::make_a9_k10_cluster(mix.a9, mix.k10);
 }
 
-/// Evaluates every (c, f) operating point of a fixed mix.
+/// Evaluates every (c, f) operating point of a fixed mix via the memoized
+/// operating-point table, in parallel. Index order matches the historical
+/// quadruple loop: (c_A9, f_A9, c_K10, f_K10) with frequency innermost.
 std::vector<config::Evaluation> operating_points(
     const MixCounts& mix, const workload::Workload& workload) {
   require(mix.a9 + mix.k10 > 0, "operating_points: empty mix");
-  const hw::NodeSpec a9 = hw::cortex_a9();
-  const hw::NodeSpec k10 = hw::opteron_k10();
 
-  // Enumerate (c, f) per present type; absent types contribute one "slot".
-  std::vector<config::Evaluation> out;
-  const auto a9_cores = mix.a9 > 0 ? a9.cores : 1;
-  const auto a9_freqs = mix.a9 > 0 ? a9.dvfs.size() : 1;
-  const auto k10_cores = mix.k10 > 0 ? k10.cores : 1;
-  const auto k10_freqs = mix.k10 > 0 ? k10.dvfs.size() : 1;
-
-  std::uint64_t index = 0;
-  for (unsigned ca = 1; ca <= a9_cores; ++ca) {
-    for (std::size_t fa = 0; fa < a9_freqs; ++fa) {
-      for (unsigned ck = 1; ck <= k10_cores; ++ck) {
-        for (std::size_t fk = 0; fk < k10_freqs; ++fk) {
-          model::ClusterSpec cfg;
-          if (mix.a9 > 0) {
-            cfg.groups.push_back(
-                model::NodeGroup{a9, mix.a9, ca, a9.dvfs.step(fa)});
-          }
-          if (mix.k10 > 0) {
-            cfg.groups.push_back(
-                model::NodeGroup{k10, mix.k10, ck, k10.dvfs.step(fk)});
-          }
-          cfg.overhead_power = hw::switch_power_for(mix.a9);
-          model::TimeEnergyModel m(cfg, workload);
-          config::Evaluation e;
-          e.index = index++;
-          e.time = m.execution_time(workload.units_per_job).t_p;
-          e.energy = m.job_energy(workload.units_per_job).e_p;
-          e.idle_power = m.idle_power();
-          e.busy_power = m.busy_power();
-          e.config = std::move(cfg);
-          out.push_back(std::move(e));
-        }
-      }
-    }
+  // A one-node-per-type space is enough to drive the table: operating
+  // points are node-count independent, and the mix fixes the counts.
+  std::vector<config::TypeOptions> types;
+  if (mix.a9 > 0) {
+    config::TypeOptions a9;
+    a9.spec = hw::cortex_a9();
+    types.push_back(std::move(a9));
   }
+  if (mix.k10 > 0) {
+    config::TypeOptions k10;
+    k10.spec = hw::opteron_k10();
+    types.push_back(std::move(k10));
+  }
+  const config::ConfigSpace space(std::move(types));
+  const config::OperatingPointTable table(space, workload);
+
+  const std::size_t k10_type = mix.a9 > 0 ? 1 : 0;
+  const std::size_t a9_points = mix.a9 > 0 ? space.points_for(0) : 1;
+  const std::size_t k10_points = mix.k10 > 0 ? space.points_for(k10_type) : 1;
+
+  std::vector<config::Evaluation> out(a9_points * k10_points);
+  auto evaluate_one = [&](std::size_t i) {
+    config::DecodedGroup groups[2];
+    std::size_t n = 0;
+    if (mix.a9 > 0) {
+      groups[n++] = {0, mix.a9, static_cast<std::uint32_t>(i / k10_points)};
+    }
+    if (mix.k10 > 0) {
+      groups[n++] = {static_cast<std::uint32_t>(k10_type), mix.k10,
+                     static_cast<std::uint32_t>(i % k10_points)};
+    }
+    const config::PointMetrics m = table.evaluate_job(groups, n);
+
+    model::ClusterSpec cfg;
+    for (std::size_t g = 0; g < n; ++g) {
+      const config::OperatingPoint op =
+          space.point_at(groups[g].type, groups[g].point);
+      cfg.groups.push_back(model::NodeGroup{space.types()[groups[g].type].spec,
+                                            groups[g].count, op.cores,
+                                            op.frequency});
+    }
+    cfg.overhead_power = hw::switch_power_for(mix.a9);
+
+    config::Evaluation& e = out[i];
+    e.index = i;
+    e.time = Seconds{m.time};
+    e.energy = Joules{m.energy};
+    e.idle_power = Watts{m.idle_power};
+    e.busy_power = Watts{m.busy_power};
+    e.config = std::move(cfg);
+  };
+  parallel_for(ThreadPool::global(), 0, out.size(), evaluate_one, 8);
   return out;
 }
 

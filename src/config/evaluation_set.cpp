@@ -1,0 +1,21 @@
+#include "hcep/config/evaluation_set.hpp"
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::config {
+
+Evaluation EvaluationSet::materialize(std::size_t i) const {
+  require(space_ != nullptr,
+          "EvaluationSet::materialize: set not bound to a ConfigSpace");
+  require(i < size(), "EvaluationSet::materialize: index out of range");
+  Evaluation e;
+  e.index = i;
+  e.config = space_->config_at(i);
+  e.time = time(i);
+  e.energy = energy(i);
+  e.idle_power = idle_power(i);
+  e.busy_power = busy_power(i);
+  return e;
+}
+
+}  // namespace hcep::config

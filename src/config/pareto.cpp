@@ -7,9 +7,87 @@
 
 namespace hcep::config {
 
-std::vector<Evaluation> evaluate_space(const ConfigSpace& space,
-                                       const workload::Workload& workload,
-                                       ThreadPool* pool) {
+EvaluationSet evaluate_space(const ConfigSpace& space,
+                             const workload::Workload& workload,
+                             ThreadPool* pool) {
+  // One heavyweight pass: per-tuple unit times, throughputs and power
+  // rates. Also validates workload coverage of every type up front.
+  const OperatingPointTable table(space, workload);
+
+  EvaluationSet out(&space, space.size());
+
+  const std::size_t num_types = space.types().size();
+  std::uint64_t radix[kMaxTypes];
+  std::uint64_t points[kMaxTypes];
+  for (std::size_t i = 0; i < num_types; ++i) {
+    radix[i] = space.types()[i].tuples() + 1;
+    points[i] = space.points_for(i);
+  }
+
+  // Chunked sweep: each chunk seeds a mixed-radix odometer with one
+  // div/mod chain, then advances digits incrementally — the hot loop is
+  // pure table arithmetic with no per-configuration division and no
+  // ClusterSpec/NodeSpec/Workload construction or heap allocation.
+  constexpr std::uint64_t kChunk = 1024;
+  const std::uint64_t n_cfg = space.size();
+  const std::uint64_t n_chunks = (n_cfg + kChunk - 1) / kChunk;
+
+  auto sweep_chunk = [&](std::size_t c) {
+    const std::uint64_t begin = c * kChunk;
+    const std::uint64_t end = std::min(n_cfg, begin + kChunk);
+
+    // Per-type digit plus its decoded (point, count); digit 0 = absent.
+    std::uint64_t digit[kMaxTypes];
+    std::uint32_t point[kMaxTypes];
+    std::uint32_t count[kMaxTypes];
+    std::uint64_t code = begin + 1;  // code 0 is the empty cluster
+    for (std::size_t i = 0; i < num_types; ++i) {
+      digit[i] = code % radix[i];
+      code /= radix[i];
+      const std::uint64_t d = digit[i] > 0 ? digit[i] - 1 : 0;
+      point[i] = static_cast<std::uint32_t>(d % points[i]);
+      count[i] = static_cast<std::uint32_t>(d / points[i] + 1);
+    }
+
+    DecodedGroup groups[kMaxTypes];
+    for (std::uint64_t index = begin; index < end; ++index) {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < num_types; ++i) {
+        if (digit[i] == 0) continue;
+        groups[n].type = static_cast<std::uint32_t>(i);
+        groups[n].count = count[i];
+        groups[n].point = point[i];
+        ++n;
+      }
+      const PointMetrics m = table.evaluate_job(groups, n);
+      out.set(index, m.time, m.energy, m.idle_power, m.busy_power);
+
+      // Advance the odometer (least-significant digit first).
+      for (std::size_t i = 0; i < num_types; ++i) {
+        if (++digit[i] == radix[i]) {
+          digit[i] = 0;  // carry into the next type
+          continue;
+        }
+        if (digit[i] == 1) {
+          point[i] = 0;
+          count[i] = 1;
+        } else if (++point[i] == points[i]) {
+          point[i] = 0;
+          ++count[i];
+        }
+        break;
+      }
+    }
+  };
+
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  parallel_for(p, 0, n_chunks, sweep_chunk, 1);
+  return out;
+}
+
+std::vector<Evaluation> evaluate_space_naive(
+    const ConfigSpace& space, const workload::Workload& workload,
+    ThreadPool* pool) {
   // Pre-check type coverage once instead of throwing per configuration.
   for (const auto& t : space.types()) {
     require(workload.has_node(t.spec.name),
@@ -53,6 +131,77 @@ std::vector<Evaluation> pareto_front(std::vector<Evaluation> evaluations) {
   return front;
 }
 
+std::vector<Evaluation> pareto_front(const EvaluationSet& evals) {
+  if (evals.empty()) return {};
+  const std::vector<double>& time = evals.times();
+  const std::vector<double>& energy = evals.energies();
+  const std::size_t n = evals.size();
+
+  // Bucketed domination prefilter: bucket the time axis, take the prefix
+  // minimum of per-bucket energies, and drop every point beaten on energy
+  // by some strictly earlier bucket (which is strictly faster, so the
+  // dropped point is dominated). Frontier members are never dominated and
+  // always survive; the sort below then runs on a small candidate set.
+  double t_lo = time[0];
+  double t_hi = time[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    t_lo = std::min(t_lo, time[i]);
+    t_hi = std::max(t_hi, time[i]);
+  }
+  const std::size_t kBuckets = 1024;
+  const double width = (t_hi - t_lo) / static_cast<double>(kBuckets);
+  std::vector<double> bucket_min;
+  const double inf = std::numeric_limits<double>::infinity();
+  auto bucket_of = [&](double t) {
+    const auto b = static_cast<std::size_t>((t - t_lo) / width);
+    return std::min(b, kBuckets - 1);
+  };
+  if (width > 0.0) {
+    bucket_min.assign(kBuckets, inf);
+    for (std::size_t i = 0; i < n; ++i) {
+      double& slot = bucket_min[bucket_of(time[i])];
+      slot = std::min(slot, energy[i]);
+    }
+    double running = inf;
+    for (double& slot : bucket_min) {  // prefix min over faster buckets
+      const double here = slot;
+      slot = running;
+      running = std::min(running, here);
+    }
+  }
+
+  // Compact (time, energy, index) keys sort contiguously — no random
+  // access into the metric columns per comparison, and no string-bearing
+  // Evaluation structs are swapped.
+  struct Key {
+    double time;
+    double energy;
+    std::uint64_t index;
+  };
+  std::vector<Key> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (width > 0.0 && bucket_min[bucket_of(time[i])] <= energy[i]) {
+      continue;  // dominated by a strictly faster bucket's best energy
+    }
+    keys.push_back(Key{time[i], energy[i], i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.energy != b.energy) return a.energy < b.energy;
+    return a.index < b.index;
+  });
+
+  std::vector<Evaluation> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const Key& k : keys) {
+    if (k.energy < best_energy) {
+      best_energy = k.energy;
+      front.push_back(evals.materialize(k.index));
+    }
+  }
+  return front;
+}
+
 std::optional<Evaluation> min_energy_within_deadline(
     const std::vector<Evaluation>& evaluations, Seconds deadline) {
   std::optional<Evaluation> best;
@@ -63,6 +212,21 @@ std::optional<Evaluation> min_energy_within_deadline(
   return best;
 }
 
+std::optional<Evaluation> min_energy_within_deadline(
+    const EvaluationSet& evals, Seconds deadline) {
+  std::size_t best = evals.size();
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    if (evals.times()[i] > deadline.value()) continue;
+    if (evals.energies()[i] < best_energy) {
+      best_energy = evals.energies()[i];
+      best = i;
+    }
+  }
+  if (best == evals.size()) return std::nullopt;
+  return evals.materialize(best);
+}
+
 std::optional<Evaluation> fastest(
     const std::vector<Evaluation>& evaluations) {
   std::optional<Evaluation> best;
@@ -70,6 +234,15 @@ std::optional<Evaluation> fastest(
     if (!best || e.time < best->time) best = e;
   }
   return best;
+}
+
+std::optional<Evaluation> fastest(const EvaluationSet& evals) {
+  if (evals.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < evals.size(); ++i) {
+    if (evals.times()[i] < evals.times()[best]) best = i;
+  }
+  return evals.materialize(best);
 }
 
 double energy_delay_product(const Evaluation& e) {
@@ -93,6 +266,21 @@ std::optional<Evaluation> min_edp(const std::vector<Evaluation>& evaluations,
     }
   }
   return best;
+}
+
+std::optional<Evaluation> min_edp(const EvaluationSet& evals, bool squared) {
+  std::size_t best = evals.size();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    const double t = evals.times()[i];
+    const double score = evals.energies()[i] * t * (squared ? t : 1.0);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  if (best == evals.size()) return std::nullopt;
+  return evals.materialize(best);
 }
 
 }  // namespace hcep::config

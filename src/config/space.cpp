@@ -19,6 +19,7 @@ std::uint64_t TypeOptions::tuples() const {
 ConfigSpace::ConfigSpace(std::vector<TypeOptions> types)
     : types_(std::move(types)) {
   require(!types_.empty(), "ConfigSpace: no node types");
+  require(types_.size() <= kMaxTypes, "ConfigSpace: too many node types");
   std::uint64_t product = 1;
   for (const auto& t : types_) {
     require(t.max_nodes >= 1, "ConfigSpace: max_nodes must be >= 1");
@@ -45,43 +46,70 @@ ConfigSpace::ConfigSpace(std::vector<TypeOptions> types)
   size_ = product - 1;  // exclude the all-absent combination
 }
 
-model::ClusterSpec ConfigSpace::config_at(std::uint64_t index) const {
-  require(index < size_, "ConfigSpace::config_at: index out of range");
+std::size_t ConfigSpace::points_for(std::size_t type) const {
+  const TypeOptions& t = types_[type];
+  if (!t.operating_points.empty()) return t.operating_points.size();
+  const std::size_t cores =
+      t.core_counts.empty() ? t.spec.cores : t.core_counts.size();
+  const std::size_t freqs =
+      t.frequencies.empty() ? t.spec.dvfs.size() : t.frequencies.size();
+  return cores * freqs;
+}
+
+OperatingPoint ConfigSpace::point_at(std::size_t type,
+                                     std::size_t point) const {
+  const TypeOptions& t = types_[type];
+  if (!t.operating_points.empty()) return t.operating_points[point];
+  const std::size_t freqs =
+      t.frequencies.empty() ? t.spec.dvfs.size() : t.frequencies.size();
+  const std::size_t ci = point / freqs;
+  const std::size_t fi = point % freqs;
+  OperatingPoint op;
+  op.cores = t.core_counts.empty() ? static_cast<unsigned>(ci + 1)
+                                   : t.core_counts[ci];
+  op.frequency =
+      t.frequencies.empty() ? t.spec.dvfs.step(fi) : t.frequencies[fi];
+  return op;
+}
+
+std::size_t ConfigSpace::decode_at(std::uint64_t index,
+                                   DecodedGroup* out) const {
+  require(index < size_, "ConfigSpace::decode_at: index out of range");
   std::uint64_t code = index + 1;  // code 0 is the excluded empty cluster
 
-  model::ClusterSpec cluster;
+  std::size_t n = 0;
   for (std::size_t i = 0; i < types_.size(); ++i) {
     const std::uint64_t digit = code % radix_[i];
     code /= radix_[i];
     if (digit == 0) continue;  // type absent
 
-    const TypeOptions& t = types_[i];
-    model::NodeGroup group;
-    group.spec = t.spec;
+    // Digit layout per type: point is the fastest-varying axis (frequency
+    // innermost for cross-product types), node count the slowest.
+    const std::uint64_t points = points_for(i);
+    const std::uint64_t d = digit - 1;
+    out[n].type = static_cast<std::uint32_t>(i);
+    out[n].point = static_cast<std::uint32_t>(d % points);
+    out[n].count = static_cast<std::uint32_t>(d / points + 1);
+    ++n;
+  }
+  return n;
+}
 
-    std::uint64_t d = digit - 1;
-    if (!t.operating_points.empty()) {
-      const std::uint64_t pi = d % t.operating_points.size();
-      d /= t.operating_points.size();
-      group.count = static_cast<unsigned>(d + 1);
-      group.active_cores = t.operating_points[pi].cores;
-      group.frequency = t.operating_points[pi].frequency;
-    } else {
-      const std::uint64_t freq_count =
-          t.frequencies.empty() ? t.spec.dvfs.size() : t.frequencies.size();
-      const std::uint64_t core_count =
-          t.core_counts.empty() ? t.spec.cores : t.core_counts.size();
-      const std::uint64_t fi = d % freq_count;
-      d /= freq_count;
-      const std::uint64_t ci = d % core_count;
-      d /= core_count;
-      group.count = static_cast<unsigned>(d + 1);
-      group.active_cores = t.core_counts.empty()
-                               ? static_cast<unsigned>(ci + 1)
-                               : t.core_counts[ci];
-      group.frequency = t.frequencies.empty() ? t.spec.dvfs.step(fi)
-                                              : t.frequencies[fi];
-    }
+model::ClusterSpec ConfigSpace::config_at(std::uint64_t index) const {
+  require(index < size_, "ConfigSpace::config_at: index out of range");
+  DecodedGroup decoded[kMaxTypes];  // constructor caps types at kMaxTypes
+  const std::size_t n = decode_at(index, decoded);
+
+  model::ClusterSpec cluster;
+  cluster.groups.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const DecodedGroup& g = decoded[k];
+    const OperatingPoint op = point_at(g.type, g.point);
+    model::NodeGroup group;
+    group.spec = types_[g.type].spec;
+    group.count = g.count;
+    group.active_cores = op.cores;
+    group.frequency = op.frequency;
     cluster.groups.push_back(std::move(group));
   }
   return cluster;
@@ -91,6 +119,36 @@ void ConfigSpace::for_each(
     const std::function<void(const model::ClusterSpec&, std::uint64_t)>& fn)
     const {
   for (std::uint64_t i = 0; i < size_; ++i) fn(config_at(i), i);
+}
+
+void ConfigSpace::for_each_decoded(
+    const std::function<void(const DecodedGroup*, std::size_t,
+                             std::uint64_t)>& fn) const {
+  // Mixed-radix odometer over per-type digits; `present` keeps the
+  // DecodedGroup list compacted so fn never sees absent types.
+  const std::size_t t = types_.size();
+  std::vector<std::uint64_t> digit(t, 0);
+  std::vector<std::uint64_t> points(t);
+  for (std::size_t i = 0; i < t; ++i) points[i] = points_for(i);
+  DecodedGroup groups[kMaxTypes];
+
+  for (std::uint64_t index = 0; index < size_; ++index) {
+    // Increment the odometer (code = index + 1, least-significant first).
+    for (std::size_t i = 0; i < t; ++i) {
+      if (++digit[i] < radix_[i]) break;
+      digit[i] = 0;
+    }
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (digit[i] == 0) continue;
+      const std::uint64_t d = digit[i] - 1;
+      groups[n].type = static_cast<std::uint32_t>(i);
+      groups[n].point = static_cast<std::uint32_t>(d % points[i]);
+      groups[n].count = static_cast<std::uint32_t>(d / points[i] + 1);
+      ++n;
+    }
+    fn(groups, n, index);
+  }
 }
 
 ConfigSpace make_a9_k10_space(unsigned arm, unsigned amd) {

@@ -1,0 +1,90 @@
+// Structure-of-arrays sweep results.
+//
+// A full footnote-4 sweep produces 36,380 results. Carrying a deep
+// ClusterSpec (strings, DVFS ladders, CPI tables) per result makes the
+// frontier extraction sort/swap kilobyte-sized structs; an EvaluationSet
+// stores the four metric columns contiguously and materializes the heavy
+// per-configuration Evaluation lazily — only for the handful of
+// configurations a caller actually selects (frontier members, deadline
+// picks, EDP optima).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hcep/config/space.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::config {
+
+/// One evaluated configuration, fully materialized.
+struct Evaluation {
+  std::uint64_t index = 0;      ///< position in the ConfigSpace
+  model::ClusterSpec config;
+  Seconds time{};               ///< job execution time T_P
+  Joules energy{};              ///< job energy E_P
+  Watts idle_power{};
+  Watts busy_power{};
+};
+
+/// Sweep results for every configuration of a ConfigSpace, stored as
+/// parallel metric columns indexed by configuration index. Borrows the
+/// space (for lazy materialization): the space must outlive the set.
+class EvaluationSet {
+ public:
+  EvaluationSet() = default;
+  EvaluationSet(const ConfigSpace* space, std::size_t n)
+      : space_(space), time_(n), energy_(n), idle_(n), busy_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return time_.size(); }
+  [[nodiscard]] bool empty() const { return time_.empty(); }
+  [[nodiscard]] const ConfigSpace* space() const { return space_; }
+
+  [[nodiscard]] Seconds time(std::size_t i) const {
+    return Seconds{time_[i]};
+  }
+  [[nodiscard]] Joules energy(std::size_t i) const {
+    return Joules{energy_[i]};
+  }
+  [[nodiscard]] Watts idle_power(std::size_t i) const {
+    return Watts{idle_[i]};
+  }
+  [[nodiscard]] Watts busy_power(std::size_t i) const {
+    return Watts{busy_[i]};
+  }
+
+  /// Raw columns (seconds / joules / watts), index-aligned.
+  [[nodiscard]] const std::vector<double>& times() const { return time_; }
+  [[nodiscard]] const std::vector<double>& energies() const {
+    return energy_;
+  }
+  [[nodiscard]] const std::vector<double>& idle_powers() const {
+    return idle_;
+  }
+  [[nodiscard]] const std::vector<double>& busy_powers() const {
+    return busy_;
+  }
+
+  /// Writes one row (thread-safe for distinct `i`).
+  void set(std::size_t i, double time_s, double energy_j, double idle_w,
+           double busy_w) {
+    time_[i] = time_s;
+    energy_[i] = energy_j;
+    idle_[i] = idle_w;
+    busy_[i] = busy_w;
+  }
+
+  /// Decodes the ClusterSpec for row `i` and assembles the classic
+  /// Evaluation — the only place the sweep pipeline pays for deep copies.
+  [[nodiscard]] Evaluation materialize(std::size_t i) const;
+
+ private:
+  const ConfigSpace* space_ = nullptr;
+  std::vector<double> time_;    ///< T_P [s]
+  std::vector<double> energy_;  ///< E_P [J]
+  std::vector<double> idle_;    ///< cluster idle floor [W]
+  std::vector<double> busy_;    ///< cluster busy power [W]
+};
+
+}  // namespace hcep::config

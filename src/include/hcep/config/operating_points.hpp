@@ -1,0 +1,98 @@
+// Memoized operating-point evaluation engine.
+//
+// A configuration space over T node types with P_t per-type operating
+// points (active cores x frequency) contains O(prod_t n_t * P_t)
+// configurations but only O(sum_t P_t) *distinct* per-node behaviours:
+// for the footnote-4 A9/K10 space that is 36,380 configurations built
+// from 20 + 18 = 38 tuples. Everything the time-energy model derives per
+// node — unit-time phase components, unit throughput, busy power and the
+// Table 2 energy rates — depends only on (type, cores, frequency), never
+// on the node count, so it can be computed once per tuple and reused
+// across the whole sweep.
+//
+// OperatingPointTable precomputes exactly those quantities (via the same
+// workload::unit_time / workload::busy_power primitives the naive
+// TimeEnergyModel path uses, so results agree to machine precision) and
+// fuses a configuration in O(#types) arithmetic with no ClusterSpec,
+// NodeSpec, Workload or heap allocation on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hcep/config/space.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::config {
+
+/// Cached per-(type, operating point) quantities. Times are seconds per
+/// unit of work on one node; powers are watts per node.
+struct OperatingPointEntry {
+  double t_core = 0.0;  ///< per-unit core execution time
+  double t_mem = 0.0;   ///< per-unit memory-stall time
+  double t_cpu = 0.0;   ///< max(t_core, t_mem)
+  double t_io = 0.0;    ///< per-unit NIC transfer time
+  double throughput = 0.0;  ///< units/s per continuously busy node
+  double busy_power = 0.0;  ///< W per continuously busy node
+  // Table 2 energy rates with (cores * dvfs * kappa) folded in, so the
+  // fused evaluator multiplies each by a phase time and the node count.
+  double p_core_active = 0.0;  ///< W while cores execute work cycles
+  double p_core_stall = 0.0;   ///< W while cores stall on memory
+  double p_mem = 0.0;          ///< W while the memory system streams
+  double p_net = 0.0;          ///< W while the NIC moves data
+};
+
+/// The four scalars a sweep needs per configuration.
+struct PointMetrics {
+  double time = 0.0;        ///< job execution time T_P [s]
+  double energy = 0.0;      ///< job energy E_P [J]
+  double idle_power = 0.0;  ///< cluster idle floor [W]
+  double busy_power = 0.0;  ///< cluster busy power [W]
+};
+
+class OperatingPointTable {
+ public:
+  /// Precomputes every (type, operating point) tuple of `space` for
+  /// `workload`. Throws when the workload lacks demand for a type.
+  /// Holds no reference to either argument after construction.
+  OperatingPointTable(const ConfigSpace& space,
+                      const workload::Workload& workload);
+
+  [[nodiscard]] std::size_t num_types() const { return types_.size(); }
+  [[nodiscard]] std::size_t points_for(std::size_t type) const {
+    return types_[type].points.size();
+  }
+  [[nodiscard]] const OperatingPointEntry& entry(std::size_t type,
+                                                 std::size_t point) const {
+    return types_[type].points[point];
+  }
+  /// Idle floor of one node of `type` [W].
+  [[nodiscard]] double idle_power(std::size_t type) const {
+    return types_[type].idle_power;
+  }
+  [[nodiscard]] double units_per_job() const { return units_per_job_; }
+
+  /// Fuses one configuration: rate-matched work split, Table 2 time and
+  /// energy rows, idle/busy cluster power — pure arithmetic over the
+  /// cached tuples, no allocation. `groups` holds `n` present groups
+  /// (e.g. from ConfigSpace::decode_at).
+  [[nodiscard]] PointMetrics evaluate(const DecodedGroup* groups,
+                                      std::size_t n, double units) const;
+
+  /// Convenience overload for one job of the bound workload.
+  [[nodiscard]] PointMetrics evaluate_job(const DecodedGroup* groups,
+                                          std::size_t n) const {
+    return evaluate(groups, n, units_per_job_);
+  }
+
+ private:
+  struct TypeTable {
+    double idle_power = 0.0;  ///< W per node, operating-point independent
+    std::vector<OperatingPointEntry> points;
+  };
+  std::vector<TypeTable> types_;
+  double units_per_job_ = 1.0;
+  double io_request_interval_ = 0.0;  ///< 1/lambda_I/O [s]
+};
+
+}  // namespace hcep::config

@@ -6,12 +6,23 @@
 // model across a ConfigSpace (in parallel) and extracts that frontier,
 // plus the deadline-constrained minimum-energy pick used by the
 // response-time analysis of Figures 11/12.
+//
+// The sweep is memoized: evaluate_space precomputes an
+// OperatingPointTable (one entry per distinct (type, cores, frequency)
+// tuple — 38 for the 36,380-configuration footnote-4 space) and fuses
+// each configuration in O(#types) arithmetic, writing into a
+// structure-of-arrays EvaluationSet. Selection helpers operate on the
+// metric columns and materialize full Evaluations only for winners.
+// evaluate_space_naive keeps the original one-TimeEnergyModel-per-
+// configuration path as the cross-check oracle.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "hcep/config/evaluation_set.hpp"
+#include "hcep/config/operating_points.hpp"
 #include "hcep/config/space.hpp"
 #include "hcep/model/time_energy.hpp"
 #include "hcep/parallel/thread_pool.hpp"
@@ -19,37 +30,41 @@
 
 namespace hcep::config {
 
-/// One evaluated configuration.
-struct Evaluation {
-  std::uint64_t index = 0;      ///< position in the ConfigSpace
-  model::ClusterSpec config;
-  Seconds time{};               ///< job execution time T_P
-  Joules energy{};              ///< job energy E_P
-  Watts idle_power{};
-  Watts busy_power{};
-};
+/// Evaluates every configuration in `space` for one job of `workload`
+/// via the memoized fast path. Runs on `pool` (nullptr = the global
+/// pool). The returned set borrows `space`, which must outlive it.
+[[nodiscard]] EvaluationSet evaluate_space(const ConfigSpace& space,
+                                           const workload::Workload& workload,
+                                           ThreadPool* pool = nullptr);
 
-/// Evaluates every configuration in `space` for one job of `workload`.
-/// Runs on `pool` (nullptr = the global pool). Configurations whose node
-/// types the workload lacks demand for are skipped.
-[[nodiscard]] std::vector<Evaluation> evaluate_space(
+/// The pre-memoization reference path: materializes a ClusterSpec and a
+/// TimeEnergyModel per configuration. O(|space|) heavyweight work — kept
+/// as the oracle for fast-path equivalence tests and for callers that
+/// want every Evaluation fully materialized anyway.
+[[nodiscard]] std::vector<Evaluation> evaluate_space_naive(
     const ConfigSpace& space, const workload::Workload& workload,
     ThreadPool* pool = nullptr);
 
 /// Extracts the Pareto frontier minimizing (time, energy): no returned
 /// configuration is dominated (another with <= time and <= energy, one
 /// strict). Result sorted by increasing time (hence decreasing energy).
+/// The EvaluationSet overload sorts 8-byte indices over the metric
+/// columns and materializes only the frontier members.
 [[nodiscard]] std::vector<Evaluation> pareto_front(
     std::vector<Evaluation> evaluations);
+[[nodiscard]] std::vector<Evaluation> pareto_front(const EvaluationSet& evals);
 
 /// Minimum-energy configuration meeting `deadline`; nullopt when no
 /// configuration is fast enough.
 [[nodiscard]] std::optional<Evaluation> min_energy_within_deadline(
     const std::vector<Evaluation>& evaluations, Seconds deadline);
+[[nodiscard]] std::optional<Evaluation> min_energy_within_deadline(
+    const EvaluationSet& evals, Seconds deadline);
 
 /// Fastest configuration regardless of energy.
 [[nodiscard]] std::optional<Evaluation> fastest(
     const std::vector<Evaluation>& evaluations);
+[[nodiscard]] std::optional<Evaluation> fastest(const EvaluationSet& evals);
 
 /// Energy-delay product E_P * T_P in J*s — the classic single-number
 /// compromise between the frontier's two axes.
@@ -62,5 +77,7 @@ struct Evaluation {
 /// of the Pareto frontier.
 [[nodiscard]] std::optional<Evaluation> min_edp(
     const std::vector<Evaluation>& evaluations, bool squared = false);
+[[nodiscard]] std::optional<Evaluation> min_edp(const EvaluationSet& evals,
+                                                bool squared = false);
 
 }  // namespace hcep::config

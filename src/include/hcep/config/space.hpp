@@ -43,6 +43,21 @@ struct TypeOptions {
   [[nodiscard]] std::uint64_t tuples() const;
 };
 
+/// Upper bound on node types per space, sized so decoded-group scratch
+/// buffers can live on the stack along every sweep path.
+inline constexpr std::size_t kMaxTypes = 16;
+
+/// One present group of a decoded configuration, by reference into the
+/// space: `type` indexes types(), `point` indexes the type's operating
+/// points (resolve with ConfigSpace::point_at), `count` is n_i. Decoding
+/// to this form costs a few integer divisions — no NodeSpec/string copies
+/// — which is what lets sweeps run allocation-free.
+struct DecodedGroup {
+  std::uint32_t type = 0;
+  std::uint32_t count = 0;
+  std::uint32_t point = 0;
+};
+
 class ConfigSpace {
  public:
   explicit ConfigSpace(std::vector<TypeOptions> types);
@@ -57,10 +72,30 @@ class ConfigSpace {
   /// Decodes configuration `index` in [0, size()).
   [[nodiscard]] model::ClusterSpec config_at(std::uint64_t index) const;
 
+  /// Decodes configuration `index` into caller storage (`out` must hold at
+  /// least types().size() entries); returns the number of present groups.
+  /// Groups appear in type order, matching config_at's group order.
+  std::size_t decode_at(std::uint64_t index, DecodedGroup* out) const;
+
+  /// Number of (cores, frequency) operating points of one type — the
+  /// per-type tuple count with the node-count axis divided out.
+  [[nodiscard]] std::size_t points_for(std::size_t type) const;
+
+  /// Resolves a DecodedGroup::point ordinal to explicit (cores, frequency).
+  [[nodiscard]] OperatingPoint point_at(std::size_t type,
+                                        std::size_t point) const;
+
   /// Invokes fn(config, index) over the whole space (sequential).
   void for_each(
       const std::function<void(const model::ClusterSpec&, std::uint64_t)>& fn)
       const;
+
+  /// Invokes fn(groups, n_groups, index) over the whole space using an
+  /// incremental mixed-radix odometer: no ClusterSpec materialization and
+  /// no allocation per configuration.
+  void for_each_decoded(
+      const std::function<void(const DecodedGroup*, std::size_t,
+                               std::uint64_t)>& fn) const;
 
  private:
   std::vector<TypeOptions> types_;

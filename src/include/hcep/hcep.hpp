@@ -40,6 +40,8 @@
 #include "hcep/cluster/trace.hpp"
 #include "hcep/cluster/simulator.hpp"
 #include "hcep/config/budget.hpp"
+#include "hcep/config/evaluation_set.hpp"
+#include "hcep/config/operating_points.hpp"
 #include "hcep/config/pareto.hpp"
 #include "hcep/config/prune.hpp"
 #include "hcep/config/space.hpp"

@@ -63,11 +63,15 @@ struct EnergyResult {
 class TimeEnergyModel {
  public:
   /// Requires the workload to carry demand for every node type used.
-  TimeEnergyModel(ClusterSpec cluster, workload::Workload workload);
+  /// Borrows `workload` (no copy of the string-keyed demand maps): the
+  /// workload must outlive the model.
+  TimeEnergyModel(ClusterSpec cluster, const workload::Workload& workload);
+  /// Binding to a temporary workload would dangle — forbid it.
+  TimeEnergyModel(ClusterSpec cluster, workload::Workload&& workload) = delete;
 
   [[nodiscard]] const ClusterSpec& cluster() const { return cluster_; }
   [[nodiscard]] const workload::Workload& workload() const {
-    return workload_;
+    return *workload_;
   }
 
   /// Cluster work throughput (units/s) with every node continuously busy.
@@ -104,7 +108,7 @@ class TimeEnergyModel {
 
  private:
   ClusterSpec cluster_;
-  workload::Workload workload_;
+  const workload::Workload* workload_;  ///< borrowed, never null
   std::vector<double> group_rates_;  ///< n_i * per-node unit throughput
   double total_rate_ = 0.0;
 };

@@ -2,10 +2,21 @@
 // parallel_reduce helpers. The configuration-space sweeps enumerate tens of
 // thousands of cluster configurations and evaluate the time-energy model on
 // each; those loops are embarrassingly parallel and run through this pool.
+//
+// parallel_for claims chunks off a shared atomic counter: the pool receives
+// one task per participating worker (plus the calling thread, which also
+// claims chunks) instead of one std::function/packaged_task/future per
+// block, so dispatch cost is O(threads), not O(range / block).
+//
+// Nested use is safe: a parallel_for or parallel_reduce issued from inside
+// a pool worker executes inline on that worker instead of enqueueing onto
+// — and then deadlocking against — its own queue.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -26,6 +37,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// True when the calling thread is one of THIS pool's workers — the
+  /// nested-parallelism guard (see file comment).
+  [[nodiscard]] bool on_worker_thread() const;
 
   /// Enqueues a task; returns a future for its result.
   template <class F>
@@ -56,9 +71,13 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs f(i) for i in [begin, end) across the pool in contiguous blocks.
-/// Blocks until every iteration completes. Exceptions from iterations are
-/// rethrown (the first one encountered).
+/// Runs f(i) for i in [begin, end) across the pool, workers claiming
+/// contiguous chunks of at least `min_block` iterations from an atomic
+/// counter. Blocks until every iteration completes; the calling thread
+/// participates. Executes inline when the range is small, the pool has a
+/// single thread, or the caller is itself a pool worker (nested use).
+/// Exceptions from iterations are rethrown (the first one encountered);
+/// remaining chunks are abandoned once an exception is recorded.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& f,
                   std::size_t min_block = 64);
@@ -69,7 +88,8 @@ void parallel_for(std::size_t begin, std::size_t end,
                   std::size_t min_block = 64);
 
 /// Blocked map-reduce: applies `map(i)` to [begin, end) and combines partial
-/// results with `combine`, starting from `init` per block.
+/// results with `combine`, starting from `init` per block. Executes inline
+/// when called from inside a pool worker (nested use; see parallel_for).
 template <class T, class Map, class Combine>
 T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T init,
                   Map map, Combine combine, std::size_t min_block = 64) {
@@ -77,6 +97,11 @@ T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T init,
   const std::size_t n = end - begin;
   const std::size_t max_blocks = pool.size() * 4;
   std::size_t block = std::max(min_block, (n + max_blocks - 1) / max_blocks);
+  if (n <= block || pool.size() == 1 || pool.on_worker_thread()) {
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
   std::vector<std::future<T>> futures;
   for (std::size_t lo = begin; lo < end; lo += block) {
     const std::size_t hi = std::min(lo + block, end);

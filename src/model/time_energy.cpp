@@ -7,16 +7,16 @@
 namespace hcep::model {
 
 TimeEnergyModel::TimeEnergyModel(ClusterSpec cluster,
-                                 workload::Workload workload)
-    : cluster_(std::move(cluster)), workload_(std::move(workload)) {
+                                 const workload::Workload& workload)
+    : cluster_(std::move(cluster)), workload_(&workload) {
   cluster_.validate();
   group_rates_.reserve(cluster_.groups.size());
   for (const auto& g : cluster_.groups) {
-    require(workload_.has_node(g.spec.name),
-            "TimeEnergyModel: workload '" + workload_.name +
+    require(workload_->has_node(g.spec.name),
+            "TimeEnergyModel: workload '" + workload_->name +
                 "' lacks demand for node type '" + g.spec.name + "'");
     const double per_node = workload::unit_throughput(
-        workload_.demand_for(g.spec.name), g.spec, g.cores(), g.freq());
+        workload_->demand_for(g.spec.name), g.spec, g.cores(), g.freq());
     const double rate = per_node * static_cast<double>(g.count);
     group_rates_.push_back(rate);
     total_rate_ += rate;
@@ -43,7 +43,7 @@ TimeResult TimeEnergyModel::execution_time(double units) const {
     const double group_units = units * group_rates_[i] / total_rate_;
     gt.units_per_node = group_units / static_cast<double>(g.count);
 
-    const workload::NodeDemand& d = workload_.demand_for(g.spec.name);
+    const workload::NodeDemand& d = workload_->demand_for(g.spec.name);
     const workload::UnitTime per_unit =
         workload::unit_time(d, g.spec, g.cores(), g.freq());
     gt.per_node.core = per_unit.core * gt.units_per_node;
@@ -53,7 +53,7 @@ TimeResult TimeEnergyModel::execution_time(double units) const {
     // inter-arrival floor applies to the type's aggregate I/O stream.
     const Seconds io_transfer = per_unit.io * gt.units_per_node;
     const Seconds io_floor =
-        workload_.io_request_interval / static_cast<double>(g.count);
+        workload_->io_request_interval / static_cast<double>(g.count);
     gt.per_node.io = std::max(io_transfer, io_floor);
     gt.per_node.total = std::max(gt.per_node.cpu, gt.per_node.io);
 
@@ -64,7 +64,7 @@ TimeResult TimeEnergyModel::execution_time(double units) const {
 }
 
 Seconds TimeEnergyModel::job_time() const {
-  return execution_time(workload_.units_per_job).t_p;
+  return execution_time(workload_->units_per_job).t_p;
 }
 
 EnergyResult TimeEnergyModel::job_energy(double units) const {
@@ -82,7 +82,7 @@ EnergyResult TimeEnergyModel::job_energy(double units) const {
     const double n = static_cast<double>(g.count);
     const double cores = static_cast<double>(g.cores());
     const double dvfs = g.spec.power.dvfs_scale(g.freq(), g.spec.dvfs.max());
-    const double kappa = workload_.power_scale_for(g.spec.name);
+    const double kappa = workload_->power_scale_for(g.spec.name);
 
     const Seconds stall =
         std::max(Seconds{0.0}, gt.per_node.mem - gt.per_node.core);
@@ -116,8 +116,8 @@ Watts TimeEnergyModel::busy_power() const {
   for (const auto& g : cluster_.groups) {
     if (g.count == 0) continue;
     const Watts per_node = workload::busy_power(
-        workload_.demand_for(g.spec.name), g.spec, g.cores(), g.freq(),
-        workload_.power_scale_for(g.spec.name));
+        workload_->demand_for(g.spec.name), g.spec, g.cores(), g.freq(),
+        workload_->power_scale_for(g.spec.name));
     p += per_node * static_cast<double>(g.count);
   }
   return p;

@@ -1,10 +1,15 @@
 #include "hcep/parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 
 namespace hcep {
+
+namespace {
+/// Set for the lifetime of a worker thread; lets parallel helpers detect
+/// that they are already running on a pool worker and must not block on
+/// that pool's queue (nested parallelism would deadlock otherwise).
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -22,7 +27,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,31 +54,55 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t min_block) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t max_blocks = pool.size() * 4;
-  const std::size_t block =
-      std::max(min_block, (n + max_blocks - 1) / max_blocks);
+  // Chunk granularity: honor min_block but cap the number of chunks so the
+  // shared counter is touched O(threads), not O(n), times.
+  const std::size_t chunk =
+      std::max({std::size_t{1}, min_block, n / (pool.size() * 32)});
 
-  if (n <= block) {  // not worth dispatching
+  if (n <= chunk || pool.size() == 1 || pool.on_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) f(i);
     return;
   }
 
-  std::vector<std::future<void>> futures;
-  for (std::size_t lo = begin; lo < end; lo += block) {
-    const std::size_t hi = std::min(lo + block, end);
-    futures.push_back(pool.submit([lo, hi, &f] {
-      for (std::size_t i = lo; i < hi; ++i) f(i);
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& fut : futures) {
-    try {
-      fut.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  struct SweepState {
+    std::atomic<std::size_t> next;
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  } state;
+  state.next.store(begin, std::memory_order_relaxed);
+
+  auto claim_chunks = [&state, &f, end, chunk] {
+    for (;;) {
+      if (state.failed.load(std::memory_order_relaxed)) return;
+      const std::size_t lo =
+          state.next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(lo + chunk, end);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) f(i);
+      } catch (...) {
+        std::lock_guard lock(state.error_mutex);
+        if (!state.error) state.error = std::current_exception();
+        state.failed.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  };
+
+  // One claiming task per worker that can usefully participate; the
+  // calling thread claims chunks too, so a busy pool never stalls the
+  // sweep — the caller just ends up doing most of the work itself.
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  const std::size_t helpers = std::min(pool.size(), chunks - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i)
+    futures.push_back(pool.submit(claim_chunks));
+  claim_chunks();
+  // Helper tasks trap their exceptions into `state`, so get() only joins.
+  for (auto& fut : futures) fut.get();
+  if (state.error) std::rethrow_exception(state.error);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -1,6 +1,7 @@
 // Configuration space, power budgets, Pareto frontier.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "hcep/config/budget.hpp"
@@ -146,10 +147,134 @@ TEST(EvaluateSpace, EvaluatesEveryConfiguration) {
   const ConfigSpace space = make_a9_k10_space(2, 1);
   const auto evals = evaluate_space(space, ep());
   ASSERT_EQ(evals.size(), space.size());
-  for (const auto& e : evals) {
-    EXPECT_GT(e.time.value(), 0.0);
-    EXPECT_GT(e.energy.value(), 0.0);
-    EXPECT_GT(e.busy_power, e.idle_power);
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    EXPECT_GT(evals.time(i).value(), 0.0);
+    EXPECT_GT(evals.energy(i).value(), 0.0);
+    EXPECT_GT(evals.busy_power(i), evals.idle_power(i));
+  }
+}
+
+TEST(EvaluateSpace, FastPathMatchesNaiveOracle) {
+  // The memoized table is built from the same workload primitives the
+  // per-config TimeEnergyModel uses and the fused evaluator repeats its
+  // floating-point grouping, so the two paths agree to ~machine epsilon.
+  // Sampled across the full footnote-4 space (36,380 configurations).
+  const ConfigSpace space = make_a9_k10_space(10, 10);
+  ASSERT_EQ(space.size(), 36380u);
+  const auto fast = evaluate_space(space, ep());
+
+  std::uint64_t checked = 0;
+  for (std::uint64_t i = 0; i < space.size(); i += 29) {  // 1255 samples
+    model::ClusterSpec cfg = space.config_at(i);
+    model::TimeEnergyModel m(cfg, ep());
+    const double t = m.execution_time(ep().units_per_job).t_p.value();
+    const double e = m.job_energy(ep().units_per_job).e_p.value();
+    EXPECT_NEAR(fast.times()[i] / t, 1.0, 1e-9) << "config " << i;
+    EXPECT_NEAR(fast.energies()[i] / e, 1.0, 1e-9) << "config " << i;
+    EXPECT_NEAR(fast.idle_powers()[i] / m.idle_power().value(), 1.0, 1e-9);
+    EXPECT_NEAR(fast.busy_powers()[i] / m.busy_power().value(), 1.0, 1e-9);
+    ++checked;
+  }
+  EXPECT_GE(checked, 1000u);
+}
+
+TEST(EvaluateSpace, NaivePathAgreesExactlyOnSmallSpace) {
+  const ConfigSpace space = make_a9_k10_space(3, 2);
+  const auto fast = evaluate_space(space, ep());
+  const auto naive = evaluate_space_naive(space, ep());
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(naive[i].index, i);
+    EXPECT_NEAR(fast.times()[i] / naive[i].time.value(), 1.0, 1e-9);
+    EXPECT_NEAR(fast.energies()[i] / naive[i].energy.value(), 1.0, 1e-9);
+    EXPECT_NEAR(fast.idle_powers()[i] / naive[i].idle_power.value(), 1.0,
+                1e-9);
+    EXPECT_NEAR(fast.busy_powers()[i] / naive[i].busy_power.value(), 1.0,
+                1e-9);
+  }
+}
+
+TEST(EvaluateSpace, MaterializeMatchesConfigAt) {
+  const ConfigSpace space = make_a9_k10_space(2, 2);
+  const auto evals = evaluate_space(space, ep());
+  for (std::uint64_t i : std::vector<std::uint64_t>{0, 17, space.size() - 1}) {
+    const Evaluation e = evals.materialize(i);
+    EXPECT_EQ(e.index, i);
+    EXPECT_EQ(e.config.label(), space.config_at(i).label());
+    EXPECT_DOUBLE_EQ(e.time.value(), evals.times()[i]);
+    EXPECT_DOUBLE_EQ(e.energy.value(), evals.energies()[i]);
+  }
+  EXPECT_THROW((void)evals.materialize(evals.size()), PreconditionError);
+}
+
+TEST(ConfigSpace, DecodeAtRoundTripsThroughConfigAt) {
+  // decode_at + point_at must agree with the materialized ClusterSpec for
+  // every configuration: same group order, counts, cores and frequencies.
+  const ConfigSpace space = make_a9_k10_space(3, 2);
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    DecodedGroup groups[kMaxTypes];
+    const std::size_t n = space.decode_at(i, groups);
+    const model::ClusterSpec cfg = space.config_at(i);
+    ASSERT_EQ(n, cfg.groups.size()) << "config " << i;
+    for (std::size_t g = 0; g < n; ++g) {
+      const OperatingPoint op = space.point_at(groups[g].type, groups[g].point);
+      EXPECT_EQ(space.types()[groups[g].type].spec.name,
+                cfg.groups[g].spec.name);
+      EXPECT_EQ(groups[g].count, cfg.groups[g].count);
+      EXPECT_EQ(op.cores, cfg.groups[g].cores());
+      EXPECT_EQ(op.frequency.value(), cfg.groups[g].freq().value());
+    }
+  }
+  DecodedGroup scratch[kMaxTypes];
+  EXPECT_THROW((void)space.decode_at(space.size(), scratch),
+               PreconditionError);
+}
+
+TEST(ConfigSpace, ForEachDecodedMatchesDecodeAt) {
+  const ConfigSpace space = make_a9_k10_space(2, 3);
+  std::uint64_t expected = 0;
+  space.for_each_decoded([&](const DecodedGroup* groups, std::size_t n,
+                             std::uint64_t index) {
+    ASSERT_EQ(index, expected++);
+    DecodedGroup reference[kMaxTypes];
+    ASSERT_EQ(space.decode_at(index, reference), n);
+    for (std::size_t g = 0; g < n; ++g) {
+      EXPECT_EQ(groups[g].type, reference[g].type);
+      EXPECT_EQ(groups[g].count, reference[g].count);
+      EXPECT_EQ(groups[g].point, reference[g].point);
+    }
+  });
+  EXPECT_EQ(expected, space.size());
+}
+
+TEST(ConfigSpace, RejectsMoreThanMaxTypes) {
+  std::vector<TypeOptions> types;
+  for (std::size_t i = 0; i < kMaxTypes + 1; ++i) {
+    TypeOptions t;
+    t.spec = hw::cortex_a9();
+    t.spec.name += "_" + std::to_string(i);
+    types.push_back(std::move(t));
+  }
+  EXPECT_THROW(ConfigSpace(std::move(types)), PreconditionError);
+}
+
+TEST(OperatingPointTable, CachesEveryTupleOnce) {
+  // Footnote-4 space: 4 cores x 5 freqs (A9) + 6 cores x 3 freqs (K10)
+  // = 38 distinct operating points for 36,380 configurations.
+  const ConfigSpace space = make_a9_k10_space(10, 10);
+  const OperatingPointTable table(space, ep());
+  ASSERT_EQ(table.num_types(), 2u);
+  EXPECT_EQ(table.points_for(0), 20u);
+  EXPECT_EQ(table.points_for(1), 18u);
+  EXPECT_DOUBLE_EQ(table.units_per_job(), ep().units_per_job);
+  for (std::size_t t = 0; t < table.num_types(); ++t) {
+    EXPECT_GT(table.idle_power(t), 0.0);
+    for (std::size_t p = 0; p < table.points_for(t); ++p) {
+      const OperatingPointEntry& e = table.entry(t, p);
+      EXPECT_GT(e.t_cpu, 0.0);
+      EXPECT_GT(e.throughput, 0.0);
+      EXPECT_GT(e.busy_power, 0.0);
+    }
   }
 }
 
@@ -173,12 +298,28 @@ TEST(ParetoFront, NoMemberIsDominated) {
   }
   // Property: nothing in the full set dominates a frontier member.
   for (const auto& f : front) {
-    for (const auto& e : evals) {
-      const bool dominates = e.time <= f.time && e.energy <= f.energy &&
-                             (e.time < f.time || e.energy < f.energy);
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      const double t = evals.times()[i];
+      const double e = evals.energies()[i];
+      const bool dominates =
+          t <= f.time.value() && e <= f.energy.value() &&
+          (t < f.time.value() || e < f.energy.value());
       EXPECT_FALSE(dominates)
-          << e.config.label() << " dominates " << f.config.label();
+          << "config " << i << " dominates " << f.config.label();
     }
+  }
+}
+
+TEST(ParetoFront, SetAndVectorOverloadsAgree) {
+  const ConfigSpace space = make_a9_k10_space(2, 2);
+  const auto set_front = pareto_front(evaluate_space(space, ep()));
+  const auto vec_front = pareto_front(evaluate_space_naive(space, ep()));
+  ASSERT_EQ(set_front.size(), vec_front.size());
+  for (std::size_t i = 0; i < set_front.size(); ++i) {
+    EXPECT_NEAR(set_front[i].time.value() / vec_front[i].time.value(), 1.0,
+                1e-9);
+    EXPECT_NEAR(set_front[i].energy.value() / vec_front[i].energy.value(),
+                1.0, 1e-9);
   }
 }
 
@@ -192,14 +333,22 @@ TEST(ParetoFront, FrontierEndpoints) {
                    fastest_eval->time.value());
   // The last frontier member carries the global minimum energy.
   double min_energy = 1e300;
-  for (const auto& e : evals) min_energy = std::min(min_energy, e.energy.value());
+  for (double e : evals.energies()) min_energy = std::min(min_energy, e);
   EXPECT_DOUBLE_EQ(front.back().energy.value(), min_energy);
 }
 
 TEST(ParetoFront, EmptyInputYieldsEmptyFront) {
-  EXPECT_TRUE(pareto_front({}).empty());
-  EXPECT_FALSE(fastest({}).has_value());
-  EXPECT_FALSE(min_energy_within_deadline({}, Seconds{1.0}).has_value());
+  EXPECT_TRUE(pareto_front(std::vector<Evaluation>{}).empty());
+  EXPECT_FALSE(fastest(std::vector<Evaluation>{}).has_value());
+  EXPECT_FALSE(min_energy_within_deadline(std::vector<Evaluation>{},
+                                          Seconds{1.0})
+                   .has_value());
+  const EvaluationSet empty_set;
+  EXPECT_TRUE(pareto_front(empty_set).empty());
+  EXPECT_FALSE(fastest(empty_set).has_value());
+  EXPECT_FALSE(
+      min_energy_within_deadline(empty_set, Seconds{1.0}).has_value());
+  EXPECT_FALSE(min_edp(empty_set).has_value());
 }
 
 TEST(EnergyDelay, ProductsAndMinimum) {
@@ -207,7 +356,7 @@ TEST(EnergyDelay, ProductsAndMinimum) {
   const auto evals = evaluate_space(space, ep());
 
   // EDP/ED2P formulas.
-  const Evaluation& e0 = evals.front();
+  const Evaluation e0 = evals.materialize(0);
   EXPECT_DOUBLE_EQ(energy_delay_product(e0),
                    e0.energy.value() * e0.time.value());
   EXPECT_DOUBLE_EQ(energy_delay2_product(e0),
@@ -216,8 +365,9 @@ TEST(EnergyDelay, ProductsAndMinimum) {
   // The EDP optimum is never dominated: it must sit on the frontier.
   const auto best = min_edp(evals);
   ASSERT_TRUE(best.has_value());
-  for (const auto& e : evals)
-    EXPECT_GE(energy_delay_product(e), energy_delay_product(*best) - 1e-12);
+  for (std::size_t i = 0; i < evals.size(); ++i)
+    EXPECT_GE(evals.energies()[i] * evals.times()[i],
+              energy_delay_product(*best) - 1e-12);
   const auto front = pareto_front(evals);
   bool on_front = false;
   for (const auto& f : front) {
@@ -230,7 +380,7 @@ TEST(EnergyDelay, ProductsAndMinimum) {
   ASSERT_TRUE(best2.has_value());
   EXPECT_LE(best2->time, best->time);
 
-  EXPECT_FALSE(min_edp({}).has_value());
+  EXPECT_FALSE(min_edp(std::vector<Evaluation>{}).has_value());
 }
 
 TEST(MinEnergyWithinDeadline, PicksCheapestFeasible) {
@@ -243,7 +393,7 @@ TEST(MinEnergyWithinDeadline, PicksCheapestFeasible) {
   const auto loose =
       min_energy_within_deadline(evals, Seconds{1e9});
   ASSERT_TRUE(loose.has_value());
-  for (const auto& e : evals) EXPECT_GE(e.energy, loose->energy);
+  for (double e : evals.energies()) EXPECT_GE(e, loose->energy.value());
 
   // Impossible deadline: nothing qualifies.
   const auto none = min_energy_within_deadline(

@@ -148,9 +148,9 @@ TEST(Integration, EvaluateSpaceAgreesWithDirectModel) {
   const auto evals = config::evaluate_space(space, ep);
   for (std::uint64_t i : std::vector<std::uint64_t>{0, 5, space.size() - 1}) {
     model::TimeEnergyModel m(space.config_at(i), ep);
-    EXPECT_NEAR(evals[i].time.value(),
+    EXPECT_NEAR(evals.time(i).value(),
                 m.execution_time(ep.units_per_job).t_p.value(), 1e-12);
-    EXPECT_NEAR(evals[i].energy.value(),
+    EXPECT_NEAR(evals.energy(i).value(),
                 m.job_energy(ep.units_per_job).e_p.value(), 1e-9);
   }
 }

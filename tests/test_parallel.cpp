@@ -66,6 +66,89 @@ TEST(ParallelFor, SmallRangeRunsInline) {
   EXPECT_EQ(count, 4);
 }
 
+TEST(ParallelFor, MinBlockLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  int count = 0;  // non-atomic: safe only if inline
+  parallel_for(pool, 0, 100, [&](std::size_t) { ++count; }, 1000);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ParallelFor, NestedCallsFromWorkersRunInlineWithoutDeadlock) {
+  // A parallel_for issued from inside a pool worker used to enqueue
+  // blocks back onto the same (busy) pool and wait — with every worker
+  // waiting, nothing drained the queue. Nested calls now detect the
+  // worker-thread context and execute inline.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  parallel_for(
+      pool, 0, 8,
+      [&](std::size_t) {
+        parallel_for(
+            pool, 0, 100, [&](std::size_t) { ++inner_total; }, 1);
+      },
+      1);
+  EXPECT_EQ(inner_total.load(), 8 * 100);
+}
+
+TEST(ParallelFor, DeeplyNestedCallsComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  parallel_for(
+      pool, 0, 4,
+      [&](std::size_t) {
+        parallel_for(
+            pool, 0, 4,
+            [&](std::size_t) {
+              parallel_for(pool, 0, 4, [&](std::size_t) { ++leaf; }, 1);
+            },
+            1);
+      },
+      1);
+  EXPECT_EQ(leaf.load(), 4 * 4 * 4);
+}
+
+TEST(ParallelReduce, NestedCallsFromWorkersRunInline) {
+  ThreadPool pool(2);
+  const auto total = parallel_reduce<long long>(
+      pool, 0, 16, 0LL,
+      [&](std::size_t) {
+        return parallel_reduce<long long>(
+            pool, 1, 11, 0LL,
+            [](std::size_t i) { return static_cast<long long>(i); },
+            [](long long a, long long b) { return a + b; }, 1);
+      },
+      [](long long a, long long b) { return a + b; }, 1);
+  EXPECT_EQ(total, 16 * 55);
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(
+          pool, 0, 8,
+          [&](std::size_t) {
+            parallel_for(
+                pool, 0, 50,
+                [](std::size_t i) {
+                  if (i == 33) throw std::runtime_error("nested boom");
+                },
+                1);
+          },
+          1),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  auto f = pool.submit([&] { return pool.on_worker_thread(); });
+  EXPECT_TRUE(f.get());
+  // Workers of one pool are not workers of another.
+  ThreadPool other(1);
+  auto g = pool.submit([&] { return other.on_worker_thread(); });
+  EXPECT_FALSE(g.get());
+}
+
 TEST(ParallelFor, RethrowsFirstException) {
   ThreadPool pool(4);
   EXPECT_THROW(

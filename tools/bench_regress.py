@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the sweep pipeline.
+
+Runs ``bench/perf_enumeration`` and ``bench/perf_pareto`` with
+``--benchmark_format=json``, writes the merged results to an output JSON
+file, and fails (exit 1) when any gated benchmark regresses by more than
+the threshold against the checked-in baseline (``BENCH_sweep.json`` at
+the repository root).
+
+The gate compares ``items_per_second`` for serial benchmarks only:
+google-benchmark's CPU timer measures the main benchmark thread, so
+thread-pool variants under-report work and are recorded but never gated.
+
+Usage:
+  tools/bench_regress.py [--build-dir build] [--baseline BENCH_sweep.json]
+                         [--output build/BENCH_sweep.json]
+                         [--threshold 0.20] [--smoke] [--update-baseline]
+
+``--smoke`` runs a short, filtered pass for ctest (seconds, not minutes)
+and relaxes the threshold to 0.60 unless one is given explicitly: on a
+shared machine a quick sample is too noisy for a 20% gate, but still
+catches order-of-magnitude regressions like an accidental fallback to
+the naive path. ``--update-baseline`` rewrites the baseline block in
+place (run after intentional performance changes, on a quiet machine).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Serial benchmarks with stable CPU-time throughput; everything else is
+# recorded for reference but not gated.
+GATED = [
+    "BM_ConfigDecode",
+    "BM_DecodeAt",
+    "BM_FullSweep",
+    "BM_EvaluateSpace/10/1",
+    "BM_ParetoFront",
+]
+
+SMOKE_FILTER = (
+    "BM_ConfigDecode|BM_DecodeAt|BM_FullSweep$|"
+    "BM_EvaluateSpace/10/1|BM_ParetoFront$"
+)
+
+BINARIES = ["perf_enumeration", "perf_pareto"]
+
+
+def run_benchmark(path, min_time, bench_filter=None):
+    cmd = [path, "--benchmark_format=json", f"--benchmark_min_time={min_time}"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True).stdout
+    # perf_enumeration prints its footnote-4 startup check before the JSON.
+    return json.loads(out[out.index("{"):])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default: BENCH_sweep.json next to "
+                         "this script's repository root)")
+    ap.add_argument("--output", default=None,
+                    help="where to write measured results "
+                         "(default: <build-dir>/BENCH_sweep.json)")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="max allowed fractional regression (default 0.20, "
+                         "or 0.60 with --smoke)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="short filtered run for ctest")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline block from this run")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or os.path.join(repo_root, "BENCH_sweep.json")
+    output_path = args.output or os.path.join(args.build_dir,
+                                              "BENCH_sweep.json")
+    threshold = args.threshold if args.threshold is not None else (
+        0.60 if args.smoke else 0.20)
+    min_time = 0.025 if args.smoke else 0.25
+    bench_filter = SMOKE_FILTER if args.smoke else None
+
+    measured = {}
+    for binary in BINARIES:
+        path = os.path.join(args.build_dir, "bench", binary)
+        if not os.path.exists(path):
+            print(f"bench_regress: missing benchmark binary {path}",
+                  file=sys.stderr)
+            return 2
+        for b in run_benchmark(path, min_time, bench_filter)["benchmarks"]:
+            measured[b["name"]] = {
+                "items_per_second": b.get("items_per_second"),
+                "real_time": b["real_time"],
+                "cpu_time": b["cpu_time"],
+                "time_unit": b["time_unit"],
+            }
+
+    os.makedirs(os.path.dirname(os.path.abspath(output_path)), exist_ok=True)
+    with open(output_path, "w") as f:
+        json.dump({"benchmarks": measured}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_regress: wrote {len(measured)} results to {output_path}")
+
+    try:
+        with open(baseline_path) as f:
+            baseline_doc = json.load(f)
+    except FileNotFoundError:
+        baseline_doc = {}
+    baseline = baseline_doc.get("baseline", {})
+
+    if args.update_baseline:
+        baseline_doc["baseline"] = {
+            name: {"items_per_second": measured[name]["items_per_second"]}
+            for name in GATED if measured.get(name, {}).get("items_per_second")
+        }
+        with open(baseline_path, "w") as f:
+            json.dump(baseline_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_regress: baseline updated in {baseline_path}")
+        return 0
+
+    if not baseline:
+        print(f"bench_regress: no baseline block in {baseline_path}; "
+              "run with --update-baseline to create one", file=sys.stderr)
+        return 2
+
+    failed = []
+    for name in GATED:
+        base = baseline.get(name, {}).get("items_per_second")
+        cur = measured.get(name, {}).get("items_per_second")
+        if base is None or cur is None:
+            continue
+        ratio = cur / base
+        status = "OK" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(f"  {name:30s} baseline={base:12.4g}/s  "
+              f"current={cur:12.4g}/s  ratio={ratio:6.3f}  {status}")
+        if ratio < 1.0 - threshold:
+            failed.append(name)
+
+    if failed:
+        print(f"bench_regress: FAIL — {', '.join(failed)} regressed more "
+              f"than {threshold:.0%} vs {baseline_path}", file=sys.stderr)
+        return 1
+    print(f"bench_regress: all gated benchmarks within {threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
