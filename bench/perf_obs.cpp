@@ -1,0 +1,138 @@
+// Library performance: observability overhead.
+//
+// Quantifies (a) the raw cost of the metrics/tracer primitives, (b) the
+// null-sink cost of an instrumentation site with no observer installed,
+// and (c) the end-to-end cost an observer adds to the DES kernel and the
+// cluster simulator (the numbers quoted in docs/OBSERVABILITY.md).
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "hcep/cluster/simulator.hpp"
+#include "hcep/des/simulator.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/obs/metrics.hpp"
+#include "hcep/obs/obs.hpp"
+#include "hcep/obs/trace.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::literals;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  const obs::MetricId id = reg.counter("c");
+  for (auto _ : state) reg.add(id);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_CounterAddContended(benchmark::State& state) {
+  // Shards make "contention" a misnomer: every thread writes its own
+  // cache line, so this should scale ~linearly.
+  static obs::MetricsRegistry reg;
+  const obs::MetricId id = reg.counter("c");
+  for (auto _ : state) reg.add(id);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterAddContended)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  const obs::MetricId id =
+      reg.histogram("h", {1, 2, 4, 8, 16, 32, 64, 128});
+  double v = 0.0;
+  for (auto _ : state) {
+    reg.observe(id, v);
+    v = v < 200.0 ? v + 0.7 : 0.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TracerInstant(benchmark::State& state) {
+  obs::EventTracer tracer(1u << 16);
+  const obs::StringId cat = tracer.intern("bench");
+  const obs::StringId name = tracer.intern("tick");
+  double ts = 0.0;
+  for (auto _ : state) tracer.instant(ts += 1.0, cat, name);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerInstant);
+
+void BM_NullSinkSite(benchmark::State& state) {
+  // The cost every instrumentation site pays with no observer installed:
+  // resolve obs::current() and branch on nullptr.
+  for (auto _ : state) {
+    obs::Observer* o = obs::current();
+    benchmark::DoNotOptimize(o);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NullSinkSite);
+
+void des_churn(std::uint64_t events) {
+  des::Simulator sim;
+  std::uint64_t fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < events) sim.schedule_in(1_us, tick);
+  };
+  sim.schedule_at(Seconds{0.0}, tick);
+  sim.run();
+  benchmark::DoNotOptimize(fired);
+}
+
+void BM_DesChurnNullSink(benchmark::State& state) {
+  for (auto _ : state) des_churn(100000);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_DesChurnNullSink)->Unit(benchmark::kMillisecond);
+
+void BM_DesChurnObserved(benchmark::State& state) {
+  obs::Observer o;
+  obs::ScopedObserver scope(o);
+  for (auto _ : state) des_churn(100000);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_DesChurnObserved)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterSimObserved(benchmark::State& state) {
+  static const workload::Workload ep = workload::make_workload("EP");
+  const model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), ep);
+  obs::Observer o;
+  obs::ScopedObserver scope(o);
+  for (auto _ : state) {
+    o.tracer.clear();
+    cluster::SimOptions opts;
+    opts.utilization = 0.6;
+    opts.min_jobs = static_cast<std::uint64_t>(state.range(0));
+    const auto r = cluster::simulate(m, opts);
+    benchmark::DoNotOptimize(r.jobs_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ClusterSimObserved)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterSimNullSink(benchmark::State& state) {
+  static const workload::Workload ep = workload::make_workload("EP");
+  const model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), ep);
+  for (auto _ : state) {
+    cluster::SimOptions opts;
+    opts.utilization = 0.6;
+    opts.min_jobs = static_cast<std::uint64_t>(state.range(0));
+    const auto r = cluster::simulate(m, opts);
+    benchmark::DoNotOptimize(r.jobs_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ClusterSimNullSink)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,19 +8,26 @@ namespace hcep::cluster {
 
 power::PowerCurve CampaignResult::measured_curve() const {
   require(!points.empty(), "CampaignResult: no points");
-  PiecewiseLinear curve;
-  double last_u = -1.0;
-  double last_p = 0.0;
+  // Use the target utilization as the knot (the measured one jitters).
+  // A repeated target (re-measured grid point) replaces the previous
+  // knot's power instead of being dropped, so the final measurement
+  // survives even when the grid ends on a duplicate.
+  std::vector<double> us;
+  std::vector<double> ps;
   for (const auto& pt : points) {
-    // Use the target utilization as the knot (the measured one jitters);
-    // skip duplicates defensively.
-    if (pt.target_utilization <= last_u) continue;
-    curve.add(pt.target_utilization, pt.average_power.value());
-    last_u = pt.target_utilization;
-    last_p = pt.average_power.value();
+    if (!us.empty() && pt.target_utilization <= us.back()) {
+      ps.back() = pt.average_power.value();
+      continue;
+    }
+    us.push_back(pt.target_utilization);
+    ps.push_back(pt.average_power.value());
   }
-  if (last_u < 1.0) curve.add(1.0, last_p);
-  return power::PowerCurve::sampled(std::move(curve));
+  if (us.back() < 1.0) {
+    us.push_back(1.0);
+    ps.push_back(ps.back());
+  }
+  return power::PowerCurve::sampled(
+      PiecewiseLinear(std::move(us), std::move(ps)));
 }
 
 CampaignResult run_campaign(const model::TimeEnergyModel& model,

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "hcep/des/simulator.hpp"
+#include "hcep/obs/obs.hpp"
 #include "hcep/util/error.hpp"
 #include "hcep/util/rng.hpp"
 #include "hcep/util/stats.hpp"
@@ -116,6 +117,20 @@ MixedDispatchResult run_engine(const model::ClusterSpec& cluster,
   Rng rng(options.seed);
   des::Simulator sim;
 
+#if HCEP_OBS
+  obs::Observer* o = obs::current();
+  obs::MetricId dispatched_m = 0, depth_m = 0;
+  obs::StringId cat_s = 0, dispatch_s = 0, node_s = 0;
+  if (o != nullptr) {
+    dispatched_m = o->metrics.counter("dispatch.jobs");
+    depth_m = o->metrics.histogram("dispatch.target_queue_depth",
+                                   {0, 1, 2, 4, 8, 16, 32, 64});
+    cat_s = o->tracer.intern("dispatch");
+    dispatch_s = o->tracer.intern(to_string(options.policy));
+    node_s = o->tracer.intern("node");
+  }
+#endif
+
   std::size_t rr_cursor = 0;
   const auto pick_node = [&](std::size_t program) -> std::size_t {
     switch (options.policy) {
@@ -194,6 +209,14 @@ MixedDispatchResult run_engine(const model::ClusterSpec& cluster,
 
     const std::size_t i = pick_node(program);
     Node& n = nodes[i];
+#if HCEP_OBS
+    if (o != nullptr) {
+      o->metrics.add(dispatched_m);
+      o->metrics.observe(depth_m, static_cast<double>(n.queued));
+      o->tracer.instant(sim.now().value(), cat_s, dispatch_s, node_s,
+                        static_cast<double>(i));
+    }
+#endif
     ++n.queued;
     const Seconds start = std::max(arrival, n.free_at);
     const Seconds done = start + n.service[program];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "hcep/obs/obs.hpp"
 #include "hcep/util/error.hpp"
 #include "hcep/util/rng.hpp"
 #include "hcep/util/stats.hpp"
@@ -90,6 +91,27 @@ FailureResult simulate_with_failures(const model::TimeEnergyModel& m,
   }
   std::sort(changes.begin(), changes.end(),
             [](const Change& a, const Change& b) { return a.t < b.t; });
+
+#if HCEP_OBS
+  // Failure/repair instants plus a nodes_up counter track, so the fleet
+  // timeline renders alongside the power tracks in chrome://tracing.
+  if (obs::Observer* o = obs::current(); o != nullptr) {
+    o->metrics.add(o->metrics.counter("failures.node_failures"), failures);
+    const obs::StringId cat = o->tracer.intern("failures");
+    const obs::StringId fail_s = o->tracer.intern("node_failure");
+    const obs::StringId repair_s = o->tracer.intern("node_repair");
+    const obs::StringId node_s = o->tracer.intern("node");
+    const obs::StringId up_s = o->tracer.intern("nodes_up");
+    double up = static_cast<double>(nodes.size());
+    o->tracer.counter(0.0, cat, up_s, up);
+    for (const auto& ch : changes) {
+      o->tracer.instant(ch.t, cat, ch.up ? repair_s : fail_s, node_s,
+                        static_cast<double>(ch.node));
+      up += ch.up ? 1.0 : -1.0;
+      o->tracer.counter(ch.t, cat, up_s, up);
+    }
+  }
+#endif
 
   // Build aggregate segments.
   std::vector<Segment> segments;

@@ -4,6 +4,8 @@
 #include <deque>
 
 #include "hcep/des/simulator.hpp"
+#include "hcep/obs/obs.hpp"
+#include "hcep/obs/power_probe.hpp"
 #include "hcep/util/error.hpp"
 #include "hcep/util/rng.hpp"
 #include "hcep/util/stats.hpp"
@@ -82,15 +84,40 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
   }
 
   Rng rng(options.seed);
+#if HCEP_OBS
+  obs::Observer* o = obs::current();
+  obs::MetricId jobs_arrived_m = 0, jobs_completed_m = 0;
+  obs::MetricId arrival_ev_m = 0, completion_ev_m = 0, power_ev_m = 0;
+  obs::StringId cat_s = 0, job_s = 0, wait_s = 0, arrival_s = 0, batch_s = 0;
+  if (o != nullptr) {
+    jobs_arrived_m = o->metrics.counter("sim.jobs_arrived");
+    jobs_completed_m = o->metrics.counter("sim.jobs_completed");
+    arrival_ev_m = o->metrics.counter("sim.arrival_events");
+    completion_ev_m = o->metrics.counter("sim.completion_events");
+    power_ev_m = o->metrics.counter("sim.power_events");
+    cat_s = o->tracer.intern("cluster");
+    job_s = o->tracer.intern("job");
+    wait_s = o->tracer.intern("wait_s");
+    arrival_s = o->tracer.intern("arrival");
+    batch_s = o->tracer.intern("batch");
+  }
+#else
+  obs::Observer* o = nullptr;
+#endif
   des::Simulator sim;
-  power::PowerTrace trace;
+  // The exact power timeline goes through the probe: same PowerTrace as
+  // before, plus a "cluster_W" counter track on the active tracer.
+  obs::PowerProbe probe(o, "cluster_W");
 
   // Current power level bookkeeping.
   Watts level = plan.idle_power;
-  trace.step(Seconds{0.0}, level);
+  probe.step(Seconds{0.0}, level);
   auto adjust = [&](Watts delta) {
     level += delta;
-    trace.step(sim.now(), level);
+    probe.step(sim.now(), level);
+#if HCEP_OBS
+    if (o != nullptr) o->metrics.add(power_ev_m);
+#endif
   };
 
   SimResult out;
@@ -114,6 +141,12 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
     server_busy = true;
     const Seconds arrival = queue.front();
     queue.pop_front();
+#if HCEP_OBS
+    if (o != nullptr) {
+      o->tracer.begin(sim.now().value(), cat_s, job_s, wait_s,
+                      (sim.now() - arrival).value());
+    }
+#endif
 
     // Realized service time: model time x systematic factor x jitter.
     double jitter = 1.0;
@@ -140,6 +173,13 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
     const Seconds busy_from = sim.now();
     sim.schedule_at(done, [&, arrival, service, busy_from] {
       server_busy = false;
+#if HCEP_OBS
+      if (o != nullptr) {
+        o->tracer.end(sim.now().value(), cat_s, job_s);
+        o->metrics.add(completion_ev_m);
+        o->metrics.add(jobs_completed_m);
+      }
+#endif
       ++out.jobs_completed;
       out.units_completed += m.workload().units_per_job;
       // Clip the busy interval to the observation window so the realized
@@ -171,6 +211,14 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
     const Seconds next = sim.now() + Seconds{rng.exponential(lambda)};
     if (next > window) return;
     sim.schedule_at(next, [&]() {
+#if HCEP_OBS
+      if (o != nullptr) {
+        o->metrics.add(arrival_ev_m);
+        o->metrics.add(jobs_arrived_m, options.batch_size);
+        o->tracer.instant(sim.now().value(), cat_s, arrival_s, batch_s,
+                          static_cast<double>(options.batch_size));
+      }
+#endif
       for (unsigned b = 0; b < options.batch_size; ++b) {
         ++out.jobs_arrived;
         queue.push_back(sim.now());
@@ -185,9 +233,9 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
   sim.run();
 
   out.window = window;
-  out.energy_exact = trace.energy(window);
+  out.energy_exact = probe.energy(window);
   power::PowerMeter meter(options.meter, options.seed ^ 0x5eedULL);
-  out.energy_measured = meter.measure_energy(trace, window);
+  out.energy_measured = meter.measure_energy(probe.trace(), window);
   out.average_power = out.energy_exact / window;
   out.measured_utilization =
       std::min(1.0, busy_time.value() / window.value());
@@ -205,10 +253,14 @@ JobMeasurement measure_batch(const model::TimeEnergyModel& m,
   require(jobs > 0, "measure_batch: need at least one job");
   const RunPlan plan = make_plan(m, use_testbed_overheads);
   Rng rng(seed);
-  power::PowerTrace trace;
+#if HCEP_OBS
+  obs::PowerProbe probe(obs::current(), "batch_W");
+#else
+  obs::PowerProbe probe(nullptr, "batch_W");
+#endif
 
   Seconds now{0.0};
-  trace.step(now, plan.idle_power);
+  probe.step(now, plan.idle_power);
   for (std::uint64_t j = 0; j < jobs; ++j) {
     double jitter = 1.0;
     if (plan.ovh.service_noise_cv > 0.0)
@@ -227,20 +279,20 @@ JobMeasurement measure_batch(const model::TimeEnergyModel& m,
     }
     std::sort(deltas.begin(), deltas.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    Watts level = trace.at(now);
+    Watts level = probe.trace().at(now);
     for (const auto& [t, dw] : deltas) {
       level += dw;
-      trace.step(t, level);
+      probe.step(t, level);
     }
     now = start_exec + exec;
-    trace.step(now, plan.idle_power);
+    probe.step(now, plan.idle_power);
   }
 
   power::PowerMeter meter({}, seed ^ 0xbeefULL);
   JobMeasurement out;
   out.time_per_job = now / static_cast<double>(jobs);
   out.energy_per_job =
-      meter.measure_energy(trace, now) / static_cast<double>(jobs);
+      meter.measure_energy(probe.trace(), now) / static_cast<double>(jobs);
   return out;
 }
 

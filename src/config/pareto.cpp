@@ -1,8 +1,10 @@
 #include "hcep/config/pareto.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
+#include "hcep/obs/obs.hpp"
 #include "hcep/util/error.hpp"
 
 namespace hcep::config {
@@ -32,7 +34,27 @@ EvaluationSet evaluate_space(const ConfigSpace& space,
   const std::uint64_t n_cfg = space.size();
   const std::uint64_t n_chunks = (n_cfg + kChunk - 1) / kChunk;
 
+#if HCEP_OBS
+  // Chunks execute on pool workers, so the caller's observer is captured
+  // here rather than re-resolved per chunk (workers only see the global
+  // fallback). The metrics fast path is per-thread sharded, so concurrent
+  // chunk writers never contend.
+  obs::Observer* o = obs::current();
+  obs::MetricId configs_m = 0, chunks_m = 0, chunk_us_m = 0;
+  if (o != nullptr) {
+    configs_m = o->metrics.counter("sweep.configs");
+    chunks_m = o->metrics.counter("sweep.chunks");
+    chunk_us_m = o->metrics.histogram(
+        "sweep.chunk_us", {10, 50, 100, 500, 1000, 5000, 10000, 50000});
+  }
+#endif
+
   auto sweep_chunk = [&](std::size_t c) {
+#if HCEP_OBS
+    const auto chunk_start = o != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+#endif
     const std::uint64_t begin = c * kChunk;
     const std::uint64_t end = std::min(n_cfg, begin + kChunk);
 
@@ -78,6 +100,16 @@ EvaluationSet evaluate_space(const ConfigSpace& space,
         break;
       }
     }
+#if HCEP_OBS
+    if (o != nullptr) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - chunk_start);
+      o->metrics.add(configs_m, end - begin);
+      o->metrics.add(chunks_m);
+      o->metrics.observe(chunk_us_m, static_cast<double>(elapsed.count()));
+    }
+#endif
   };
 
   ThreadPool& p = pool ? *pool : ThreadPool::global();

@@ -6,6 +6,19 @@
 
 namespace hcep::des {
 
+Simulator::Simulator() {
+#if HCEP_OBS
+  obs_ = obs::current();
+  if (obs_ != nullptr) {
+    events_metric_ = obs_->metrics.counter("des.events");
+    depth_metric_ = obs_->metrics.histogram(
+        "des.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+    time_metric_ = obs_->metrics.histogram(
+        "des.event_time_s", {1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4});
+  }
+#endif
+}
+
 void Simulator::schedule_at(Seconds t, EventCallback cb) {
   require(t >= now_, "Simulator::schedule_at: time lies in the past");
   require(static_cast<bool>(cb), "Simulator::schedule_at: empty callback");
@@ -25,6 +38,14 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.time;
   ++processed_;
+#if HCEP_OBS
+  if (obs_ != nullptr) {
+    obs_->metrics.add(events_metric_);
+    obs_->metrics.observe(depth_metric_,
+                          static_cast<double>(queue_.size()));
+    obs_->metrics.observe(time_metric_, now_.value());
+  }
+#endif
   ev.callback();
   return true;
 }

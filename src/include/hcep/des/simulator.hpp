@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "hcep/obs/obs.hpp"
 #include "hcep/util/units.hpp"
 
 namespace hcep::des {
@@ -19,7 +20,10 @@ using EventCallback = std::function<void()>;
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Binds to obs::current() at construction (null sink by default):
+  /// every executed event feeds the `des.events` counter plus queue-depth
+  /// and event-time histograms of the active observer.
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -62,6 +66,12 @@ class Simulator {
   Seconds now_{0.0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+#if HCEP_OBS
+  obs::Observer* obs_ = nullptr;
+  obs::MetricId events_metric_ = 0;
+  obs::MetricId depth_metric_ = 0;
+  obs::MetricId time_metric_ = 0;
+#endif
 };
 
 }  // namespace hcep::des

@@ -1,0 +1,73 @@
+// Observability entry point: an Observer bundles a MetricsRegistry and an
+// EventTracer; instrumented code asks `obs::current()` for the active
+// one.
+//
+// Sink resolution is null by default — no observer installed means every
+// instrumentation site reduces to one thread-local load, one atomic load
+// and a branch, so the PR-1 sweep/simulator fast paths are untouched.
+// A ScopedObserver installs an observer for the calling thread (each
+// parallel campaign can trace into its own sink); set_global() installs
+// a process-wide fallback that pool workers and sweep chunks report to.
+//
+// Compile-time kill switch: building with -DHCEP_OBS=0 (CMake option
+// `HCEP_OBS`) compiles every instrumentation site out entirely; the obs
+// library itself still builds so its direct API and tests remain usable.
+#pragma once
+
+#ifndef HCEP_OBS
+#define HCEP_OBS 1
+#endif
+
+#include <atomic>
+#include <cstddef>
+
+#include "hcep/obs/metrics.hpp"
+#include "hcep/obs/trace.hpp"
+
+namespace hcep::obs {
+
+struct Observer {
+  explicit Observer(std::size_t trace_capacity = 1u << 16,
+                    std::size_t metric_capacity = 1024)
+      : metrics(metric_capacity), tracer(trace_capacity) {}
+
+  MetricsRegistry metrics;
+  EventTracer tracer;
+};
+
+/// The calling thread's observer: the thread-local override when one is
+/// installed, else the process-wide fallback, else nullptr (null sink).
+[[nodiscard]] Observer* current();
+
+/// Installs/clears the process-wide fallback (not owning). Pass nullptr
+/// to restore the null sink.
+void set_global(Observer* observer);
+[[nodiscard]] Observer* global();
+
+/// RAII thread-local install; restores the previous override on exit.
+class ScopedObserver {
+ public:
+  explicit ScopedObserver(Observer& observer);
+  ~ScopedObserver();
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+ private:
+  Observer* previous_;
+};
+
+}  // namespace hcep::obs
+
+// Statement wrapper for one-line instrumentation sites; expands to
+// nothing when observability is compiled out. Multi-statement sites use
+// `#if HCEP_OBS` blocks directly.
+#if HCEP_OBS
+#define HCEP_OBS_ONLY(...) \
+  do {                     \
+    __VA_ARGS__;           \
+  } while (0)
+#else
+#define HCEP_OBS_ONLY(...) \
+  do {                     \
+  } while (0)
+#endif

@@ -1,0 +1,64 @@
+// Time-resolved power capture: the observability stand-in for the
+// paper's Yokogawa WT210 channel per node (Fig. 4).
+//
+// A PowerProbe mirrors every power-level change of a simulated run into
+// (a) an exact piecewise-constant power::PowerTrace and (b) a Chrome
+// counter track on the bound observer's tracer, so the power timeline
+// lines up under the job spans in chrome://tracing. The exact trace
+// integrates to the run's true energy (the invariant the property suite
+// asserts); the measured_* methods push the same trace through the
+// existing power::PowerMeter emulation for WT210-realistic readings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hcep/obs/obs.hpp"
+#include "hcep/power/meter.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::obs {
+
+class PowerProbe {
+ public:
+  /// Binds to `observer` (nullptr is fine: only the local exact trace
+  /// accumulates) and names the counter track, e.g. "cluster_W".
+  PowerProbe(Observer* observer, std::string_view channel);
+
+  /// Records a power-level change at simulated time `t`.
+  void step(Seconds t, Watts level);
+
+  [[nodiscard]] const power::PowerTrace& trace() const { return trace_; }
+
+  /// Exact integral of the captured trace over [0, horizon].
+  [[nodiscard]] Joules energy(Seconds horizon) const;
+  [[nodiscard]] Watts average(Seconds horizon) const;
+
+  /// The captured trace through the sampling-wattmeter emulation: the
+  /// time-resolved readings and the energy the instrument would report.
+  [[nodiscard]] std::vector<power::PowerSample> measured_series(
+      const power::MeterSpec& spec, Seconds horizon,
+      std::uint64_t seed) const;
+  [[nodiscard]] Joules measured_energy(const power::MeterSpec& spec,
+                                       Seconds horizon,
+                                       std::uint64_t seed) const;
+
+  /// Exact captured steps as CSV (t_s,power_w).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  Observer* observer_;
+  StringId category_ = 0;
+  StringId channel_ = 0;
+  power::PowerTrace trace_;
+};
+
+/// Rebuilds the piecewise-constant power trace recorded as counter
+/// events named `channel` on `tracer` — the analysis-side inverse of
+/// PowerProbe::step, used to check exported traces against model energy.
+[[nodiscard]] power::PowerTrace counter_track(const EventTracer& tracer,
+                                              std::string_view channel);
+
+}  // namespace hcep::obs

@@ -1,0 +1,102 @@
+// Structured event tracing over simulated time.
+//
+// The cluster simulator's timeline — job lifecycle spans, failure and
+// scaling instants, power-level counter tracks — is recorded as
+// (timestamp, category, name, arg) events into a preallocated ring
+// buffer. Strings are interned once (call sites cache the ids) so the
+// record fast path copies a few words under a short critical section;
+// when the ring fills, the oldest events are overwritten (drop-oldest)
+// and a drop counter keeps the loss visible.
+//
+// Exporters: Chrome `trace_event` JSON (loads in chrome://tracing and
+// Perfetto; timestamps converted to microseconds), JSONL (one compact
+// object per line, byte-stable for replay comparison) and CSV.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hcep/util/json.hpp"
+
+namespace hcep::obs {
+
+using StringId = std::uint32_t;
+
+/// Trace event phases, mirroring the Chrome trace_event "ph" letters.
+enum class EventType : std::uint8_t {
+  kBegin,    ///< "B": opens a span on (category, name)
+  kEnd,      ///< "E": closes the innermost open span
+  kInstant,  ///< "i": a point event
+  kCounter,  ///< "C": a sampled counter track (arg carries the value)
+};
+
+[[nodiscard]] char phase_letter(EventType type);
+
+struct TraceEvent {
+  double ts = 0.0;  ///< simulated seconds
+  EventType type = EventType::kInstant;
+  StringId category = 0;
+  StringId name = 0;
+  StringId arg_key = 0;  ///< kNoArg when the event carries no argument
+  double arg_value = 0.0;
+};
+
+class EventTracer {
+ public:
+  static constexpr StringId kNoArg = 0xffffffffu;
+
+  /// Preallocates a ring of `capacity` events (no allocation on record).
+  explicit EventTracer(std::size_t capacity = 1u << 16);
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Interns a string; returns a stable id (idempotent per string).
+  StringId intern(std::string_view s);
+  /// Resolves an interned id.
+  [[nodiscard]] const std::string& string_at(StringId id) const;
+
+  void begin(double ts, StringId category, StringId name,
+             StringId arg_key = kNoArg, double arg_value = 0.0);
+  void end(double ts, StringId category, StringId name);
+  void instant(double ts, StringId category, StringId name,
+               StringId arg_key = kNoArg, double arg_value = 0.0);
+  void counter(double ts, StringId category, StringId name, double value);
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Total events ever recorded, including since-overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events lost to drop-oldest overwrites.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Drops every retained event (interned strings survive).
+  void clear();
+
+  /// Chrome trace_event JSON object ({"traceEvents": [...], ...}).
+  [[nodiscard]] JsonValue chrome_trace() const;
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// One compact JSON object per line, oldest first.
+  [[nodiscard]] std::string jsonl() const;
+  /// CSV with header ts,phase,category,name,arg_key,arg_value.
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  void record(TraceEvent ev);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  ///< fixed size after construction
+  std::size_t head_ = 0;          ///< next write position
+  std::size_t size_ = 0;          ///< retained events
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace hcep::obs

@@ -56,6 +56,12 @@ class PowerMeter {
  public:
   explicit PowerMeter(MeterSpec spec = {}, std::uint64_t seed = 7);
 
+  /// Time-resolved readings over [0, horizon]: one (interval start,
+  /// reading) per sampling period, the instrument's internal integrand.
+  /// The observability layer exports this series directly.
+  [[nodiscard]] std::vector<PowerSample> sample_series(
+      const PowerTrace& trace, Seconds horizon);
+
   /// Samples the trace over [0, horizon] and integrates: the "measured"
   /// energy the Table 4 validation compares against the model.
   [[nodiscard]] Joules measure_energy(const PowerTrace& trace,

@@ -1,0 +1,28 @@
+#include "hcep/obs/obs.hpp"
+
+namespace hcep::obs {
+
+namespace {
+thread_local Observer* t_observer = nullptr;
+std::atomic<Observer*> g_observer{nullptr};
+}  // namespace
+
+Observer* current() {
+  if (t_observer != nullptr) return t_observer;
+  return g_observer.load(std::memory_order_acquire);
+}
+
+void set_global(Observer* observer) {
+  g_observer.store(observer, std::memory_order_release);
+}
+
+Observer* global() { return g_observer.load(std::memory_order_acquire); }
+
+ScopedObserver::ScopedObserver(Observer& observer)
+    : previous_(t_observer) {
+  t_observer = &observer;
+}
+
+ScopedObserver::~ScopedObserver() { t_observer = previous_; }
+
+}  // namespace hcep::obs

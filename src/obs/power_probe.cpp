@@ -1,0 +1,68 @@
+#include "hcep/obs/power_probe.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace hcep::obs {
+
+PowerProbe::PowerProbe(Observer* observer, std::string_view channel)
+    : observer_(observer) {
+  if (observer_ != nullptr) {
+    category_ = observer_->tracer.intern("power");
+    channel_ = observer_->tracer.intern(channel);
+  }
+}
+
+void PowerProbe::step(Seconds t, Watts level) {
+  trace_.step(t, level);
+  if (observer_ != nullptr) {
+    observer_->tracer.counter(t.value(), category_, channel_,
+                              level.value());
+  }
+}
+
+Joules PowerProbe::energy(Seconds horizon) const {
+  return trace_.energy(horizon);
+}
+
+Watts PowerProbe::average(Seconds horizon) const {
+  return trace_.average(horizon);
+}
+
+std::vector<power::PowerSample> PowerProbe::measured_series(
+    const power::MeterSpec& spec, Seconds horizon,
+    std::uint64_t seed) const {
+  power::PowerMeter meter(spec, seed);
+  return meter.sample_series(trace_, horizon);
+}
+
+Joules PowerProbe::measured_energy(const power::MeterSpec& spec,
+                                   Seconds horizon,
+                                   std::uint64_t seed) const {
+  power::PowerMeter meter(spec, seed);
+  return meter.measure_energy(trace_, horizon);
+}
+
+std::string PowerProbe::csv() const {
+  std::string out = "t_s,power_w\n";
+  std::array<char, 64> buf{};
+  for (const power::PowerSample& s : trace_.steps()) {
+    std::snprintf(buf.data(), buf.size(), "%.12g,%.12g\n",
+                  s.start.value(), s.level.value());
+    out += buf.data();
+  }
+  return out;
+}
+
+power::PowerTrace counter_track(const EventTracer& tracer,
+                                std::string_view channel) {
+  power::PowerTrace out;
+  for (const TraceEvent& ev : tracer.events()) {
+    if (ev.type != EventType::kCounter) continue;
+    if (tracer.string_at(ev.name) != channel) continue;
+    out.step(Seconds{ev.ts}, Watts{ev.arg_value});
+  }
+  return out;
+}
+
+}  // namespace hcep::obs

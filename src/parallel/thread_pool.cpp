@@ -1,6 +1,9 @@
 #include "hcep/parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "hcep/obs/obs.hpp"
 
 namespace hcep {
 
@@ -33,6 +36,15 @@ void ThreadPool::worker_loop() {
   t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
+#if HCEP_OBS
+    // Workers have no thread-local observer; obs::current() resolves to
+    // the process-wide sink when one is installed. Re-queried per task so
+    // an observer installed mid-run is picked up.
+    obs::Observer* o = obs::current();
+    const auto idle_from = o != nullptr
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+#endif
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -40,6 +52,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+#if HCEP_OBS
+    if (o != nullptr) {
+      const auto waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - idle_from);
+      o->metrics.add(o->metrics.counter("pool.idle_ns"),
+                     static_cast<std::uint64_t>(waited.count()));
+      o->metrics.add(o->metrics.counter("pool.tasks"));
+    }
+#endif
     task();
   }
 }

@@ -61,16 +61,30 @@ Watts PowerMeter::sample(Watts true_power) {
   return Watts{std::max(0.0, reading)};
 }
 
-Joules PowerMeter::measure_energy(const PowerTrace& trace, Seconds horizon) {
+std::vector<PowerSample> PowerMeter::sample_series(const PowerTrace& trace,
+                                                   Seconds horizon) {
   require(horizon.value() > 0.0, "PowerMeter: empty window");
   const double period = 1.0 / spec_.sample_rate.value();
-  Joules acc{0.0};
-  // Rectangle rule at the meter's sampling instants, as the instrument's
-  // integrator does; the final partial interval is included.
+  std::vector<PowerSample> out;
+  out.reserve(static_cast<std::size_t>(horizon.value() / period) + 1);
+  // One reading per sampling interval at the interval midpoint, as the
+  // instrument's integrator does; the final partial interval is included.
   for (double t = 0.0; t < horizon.value(); t += period) {
     const double dt = std::min(period, horizon.value() - t);
-    const Watts reading = sample(trace.at(Seconds{t + 0.5 * dt}));
-    acc += reading * Seconds{dt};
+    out.push_back(
+        PowerSample{Seconds{t}, sample(trace.at(Seconds{t + 0.5 * dt}))});
+  }
+  return out;
+}
+
+Joules PowerMeter::measure_energy(const PowerTrace& trace, Seconds horizon) {
+  const std::vector<PowerSample> series = sample_series(trace, horizon);
+  Joules acc{0.0};
+  // Rectangle rule over the sampled series (drop-in for the historical
+  // inline loop: interval widths are the gaps between sample starts).
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Seconds end = i + 1 < series.size() ? series[i + 1].start : horizon;
+    acc += series[i].level * (end - series[i].start);
   }
   return acc;
 }

@@ -266,6 +266,27 @@ TEST(Campaign, ThroughputScalesWithUtilization) {
   EXPECT_GT(r.points[1].throughput, 2.0 * r.points[0].throughput * 0.8);
 }
 
+TEST(Campaign, MeasuredCurveKeepsFinalDuplicateKnot) {
+  // Regression: a grid ending on a repeated utilization (a re-measured
+  // point) used to drop the final measurement entirely and extend the
+  // curve to u=1 from the stale earlier knot.
+  CampaignResult r;
+  const auto mk = [](double u, double p) {
+    CampaignPoint pt;
+    pt.target_utilization = u;
+    pt.average_power = Watts{p};
+    return pt;
+  };
+  r.points = {mk(0.0, 100.0), mk(0.5, 150.0), mk(0.9, 180.0),
+              mk(0.9, 200.0)};
+  const power::PowerCurve curve = r.measured_curve();
+  EXPECT_DOUBLE_EQ(curve.at(0.0).value(), 100.0);
+  EXPECT_DOUBLE_EQ(curve.at(0.5).value(), 150.0);
+  // Last measurement wins the duplicate knot and anchors the u=1 tail.
+  EXPECT_DOUBLE_EQ(curve.at(0.9).value(), 200.0);
+  EXPECT_DOUBLE_EQ(curve.at(1.0).value(), 200.0);
+}
+
 TEST(Campaign, RejectsUnsortedGrid) {
   const auto m = ep_model();
   CampaignOptions opts;

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
+#include "hcep/cluster/simulator.hpp"
 #include "hcep/hw/catalog.hpp"
 #include "hcep/metrics/proportionality.hpp"
 #include "hcep/model/time_energy.hpp"
+#include "hcep/obs/obs.hpp"
+#include "hcep/obs/power_probe.hpp"
 #include "hcep/power/curve.hpp"
 #include "hcep/queueing/md1.hpp"
 #include "hcep/util/math.hpp"
@@ -175,5 +179,82 @@ TEST_P(RandomQueues, CdfMonotoneAndPercentileConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueues,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// -------------------------------------------------------- observability
+
+TEST(ObsInvariants, RandomizedClusterRunsSatisfyAccountingInvariants) {
+#if !HCEP_OBS
+  GTEST_SKIP() << "simulator instrumentation compiled out (HCEP_OBS=OFF)";
+#endif
+  // 1000 randomized (cluster, workload, load) configurations; for each:
+  //  - every DES event the kernel counted belongs to exactly one of the
+  //    simulator's categories (arrival, completion, power step),
+  //  - the power trace rebuilt from the *exported* counter events
+  //    re-integrates to the run's exact energy within 1e-6 relative,
+  //  - job spans in the exported trace are well-formed (never-negative
+  //    nesting, balanced, one span per completed job).
+  Rng rng(20260807);
+  for (int iter = 0; iter < 1000; ++iter) {
+    workload::Workload w;
+    w.name = "rand";
+    w.units_per_job = rng.uniform(1e4, 1e6);
+    w.demand["A9"] = workload::NodeDemand{
+        rng.uniform(1e3, 1e5), rng.uniform(1e2, 1e5), Bytes{0.0}};
+    w.demand["K10"] = workload::NodeDemand{
+        rng.uniform(1e3, 1e5), rng.uniform(1e2, 1e5), Bytes{0.0}};
+    const model::TimeEnergyModel m(
+        model::make_a9_k10_cluster(
+            static_cast<unsigned>(1 + rng.uniform_int(4)),
+            static_cast<unsigned>(1 + rng.uniform_int(3))),
+        w);
+
+    cluster::SimOptions opts;
+    opts.utilization = rng.uniform(0.0, 0.9);
+    opts.batch_size = static_cast<unsigned>(1 + rng.uniform_int(3));
+    opts.min_jobs = 3 + rng.uniform_int(8);
+    opts.seed = rng.uniform_int(1u << 30);
+    // Synthetic workloads have no calibrated-overheads table row; the
+    // invariants are overhead-independent anyway.
+    opts.use_testbed_overheads = false;
+
+    obs::Observer o;
+    cluster::SimResult r;
+    {
+      obs::ScopedObserver scope(o);
+      r = cluster::simulate(m, opts);
+    }
+    ASSERT_EQ(o.tracer.dropped(), 0u) << "iter " << iter;
+
+    const obs::MetricsSnapshot snap = o.metrics.snapshot();
+    EXPECT_EQ(snap.counter("des.events"),
+              snap.counter("sim.arrival_events") +
+                  snap.counter("sim.completion_events") +
+                  snap.counter("sim.power_events"))
+        << "iter " << iter;
+    EXPECT_EQ(snap.counter("sim.jobs_arrived"), r.jobs_arrived);
+    EXPECT_EQ(snap.counter("sim.jobs_completed"), r.jobs_completed);
+
+    const power::PowerTrace track =
+        obs::counter_track(o.tracer, "cluster_W");
+    const double exact = r.energy_exact.value();
+    EXPECT_NEAR(track.energy(r.window).value(), exact,
+                std::max(1e-9, std::abs(exact) * 1e-6))
+        << "iter " << iter;
+
+    std::int64_t depth = 0;
+    std::uint64_t spans = 0;
+    for (const auto& ev : o.tracer.events()) {
+      if (ev.type == obs::EventType::kBegin) {
+        ++depth;
+        ++spans;
+      } else if (ev.type == obs::EventType::kEnd) {
+        --depth;
+        ASSERT_GE(depth, 0) << "iter " << iter;
+      }
+    }
+    EXPECT_EQ(depth, 0) << "iter " << iter;
+    EXPECT_EQ(spans, r.jobs_completed) << "iter " << iter;
+  }
+}
 
 }  // namespace
