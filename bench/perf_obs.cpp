@@ -13,6 +13,8 @@
 #include "hcep/model/cluster_spec.hpp"
 #include "hcep/obs/metrics.hpp"
 #include "hcep/obs/obs.hpp"
+#include "hcep/obs/profile.hpp"
+#include "hcep/obs/run_report.hpp"
 #include "hcep/obs/trace.hpp"
 #include "hcep/workload/catalog.hpp"
 
@@ -132,6 +134,62 @@ void BM_ClusterSimNullSink(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ClusterSimNullSink)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// Analysis-layer cost: profiling / rolling up a full 100k-event ring
+// (the offline pass; docs/OBSERVABILITY.md quotes these numbers).
+obs::Trace make_bench_trace(std::size_t spans) {
+  obs::EventTracer tracer(2 * spans + spans / 10 + 16);
+  const obs::StringId cat = tracer.intern("bench");
+  const obs::StringId name = tracer.intern("job");
+  const obs::StringId wait = tracer.intern("wait_s");
+  const obs::StringId power = tracer.intern("cluster_W");
+  double ts = 0.0;
+  for (std::size_t i = 0; i < spans; ++i) {
+    tracer.begin(ts, cat, name, wait, 0.01);
+    if (i % 10 == 0)
+      tracer.counter(ts, cat, power,
+                     100.0 + static_cast<double>(i % 7) * 25.0);
+    ts += 0.5;
+    tracer.end(ts, cat, name);
+    ts += 0.1;
+  }
+  return obs::Trace::from(tracer);
+}
+
+void BM_ProfileTrace100k(benchmark::State& state) {
+  const obs::Trace trace = make_bench_trace(50000);  // ~105k events
+  for (auto _ : state) {
+    const obs::TraceProfile p = obs::profile_trace(trace);
+    benchmark::DoNotOptimize(p.critical_path_s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_ProfileTrace100k)->Unit(benchmark::kMillisecond);
+
+void BM_RollupCounter100k(benchmark::State& state) {
+  const obs::Trace trace = make_bench_trace(50000);
+  for (auto _ : state) {
+    const obs::SeriesRollup r =
+        obs::rollup_counter(trace, "cluster_W", 100.0);
+    benchmark::DoNotOptimize(r.total_energy_j);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_RollupCounter100k)->Unit(benchmark::kMillisecond);
+
+void BM_RunReportJson100k(benchmark::State& state) {
+  const obs::Trace trace = make_bench_trace(50000);
+  for (auto _ : state) {
+    const std::string json =
+        obs::make_run_report(trace, "bench", 100.0).json();
+    benchmark::DoNotOptimize(json.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_RunReportJson100k)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -89,6 +89,8 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
   obs::MetricId jobs_arrived_m = 0, jobs_completed_m = 0;
   obs::MetricId arrival_ev_m = 0, completion_ev_m = 0, power_ev_m = 0;
   obs::StringId cat_s = 0, job_s = 0, wait_s = 0, arrival_s = 0, batch_s = 0;
+  obs::StringId node_cat_s = 0, node_id_s = 0;
+  std::vector<obs::StringId> group_name_s;
   if (o != nullptr) {
     jobs_arrived_m = o->metrics.counter("sim.jobs_arrived");
     jobs_completed_m = o->metrics.counter("sim.jobs_completed");
@@ -100,6 +102,13 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
     wait_s = o->tracer.intern("wait_s");
     arrival_s = o->tracer.intern("arrival");
     batch_s = o->tracer.intern("batch");
+    // Per-node execution spans carry the group's name and the node id the
+    // span executed on, so the profiler can attribute time per node.
+    node_cat_s = o->tracer.intern("node");
+    node_id_s = o->tracer.intern("node_id");
+    group_name_s.reserve(m.cluster().groups.size());
+    for (const auto& g : m.cluster().groups)
+      group_name_s.push_back(o->tracer.intern(g.spec.name));
   }
 #else
   obs::Observer* o = nullptr;
@@ -166,8 +175,26 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
       const Watts dyn = plan.group_dynamic[i];
       const Seconds group_end =
           start_exec + exec * plan.group_busy_fraction[i];
-      sim.schedule_at(start_exec, [&adjust, dyn] { adjust(dyn); });
-      sim.schedule_at(group_end, [&adjust, dyn] { adjust(-dyn); });
+      // The node-span begin/end piggyback on the power-step callbacks
+      // already scheduled here, so tracing adds no DES events (keeping
+      // des.events == arrival + completion + power intact).
+      sim.schedule_at(start_exec, [&, i, dyn] {
+        adjust(dyn);
+#if HCEP_OBS
+        if (o != nullptr) {
+          o->tracer.begin(sim.now().value(), node_cat_s, group_name_s[i],
+                          node_id_s, static_cast<double>(i));
+        }
+#endif
+      });
+      sim.schedule_at(group_end, [&, i, dyn] {
+#if HCEP_OBS
+        if (o != nullptr) {
+          o->tracer.end(sim.now().value(), node_cat_s, group_name_s[i]);
+        }
+#endif
+        adjust(-dyn);
+      });
     }
 
     const Seconds busy_from = sim.now();

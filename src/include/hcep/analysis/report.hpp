@@ -14,6 +14,11 @@ struct ReportOptions {
   bool include_frontier = false;
   /// Cross-check the response studies on the DES (slower).
   bool cross_check_des = false;
+  /// Append an observability section: trace one EP cluster run, push it
+  /// through obs::make_run_report and render the profile, queue
+  /// decomposition and energy-attribution rollup. Degrades to a note
+  /// when the instrumentation is compiled out (HCEP_OBS=0).
+  bool include_observability = false;
 };
 
 /// Renders the complete paper reproduction (Tables 4-8, Figures 5-12

@@ -14,6 +14,7 @@
 //   hcep::queueing  M/D/1 analytics (utilization, 95th percentiles)
 //   hcep::des       discrete-event kernel
 //   hcep::cluster   simulated testbed (dispatcher + nodes + meter)
+//   hcep::obs       tracing/metrics plus the telemetry analysis layer
 //   hcep::config    configuration space, power budgets, Pareto frontier
 //   hcep::analysis  per-table/figure studies
 //   hcep::core      PaperStudy one-stop facade
@@ -53,6 +54,10 @@
 #include "hcep/metrics/proportionality.hpp"
 #include "hcep/model/cluster_spec.hpp"
 #include "hcep/model/time_energy.hpp"
+#include "hcep/obs/obs.hpp"
+#include "hcep/obs/power_probe.hpp"
+#include "hcep/obs/profile.hpp"
+#include "hcep/obs/run_report.hpp"
 #include "hcep/power/curve.hpp"
 #include "hcep/power/meter.hpp"
 #include "hcep/queueing/md1.hpp"

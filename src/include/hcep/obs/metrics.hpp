@@ -38,6 +38,20 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Count in the implicit overflow bucket — observations above
+  /// bounds.back(), i.e. the Prometheus `le="+Inf"` remainder.
+  [[nodiscard]] std::uint64_t overflow() const {
+    return counts.empty() ? 0 : counts.back();
+  }
+
+  /// Quantile estimate for q in [0, 1], linearly interpolated within the
+  /// bucket holding rank q*count. The first bucket collapses to its upper
+  /// bound (no lower edge is recorded) and ranks landing in the overflow
+  /// bucket return bounds.back() — both conservative, both deterministic.
+  /// Returns 0 for an empty histogram. The rollup engine's p95 and the
+  /// run-report latency summaries use this estimator.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Point-in-time merge of every shard.

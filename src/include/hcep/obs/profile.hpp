@@ -1,0 +1,161 @@
+// Telemetry analysis: turn raw EventTracer rings into attributed
+// reports — the consumption layer the paper's Fig. 4 methodology implies
+// (raw perf-counter/wattmeter samples are useless until an aggregation
+// and attribution pass answers "where did the time and energy go?").
+//
+// Three pieces:
+//  * Trace — a self-contained decoded trace (events + string table),
+//    snapshot from a live EventTracer or read back from our own JSONL
+//    exporter format;
+//  * profile_trace — span reconstruction (wall/self time per
+//    category:name, queue-wait vs service decomposition, a critical-path
+//    estimate) plus folded-stack (flamegraph) export;
+//  * rollup_counter — fixed-interval downsampling of counter tracks
+//    (min/mean/max/p95 per window) with per-window energy attribution
+//    that re-integrates to the exact trace energy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hcep/obs/trace.hpp"
+
+namespace hcep::obs {
+
+/// A decoded trace that owns its string table: the common input of the
+/// analysis layer, detached from any live tracer.
+struct Trace {
+  std::vector<TraceEvent> events;   ///< in recorded (time) order
+  std::vector<std::string> strings; ///< indexed by StringId
+  std::uint64_t dropped = 0;        ///< drop-oldest losses, if known
+
+  /// Interns `s` into this trace's table (idempotent per string).
+  StringId intern(std::string_view s);
+  [[nodiscard]] const std::string& string_at(StringId id) const;
+
+  /// Snapshot of a live tracer (retained events + interned strings).
+  [[nodiscard]] static Trace from(const EventTracer& tracer);
+};
+
+/// Reader for EventTracer::jsonl() output: one JSON object per line,
+/// {"ts":..,"ph":"B|E|i|C","cat":..,"name":..[,"arg":{key:value}]}.
+/// Malformed lines throw PreconditionError naming the line number.
+[[nodiscard]] Trace read_trace_jsonl(std::string_view text);
+
+/// Wall/self-time rollup of one (category, name) span key.
+struct SpanRollup {
+  std::string category;
+  std::string name;
+  std::uint64_t count = 0;   ///< completed spans
+  double wall_s = 0.0;       ///< sum of span durations
+  double self_s = 0.0;       ///< time this key was innermost on the stack
+  double min_s = 0.0;        ///< shortest completed span
+  double max_s = 0.0;        ///< longest completed span
+  double wait_s = 0.0;       ///< sum of "wait_s" begin args (queueing)
+};
+
+/// Event census per (category, name, phase); the round-trip tests match
+/// these against the live MetricsRegistry counters.
+struct EventCount {
+  std::string category;
+  std::string name;
+  char phase = '?';  ///< B, E, i or C
+  std::uint64_t count = 0;
+};
+
+/// Last-value census of one counter track.
+struct CounterRollup {
+  std::string category;
+  std::string name;
+  std::uint64_t samples = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+};
+
+/// Queue-wait vs service-time decomposition over every span that carries
+/// a "wait_s" begin argument (the cluster simulator's job spans).
+struct QueueDecomposition {
+  std::uint64_t jobs = 0;
+  double total_wait_s = 0.0;
+  double total_service_s = 0.0;
+  double mean_wait_s = 0.0;
+  double mean_service_s = 0.0;
+  double p95_wait_s = 0.0;     ///< exact order statistic over the spans
+  double p95_service_s = 0.0;
+};
+
+struct TraceProfile {
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  double horizon_s = 0.0;  ///< timestamp of the last event
+
+  std::vector<SpanRollup> spans;        ///< sorted by category, then name
+  std::vector<EventCount> counts;       ///< sorted by category/name/phase
+  std::vector<CounterRollup> counters;  ///< counter tracks, sorted
+  QueueDecomposition queue;
+
+  /// DES critical-path estimate: total time at least one span was open
+  /// (the serialized-service lower bound on the run's makespan) and the
+  /// complementary idle time up to the horizon.
+  double critical_path_s = 0.0;
+  double idle_s = 0.0;
+
+  /// Ends without a matching open begin (ring truncation) and begins
+  /// still open at the end of the trace.
+  std::uint64_t unmatched_ends = 0;
+  std::uint64_t unmatched_begins = 0;
+
+  /// Events recorded under (category, name, phase letter); zero when
+  /// absent.
+  [[nodiscard]] std::uint64_t count_of(std::string_view category,
+                                       std::string_view name,
+                                       char phase) const;
+};
+
+/// Reconstructs spans from B/E events (per-key stacks, so overlapping
+/// spans of different keys are fine) and aggregates the rollups above.
+[[nodiscard]] TraceProfile profile_trace(const Trace& trace);
+
+/// Folded-stack (flamegraph.pl) export: one "frame;frame;... count" line
+/// per observed stack, self-time in integer microseconds, lines sorted;
+/// frames render as "category:name" with ';' and spaces replaced.
+[[nodiscard]] std::string folded_stacks(const Trace& trace);
+
+/// One fixed-interval window of a rolled-up counter track.
+struct RollupWindow {
+  double t0_s = 0.0;
+  double t1_s = 0.0;
+  std::uint64_t samples = 0;  ///< counter events inside [t0, t1)
+  double min = 0.0;           ///< level extrema, time-weighted domain
+  double mean = 0.0;          ///< time-weighted mean level
+  double max = 0.0;
+  double p95 = 0.0;           ///< HistogramSnapshot::quantile estimate
+  double energy_j = 0.0;      ///< integral of the level over the window
+};
+
+/// Fixed-interval rollup of the counter track `channel`. Windows
+/// partition [0, horizon); the per-window `energy_j` values sum to the
+/// exact integral of the piecewise-constant track (PowerTrace::energy)
+/// over the same horizon — the attribution invariant the tests assert.
+struct SeriesRollup {
+  std::string channel;
+  double interval_s = 0.0;
+  double horizon_s = 0.0;
+  double total_energy_j = 0.0;  ///< sum of window energies
+  std::vector<RollupWindow> windows;
+};
+
+/// `horizon_s` <= 0 means "up to the last event timestamp". Throws when
+/// `interval_s` <= 0 or the channel has no counter events.
+[[nodiscard]] SeriesRollup rollup_counter(const Trace& trace,
+                                          std::string_view channel,
+                                          double interval_s,
+                                          double horizon_s = 0.0);
+
+/// Counter-track channels present in the trace, sorted by name.
+[[nodiscard]] std::vector<std::string> counter_channels(const Trace& trace);
+
+}  // namespace hcep::obs

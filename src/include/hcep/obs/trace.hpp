@@ -82,9 +82,11 @@ class EventTracer {
   /// Chrome trace_event JSON object ({"traceEvents": [...], ...}).
   [[nodiscard]] JsonValue chrome_trace() const;
   [[nodiscard]] std::string chrome_trace_json() const;
-  /// One compact JSON object per line, oldest first.
+  /// One compact JSON object per line, oldest first. String fields are
+  /// JSON-escaped; obs::read_trace_jsonl() reads the format back in.
   [[nodiscard]] std::string jsonl() const;
-  /// CSV with header ts,phase,category,name,arg_key,arg_value.
+  /// CSV with header ts,phase,category,name,arg_key,arg_value; string
+  /// fields carry RFC 4180 quoting when they embed , " or line breaks.
   [[nodiscard]] std::string csv() const;
 
  private:

@@ -203,6 +203,29 @@ void MetricsRegistry::reset() {
   for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0,
+          "HistogramSnapshot::quantile: q outside [0, 1]");
+  if (count == 0 || counts.empty()) return 0.0;
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank || i + 1 == counts.size()) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      if (i == 0) return bounds[0];  // no lower edge recorded
+      const double lo = bounds[i - 1];
+      const double hi = bounds[i];
+      const double fraction =
+          std::min(1.0, std::max(0.0, (rank - cumulative) / in_bucket));
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const auto& [n, v] : counters)
     if (n == name) return v;
@@ -241,6 +264,10 @@ JsonValue MetricsSnapshot::to_json() const {
     for (std::uint64_t c : h.counts)
       counts.push(JsonValue::number(static_cast<std::int64_t>(c)));
     one.set("counts", std::move(counts));
+    // The +Inf remainder, spelled out so consumers need not know that
+    // counts carries one more entry than bounds.
+    one.set("overflow",
+            JsonValue::number(static_cast<std::int64_t>(h.overflow())));
     one.set("count",
             JsonValue::number(static_cast<std::int64_t>(h.count)));
     one.set("sum", JsonValue::number(h.sum));

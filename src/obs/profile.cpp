@@ -1,0 +1,472 @@
+#include "hcep/obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "hcep/obs/metrics.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/json.hpp"
+
+namespace hcep::obs {
+
+namespace {
+
+/// Exact order statistic at quantile q over a sample vector (sorted copy).
+double sample_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+EventType phase_from_letter(char letter, std::size_t line) {
+  switch (letter) {
+    case 'B': return EventType::kBegin;
+    case 'E': return EventType::kEnd;
+    case 'i': return EventType::kInstant;
+    case 'C': return EventType::kCounter;
+    default:
+      throw PreconditionError("read_trace_jsonl: unknown phase '" +
+                              std::string(1, letter) + "' on line " +
+                              std::to_string(line));
+  }
+}
+
+/// flamegraph.pl frames may not contain the stack separator or spaces.
+std::string folded_frame(const std::string& category,
+                         const std::string& name) {
+  std::string frame = category + ":" + name;
+  for (char& ch : frame) {
+    if (ch == ';') ch = ',';
+    if (ch == ' ' || ch == '\n' || ch == '\r' || ch == '\t') ch = '_';
+  }
+  return frame;
+}
+
+}  // namespace
+
+StringId Trace::intern(std::string_view s) {
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    if (strings[i] == s) return static_cast<StringId>(i);
+  }
+  require(strings.size() < EventTracer::kNoArg,
+          "Trace::intern: string table full");
+  strings.emplace_back(s);
+  return static_cast<StringId>(strings.size() - 1);
+}
+
+const std::string& Trace::string_at(StringId id) const {
+  require(id < strings.size(), "Trace::string_at: unknown string id");
+  return strings[id];
+}
+
+Trace Trace::from(const EventTracer& tracer) {
+  Trace out;
+  out.events = tracer.events();
+  out.dropped = tracer.dropped();
+  // Re-intern only the ids the retained events reference, remapping the
+  // events: the tracer's table may be larger than what survived the ring.
+  std::map<StringId, StringId> remap;
+  const auto remapped = [&](StringId id) {
+    if (id == EventTracer::kNoArg) return id;
+    const auto it = remap.find(id);
+    if (it != remap.end()) return it->second;
+    const StringId fresh = out.intern(tracer.string_at(id));
+    remap.emplace(id, fresh);
+    return fresh;
+  };
+  for (TraceEvent& ev : out.events) {
+    ev.category = remapped(ev.category);
+    ev.name = remapped(ev.name);
+    ev.arg_key = remapped(ev.arg_key);
+  }
+  return out;
+}
+
+Trace read_trace_jsonl(std::string_view text) {
+  Trace out;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    JsonValue obj;
+    try {
+      obj = JsonValue::parse(line);
+    } catch (const PreconditionError& e) {
+      throw PreconditionError("read_trace_jsonl: line " +
+                              std::to_string(line_no) + ": " + e.what());
+    }
+    require(obj.kind() == JsonValue::Kind::kObject,
+            "read_trace_jsonl: line " + std::to_string(line_no) +
+                " is not an object");
+
+    TraceEvent ev;
+    ev.ts = obj.at("ts").as_number();
+    const std::string& ph = obj.at("ph").as_string();
+    require(ph.size() == 1, "read_trace_jsonl: line " +
+                                std::to_string(line_no) +
+                                ": malformed phase");
+    ev.type = phase_from_letter(ph[0], line_no);
+    ev.category = out.intern(obj.at("cat").as_string());
+    ev.name = out.intern(obj.at("name").as_string());
+    ev.arg_key = EventTracer::kNoArg;
+    if (const JsonValue* arg = obj.find("arg"); arg != nullptr) {
+      require(arg->kind() == JsonValue::Kind::kObject && arg->size() == 1,
+              "read_trace_jsonl: line " + std::to_string(line_no) +
+                  ": malformed arg");
+      const auto& [key, value] = arg->fields().front();
+      ev.arg_value = value.as_number();
+      // Counter events export their value under the synthetic key
+      // "value"; everything else carries a real argument key.
+      if (ev.type != EventType::kCounter) ev.arg_key = out.intern(key);
+    }
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
+std::uint64_t TraceProfile::count_of(std::string_view category,
+                                     std::string_view name,
+                                     char phase) const {
+  for (const EventCount& c : counts) {
+    if (c.phase == phase && c.category == category && c.name == name)
+      return c.count;
+  }
+  return 0;
+}
+
+TraceProfile profile_trace(const Trace& trace) {
+  TraceProfile out;
+  out.events = trace.events.size();
+  out.dropped = trace.dropped;
+  if (trace.events.empty()) return out;
+  out.horizon_s = trace.events.back().ts;
+
+  using Key = std::pair<StringId, StringId>;  // (category, name)
+  struct OpenSpan {
+    Key key;
+    double begin_ts = 0.0;
+    bool has_wait = false;
+    double wait_s = 0.0;
+  };
+  std::vector<OpenSpan> stack;
+  std::map<Key, SpanRollup> spans;
+  std::map<std::tuple<StringId, StringId, char>, std::uint64_t> census;
+  std::map<Key, CounterRollup> counters;
+  std::vector<double> waits;
+  std::vector<double> services;
+
+  const StringId wait_key = [&]() -> StringId {
+    for (std::size_t i = 0; i < trace.strings.size(); ++i)
+      if (trace.strings[i] == "wait_s") return static_cast<StringId>(i);
+    return EventTracer::kNoArg;
+  }();
+
+  double last_ts = trace.events.front().ts;
+  for (const TraceEvent& ev : trace.events) {
+    const double delta = ev.ts - last_ts;
+    last_ts = ev.ts;
+    if (!stack.empty() && delta > 0.0) {
+      out.critical_path_s += delta;
+      spans[stack.back().key].self_s += delta;
+    }
+
+    ++census[{ev.category, ev.name, phase_letter(ev.type)}];
+    const Key key{ev.category, ev.name};
+    switch (ev.type) {
+      case EventType::kBegin: {
+        OpenSpan open;
+        open.key = key;
+        open.begin_ts = ev.ts;
+        open.has_wait =
+            ev.arg_key != EventTracer::kNoArg && ev.arg_key == wait_key;
+        open.wait_s = open.has_wait ? ev.arg_value : 0.0;
+        stack.push_back(open);
+        break;
+      }
+      case EventType::kEnd: {
+        // Innermost matching begin; interleaved (non-LIFO) ends close
+        // their own span without disturbing the frames above it.
+        std::size_t index = stack.size();
+        while (index > 0 && stack[index - 1].key != key) --index;
+        if (index == 0) {
+          ++out.unmatched_ends;
+          break;
+        }
+        const OpenSpan open = stack[index - 1];
+        stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(index - 1));
+        SpanRollup& r = spans[key];
+        const double wall = ev.ts - open.begin_ts;
+        if (r.count == 0) {
+          r.min_s = wall;
+          r.max_s = wall;
+        } else {
+          r.min_s = std::min(r.min_s, wall);
+          r.max_s = std::max(r.max_s, wall);
+        }
+        ++r.count;
+        r.wall_s += wall;
+        if (open.has_wait) {
+          r.wait_s += open.wait_s;
+          waits.push_back(open.wait_s);
+          services.push_back(wall);
+        }
+        break;
+      }
+      case EventType::kInstant:
+        break;
+      case EventType::kCounter: {
+        CounterRollup& c = counters[key];
+        if (c.samples == 0) {
+          c.min = ev.arg_value;
+          c.max = ev.arg_value;
+        } else {
+          c.min = std::min(c.min, ev.arg_value);
+          c.max = std::max(c.max, ev.arg_value);
+        }
+        ++c.samples;
+        c.last = ev.arg_value;
+        break;
+      }
+    }
+  }
+  out.unmatched_begins = stack.size();
+  out.idle_s = std::max(0.0, out.horizon_s - out.critical_path_s);
+
+  for (auto& [key, rollup] : spans) {
+    rollup.category = trace.string_at(key.first);
+    rollup.name = trace.string_at(key.second);
+    out.spans.push_back(std::move(rollup));
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanRollup& a, const SpanRollup& b) {
+              return std::tie(a.category, a.name) <
+                     std::tie(b.category, b.name);
+            });
+
+  for (const auto& [key, count] : census) {
+    out.counts.push_back(EventCount{trace.string_at(std::get<0>(key)),
+                                    trace.string_at(std::get<1>(key)),
+                                    std::get<2>(key), count});
+  }
+  std::sort(out.counts.begin(), out.counts.end(),
+            [](const EventCount& a, const EventCount& b) {
+              return std::tie(a.category, a.name, a.phase) <
+                     std::tie(b.category, b.name, b.phase);
+            });
+
+  for (auto& [key, rollup] : counters) {
+    rollup.category = trace.string_at(key.first);
+    rollup.name = trace.string_at(key.second);
+    out.counters.push_back(std::move(rollup));
+  }
+  std::sort(out.counters.begin(), out.counters.end(),
+            [](const CounterRollup& a, const CounterRollup& b) {
+              return std::tie(a.category, a.name) <
+                     std::tie(b.category, b.name);
+            });
+
+  QueueDecomposition& q = out.queue;
+  q.jobs = waits.size();
+  for (double w : waits) q.total_wait_s += w;
+  for (double s : services) q.total_service_s += s;
+  if (q.jobs > 0) {
+    q.mean_wait_s = q.total_wait_s / static_cast<double>(q.jobs);
+    q.mean_service_s = q.total_service_s / static_cast<double>(q.jobs);
+    q.p95_wait_s = sample_quantile(waits, 0.95);
+    q.p95_service_s = sample_quantile(services, 0.95);
+  }
+  return out;
+}
+
+std::string folded_stacks(const Trace& trace) {
+  using Key = std::pair<StringId, StringId>;
+  struct OpenSpan {
+    Key key;
+  };
+  std::vector<OpenSpan> stack;
+  std::map<std::string, double> self_s;  // folded path -> seconds
+
+  const auto current_path = [&]() {
+    std::string path;
+    for (const OpenSpan& open : stack) {
+      if (!path.empty()) path += ';';
+      path += folded_frame(trace.string_at(open.key.first),
+                           trace.string_at(open.key.second));
+    }
+    return path;
+  };
+
+  double last_ts =
+      trace.events.empty() ? 0.0 : trace.events.front().ts;
+  for (const TraceEvent& ev : trace.events) {
+    const double delta = ev.ts - last_ts;
+    last_ts = ev.ts;
+    if (!stack.empty() && delta > 0.0) self_s[current_path()] += delta;
+
+    const Key key{ev.category, ev.name};
+    if (ev.type == EventType::kBegin) {
+      stack.push_back(OpenSpan{key});
+    } else if (ev.type == EventType::kEnd) {
+      std::size_t index = stack.size();
+      while (index > 0 && stack[index - 1].key != key) --index;
+      if (index > 0) {
+        stack.erase(stack.begin() +
+                    static_cast<std::ptrdiff_t>(index - 1));
+      }
+    }
+  }
+
+  std::string out;
+  for (const auto& [path, seconds] : self_s) {
+    const auto micros = std::llround(seconds * 1e6);
+    if (micros <= 0) continue;
+    out += path;
+    out += ' ';
+    out += std::to_string(micros);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> counter_channels(const Trace& trace) {
+  std::vector<std::string> out;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.type != EventType::kCounter) continue;
+    const std::string& name = trace.string_at(ev.name);
+    if (std::find(out.begin(), out.end(), name) == out.end())
+      out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SeriesRollup rollup_counter(const Trace& trace, std::string_view channel,
+                            double interval_s, double horizon_s) {
+  require(interval_s > 0.0, "rollup_counter: interval must be positive");
+
+  // Rebuild the piecewise-constant track, mirroring PowerTrace::step
+  // semantics (same-instant updates replace the level).
+  struct Segment {
+    double start;
+    double level;
+  };
+  std::vector<Segment> steps;
+  std::uint64_t last_sample_count = 0;
+  std::vector<double> sample_ts;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.type != EventType::kCounter) continue;
+    if (trace.string_at(ev.name) != channel) continue;
+    if (!steps.empty() && steps.back().start == ev.ts) {
+      steps.back().level = ev.arg_value;
+    } else {
+      steps.push_back(Segment{ev.ts, ev.arg_value});
+    }
+    sample_ts.push_back(ev.ts);
+    ++last_sample_count;
+  }
+  require(!steps.empty(), "rollup_counter: no counter events named '" +
+                              std::string(channel) + "'");
+
+  SeriesRollup out;
+  out.channel = std::string(channel);
+  out.interval_s = interval_s;
+  out.horizon_s =
+      horizon_s > 0.0
+          ? horizon_s
+          : (trace.events.empty() ? 0.0 : trace.events.back().ts);
+  if (out.horizon_s <= 0.0) out.horizon_s = interval_s;
+
+  // A leading zero-level segment models [0, first step): it carries no
+  // energy (matching PowerTrace::energy) but participates in the
+  // min/max/p95 occupancy so partial first windows stay honest.
+  if (steps.front().start > 0.0)
+    steps.insert(steps.begin(), Segment{0.0, 0.0});
+
+  const auto windows = static_cast<std::size_t>(
+      std::ceil(out.horizon_s / interval_s - 1e-12));
+  out.windows.reserve(windows);
+  std::size_t seg = 0;
+  std::size_t sample = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    RollupWindow win;
+    win.t0_s = static_cast<double>(w) * interval_s;
+    win.t1_s = std::min(win.t0_s + interval_s, out.horizon_s);
+
+    while (sample < sample_ts.size() && sample_ts[sample] < win.t0_s)
+      ++sample;
+    for (std::size_t i = sample;
+         i < sample_ts.size() && sample_ts[i] < win.t1_s; ++i)
+      ++win.samples;
+
+    // Advance to the last segment starting at or before t0.
+    while (seg + 1 < steps.size() && steps[seg + 1].start <= win.t0_s)
+      ++seg;
+
+    // Per-level time occupancy inside the window.
+    std::vector<double> levels;
+    std::vector<double> occupancy;
+    double covered = 0.0;
+    for (std::size_t i = seg; i < steps.size(); ++i) {
+      const double seg_start = std::max(steps[i].start, win.t0_s);
+      const double seg_end = std::min(
+          i + 1 < steps.size() ? steps[i + 1].start : out.horizon_s,
+          win.t1_s);
+      if (seg_end <= seg_start) {
+        if (steps[i].start >= win.t1_s) break;
+        continue;
+      }
+      const double dur = seg_end - seg_start;
+      win.energy_j += steps[i].level * dur;
+      covered += dur;
+      const auto found =
+          std::find(levels.begin(), levels.end(), steps[i].level);
+      if (found == levels.end()) {
+        levels.push_back(steps[i].level);
+        occupancy.push_back(dur);
+      } else {
+        occupancy[static_cast<std::size_t>(found - levels.begin())] += dur;
+      }
+    }
+
+    if (!levels.empty()) {
+      win.min = *std::min_element(levels.begin(), levels.end());
+      win.max = *std::max_element(levels.begin(), levels.end());
+      win.mean = covered > 0.0 ? win.energy_j / covered : 0.0;
+
+      // p95 through the histogram-snapshot estimator: one bucket per
+      // distinct level, occupancy in integer nanosecond ticks.
+      std::vector<std::size_t> order(levels.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return levels[a] < levels[b];
+                });
+      HistogramSnapshot hist;
+      for (std::size_t i : order) {
+        hist.bounds.push_back(levels[i]);
+        const auto ticks = static_cast<std::uint64_t>(
+            std::llround(occupancy[i] * 1e9));
+        hist.counts.push_back(ticks);
+        hist.count += ticks;
+      }
+      hist.counts.push_back(0);  // empty overflow bucket
+      win.p95 = hist.quantile(0.95);
+    }
+
+    out.total_energy_j += win.energy_j;
+    out.windows.push_back(win);
+  }
+  return out;
+}
+
+}  // namespace hcep::obs

@@ -25,6 +25,20 @@ std::string format_double(double v) {
   return std::string(buf.data());
 }
 
+/// RFC 4180 field quoting: wrap in double quotes when the field contains
+/// a separator, quote or line break, doubling embedded quotes. Category
+/// and name strings come from call sites that may embed anything.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 char phase_letter(EventType type) {
@@ -197,11 +211,11 @@ std::string EventTracer::csv() const {
     out += ',';
     out += phase_letter(ev.type);
     out += ',';
-    out += strings_[ev.category];
+    out += csv_field(strings_[ev.category]);
     out += ',';
-    out += strings_[ev.name];
+    out += csv_field(strings_[ev.name]);
     out += ',';
-    if (ev.arg_key != kNoArg) out += strings_[ev.arg_key];
+    if (ev.arg_key != kNoArg) out += csv_field(strings_[ev.arg_key]);
     out += ',';
     out += format_double(ev.arg_value);
     out += '\n';

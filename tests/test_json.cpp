@@ -1,4 +1,4 @@
-// JSON writer and study export.
+// JSON writer, parser and study export.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -67,6 +67,75 @@ TEST(Json, PrettyPrintIndents) {
   EXPECT_NE(pretty.find("{\n  \"k\": 1\n}"), std::string::npos);
   EXPECT_EQ(JsonValue::object().dump_pretty(), "{}");
   EXPECT_EQ(JsonValue::array().dump_pretty(), "[]");
+}
+
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_EQ(JsonValue::parse("null").kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse(" false ").as_bool());
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+
+  const JsonValue arr = JsonValue::parse("[1, \"two\", [3]]");
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(0).as_int(), 1);
+  EXPECT_EQ(arr.at(1).as_string(), "two");
+  EXPECT_EQ(arr.at(2).at(0).as_int(), 3);
+
+  const JsonValue obj = JsonValue::parse("{\"a\": 1, \"b\": {\"c\": true}}");
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.at("a").as_int(), 1);
+  EXPECT_TRUE(obj.at("b").at("c").as_bool());
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW((void)obj.at("missing"), PreconditionError);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"a\\\"b\"").as_string(), "a\"b");
+  EXPECT_EQ(JsonValue::parse("\"back\\\\slash\"").as_string(),
+            "back\\slash");
+  EXPECT_EQ(JsonValue::parse("\"line\\nbreak\\t!\"").as_string(),
+            "line\nbreak\t!");
+  EXPECT_EQ(JsonValue::parse("\"\\u0001\"").as_string(),
+            std::string(1, '\x01'));
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, DumpParseDumpIsIdentity) {
+  JsonValue obj = JsonValue::object();
+  obj.set("s", JsonValue::string("quote\" and \\ and \nnewline"));
+  obj.set("n", JsonValue::number(-12.0625));
+  obj.set("i", JsonValue::number(std::int64_t{1234567890}));
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::boolean(true)).push(JsonValue());
+  obj.set("a", std::move(arr));
+
+  const std::string once = obj.dump();
+  EXPECT_EQ(JsonValue::parse(once).dump(), once);
+  const std::string pretty = obj.dump_pretty();
+  EXPECT_EQ(JsonValue::parse(pretty).dump(), once);
+}
+
+TEST(JsonParse, MalformedDocumentsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "[1]extra", "\"bad\\q\"", "nul", "--1", "1e"}) {
+    EXPECT_THROW((void)JsonValue::parse(bad), PreconditionError) << bad;
+  }
+}
+
+TEST(JsonParse, ReadAccessorsCheckKinds) {
+  const JsonValue num = JsonValue::parse("1.5");
+  EXPECT_THROW((void)num.as_int(), PreconditionError);  // not integral
+  EXPECT_THROW((void)num.as_string(), PreconditionError);
+  EXPECT_THROW((void)num.size(), PreconditionError);
+  EXPECT_THROW((void)JsonValue::parse("[1]").at("k"), PreconditionError);
+  EXPECT_THROW((void)JsonValue::parse("{}").at(std::size_t{0}),
+               PreconditionError);
+  EXPECT_THROW((void)JsonValue::parse("[]").at(std::size_t{0}),
+               PreconditionError);
 }
 
 TEST(Export, StudyDocumentContainsEverySection) {

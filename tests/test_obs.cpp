@@ -78,6 +78,44 @@ TEST(MetricsRegistry, HistogramBucketBoundariesAreInclusiveUpperEdges) {
               1e-6);
 }
 
+TEST(MetricsRegistry, SnapshotExposesOverflowAndQuantileEstimates) {
+  obs::MetricsRegistry reg;
+  const obs::MetricId id = reg.histogram("lat", {1.0, 2.0, 4.0});
+  // 10 in (1,2], 10 in (2,4], 5 above every bound.
+  for (int i = 0; i < 10; ++i) reg.observe(id, 1.5);
+  for (int i = 0; i < 10; ++i) reg.observe(id, 3.0);
+  for (int i = 0; i < 5; ++i) reg.observe(id, 100.0);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::HistogramSnapshot* h = snap.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->overflow(), 5u);
+
+  // rank(0.5) = 12.5 of 25 -> 2.5 into the (2,4] bucket of 10: 2.5.
+  EXPECT_NEAR(h->quantile(0.5), 2.0 + 2.0 * (12.5 - 10.0) / 10.0, 1e-12);
+  // rank(0.2) = 5 of 25 -> inside the first occupied bucket (1,2]:
+  // interpolates from its lower edge.
+  EXPECT_NEAR(h->quantile(0.2), 1.0 + 1.0 * 5.0 / 10.0, 1e-12);
+  // Ranks landing in the overflow bucket clamp to the last bound.
+  EXPECT_DOUBLE_EQ(h->quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 4.0);
+  // Monotone in q.
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_GE(h->quantile(q), prev) << q;
+    prev = h->quantile(q);
+  }
+  EXPECT_THROW((void)h->quantile(1.5), PreconditionError);
+
+  // Empty histograms estimate zero; JSON spells the +Inf bucket out.
+  obs::MetricsRegistry reg2;
+  (void)reg2.histogram("empty", {1.0});
+  const obs::MetricsSnapshot snap2 = reg2.snapshot();
+  EXPECT_DOUBLE_EQ(snap2.histogram("empty")->quantile(0.95), 0.0);
+  EXPECT_NE(snap.to_json().dump().find("\"overflow\":5"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistry, GaugeIsLastWriterWinsAndResetZeroes) {
   obs::MetricsRegistry reg;
   const obs::MetricId g = reg.gauge("g");
@@ -180,6 +218,49 @@ TEST(EventTracer, CsvAndJsonlCoverEveryRetainedEvent) {
   std::size_t lines = 0;
   for (char ch : jsonl) lines += ch == '\n' ? 1 : 0;
   EXPECT_EQ(lines, 3u);
+}
+
+TEST(EventTracer, ExportersEscapeHostileStrings) {
+  // Regression: category/name/arg strings with embedded quotes,
+  // backslashes, commas and newlines must survive every text exporter —
+  // JSONL lines stay valid JSON, CSV fields get RFC 4180 quoting.
+  obs::EventTracer tracer(16);
+  const std::string cat = "bad\"cat\\with\nnewline";
+  const std::string name = "name,with,commas";
+  const std::string key = "arg\tkey";
+  const obs::StringId cat_s = tracer.intern(cat);
+  const obs::StringId name_s = tracer.intern(name);
+  const obs::StringId key_s = tracer.intern(key);
+  tracer.begin(0.5, cat_s, name_s, key_s, 1.25);
+  tracer.end(1.0, cat_s, name_s);
+
+  // Every JSONL line parses, and the strings round-trip exactly.
+  const std::string jsonl = tracer.jsonl();
+  std::size_t start = 0;
+  std::size_t lines = 0;
+  while (start < jsonl.size()) {
+    const std::size_t nl = jsonl.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    const JsonValue line =
+        JsonValue::parse(jsonl.substr(start, nl - start));
+    EXPECT_EQ(line.at("cat").as_string(), cat);
+    EXPECT_EQ(line.at("name").as_string(), name);
+    start = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+
+  // The chrome export is a valid JSON document carrying the raw strings.
+  const JsonValue chrome = JsonValue::parse(tracer.chrome_trace_json());
+  EXPECT_EQ(chrome.at("traceEvents").at(0).at("cat").as_string(), cat);
+
+  // CSV: fields with separators/quotes/newlines are quoted and doubled.
+  const std::string csv = tracer.csv();
+  EXPECT_NE(csv.find("\"bad\"\"cat\\with\nnewline\""), std::string::npos);
+  EXPECT_NE(csv.find("\"name,with,commas\""), std::string::npos);
+  // Unquoted fields stay bare (header row untouched).
+  EXPECT_NE(csv.find("ts,phase,category,name,arg_key,arg_value\n"),
+            std::string::npos);
 }
 
 // -------------------------------------------------------------- observer

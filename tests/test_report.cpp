@@ -53,4 +53,22 @@ TEST(Report, FrontierOptionAddsFrontierSize) {
   EXPECT_EQ(without.find("frontier size"), std::string::npos);
 }
 
+TEST(Report, ObservabilityOptionAppendsTracedRunSection) {
+  const core::PaperStudy study;
+  const std::string without = render_report(study);
+  EXPECT_EQ(without.find("## Observability"), std::string::npos);
+
+  ReportOptions opts;
+  opts.include_observability = true;
+  const std::string with = render_report(study, opts);
+  EXPECT_NE(with.find("## Observability"), std::string::npos);
+#if HCEP_OBS
+  // The traced-run profile and the energy-attribution cross-check
+  // render when the instrumentation is compiled in.
+  EXPECT_NE(with.find("cluster:job"), std::string::npos);
+  EXPECT_NE(with.find("Queue decomposition"), std::string::npos);
+  EXPECT_NE(with.find("Windowed energy attribution"), std::string::npos);
+#endif
+}
+
 }  // namespace

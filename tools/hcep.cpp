@@ -14,10 +14,16 @@
 //   hcep autoscale <program>         diurnal autoscaling vs static fleet
 //   hcep export <json|figures> [path]
 //                                    machine-readable study results
+//   hcep trace <program|synthetic> [path]
+//                                    traced DES run exported as JSONL
+//   hcep profile <trace.jsonl> [--interval S] [--json p] [--folded p]
+//                [--prom p]          analyze an exported trace
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -39,6 +45,10 @@ int usage() {
          "  governor <program> [nA9 nK10]   race vs pace\n"
          "  autoscale <program>             autoscaling vs static fleet\n"
          "  export json [path]              full study as JSON\n"
+         "  trace <program|synthetic> [path]  traced DES run -> JSONL\n"
+         "  profile <trace.jsonl> [--interval S] [--json p] [--folded p] "
+         "[--prom p]\n"
+         "                                  analyze an exported trace\n"
          "programs: EP memcached x264 blackscholes Julius RSA-2048\n";
   return 1;
 }
@@ -55,7 +65,9 @@ int cmd_report(const std::vector<std::string>& args) {
     std::cerr << "cannot write " << path << "\n";
     return 2;
   }
-  out << analysis::render_report(study());
+  analysis::ReportOptions options;
+  options.include_observability = true;
+  out << analysis::render_report(study(), options);
   std::cout << "wrote " << path << "\n";
   return 0;
 }
@@ -202,6 +214,213 @@ int cmd_export(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ----------------------------------------------------------- telemetry
+
+/// Deterministic workload for trace/selftest runs that must not pay for
+/// kernel characterization (no calibrated-overheads table row needed).
+workload::Workload synthetic_workload() {
+  workload::Workload w;
+  w.name = "synthetic";
+  w.units_per_job = 5e5;
+  w.demand["A9"] = workload::NodeDemand{5e4, 1e4, Bytes{0.0}};
+  w.demand["K10"] = workload::NodeDemand{5e4, 1e4, Bytes{0.0}};
+  return w;
+}
+
+/// Runs one traced cluster simulation into `observer`.
+cluster::SimResult traced_run(const std::string& program,
+                              obs::Observer& observer) {
+  const bool synthetic = program == "synthetic";
+  const workload::Workload w =
+      synthetic ? synthetic_workload() : study().workload(program);
+  const model::TimeEnergyModel m(model::make_a9_k10_cluster(4, 2), w);
+  cluster::SimOptions options;
+  options.utilization = 0.6;
+  options.batch_size = 2;
+  options.min_jobs = 50;
+  options.seed = 20260807;
+  options.use_testbed_overheads = !synthetic;
+  obs::ScopedObserver scope(observer);
+  return cluster::simulate(m, options);
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string path = args.size() > 1 ? args[1] : "trace.jsonl";
+  obs::Observer observer;
+  const cluster::SimResult r = traced_run(args[0], observer);
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  out << observer.tracer.jsonl();
+  std::cout << "wrote " << observer.tracer.size() << " events ("
+            << observer.tracer.dropped() << " dropped, "
+            << r.jobs_completed << " jobs) to " << path << "\n";
+#if !HCEP_OBS
+  std::cout << "note: observability instrumentation is compiled out "
+               "(HCEP_OBS=OFF); the trace is empty\n";
+#endif
+  return 0;
+}
+
+int cmd_profile(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string trace_path = args[0];
+  double interval = 0.0;
+  std::string json_path, folded_path, prom_path;
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    if (args[i] == "--interval")
+      interval = std::stod(args[i + 1]);
+    else if (args[i] == "--json")
+      json_path = args[i + 1];
+    else if (args[i] == "--folded")
+      folded_path = args[i + 1];
+    else if (args[i] == "--prom")
+      prom_path = args[i + 1];
+    else
+      return usage();
+  }
+
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::cerr << "cannot read " << trace_path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Trace trace = obs::read_trace_jsonl(buffer.str());
+
+  const double horizon =
+      trace.events.empty() ? 0.0 : trace.events.back().ts;
+  if (interval <= 0.0) interval = horizon > 0.0 ? horizon / 8.0 : 1.0;
+  const obs::RunReport report =
+      obs::make_run_report(trace, trace_path, interval);
+  const auto& p = report.profile;
+
+  std::cout << "trace " << trace_path << ": " << p.events << " events ("
+            << p.dropped << " dropped), horizon " << fmt(p.horizon_s, 3)
+            << " s, critical path " << fmt(p.critical_path_s, 3)
+            << " s, idle " << fmt(p.idle_s, 3) << " s\n";
+  if (p.unmatched_begins + p.unmatched_ends > 0) {
+    std::cout << "  (" << p.unmatched_begins << " unmatched begins, "
+              << p.unmatched_ends
+              << " unmatched ends: ring truncation)\n";
+  }
+  if (!p.spans.empty()) {
+    TextTable t({"span", "count", "wall [s]", "self [s]", "min [ms]",
+                 "max [ms]", "wait [s]"});
+    for (const auto& s : p.spans)
+      t.add_row({s.category + ":" + s.name, std::to_string(s.count),
+                 fmt(s.wall_s, 3), fmt(s.self_s, 3),
+                 fmt(s.min_s * 1e3, 2), fmt(s.max_s * 1e3, 2),
+                 fmt(s.wait_s, 3)});
+    std::cout << t;
+  }
+  if (p.queue.jobs > 0) {
+    std::cout << "queue: " << p.queue.jobs << " jobs, mean wait "
+              << fmt(p.queue.mean_wait_s * 1e3, 2) << " ms, mean service "
+              << fmt(p.queue.mean_service_s * 1e3, 2) << " ms, p95 wait "
+              << fmt(p.queue.p95_wait_s * 1e3, 2) << " ms, p95 service "
+              << fmt(p.queue.p95_service_s * 1e3, 2) << " ms\n";
+  }
+  for (const auto& r : report.rollups) {
+    std::cout << "counter " << r.channel << ": " << r.windows.size()
+              << " windows of " << fmt(r.interval_s, 3)
+              << " s, total energy " << fmt(r.total_energy_j, 3)
+              << " J\n";
+  }
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& content) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    out << content;
+    std::cout << "wrote " << path << "\n";
+    return true;
+  };
+  if (!json_path.empty() && !write_file(json_path, report.json() + "\n"))
+    return 2;
+  if (!folded_path.empty() &&
+      !write_file(folded_path, obs::folded_stacks(trace)))
+    return 2;
+  if (!prom_path.empty() &&
+      !write_file(prom_path, obs::prometheus_text(report.metrics)))
+    return 2;
+  return 0;
+}
+
+/// End-to-end smoke of the telemetry pipeline, wired into ctest: trace a
+/// synthetic run to JSONL, profile it through the real `profile` command
+/// path, then re-parse and cross-check the artifacts.
+int cmd_selftest(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "profile") return usage();
+  const std::string trace_path = "hcep_selftest_trace.jsonl";
+  const std::string json_path = "hcep_selftest_report.json";
+  const std::string folded_path = "hcep_selftest.folded";
+  const std::string prom_path = "hcep_selftest.prom";
+
+  obs::Observer observer;
+  const cluster::SimResult r = traced_run("synthetic", observer);
+  {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 2;
+    }
+    out << observer.tracer.jsonl();
+  }
+  if (cmd_profile({trace_path, "--json", json_path, "--folded",
+                   folded_path, "--prom", prom_path}) != 0) {
+    return 2;
+  }
+
+  // The emitted report must be valid JSON and agree with the trace.
+  std::ifstream in(json_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue report = JsonValue::parse(buffer.str());
+  const auto events =
+      static_cast<std::uint64_t>(report.at("profile").at("events").as_int());
+  if (events != observer.tracer.size()) {
+    std::cerr << "selftest: report events " << events << " != traced "
+              << observer.tracer.size() << "\n";
+    return 2;
+  }
+
+#if HCEP_OBS
+  // Live-instrumentation cross-checks: windowed energy attribution must
+  // re-integrate to the simulator's exact energy, and a same-seed rerun
+  // must reproduce the trace bytes.
+  const obs::Trace trace = obs::Trace::from(observer.tracer);
+  const obs::SeriesRollup rollup = obs::rollup_counter(
+      trace, "cluster_W", r.window.value() / 8.0, r.window.value());
+  const double exact = r.energy_exact.value();
+  if (std::abs(rollup.total_energy_j - exact) >
+      std::abs(exact) * 1e-9) {
+    std::cerr << "selftest: rollup energy " << rollup.total_energy_j
+              << " J != exact " << exact << " J\n";
+    return 2;
+  }
+  obs::Observer replay;
+  traced_run("synthetic", replay);
+  if (replay.tracer.jsonl() != observer.tracer.jsonl()) {
+    std::cerr << "selftest: same-seed rerun produced different trace "
+                 "bytes\n";
+    return 2;
+  }
+#else
+  std::cout << "selftest: structural checks only (HCEP_OBS=OFF)\n";
+#endif
+  std::cout << "selftest profile: ok\n";
+  return 0;
+}
+
 int cmd_governor(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   analysis::GovernorStudyOptions opts;
@@ -237,6 +456,9 @@ int main(int argc, char** argv) {
     if (cmd == "governor") return cmd_governor(args);
     if (cmd == "autoscale") return cmd_autoscale(args);
     if (cmd == "export") return cmd_export(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "selftest") return cmd_selftest(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

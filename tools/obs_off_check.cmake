@@ -1,0 +1,43 @@
+# Builds tools/hcep with observability compiled out (the obs-off preset's
+# configuration) and runs its telemetry selftest, proving the analysis
+# pipeline still works — structurally — when every instrumentation site
+# is compiled away. Invoked by ctest as:
+#   cmake -DSOURCE_DIR=... -DBINARY_DIR=... -P obs_off_check.cmake
+foreach(var SOURCE_DIR BINARY_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "obs_off_check: ${var} not set")
+  endif()
+endforeach()
+
+set(build_dir "${BINARY_DIR}/obs-off-check")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+          -DHCEP_OBS=OFF -DHCEP_BUILD_TESTS=OFF -DHCEP_BUILD_BENCH=OFF
+          -DCMAKE_BUILD_TYPE=Release
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_off_check: configure failed")
+endif()
+
+include(ProcessorCount)
+ProcessorCount(ncpu)
+if(ncpu EQUAL 0)
+  set(ncpu 2)
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target hcep
+          --parallel ${ncpu}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_off_check: build failed")
+endif()
+
+execute_process(
+  COMMAND "${build_dir}/tools/hcep" selftest profile
+  WORKING_DIRECTORY "${build_dir}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_off_check: selftest failed")
+endif()
+message(STATUS "obs_off_check: ok")
