@@ -38,7 +38,7 @@ int main() {
         table.add_row({cluster::to_string(policy),
                        fmt(r.p95_response.value() * 1e3, 1),
                        fmt(r.mean_response.value() * 1e3, 1),
-                       fmt(r.energy_per_job, 2), std::to_string(a9_jobs),
+                       fmt(r.energy_per_job.value(), 2), std::to_string(a9_jobs),
                        std::to_string(k10_jobs)});
       }
       std::cout << table;
@@ -63,7 +63,7 @@ int main() {
                      fmt(r.overall.p95_response.value(), 3),
                      fmt(r.per_program[0].p95_response.value(), 3),
                      fmt(r.per_program[1].p95_response.value(), 3),
-                     fmt(r.overall.energy_per_job, 2)});
+                     fmt(r.overall.energy_per_job.value(), 2)});
     }
     std::cout << table;
   }

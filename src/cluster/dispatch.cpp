@@ -250,7 +250,7 @@ MixedDispatchResult run_engine(const model::ClusterSpec& cluster,
   out.overall.energy = idle_floor * makespan + dynamic_energy;
   out.overall.average_power = out.overall.energy / makespan;
   out.overall.energy_per_job =
-      out.overall.energy.value() / static_cast<double>(options.jobs);
+      out.overall.energy / static_cast<double>(options.jobs);
 
   // Per node type.
   for (const auto& n : nodes) {

@@ -11,7 +11,7 @@ Evaluation EvaluationSet::materialize(std::size_t i) const {
   Evaluation e;
   e.index = i;
   e.config = space_->config_at(i);
-  e.time = time(i);
+  e.time = this->time(i);
   e.energy = energy(i);
   e.idle_power = idle_power(i);
   e.busy_power = busy_power(i);

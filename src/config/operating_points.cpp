@@ -10,7 +10,7 @@ namespace hcep::config {
 OperatingPointTable::OperatingPointTable(const ConfigSpace& space,
                                          const workload::Workload& workload)
     : units_per_job_(workload.units_per_job),
-      io_request_interval_(workload.io_request_interval.value()) {
+      io_request_interval_(workload.io_request_interval) {
   types_.reserve(space.types().size());
   for (std::size_t i = 0; i < space.types().size(); ++i) {
     const TypeOptions& t = space.types()[i];
@@ -22,7 +22,7 @@ OperatingPointTable::OperatingPointTable(const ConfigSpace& space,
     const Hertz f_max = t.spec.dvfs.max();
 
     TypeTable table;
-    table.idle_power = t.spec.power.idle.value();
+    table.idle_power = t.spec.power.idle;
     const std::size_t points = space.points_for(i);
     table.points.reserve(points);
     for (std::size_t p = 0; p < points; ++p) {
@@ -31,26 +31,23 @@ OperatingPointTable::OperatingPointTable(const ConfigSpace& space,
           workload::unit_time(d, t.spec, op.cores, op.frequency);
 
       OperatingPointEntry e;
-      e.t_core = ut.core.value();
-      e.t_mem = ut.mem.value();
-      e.t_cpu = ut.cpu.value();
-      e.t_io = ut.io.value();
+      e.t_core = ut.core;
+      e.t_mem = ut.mem;
+      e.t_cpu = ut.cpu;
+      e.t_io = ut.io;
       e.throughput =
           workload::unit_throughput(d, t.spec, op.cores, op.frequency);
       e.busy_power =
-          workload::busy_power(d, t.spec, op.cores, op.frequency, kappa)
-              .value();
+          workload::busy_power(d, t.spec, op.cores, op.frequency, kappa);
       // Fold (cores * dvfs * kappa) into the Table 2 rates exactly as the
       // TimeEnergyModel energy rows group them, so the fused path repeats
       // the naive path's floating-point operations verbatim.
       const double cores = static_cast<double>(op.cores);
       const double dvfs = t.spec.power.dvfs_scale(op.frequency, f_max);
-      e.p_core_active =
-          t.spec.power.core_active.value() * (cores * dvfs * kappa);
-      e.p_core_stall =
-          t.spec.power.core_stalled.value() * (cores * dvfs * kappa);
-      e.p_mem = t.spec.power.mem_active.value() * kappa;
-      e.p_net = t.spec.power.net_active.value() * kappa;
+      e.p_core_active = t.spec.power.core_active * (cores * dvfs * kappa);
+      e.p_core_stall = t.spec.power.core_stalled * (cores * dvfs * kappa);
+      e.p_mem = t.spec.power.mem_active * kappa;
+      e.p_net = t.spec.power.net_active * kappa;
       table.points.push_back(e);
     }
     types_.push_back(std::move(table));
@@ -66,9 +63,9 @@ PointMetrics OperatingPointTable::evaluate(const DecodedGroup* groups,
   // TimeEnergyModel, so both passes agree to machine precision.
   const OperatingPointEntry* ent[kMaxTypes];
   double cnt[kMaxTypes];
-  double idle[kMaxTypes];
+  Watts idle[kMaxTypes];
   double per_node_units[kMaxTypes];
-  double t_io[kMaxTypes];
+  Seconds t_io[kMaxTypes];
 
   // Rate-matched split: work shares are proportional to group throughput.
   double total_rate = 0.0;
@@ -84,14 +81,18 @@ PointMetrics OperatingPointTable::evaluate(const DecodedGroup* groups,
   // an ulp of the naive grouping, far inside the 1e-9 oracle tolerance.
   const double inv_total_rate = 1.0 / total_rate;
 
+  // The typed arithmetic below lowers to the exact double operations of
+  // the pre-units implementation (Quantity is a transparent double and
+  // W * s -> J is a single multiply), so fused/naive equivalence holds
+  // bit-for-bit.
   PointMetrics out;
   // Pass 1: per-group completion times -> T_P (Table 2 time rows).
   for (std::size_t k = 0; k < n; ++k) {
     const OperatingPointEntry& e = *ent[k];
     per_node_units[k] = units * e.throughput * inv_total_rate;
-    const double t_cpu = e.t_cpu * per_node_units[k];
-    const double io_transfer = e.t_io * per_node_units[k];
-    const double io_floor = io_request_interval_ / cnt[k];
+    const Seconds t_cpu = e.t_cpu * per_node_units[k];
+    const Seconds io_transfer = e.t_io * per_node_units[k];
+    const Seconds io_floor = io_request_interval_ / cnt[k];
     t_io[k] = std::max(io_transfer, io_floor);
     out.time = std::max(out.time, std::max(t_cpu, t_io[k]));
   }
@@ -100,15 +101,15 @@ PointMetrics OperatingPointTable::evaluate(const DecodedGroup* groups,
   // the same order as TimeEnergyModel::job_energy.
   for (std::size_t k = 0; k < n; ++k) {
     const OperatingPointEntry& e = *ent[k];
-    const double t_core = e.t_core * per_node_units[k];
-    const double t_mem = e.t_mem * per_node_units[k];
-    const double stall = std::max(0.0, t_mem - t_core);
+    const Seconds t_core = e.t_core * per_node_units[k];
+    const Seconds t_mem = e.t_mem * per_node_units[k];
+    const Seconds stall = std::max(Seconds{}, t_mem - t_core);
 
-    const double e_cpu_active = e.p_core_active * t_core * cnt[k];
-    const double e_cpu_stall = e.p_core_stall * stall * cnt[k];
-    const double e_mem = e.p_mem * t_mem * cnt[k];
-    const double e_net = e.p_net * t_io[k] * cnt[k];
-    const double e_idle = idle[k] * out.time * cnt[k];
+    const Joules e_cpu_active = e.p_core_active * t_core * cnt[k];
+    const Joules e_cpu_stall = e.p_core_stall * stall * cnt[k];
+    const Joules e_mem = e.p_mem * t_mem * cnt[k];
+    const Joules e_net = e.p_net * t_io[k] * cnt[k];
+    const Joules e_idle = idle[k] * out.time * cnt[k];
     out.energy += e_cpu_active + e_cpu_stall + e_mem + e_net + e_idle;
 
     out.idle_power += idle[k] * cnt[k];

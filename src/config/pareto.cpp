@@ -277,12 +277,12 @@ std::optional<Evaluation> fastest(const EvaluationSet& evals) {
   return evals.materialize(best);
 }
 
-double energy_delay_product(const Evaluation& e) {
-  return e.energy.value() * e.time.value();
+JouleSeconds energy_delay_product(const Evaluation& e) {
+  return e.energy * e.time;
 }
 
-double energy_delay2_product(const Evaluation& e) {
-  return e.energy.value() * e.time.value() * e.time.value();
+JouleSecondsSquared energy_delay2_product(const Evaluation& e) {
+  return e.energy * e.time * e.time;
 }
 
 std::optional<Evaluation> min_edp(const std::vector<Evaluation>& evaluations,
@@ -290,8 +290,8 @@ std::optional<Evaluation> min_edp(const std::vector<Evaluation>& evaluations,
   std::optional<Evaluation> best;
   double best_score = std::numeric_limits<double>::infinity();
   for (const auto& e : evaluations) {
-    const double score =
-        squared ? energy_delay2_product(e) : energy_delay_product(e);
+    const double score = squared ? energy_delay2_product(e).value()
+                                 : energy_delay_product(e).value();
     if (score < best_score) {
       best_score = score;
       best = e;

@@ -77,8 +77,8 @@ void NodeSpec::validate() const {
   require(power.core_active.value() >= 0.0, "NodeSpec: negative core power");
   require(nameplate_peak >= power.idle,
           "NodeSpec: nameplate peak below idle power");
-  require(cost.mem_bandwidth.value > 0.0, "NodeSpec: zero memory bandwidth");
-  require(nic_bandwidth.value > 0.0, "NodeSpec: zero NIC bandwidth");
+  require(cost.mem_bandwidth.value() > 0.0, "NodeSpec: zero memory bandwidth");
+  require(nic_bandwidth.value() > 0.0, "NodeSpec: zero NIC bandwidth");
   require(cost.crypto_speedup >= 1.0, "NodeSpec: crypto speedup below 1");
 }
 

@@ -51,7 +51,7 @@ struct DispatchResult {
   Seconds p95_response{};
   Joules energy{};          ///< exact: idle floor + per-job dynamic energy
   Watts average_power{};
-  double energy_per_job = 0.0;  ///< J/job
+  Joules energy_per_job{};      ///< per completed job
   std::vector<NodeLoad> nodes;
 };
 

@@ -67,12 +67,12 @@ class EvaluationSet {
   }
 
   /// Writes one row (thread-safe for distinct `i`).
-  void set(std::size_t i, double time_s, double energy_j, double idle_w,
-           double busy_w) {
-    time_[i] = time_s;
-    energy_[i] = energy_j;
-    idle_[i] = idle_w;
-    busy_[i] = busy_w;
+  void set(std::size_t i, Seconds time, Joules energy, Watts idle_power,
+           Watts busy_power) {
+    time_[i] = time.value();
+    energy_[i] = energy.value();
+    idle_[i] = idle_power.value();
+    busy_[i] = busy_power.value();
   }
 
   /// Decodes the ClusterSpec for row `i` and assembles the classic

@@ -21,33 +21,36 @@
 #include <vector>
 
 #include "hcep/config/space.hpp"
+#include "hcep/util/units.hpp"
 #include "hcep/workload/demand.hpp"
 
 namespace hcep::config {
 
 /// Cached per-(type, operating point) quantities. Times are seconds per
-/// unit of work on one node; powers are watts per node.
+/// unit of work on one node; powers are watts per node. The typed fields
+/// have raw-double layout (sizeof(Quantity) == sizeof(double)), so the
+/// table stays a flat array of 10 doubles per tuple.
 struct OperatingPointEntry {
-  double t_core = 0.0;  ///< per-unit core execution time
-  double t_mem = 0.0;   ///< per-unit memory-stall time
-  double t_cpu = 0.0;   ///< max(t_core, t_mem)
-  double t_io = 0.0;    ///< per-unit NIC transfer time
+  Seconds t_core{};  ///< per-unit core execution time
+  Seconds t_mem{};   ///< per-unit memory-stall time
+  Seconds t_cpu{};   ///< max(t_core, t_mem)
+  Seconds t_io{};    ///< per-unit NIC transfer time
   double throughput = 0.0;  ///< units/s per continuously busy node
-  double busy_power = 0.0;  ///< W per continuously busy node
+  Watts busy_power{};       ///< per continuously busy node
   // Table 2 energy rates with (cores * dvfs * kappa) folded in, so the
   // fused evaluator multiplies each by a phase time and the node count.
-  double p_core_active = 0.0;  ///< W while cores execute work cycles
-  double p_core_stall = 0.0;   ///< W while cores stall on memory
-  double p_mem = 0.0;          ///< W while the memory system streams
-  double p_net = 0.0;          ///< W while the NIC moves data
+  Watts p_core_active{};  ///< while cores execute work cycles
+  Watts p_core_stall{};   ///< while cores stall on memory
+  Watts p_mem{};          ///< while the memory system streams
+  Watts p_net{};          ///< while the NIC moves data
 };
 
-/// The four scalars a sweep needs per configuration.
+/// The four quantities a sweep needs per configuration.
 struct PointMetrics {
-  double time = 0.0;        ///< job execution time T_P [s]
-  double energy = 0.0;      ///< job energy E_P [J]
-  double idle_power = 0.0;  ///< cluster idle floor [W]
-  double busy_power = 0.0;  ///< cluster busy power [W]
+  Seconds time{};      ///< job execution time T_P
+  Joules energy{};     ///< job energy E_P
+  Watts idle_power{};  ///< cluster idle floor
+  Watts busy_power{};  ///< cluster busy power
 };
 
 class OperatingPointTable {
@@ -66,8 +69,8 @@ class OperatingPointTable {
                                                  std::size_t point) const {
     return types_[type].points[point];
   }
-  /// Idle floor of one node of `type` [W].
-  [[nodiscard]] double idle_power(std::size_t type) const {
+  /// Idle floor of one node of `type`.
+  [[nodiscard]] Watts idle_power(std::size_t type) const {
     return types_[type].idle_power;
   }
   [[nodiscard]] double units_per_job() const { return units_per_job_; }
@@ -87,12 +90,12 @@ class OperatingPointTable {
 
  private:
   struct TypeTable {
-    double idle_power = 0.0;  ///< W per node, operating-point independent
+    Watts idle_power{};  ///< per node, operating-point independent
     std::vector<OperatingPointEntry> points;
   };
   std::vector<TypeTable> types_;
   double units_per_job_ = 1.0;
-  double io_request_interval_ = 0.0;  ///< 1/lambda_I/O [s]
+  Seconds io_request_interval_{};  ///< 1/lambda_I/O
 };
 
 }  // namespace hcep::config

@@ -66,12 +66,12 @@ namespace hcep::config {
     const std::vector<Evaluation>& evaluations);
 [[nodiscard]] std::optional<Evaluation> fastest(const EvaluationSet& evals);
 
-/// Energy-delay product E_P * T_P in J*s — the classic single-number
-/// compromise between the frontier's two axes.
-[[nodiscard]] double energy_delay_product(const Evaluation& e);
+/// Energy-delay product E_P * T_P — the classic single-number compromise
+/// between the frontier's two axes, dimensionally J*s.
+[[nodiscard]] JouleSeconds energy_delay_product(const Evaluation& e);
 
 /// Energy-delay-squared product E_P * T_P^2 (weights latency harder).
-[[nodiscard]] double energy_delay2_product(const Evaluation& e);
+[[nodiscard]] JouleSecondsSquared energy_delay2_product(const Evaluation& e);
 
 /// Configuration minimizing EDP (or ED2P when `squared`); always a member
 /// of the Pareto frontier.

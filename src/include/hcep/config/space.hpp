@@ -75,7 +75,8 @@ class ConfigSpace {
   /// Decodes configuration `index` into caller storage (`out` must hold at
   /// least types().size() entries); returns the number of present groups.
   /// Groups appear in type order, matching config_at's group order.
-  std::size_t decode_at(std::uint64_t index, DecodedGroup* out) const;
+  [[nodiscard]] std::size_t decode_at(std::uint64_t index,
+                                      DecodedGroup* out) const;
 
   /// Number of (cores, frequency) operating points of one type — the
   /// per-type tuple count with the node-count axis divided out.

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hcep/obs/trace.hpp"
+#include "hcep/util/units.hpp"
 
 namespace hcep::obs {
 
@@ -133,7 +134,7 @@ struct RollupWindow {
   double mean = 0.0;          ///< time-weighted mean level
   double max = 0.0;
   double p95 = 0.0;           ///< HistogramSnapshot::quantile estimate
-  double energy_j = 0.0;      ///< integral of the level over the window
+  Joules energy_j{};          ///< integral of the level over the window
 };
 
 /// Fixed-interval rollup of the counter track `channel`. Windows
@@ -144,7 +145,7 @@ struct SeriesRollup {
   std::string channel;
   double interval_s = 0.0;
   double horizon_s = 0.0;
-  double total_energy_j = 0.0;  ///< sum of window energies
+  Joules total_energy_j{};      ///< sum of window energies
   std::vector<RollupWindow> windows;
 };
 

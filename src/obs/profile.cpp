@@ -426,7 +426,7 @@ SeriesRollup rollup_counter(const Trace& trace, std::string_view channel,
         continue;
       }
       const double dur = seg_end - seg_start;
-      win.energy_j += steps[i].level * dur;
+      win.energy_j += Joules{steps[i].level * dur};
       covered += dur;
       const auto found =
           std::find(levels.begin(), levels.end(), steps[i].level);
@@ -441,7 +441,7 @@ SeriesRollup rollup_counter(const Trace& trace, std::string_view channel,
     if (!levels.empty()) {
       win.min = *std::min_element(levels.begin(), levels.end());
       win.max = *std::max_element(levels.begin(), levels.end());
-      win.mean = covered > 0.0 ? win.energy_j / covered : 0.0;
+      win.mean = covered > 0.0 ? win.energy_j.value() / covered : 0.0;
 
       // p95 through the histogram-snapshot estimator: one bucket per
       // distinct level, occupancy in integer nanosecond ticks.

@@ -95,7 +95,7 @@ JsonValue window_json(const RollupWindow& w) {
   o.set("mean", JsonValue::number(w.mean));
   o.set("max", JsonValue::number(w.max));
   o.set("p95", JsonValue::number(w.p95));
-  o.set("energy_j", JsonValue::number(w.energy_j));
+  o.set("energy_j", JsonValue::number(w.energy_j.value()));
   return o;
 }
 
@@ -104,7 +104,7 @@ JsonValue rollup_json(const SeriesRollup& r) {
   o.set("channel", JsonValue::string(r.channel));
   o.set("interval_s", JsonValue::number(r.interval_s));
   o.set("horizon_s", JsonValue::number(r.horizon_s));
-  o.set("total_energy_j", JsonValue::number(r.total_energy_j));
+  o.set("total_energy_j", JsonValue::number(r.total_energy_j.value()));
   JsonValue windows = JsonValue::array();
   for (const RollupWindow& w : r.windows) windows.push(window_json(w));
   o.set("windows", std::move(windows));

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: J + W adds energy to power — the classic unit slip
+// the hcep::units layer exists to reject.
+#include "hcep/util/units.hpp"
+
+int main() {
+  const hcep::Joules e = hcep::Joules{1.0} + hcep::Watts{1.0};
+  return static_cast<int>(e.value());
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: passing Watts where a Joules parameter is expected —
+// the acceptance-criteria seeded bug. Average power is NOT energy until
+// multiplied by a window.
+#include "hcep/util/units.hpp"
+
+namespace {
+double record_energy(hcep::Joules e) { return e.value(); }
+}  // namespace
+
+int main() {
+  const hcep::Watts p{42.0};
+  return static_cast<int>(record_energy(p));
+}

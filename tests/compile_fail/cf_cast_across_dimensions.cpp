@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: quantity_cast converts between units of ONE
+// dimension (J <-> kWh); it must refuse to launder Watts into Joules.
+#include "hcep/util/units.hpp"
+
+int main() {
+  const hcep::Joules e = hcep::quantity_cast<hcep::Joules>(hcep::Watts{5.0});
+  return static_cast<int>(e.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: cycles and seconds are different dimensions; the
+// Table 2 identity requires dividing by a frequency first.
+#include "hcep/util/units.hpp"
+
+int main() {
+  const auto bogus = hcep::Cycles{1e9} + hcep::Seconds{1.0};
+  return static_cast<int>(bogus.value());
+}

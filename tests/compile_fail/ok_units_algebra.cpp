@@ -1,0 +1,23 @@
+// Control snippet: MUST COMPILE. Exercises the derived-dimension algebra
+// the cf_* snippets violate, so a broken include path or a units-layer
+// regression cannot make the compile-fail harness pass vacuously.
+#include "hcep/util/units.hpp"
+
+using namespace hcep;
+using namespace hcep::literals;
+
+int main() {
+  const Joules e = 10_W * 3_s;                  // W * s -> J
+  const Watts p = e / 3_s;                      // J / s -> W
+  const Seconds t = Cycles{2.8e9} / 1.4_GHz;    // cyc / Hz -> s
+  const Cycles c = 1.4_GHz * t;                 // Hz * s -> cyc
+  const Seconds xfer = Bytes{1e6} / BytesPerSecond{1e5};
+  const JoulesPerOp jpo = e / Ops{100.0};
+  const JouleSeconds edp = e * t;
+  const Joules from_mj = Millijoules{1500.0};   // exact scaled conversion
+  const KilowattHours kwh = quantity_cast<KilowattHours>(e);
+  const double ratio = p / 5_W;                 // dimensionless decay
+  return static_cast<int>(e.value() + p.value() + t.value() + c.value() +
+                          xfer.value() + jpo.value() + edp.value() +
+                          from_mj.value() + kwh.value() + ratio) > 1e9;
+}

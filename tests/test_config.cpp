@@ -268,12 +268,12 @@ TEST(OperatingPointTable, CachesEveryTupleOnce) {
   EXPECT_EQ(table.points_for(1), 18u);
   EXPECT_DOUBLE_EQ(table.units_per_job(), ep().units_per_job);
   for (std::size_t t = 0; t < table.num_types(); ++t) {
-    EXPECT_GT(table.idle_power(t), 0.0);
+    EXPECT_GT(table.idle_power(t).value(), 0.0);
     for (std::size_t p = 0; p < table.points_for(t); ++p) {
       const OperatingPointEntry& e = table.entry(t, p);
-      EXPECT_GT(e.t_cpu, 0.0);
+      EXPECT_GT(e.t_cpu.value(), 0.0);
       EXPECT_GT(e.throughput, 0.0);
-      EXPECT_GT(e.busy_power, 0.0);
+      EXPECT_GT(e.busy_power.value(), 0.0);
     }
   }
 }
@@ -357,9 +357,9 @@ TEST(EnergyDelay, ProductsAndMinimum) {
 
   // EDP/ED2P formulas.
   const Evaluation e0 = evals.materialize(0);
-  EXPECT_DOUBLE_EQ(energy_delay_product(e0),
+  EXPECT_DOUBLE_EQ(energy_delay_product(e0).value(),
                    e0.energy.value() * e0.time.value());
-  EXPECT_DOUBLE_EQ(energy_delay2_product(e0),
+  EXPECT_DOUBLE_EQ(energy_delay2_product(e0).value(),
                    e0.energy.value() * e0.time.value() * e0.time.value());
 
   // The EDP optimum is never dominated: it must sit on the frontier.
@@ -367,7 +367,7 @@ TEST(EnergyDelay, ProductsAndMinimum) {
   ASSERT_TRUE(best.has_value());
   for (std::size_t i = 0; i < evals.size(); ++i)
     EXPECT_GE(evals.energies()[i] * evals.times()[i],
-              energy_delay_product(*best) - 1e-12);
+              energy_delay_product(*best).value() - 1e-12);
   const auto front = pareto_front(evals);
   bool on_front = false;
   for (const auto& f : front) {

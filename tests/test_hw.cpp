@@ -20,7 +20,7 @@ TEST(Catalog, A9MatchesTable5) {
   EXPECT_DOUBLE_EQ(a9.dvfs.min().value(), 0.2e9);
   EXPECT_DOUBLE_EQ(a9.dvfs.max().value(), 1.4e9);
   EXPECT_DOUBLE_EQ(a9.memory.value(), 1024.0 * 1024.0 * 1024.0);
-  EXPECT_DOUBLE_EQ(a9.nic_bandwidth.value, 100e6 / 8.0);  // 100 Mbps
+  EXPECT_DOUBLE_EQ(a9.nic_bandwidth.value(), 100e6 / 8.0);  // 100 Mbps
   EXPECT_NEAR(a9.power.idle.value(), 1.8, 1e-9);   // Section III-B
   EXPECT_DOUBLE_EQ(a9.nameplate_peak.value(), 5.0);
   EXPECT_DOUBLE_EQ(a9.caches.l3.value(), 0.0);  // no L3
@@ -34,7 +34,7 @@ TEST(Catalog, K10MatchesTable5) {
   EXPECT_EQ(k10.dvfs.size(), 3u);  // footnote 4: 3 core frequencies
   EXPECT_DOUBLE_EQ(k10.dvfs.min().value(), 0.8e9);
   EXPECT_DOUBLE_EQ(k10.dvfs.max().value(), 2.1e9);
-  EXPECT_DOUBLE_EQ(k10.nic_bandwidth.value, 1e9 / 8.0);  // 1 Gbps
+  EXPECT_DOUBLE_EQ(k10.nic_bandwidth.value(), 1e9 / 8.0);  // 1 Gbps
   EXPECT_NEAR(k10.power.idle.value(), 45.0, 1e-9);
   EXPECT_DOUBLE_EQ(k10.nameplate_peak.value(), 60.0);
   EXPECT_GT(k10.cost.crypto_speedup, 1.0);  // RSA acceleration

@@ -200,11 +200,11 @@ TEST(Rollup, WindowEnergySumsToExactTraceEnergy) {
   ASSERT_EQ(r.windows.size(), 4u);
   // Track: 0 W on [0,1), 100 W on [1,3), 300 W on [3,7).
   const double exact = 100.0 * 2.0 + 300.0 * 4.0;
-  EXPECT_NEAR(r.total_energy_j, exact, std::abs(exact) * 1e-12);
-  EXPECT_DOUBLE_EQ(r.windows[0].energy_j, 100.0);   // [0,2): 1 s of 100
-  EXPECT_DOUBLE_EQ(r.windows[1].energy_j, 400.0);   // [2,4): 100 + 300
-  EXPECT_DOUBLE_EQ(r.windows[2].energy_j, 600.0);   // [4,6): 2 s of 300
-  EXPECT_DOUBLE_EQ(r.windows[3].energy_j, 300.0);   // [6,7): partial
+  EXPECT_NEAR(r.total_energy_j.value(), exact, std::abs(exact) * 1e-12);
+  EXPECT_DOUBLE_EQ(r.windows[0].energy_j.value(), 100.0);   // [0,2): 1 s of 100
+  EXPECT_DOUBLE_EQ(r.windows[1].energy_j.value(), 400.0);   // [2,4): 100 + 300
+  EXPECT_DOUBLE_EQ(r.windows[2].energy_j.value(), 600.0);   // [4,6): 2 s of 300
+  EXPECT_DOUBLE_EQ(r.windows[3].energy_j.value(), 300.0);   // [6,7): partial
   EXPECT_DOUBLE_EQ(r.windows[3].t1_s, 7.0);
 
   // Window stats: [2,4) holds 1 s at 100 and 1 s at 300.
@@ -314,11 +314,11 @@ TEST(RoundTrip, RollupEnergyMatchesPowerTraceExactly) {
        {window / 3.0, window / 7.0, window / 16.0, window / 97.0}) {
     const obs::SeriesRollup rollup =
         obs::rollup_counter(t, "cluster_W", interval, window);
-    EXPECT_NEAR(rollup.total_energy_j, exact, std::abs(exact) * 1e-9)
+    EXPECT_NEAR(rollup.total_energy_j.value(), exact, std::abs(exact) * 1e-9)
         << "interval " << interval;
     double sum = 0.0;
-    for (const obs::RollupWindow& w : rollup.windows) sum += w.energy_j;
-    EXPECT_DOUBLE_EQ(sum, rollup.total_energy_j);
+    for (const obs::RollupWindow& w : rollup.windows) sum += w.energy_j.value();
+    EXPECT_DOUBLE_EQ(sum, rollup.total_energy_j.value());
     for (const obs::RollupWindow& w : rollup.windows) {
       EXPECT_LE(w.min, w.mean + 1e-12);
       EXPECT_LE(w.mean, w.max + 1e-12);

@@ -141,7 +141,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
   for (const auto& e : front)
     t.add_row({e.config.label(), fmt(e.time.value() * 1e3, 2),
                fmt(e.energy.value(), 2),
-               fmt(config::energy_delay_product(e), 4)});
+               fmt(config::energy_delay_product(e).value(), 4)});
   std::cout << t;
   const auto edp = config::min_edp(evals);
   std::cout << "EDP optimum: " << edp->config.label() << "\n";
@@ -329,7 +329,7 @@ int cmd_profile(const std::vector<std::string>& args) {
   for (const auto& r : report.rollups) {
     std::cout << "counter " << r.channel << ": " << r.windows.size()
               << " windows of " << fmt(r.interval_s, 3)
-              << " s, total energy " << fmt(r.total_energy_j, 3)
+              << " s, total energy " << fmt(r.total_energy_j.value(), 3)
               << " J\n";
   }
 
@@ -401,9 +401,9 @@ int cmd_selftest(const std::vector<std::string>& args) {
   const obs::SeriesRollup rollup = obs::rollup_counter(
       trace, "cluster_W", r.window.value() / 8.0, r.window.value());
   const double exact = r.energy_exact.value();
-  if (std::abs(rollup.total_energy_j - exact) >
+  if (std::abs(rollup.total_energy_j.value() - exact) >
       std::abs(exact) * 1e-9) {
-    std::cerr << "selftest: rollup energy " << rollup.total_energy_j
+    std::cerr << "selftest: rollup energy " << rollup.total_energy_j.value()
               << " J != exact " << exact << " J\n";
     return 2;
   }

@@ -1,0 +1,30 @@
+# Compile-(fail|pass) driver for the dimensional-analysis harness.
+# Usage:
+#   cmake -DCXX=<compiler> -DINCLUDE_DIR=<dir> -DSOURCE=<file>
+#         -DEXPECT=fail|ok -P compile_fail.cmake
+# EXPECT=fail: the snippet must NOT compile (a wrong-dimension program).
+# EXPECT=ok:   the snippet must compile (control — proves the harness
+#              would notice a broken include path rather than pass
+#              everything vacuously).
+
+execute_process(
+  COMMAND ${CXX} -std=c++20 -fsyntax-only -I${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "fail")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "${SOURCE} compiled but must not: the units layer failed to reject "
+      "wrong-dimension arithmetic")
+  endif()
+  message(STATUS "${SOURCE} rejected as required")
+elseif(EXPECT STREQUAL "ok")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${SOURCE} must compile but failed:\n${err}")
+  endif()
+  message(STATUS "${SOURCE} compiled as required")
+else()
+  message(FATAL_ERROR "EXPECT must be 'fail' or 'ok', got '${EXPECT}'")
+endif()

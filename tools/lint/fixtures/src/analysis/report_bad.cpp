@@ -1,0 +1,30 @@
+// hcep-lint selftest fixture: one live violation per TU rule plus a
+// suppressed twin. The path contains "report", so the file is treated as
+// a deterministic-output translation unit. Not part of the build.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hcep::analysis {
+
+int fixture_entry() {
+  // LIVE unordered-iteration: hash-map in a report path.
+  std::unordered_map<std::string, double> totals;
+
+  // Suppressed twin.
+  std::unordered_set<int> seen;  // hcep-lint: allow(unordered-iteration)
+
+  // LIVE banned-call.
+  const int r = rand();
+
+  // Suppressed twin.
+  const int s = rand();  // hcep-lint: allow(banned-call)
+
+  // Controls that must stay silent: member/qualified/identifier forms.
+  // (rand/time inside comments and strings are also silent.)
+  const char* text = "call time() and rand() here";
+  return r + s + static_cast<int>(totals.size() + seen.size()) +
+         static_cast<int>(text[0]);
+}
+
+}  // namespace hcep::analysis

@@ -1,0 +1,27 @@
+// hcep-lint selftest fixture: one live violation per header rule plus a
+// suppressed twin, so the selftest proves both detection and suppression.
+// This tree is scanned only by `hcep-lint --selftest`; it is not part of
+// the build.
+#pragma once
+
+namespace hcep::model {
+
+struct BadSurface {
+  // LIVE unit-double: exactly the seeded bug from the acceptance
+  // criteria — a naked double claiming to hold joules.
+  double energy_j = 0.0;
+
+  // Suppressed twin: must stay silent.
+  double busy_power = 0.0;  // hcep-lint: allow(unit-double)
+
+  // LIVE nodiscard: a value-returning evaluator without [[nodiscard]].
+  double evaluate() const;
+
+  // Suppressed twin.
+  double evaluate_dropped() const;  // hcep-lint: allow(nodiscard)
+
+  // Control: a compliant evaluator must not fire.
+  [[nodiscard]] double evaluate_checked() const;
+};
+
+}  // namespace hcep::model

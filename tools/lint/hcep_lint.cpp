@@ -1,0 +1,385 @@
+// hcep-lint: project-specific static checks the compiler cannot express.
+//
+// A deliberately small, libclang-free checker (the container has no
+// clang-tidy): line-oriented regex heuristics tuned to this codebase's
+// conventions, precise enough to gate CI. The rules encode decisions made
+// in earlier PRs:
+//
+//   unit-double          Public headers must not declare naked `double`
+//                        fields/functions whose names claim a physical
+//                        unit (*_energy, *_power, *_freq*, *_j, *_w,
+//                        *_hz, ...). Use the hcep::units Quantity types —
+//                        the whole point of compile-time dimensional
+//                        analysis is that such a double cannot exist.
+//   unordered-iteration  Report/JSON/export translation units feed
+//                        byte-identical same-seed artifacts (PR 3
+//                        guarantee); std::unordered_{map,set} iteration
+//                        order is nondeterministic, so those TUs must not
+//                        use the hash containers at all.
+//   nodiscard            Model/metrics/config/power evaluators returning
+//                        a value must be [[nodiscard]]: dropping a
+//                        computed Joules/Watts on the floor is always a
+//                        bug.
+//   banned-call          rand()/srand()/time() in src/ break same-seed
+//                        reproducibility; use hcep::Rng and simulated
+//                        clocks.
+//
+// Suppress a finding by appending
+//   // hcep-lint: allow(<rule>)
+// to the offending line (grep-able, reviewed like any other annotation).
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+// `--selftest <fixture-root>` scans a tree seeded with one violation per
+// rule and exits 0 only when every rule fires — the proof demanded by the
+// acceptance criteria that a planted unit bug actually fails the build.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  fs::path root;
+  bool selftest = false;
+  bool list_rules = false;
+};
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool suppressed(const std::string& line, const std::string& rule) {
+  return contains(line, "hcep-lint: allow(" + rule + ")") ||
+         contains(line, "NOLINT(" + rule + ")");
+}
+
+/// Strips // comments and string literals so rules don't fire on prose.
+/// (Block comments are handled coarsely: lines inside /* ... */ are
+/// blanked by the caller's state machine.)
+std::string code_only(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false, in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') { ++i; continue; }
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') { ++i; continue; }
+      if (c == '\'') in_char = false;
+      continue;
+    }
+    if (c == '"') { in_string = true; continue; }
+    if (c == '\'') { in_char = true; continue; }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The identifier heuristic for "this double claims to be a physical
+/// quantity": exact unit words, or unit-word / unit-symbol suffixes.
+bool names_physical_unit(const std::string& name) {
+  static const std::vector<std::string> kExact = {
+      "energy", "power", "freq", "frequency", "joules", "watts", "hertz"};
+  static const std::vector<std::string> kSuffix = {
+      "_energy", "_power", "_freq", "_frequency", "_joules",
+      "_watts",  "_hertz", "_hz",   "_j",         "_w",
+      "_kwh",    "_mhz",   "_ghz"};
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const auto& e : kExact)
+    if (lower == e) return true;
+  for (const auto& s : kSuffix)
+    if (lower.size() > s.size() &&
+        lower.compare(lower.size() - s.size(), s.size(), s) == 0)
+      return true;
+  return false;
+}
+
+using LineRule = void (*)(const fs::path&, std::size_t, const std::string&,
+                          const std::string&, std::vector<Finding>&);
+
+// --- Rule: unit-double -------------------------------------------------------
+
+void rule_unit_double(const fs::path& file, std::size_t lineno,
+                      const std::string& raw, const std::string& code,
+                      std::vector<Finding>& out) {
+  // Matches `double <ident>` in field, parameter or function-declaration
+  // position; the identifier decides whether a unit type was required.
+  static const std::regex decl(
+      R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*)\s*[;={(,)])");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), decl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (!names_physical_unit(name)) continue;
+    if (suppressed(raw, "unit-double")) continue;
+    out.push_back({file.string(), lineno, "unit-double",
+                   "naked `double " + name +
+                       "` claims a physical unit; use the hcep::units "
+                       "Quantity type (Joules/Watts/Seconds/Hertz/...)"});
+  }
+}
+
+// --- Rule: unordered-iteration ----------------------------------------------
+
+void rule_unordered(const fs::path& file, std::size_t lineno,
+                    const std::string& raw, const std::string& code,
+                    std::vector<Finding>& out) {
+  static const std::regex hash(R"(\bstd::unordered_(map|set|multimap|multiset)\b)");
+  if (!std::regex_search(code, hash)) return;
+  if (suppressed(raw, "unordered-iteration")) return;
+  out.push_back({file.string(), lineno, "unordered-iteration",
+                 "hash-container in a deterministic report/JSON path; "
+                 "iteration order would break the byte-identical "
+                 "same-seed guarantee — use std::map or sort the keys"});
+}
+
+// --- Rule: nodiscard ---------------------------------------------------------
+
+/// Value-returning evaluator declarations in the model-facing headers.
+/// Heuristic: a line that *starts* a declaration with a value-ish return
+/// type and an identifier + '(' must carry [[nodiscard]] on the same or
+/// the previous line. Assignments, control flow and locals inside inline
+/// bodies are excluded by requiring declaration position (leading
+/// whitespace then type).
+void check_nodiscard(const fs::path& file,
+                     const std::vector<std::string>& lines,
+                     std::vector<Finding>& out) {
+  static const std::regex decl(
+      R"(^\s*(?:static\s+|virtual\s+|constexpr\s+|friend\s+)*)"
+      R"((double|float|Seconds|Joules|Watts|Hertz|Cycles|Bytes|BytesPerSecond|)"
+      R"(OpsPerSecond|JoulesPerOp|JouleSeconds|JouleSecondsSquared|)"
+      R"(std::(?:size_t|uint64_t|optional<[^;]*>|vector<[^;]*>))\s+)"
+      R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+  static const std::regex control(R"(\b(if|for|while|switch|return)\b)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = code_only(lines[i]);
+    std::smatch m;
+    if (!std::regex_search(code, m, decl)) continue;
+    if (std::regex_search(code, control)) continue;
+    if (contains(code, "=")) continue;  // assignment / default-arg lambda
+    if (contains(code, "[[nodiscard]]")) continue;
+    if (i > 0 && contains(code_only(lines[i - 1]), "[[nodiscard]]")) continue;
+    if (suppressed(lines[i], "nodiscard")) continue;
+    out.push_back({file.string(), i + 1, "nodiscard",
+                   "value-returning evaluator `" + m[2].str() +
+                       "` lacks [[nodiscard]]"});
+  }
+}
+
+// --- Rule: banned-call -------------------------------------------------------
+
+void rule_banned(const fs::path& file, std::size_t lineno,
+                 const std::string& raw, const std::string& code,
+                 std::vector<Finding>& out) {
+  // `(^|[^\w.:>])` blocks members (.time(), ->time()), qualified names
+  // and identifiers *_time( / *rand(; an explicit std:: qualification is
+  // matched separately. A declaration `Seconds time(std::size_t)` is told
+  // apart from a call by what precedes the token: calls follow an
+  // operator, a statement boundary or `return`, declarations follow a
+  // type name.
+  static const std::regex bare(R"((^|[^A-Za-z0-9_.:>])(rand|srand|time)\s*\()");
+  static const std::regex qualified(R"(\bstd::(rand|srand|time)\s*\()");
+  std::smatch m;
+  std::string which;
+  if (std::regex_search(code, m, qualified)) {
+    which = "std::" + m[1].str();
+  } else if (std::regex_search(code, m, bare)) {
+    // Position of the function token itself (group 2).
+    const auto tok = static_cast<std::size_t>(m.position(2));
+    std::size_t i = tok;
+    while (i > 0 && code[i - 1] == ' ') --i;
+    if (i > 0 && (std::isalnum(static_cast<unsigned char>(code[i - 1])) ||
+                  code[i - 1] == '_')) {
+      std::size_t w = i;
+      while (w > 0 && (std::isalnum(static_cast<unsigned char>(code[w - 1])) ||
+                       code[w - 1] == '_'))
+        --w;
+      if (code.substr(w, i - w) != "return") return;  // declaration
+    }
+    which = m[2].str();
+  } else {
+    return;
+  }
+  if (suppressed(raw, "banned-call")) return;
+  out.push_back({file.string(), lineno, "banned-call",
+                 "`" + which +
+                     "()` breaks same-seed reproducibility; use hcep::Rng "
+                     "/ simulated time"});
+}
+
+// --- Driver ------------------------------------------------------------------
+
+std::vector<std::string> read_lines(const fs::path& p) {
+  std::ifstream in(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool has_ext(const fs::path& p, std::initializer_list<const char*> exts) {
+  const std::string e = p.extension().string();
+  for (const char* x : exts)
+    if (e == x) return true;
+  return false;
+}
+
+/// Deterministic-output translation units: anything producing the JSON /
+/// table artifacts whose bytes the same-seed tests compare.
+bool deterministic_output_path(const fs::path& p) {
+  const std::string s = p.generic_string();
+  return contains(s, "report") || contains(s, "export") ||
+         contains(s, "json") || contains(s, "/table");
+}
+
+/// Headers whose evaluators must be [[nodiscard]]: the model-facing
+/// public surface.
+bool evaluator_header(const fs::path& p) {
+  const std::string s = p.generic_string();
+  if (!contains(s, "include/hcep/")) return false;
+  return contains(s, "/model/") || contains(s, "/metrics/") ||
+         contains(s, "/config/") || contains(s, "/power/") ||
+         contains(s, "/workload/");
+}
+
+void scan_file(const fs::path& file, const fs::path& root,
+               std::vector<Finding>& out) {
+  const std::vector<std::string> lines = read_lines(file);
+  const std::string rel = fs::relative(file, root).generic_string();
+  const bool is_public_header = contains(rel, "src/include/");
+  const bool in_src = rel.rfind("src/", 0) == 0;
+
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string code = code_only(lines[i]);
+    // Coarse block-comment state machine (good enough for this tree:
+    // no code after */ on the same line).
+    if (in_block_comment) {
+      const auto end = code.find("*/");
+      if (end == std::string::npos) continue;
+      code = code.substr(end + 2);
+      in_block_comment = false;
+    }
+    const auto start = code.find("/*");
+    if (start != std::string::npos) {
+      if (code.find("*/", start + 2) == std::string::npos)
+        in_block_comment = true;
+      code = code.substr(0, start);
+    }
+
+    if (is_public_header)
+      rule_unit_double(file, i + 1, lines[i], code, out);
+    if (in_src && deterministic_output_path(file))
+      rule_unordered(file, i + 1, lines[i], code, out);
+    if (in_src)
+      rule_banned(file, i + 1, lines[i], code, out);
+  }
+
+  if (evaluator_header(file)) check_nodiscard(file, lines, out);
+}
+
+std::vector<Finding> scan_tree(const fs::path& root) {
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    std::cerr << "hcep-lint: no src/ under " << root << "\n";
+    std::exit(2);
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    if (!has_ext(entry.path(), {".hpp", ".h", ".cpp", ".cc"})) continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+  for (const auto& f : files) scan_file(f, root, findings);
+  return findings;
+}
+
+int report(const std::vector<Finding>& findings) {
+  for (const auto& f : findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  if (findings.empty()) {
+    std::cout << "hcep-lint: clean\n";
+    return 0;
+  }
+  std::cout << "hcep-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
+
+int selftest(const fs::path& fixtures) {
+  const std::vector<Finding> findings = scan_tree(fixtures);
+  const std::set<std::string> expected = {"unit-double", "unordered-iteration",
+                                          "nodiscard", "banned-call"};
+  std::set<std::string> fired;
+  for (const auto& f : findings) fired.insert(f.rule);
+  int rc = 0;
+  for (const auto& rule : expected) {
+    if (fired.count(rule)) {
+      std::cout << "selftest: rule " << rule << " fired\n";
+    } else {
+      std::cout << "selftest: rule " << rule
+                << " did NOT fire on the seeded fixture\n";
+      rc = 1;
+    }
+  }
+  // The fixtures also seed one suppressed violation per rule; a
+  // suppression that stops working would double the count.
+  std::cout << "selftest: " << findings.size() << " finding(s) total\n";
+  if (findings.size() != expected.size()) {
+    std::cout << "selftest: expected exactly " << expected.size()
+              << " findings (one per rule, suppressed twins silent)\n";
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--selftest" && i + 1 < argc) {
+      opt.selftest = true;
+      opt.root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: hcep-lint --root <repo> | --selftest <fixtures>\n";
+      return 0;
+    } else {
+      std::cerr << "hcep-lint: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opt.root.empty()) {
+    std::cerr << "hcep-lint: --root is required\n";
+    return 2;
+  }
+  if (opt.selftest) return selftest(opt.root);
+  return report(scan_tree(opt.root));
+}
