@@ -8,6 +8,8 @@
 #include "hcep/hw/catalog.hpp"
 #include "hcep/obs/obs.hpp"
 #include "hcep/obs/run_report.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/traffic/simulate.hpp"
 #include "hcep/util/error.hpp"
 #include "hcep/util/table.hpp"
 
@@ -79,6 +81,92 @@ void render_observability_section(const core::PaperStudy& study,
   os << "Windowed energy attribution (`cluster_W`, " << rollup.windows.size()
      << " windows): rollup total " << fmt(rollup.total_energy_j.value(), 3)
      << " J vs exact " << fmt(result.energy_exact.value(), 3) << " J.\n\n";
+}
+
+/// Drives the standard heterogeneous cluster with a mixed Poisson request
+/// stream (EP batch + memcached interactive) through admission control
+/// and renders the ledger, exact latency order statistics and per-class
+/// SLO accounting.
+void render_traffic_section(const core::PaperStudy& study,
+                            std::ostringstream& os) {
+  os << "## Traffic — request-level simulation (Poisson, 4xA9 + 2xK10)\n\n";
+
+  const auto cluster = model::make_a9_k10_cluster(4, 2);
+  std::vector<traffic::TrafficClass> classes;
+  classes.push_back(
+      traffic::TrafficClass{study.workload("EP"), 3.0, traffic::SloTarget{}});
+  classes.push_back(traffic::TrafficClass{study.workload("memcached"), 1.0,
+                                          traffic::SloTarget{}});
+  const double capacity = traffic::cluster_capacity_per_s(cluster, classes);
+  // Latency objective: p95 sojourn within 20x the mean service quantum.
+  const Seconds slo_latency{20.0 / capacity};
+  for (auto& c : classes) c.slo = traffic::SloTarget{slo_latency, 0.95};
+
+  traffic::TrafficOptions options;
+  options.requests = 4000;
+  options.policy = cluster::DispatchPolicy::kJoinShortestQueue;
+  options.admission.bucket_rate_per_s = 0.9 * capacity;
+  options.admission.bucket_burst = 50.0;
+  options.admission.max_queue_depth = 64;
+  options.retry.max_attempts = 3;
+  options.retry.base_backoff = Seconds{2.0 / capacity};
+  options.seed = 20260807;
+  const auto r = traffic::simulate_traffic(
+      cluster, classes, *traffic::make_poisson(0.7 * capacity), options);
+
+  os << "Offered " << r.offered << " requests at utilization 0.70 ("
+     << fmt(0.7 * capacity, 1) << " req/s against capacity "
+     << fmt(capacity, 1) << " req/s), policy join-shortest-queue, token "
+     << "bucket at 90% capacity, queue-depth cap 64, up to 3 attempts.\n\n";
+  os << "Ledger: " << r.admitted << " admitted, " << r.shed_bucket
+     << " shed by the bucket, " << r.shed_queue << " shed on queue depth, "
+     << r.retries << " retries, " << r.completed << " completed, "
+     << r.failed << " failed. Energy " << fmt(r.energy.value(), 1)
+     << " J over " << fmt(r.makespan.value(), 2) << " s ("
+     << fmt(r.energy_per_request.value(), 2) << " J/request).\n\n";
+
+  {
+    const auto latency_row = [](const std::string& label,
+                                const traffic::LatencySummary& s) {
+      return std::vector<std::string>{label, fmt(s.mean.value() * 1e3, 2),
+                                      fmt(s.p50.value() * 1e3, 2),
+                                      fmt(s.p95.value() * 1e3, 2),
+                                      fmt(s.p99.value() * 1e3, 2),
+                                      fmt(s.max.value() * 1e3, 2)};
+    };
+    os << markdown_table(
+              {"latency", "mean [ms]", "p50 [ms]", "p95 [ms]", "p99 [ms]",
+               "max [ms]"},
+              {latency_row("queue wait", r.wait),
+               latency_row("service", r.service),
+               latency_row("sojourn", r.sojourn)})
+       << "\n";
+  }
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& c : r.classes) {
+      rows.push_back({c.name, std::to_string(c.offered),
+                      std::to_string(c.completed),
+                      std::to_string(c.slo_violations),
+                      fmt(100.0 * c.violation_fraction(), 1),
+                      c.slo_met() ? "yes" : "no",
+                      fmt(c.energy_per_request.value(), 2)});
+    }
+    os << markdown_table({"class", "offered", "completed", "violations",
+                          "viol %", "p95 SLO met", "J/request"},
+                         rows)
+       << "\n";
+  }
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& n : r.nodes) {
+      rows.push_back({n.node_name, std::to_string(n.jobs_served),
+                      fmt(100.0 * n.busy_fraction, 1)});
+    }
+    os << markdown_table({"node type", "requests", "busy %"}, rows) << "\n";
+  }
 }
 
 }  // namespace
@@ -205,6 +293,7 @@ std::string render_report(const core::PaperStudy& study,
 
   // -------------------------------------------------------- observability
   if (options.include_observability) render_observability_section(study, os);
+  if (options.include_traffic) render_traffic_section(study, os);
   return os.str();
 }
 

@@ -19,6 +19,10 @@ struct ReportOptions {
   /// decomposition and energy-attribution rollup. Degrades to a note
   /// when the instrumentation is compiled out (HCEP_OBS=0).
   bool include_observability = false;
+  /// Append a traffic section: drive the A9+K10 cluster with a mixed
+  /// Poisson request stream through admission control and render the
+  /// request ledger, latency order statistics and per-class SLO table.
+  bool include_traffic = false;
 };
 
 /// Renders the complete paper reproduction (Tables 4-8, Figures 5-12

@@ -14,6 +14,7 @@
 //   hcep::queueing  M/D/1 analytics (utilization, 95th percentiles)
 //   hcep::des       discrete-event kernel
 //   hcep::cluster   simulated testbed (dispatcher + nodes + meter)
+//   hcep::traffic   request-level load generation, SLO + admission
 //   hcep::obs       tracing/metrics plus the telemetry analysis layer
 //   hcep::config    configuration space, power budgets, Pareto frontier
 //   hcep::analysis  per-table/figure studies
@@ -63,6 +64,10 @@
 #include "hcep/queueing/md1.hpp"
 #include "hcep/queueing/mdc.hpp"
 #include "hcep/queueing/mg1.hpp"
+#include "hcep/traffic/admission.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/traffic/simulate.hpp"
+#include "hcep/traffic/slo.hpp"
 #include "hcep/util/json.hpp"
 #include "hcep/util/table.hpp"
 #include "hcep/util/units.hpp"

@@ -1,0 +1,73 @@
+// Admission control and retry policy for the request-level simulator.
+//
+// Two complementary shedding mechanisms guard the dispatcher:
+//   * a token bucket bounds the sustained admitted rate (with a burst
+//     allowance), rejecting before any queue state is touched;
+//   * queue-depth shedding rejects when the chosen node's queue already
+//     holds `max_queue_depth` requests — the classic load-shedding
+//     backstop that keeps tail latency bounded once the cluster
+//     saturates.
+// Rejected requests optionally re-enter after exponential backoff
+// (bounded attempts), modelling client-side retry storms faithfully
+// enough to measure their SLO cost.
+#pragma once
+
+#include <cstdint>
+
+#include "hcep/util/units.hpp"
+
+namespace hcep::traffic {
+
+/// Deterministic token bucket over simulated time: `rate_per_s` tokens
+/// accrue per second up to `burst`; the bucket starts full.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Consumes `cost` tokens at simulated time `now` when available;
+  /// returns false (and consumes nothing) otherwise. `now` must not move
+  /// backwards between calls.
+  [[nodiscard]] bool try_acquire(Seconds now, double cost = 1.0);
+
+  /// Token level after refilling to `now` (observability only).
+  [[nodiscard]] double level(Seconds now) const;
+
+  [[nodiscard]] double rate_per_s() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+
+ private:
+  void refill(Seconds now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Seconds last_{};
+};
+
+/// Admission configuration; default-constructed means "admit everything".
+struct AdmissionOptions {
+  /// Sustained admitted requests/s; <= 0 disables the token bucket.
+  double bucket_rate_per_s = 0.0;
+  /// Token-bucket burst capacity (requests); used only with the bucket.
+  double bucket_burst = 1.0;
+  /// Shed when the dispatch target already queues this many requests;
+  /// 0 disables queue-depth shedding.
+  std::uint64_t max_queue_depth = 0;
+
+  [[nodiscard]] bool bucket_enabled() const { return bucket_rate_per_s > 0.0; }
+  [[nodiscard]] bool shedding_enabled() const { return max_queue_depth > 0; }
+};
+
+/// Bounded retries with exponential backoff: attempt k (1-based) that is
+/// rejected retries after base_backoff * multiplier^(k-1) when k <
+/// max_attempts, else the request fails permanently.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 1;  ///< 1 = no retries
+  Seconds base_backoff{0.1};
+  double multiplier = 2.0;
+
+  /// Backoff delay after rejected attempt `attempt` (1-based).
+  [[nodiscard]] Seconds backoff_after(std::uint32_t attempt) const;
+};
+
+}  // namespace hcep::traffic

@@ -1,0 +1,104 @@
+// Open-loop request-level cluster simulation.
+//
+// Generated arrivals (traffic::ArrivalProcess) flow through admission
+// control (traffic::admission) into the heterogeneity-aware dispatcher
+// policies of hcep::cluster, executing on the paper's node models over
+// the hcep::des kernel. Every request's exact queue-wait, service and
+// sojourn times are recorded — p50/p95/p99 are order statistics, not
+// estimates — together with full energy accounting (idle floor +
+// per-request dynamic energy) and per-class SLO ledgers.
+//
+// The keystone validation: with one node, one class and Poisson
+// arrivals, this simulator IS an M/D/1 queue, and its measured mean wait
+// and p95 response must match queueing::MD1's closed forms (Figures
+// 11/12 reproduced from traffic rather than formula; see
+// tests/test_traffic.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hcep/cluster/dispatch.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/traffic/admission.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/traffic/slo.hpp"
+#include "hcep/util/json.hpp"
+#include "hcep/util/units.hpp"
+#include "hcep/workload/demand.hpp"
+
+namespace hcep::traffic {
+
+/// One request class: a workload (service demand per node type), its
+/// share of the arrival stream, and an optional latency SLO.
+struct TrafficClass {
+  workload::Workload workload;
+  double weight = 1.0;
+  SloTarget slo{};
+};
+
+struct TrafficOptions {
+  /// First-attempt arrivals to generate (retries do not count).
+  std::uint64_t requests = 10000;
+  cluster::DispatchPolicy policy =
+      cluster::DispatchPolicy::kJoinShortestQueue;
+  AdmissionOptions admission{};
+  RetryPolicy retry{};
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate ledger plus exact latency summaries of one traffic run.
+///
+/// Timing semantics: `wait` is queue time of admitted attempts (service
+/// start minus attempt arrival), `service` is execution time, and
+/// `sojourn` is the user-visible latency — completion minus the
+/// request's FIRST arrival, so retry backoff delays are included.
+/// Without admission control, sojourn == wait + service exactly.
+struct TrafficResult {
+  std::string arrival_process;
+  std::uint64_t offered = 0;      ///< first-attempt arrivals generated
+  std::uint64_t admitted = 0;     ///< attempts that passed admission
+  std::uint64_t shed_bucket = 0;  ///< attempts rejected by the token bucket
+  std::uint64_t shed_queue = 0;   ///< attempts rejected by queue depth
+  std::uint64_t retries = 0;      ///< re-attempts scheduled after shedding
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;       ///< requests that exhausted attempts
+
+  Seconds makespan{};
+  LatencySummary wait;
+  LatencySummary service;
+  LatencySummary sojourn;
+
+  Joules energy{};  ///< exact: idle floor over makespan + dynamic energy
+  Watts average_power{};
+  Joules energy_per_request{};  ///< per completed request
+
+  std::vector<ClassStats> classes;
+  std::vector<cluster::NodeLoad> nodes;
+
+  /// Deterministic JSON (insertion-ordered keys; same-seed runs are
+  /// byte-identical).
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// Sustainable aggregate request rate (requests/s) of `cluster` under the
+/// weight-averaged class mix — the denominator that turns a target
+/// utilization into an arrival rate for the generators above.
+[[nodiscard]] double cluster_capacity_per_s(
+    const model::ClusterSpec& cluster,
+    const std::vector<TrafficClass>& classes);
+
+/// Simulates `options.requests` arrivals drawn from `arrivals` (cloned;
+/// the passed process is not mutated) through admission, dispatch and
+/// execution. Deterministic for a fixed seed. Instrumented through
+/// hcep::obs: request spans carry `wait_s` begin args (so the trace
+/// profiler's queue decomposition applies), `traffic.*` counters ledger
+/// every admission outcome, and a `traffic_inflight` counter track
+/// records the in-system population over time.
+[[nodiscard]] TrafficResult simulate_traffic(
+    const model::ClusterSpec& cluster,
+    const std::vector<TrafficClass>& classes, const ArrivalProcess& arrivals,
+    const TrafficOptions& options);
+
+}  // namespace hcep::traffic

@@ -86,9 +86,20 @@ double tail_decay_rate(double service, double lambda) {
   return bisect(f, 1e-12 / service, hi, 1e-14 / service);
 }
 
+/// Exact coefficient of the geometric tail P(W > t) ~ C e^{-theta t}:
+/// the residue of (1 - W*(s))/s at the dominant pole s = -theta of the
+/// Pollaczek-Khinchine transform W*(s) = (1-rho)s / (s - lambda(1-e^{-sD}))
+/// gives C = (1-rho) / (rho e^{theta D} - 1). Unlike anchoring the
+/// constant on the alternating series (whose cancellation noise at the
+/// switchover point used to leak into the far tail at rho >= 0.98), this
+/// closed form is accurate to double precision at any utilization.
+double tail_constant(double service, double rho, double theta) {
+  return (1.0 - rho) / (rho * std::exp(theta * service) - 1.0);
+}
+
 // Max lambda*t for the direct series. The alternating sum cancels terms of
-// magnitude ~e^{lambda t}; beyond ~18 the residual noise (>1e-8) exceeds
-// what percentile inversion tolerates, so the geometric tail takes over.
+// magnitude ~e^{lambda t}; beyond ~18 the residual noise exceeds what
+// percentile inversion tolerates, so the geometric tail takes over.
 constexpr double kSeriesLimit = 18.0;
 
 }  // namespace
@@ -102,13 +113,9 @@ double MD1::wait_cdf(Seconds t) const {
 
   if (lambda_ * ts <= kSeriesLimit) return erlang_series(ts, d, lambda_, rho);
 
-  // Geometric tail: P(W > t) ~ C e^{-theta t}, anchored where the series
-  // is still trustworthy.
-  const double anchor_t = kSeriesLimit / lambda_;
-  const double anchor_cdf = erlang_series(anchor_t, d, lambda_, rho);
+  // Geometric tail with the exact asymptotic constant.
   const double theta = tail_decay_rate(d, lambda_);
-  const double tail =
-      (1.0 - anchor_cdf) * std::exp(-theta * (ts - anchor_t));
+  const double tail = tail_constant(d, rho, theta) * std::exp(-theta * ts);
   return std::clamp(1.0 - tail, 0.0, 1.0);
 }
 
@@ -120,9 +127,24 @@ Seconds MD1::wait_percentile(double p) const {
   require(p > 0.0 && p < 100.0, "MD1::wait_percentile: p out of (0, 100)");
   const double target = p / 100.0;
   if (wait_cdf(Seconds{0.0}) >= target) return Seconds{0.0};
-  // Bracket by doubling from the mean.
-  double hi = std::max(mean_wait().value(), service_.value());
-  while (wait_cdf(Seconds{hi}) < target) hi *= 2.0;
+
+  // Past the series switchover the CDF is exactly our geometric tail, so
+  // extreme percentiles (rho >= 0.98, p >= 99.9) invert in closed form
+  // instead of bisecting a 1 - epsilon plateau:
+  //   1 - C e^{-theta t} = target  =>  t = ln(C / (1 - target)) / theta.
+  const double boundary = kSeriesLimit / lambda_;
+  if (wait_cdf(Seconds{boundary}) < target) {
+    const double rho = utilization();
+    const double theta = tail_decay_rate(service_.value(), lambda_);
+    const double c = tail_constant(service_.value(), rho, theta);
+    return Seconds{std::log(c / (1.0 - target)) / theta};
+  }
+
+  // Percentile lies in the series region; bracket by doubling from the
+  // mean (capped at the switchover) and bisect.
+  double hi = std::min(std::max(mean_wait().value(), service_.value()),
+                       boundary);
+  while (wait_cdf(Seconds{hi}) < target) hi = std::min(hi * 2.0, boundary);
   const double t = bisect(
       [&](double x) { return wait_cdf(Seconds{x}) - target; }, 0.0, hi,
       hi * 1e-12);

@@ -1,0 +1,40 @@
+#include "hcep/traffic/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::traffic {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_(rate_per_s), burst_(burst), tokens_(burst) {
+  require(rate_ > 0.0, "TokenBucket: rate must be positive");
+  require(burst_ > 0.0, "TokenBucket: burst must be positive");
+}
+
+void TokenBucket::refill(Seconds now) {
+  require(now >= last_, "TokenBucket: time moved backwards");
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_).value());
+  last_ = now;
+}
+
+bool TokenBucket::try_acquire(Seconds now, double cost) {
+  require(cost > 0.0, "TokenBucket: cost must be positive");
+  refill(now);
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+double TokenBucket::level(Seconds now) const {
+  return std::min(burst_, tokens_ + rate_ * (now - last_).value());
+}
+
+Seconds RetryPolicy::backoff_after(std::uint32_t attempt) const {
+  require(attempt >= 1, "RetryPolicy: attempts are 1-based");
+  return base_backoff *
+         std::pow(multiplier, static_cast<double>(attempt - 1));
+}
+
+}  // namespace hcep::traffic

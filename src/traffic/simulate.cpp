@@ -1,0 +1,490 @@
+#include "hcep/traffic/simulate.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "hcep/des/simulator.hpp"
+#include "hcep/obs/obs.hpp"
+#include "hcep/util/error.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/workload/node_ops.hpp"
+
+namespace hcep::traffic {
+
+namespace {
+
+/// One physical node: per-class service/dynamic-power tables plus live
+/// queue state (same materialization as cluster::simulate_dispatch).
+struct Node {
+  std::string type;
+  std::vector<Seconds> service;  ///< indexed by class
+  std::vector<Watts> dynamic;    ///< extra power while serving, per class
+  Watts idle{};
+  std::uint64_t queued = 0;
+  Seconds free_at{};
+  std::uint64_t served = 0;
+  Seconds busy_time{};
+};
+
+std::vector<Node> materialize_nodes(const model::ClusterSpec& cluster,
+                                    const std::vector<TrafficClass>& classes) {
+  std::vector<Node> nodes;
+  for (const auto& g : cluster.groups) {
+    if (g.count == 0) continue;
+    std::vector<Seconds> service;
+    std::vector<Watts> dynamic;
+    for (const auto& c : classes) {
+      require(c.workload.has_node(g.spec.name),
+              "simulate_traffic: workload '" + c.workload.name +
+                  "' lacks demand for '" + g.spec.name + "'");
+      const auto& demand = c.workload.demand_for(g.spec.name);
+      const double rate =
+          workload::unit_throughput(demand, g.spec, g.cores(), g.freq());
+      service.push_back(Seconds{c.workload.units_per_job / rate});
+      const Watts busy = workload::busy_power(
+          demand, g.spec, g.cores(), g.freq(),
+          c.workload.power_scale_for(g.spec.name));
+      dynamic.push_back(busy - g.spec.power.idle);
+    }
+    for (unsigned i = 0; i < g.count; ++i) {
+      nodes.push_back(Node{.type = g.spec.name,
+                           .service = service,
+                           .dynamic = dynamic,
+                           .idle = g.spec.power.idle,
+                           .queued = 0,
+                           .free_at = Seconds{0.0},
+                           .served = 0,
+                           .busy_time = Seconds{0.0}});
+    }
+  }
+  require(!nodes.empty(), "simulate_traffic: empty cluster");
+  return nodes;
+}
+
+/// Per-class normalized cumulative weight distribution.
+std::vector<double> cumulative_weights(
+    const std::vector<TrafficClass>& classes) {
+  double total = 0.0;
+  for (const auto& c : classes) {
+    require(c.weight > 0.0, "simulate_traffic: non-positive class weight");
+    total += c.weight;
+  }
+  std::vector<double> cumulative;
+  double acc = 0.0;
+  for (const auto& c : classes) {
+    acc += c.weight / total;
+    cumulative.push_back(acc);
+  }
+  cumulative.back() = 1.0;
+  return cumulative;
+}
+
+}  // namespace
+
+double cluster_capacity_per_s(const model::ClusterSpec& cluster,
+                              const std::vector<TrafficClass>& classes) {
+  cluster.validate();
+  require(!classes.empty(), "cluster_capacity_per_s: no traffic classes");
+  const std::vector<Node> nodes = materialize_nodes(cluster, classes);
+  double weight_total = 0.0;
+  for (const auto& c : classes) weight_total += c.weight;
+  double capacity = 0.0;
+  for (const auto& n : nodes) {
+    double mean_service = 0.0;
+    for (std::size_t s = 0; s < classes.size(); ++s)
+      mean_service +=
+          classes[s].weight / weight_total * n.service[s].value();
+    capacity += 1.0 / mean_service;
+  }
+  return capacity;
+}
+
+TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
+                               const std::vector<TrafficClass>& classes,
+                               const ArrivalProcess& arrivals,
+                               const TrafficOptions& options) {
+  cluster.validate();
+  require(!classes.empty(), "simulate_traffic: no traffic classes");
+  require(options.requests > 0, "simulate_traffic: need at least one request");
+  require(options.retry.max_attempts >= 1,
+          "simulate_traffic: retry.max_attempts must be >= 1");
+
+  std::vector<Node> nodes = materialize_nodes(cluster, classes);
+  const std::vector<double> cumulative = cumulative_weights(classes);
+
+  Rng rng(options.seed);
+  des::Simulator sim;
+  std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
+
+  std::unique_ptr<TokenBucket> bucket;
+  if (options.admission.bucket_enabled()) {
+    bucket = std::make_unique<TokenBucket>(
+        options.admission.bucket_rate_per_s,
+        std::max(1.0, options.admission.bucket_burst));
+  }
+
+#if HCEP_OBS
+  obs::Observer* o = obs::current();
+  obs::MetricId offered_m = 0, admitted_m = 0, shed_m = 0, retries_m = 0,
+                completed_m = 0, failed_m = 0, sojourn_m = 0;
+  obs::StringId cat_s = 0, request_s = 0, wait_key_s = 0, inflight_s = 0,
+                shed_cat_s = 0, bucket_s = 0, queue_s = 0;
+  if (o != nullptr) {
+    offered_m = o->metrics.counter("traffic.offered");
+    admitted_m = o->metrics.counter("traffic.admitted");
+    shed_m = o->metrics.counter("traffic.shed");
+    retries_m = o->metrics.counter("traffic.retries");
+    completed_m = o->metrics.counter("traffic.completed");
+    failed_m = o->metrics.counter("traffic.failed");
+    sojourn_m = o->metrics.histogram(
+        "traffic.sojourn_s", {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                              0.25, 0.5, 1.0, 2.5, 5.0, 10.0});
+    cat_s = o->tracer.intern("traffic");
+    request_s = o->tracer.intern("request");
+    wait_key_s = o->tracer.intern("wait_s");
+    inflight_s = o->tracer.intern("traffic_inflight");
+    shed_cat_s = o->tracer.intern("shed");
+    bucket_s = o->tracer.intern("bucket");
+    queue_s = o->tracer.intern("queue_depth");
+  }
+#endif
+
+  // Dispatch-policy node choice, shared with cluster::simulate_dispatch
+  // semantics.
+  std::size_t rr_cursor = 0;
+  const auto pick_node = [&](std::size_t cls) -> std::size_t {
+    switch (options.policy) {
+      case cluster::DispatchPolicy::kRoundRobin: {
+        const std::size_t i = rr_cursor;
+        rr_cursor = (rr_cursor + 1) % nodes.size();
+        return i;
+      }
+      case cluster::DispatchPolicy::kRandom:
+        return static_cast<std::size_t>(rng.uniform_int(nodes.size()));
+      case cluster::DispatchPolicy::kJoinShortestQueue: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < nodes.size(); ++i) {
+          if (nodes[i].queued < nodes[best].queued ||
+              (nodes[i].queued == nodes[best].queued &&
+               nodes[i].service[cls] < nodes[best].service[cls])) {
+            best = i;
+          }
+        }
+        return best;
+      }
+      case cluster::DispatchPolicy::kFastestFirst: {
+        std::size_t best = 0;
+        double best_eta = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          const double backlog =
+              std::max(0.0, (nodes[i].free_at - sim.now()).value());
+          const double eta = backlog + nodes[i].service[cls].value();
+          if (eta < best_eta) {
+            best_eta = eta;
+            best = i;
+          }
+        }
+        return best;
+      }
+      case cluster::DispatchPolicy::kLeastEnergy: {
+        std::size_t best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          const double joules = nodes[i].dynamic[cls].value() *
+                                nodes[i].service[cls].value();
+          const double backlog =
+              std::max(0.0, (nodes[i].free_at - sim.now()).value());
+          const double score = joules + backlog * 1e-3;
+          if (score < best_score) {
+            best_score = score;
+            best = i;
+          }
+        }
+        return best;
+      }
+    }
+    throw PreconditionError("simulate_traffic: unknown policy");
+  };
+
+  TrafficResult out;
+  out.arrival_process = gen->name();
+
+  struct ClassSamples {
+    std::vector<double> wait, service, sojourn;
+    std::uint64_t offered = 0, admitted = 0, shed = 0, retries = 0,
+                  completed = 0, failed = 0, slo_violations = 0;
+    Joules dynamic_energy{};
+  };
+  std::vector<ClassSamples> per_class(classes.size());
+  std::vector<double> all_wait, all_service, all_sojourn;
+  all_wait.reserve(options.requests);
+  all_service.reserve(options.requests);
+  all_sojourn.reserve(options.requests);
+
+  Joules dynamic_energy{0.0};
+  Seconds makespan{0.0};
+  std::uint64_t inflight = 0;
+
+#if HCEP_OBS
+  const auto note_inflight = [&]() {
+    if (o != nullptr) {
+      o->tracer.counter(sim.now().value(), cat_s, inflight_s,
+                        static_cast<double>(inflight));
+    }
+  };
+#else
+  const auto note_inflight = [] {};
+#endif
+
+  // One in-flight request attempt; retries carry the same first_arrival.
+  struct Request {
+    std::size_t cls = 0;
+    Seconds first_arrival{};
+    std::uint32_t attempt = 1;
+  };
+
+  std::function<void(Request)> attempt;
+
+  const auto finish = [&](std::size_t node_index, std::size_t cls,
+                          Seconds first_arrival, Seconds wait) {
+    Node& node = nodes[node_index];
+    --node.queued;
+    ++node.served;
+    const Seconds service = node.service[cls];
+    node.busy_time += service;
+    const Joules joules = node.dynamic[cls] * service;
+    dynamic_energy += joules;
+    per_class[cls].dynamic_energy += joules;
+
+    const Seconds sojourn = sim.now() - first_arrival;
+    all_wait.push_back(wait.value());
+    all_service.push_back(service.value());
+    all_sojourn.push_back(sojourn.value());
+    per_class[cls].wait.push_back(wait.value());
+    per_class[cls].service.push_back(service.value());
+    per_class[cls].sojourn.push_back(sojourn.value());
+    ++out.completed;
+    ++per_class[cls].completed;
+    if (classes[cls].slo.enabled() && sojourn > classes[cls].slo.latency)
+      ++per_class[cls].slo_violations;
+    makespan = std::max(makespan, sim.now());
+    --inflight;
+#if HCEP_OBS
+    if (o != nullptr) {
+      o->tracer.end(sim.now().value(), cat_s, request_s);
+      o->metrics.add(completed_m);
+      o->metrics.observe(sojourn_m, sojourn.value());
+    }
+#endif
+    note_inflight();
+  };
+
+  const auto reject = [&](Request req) {
+    if (req.attempt < options.retry.max_attempts) {
+      ++out.retries;
+      ++per_class[req.cls].retries;
+#if HCEP_OBS
+      if (o != nullptr) o->metrics.add(retries_m);
+#endif
+      const Seconds delay = options.retry.backoff_after(req.attempt);
+      ++req.attempt;
+      sim.schedule_in(delay, [&attempt, req]() { attempt(req); });
+    } else {
+      ++out.failed;
+      ++per_class[req.cls].failed;
+      makespan = std::max(makespan, sim.now());
+      --inflight;
+#if HCEP_OBS
+      if (o != nullptr) o->metrics.add(failed_m);
+#endif
+      note_inflight();
+    }
+  };
+
+  attempt = [&](Request req) {
+    const Seconds now = sim.now();
+
+    if (bucket && !bucket->try_acquire(now)) {
+      ++out.shed_bucket;
+      ++per_class[req.cls].shed;
+#if HCEP_OBS
+      if (o != nullptr) {
+        o->metrics.add(shed_m);
+        o->tracer.instant(now.value(), shed_cat_s, bucket_s);
+      }
+#endif
+      reject(req);
+      return;
+    }
+
+    const std::size_t i = pick_node(req.cls);
+    if (options.admission.shedding_enabled() &&
+        nodes[i].queued >= options.admission.max_queue_depth) {
+      ++out.shed_queue;
+      ++per_class[req.cls].shed;
+#if HCEP_OBS
+      if (o != nullptr) {
+        o->metrics.add(shed_m);
+        o->tracer.instant(now.value(), shed_cat_s, queue_s);
+      }
+#endif
+      reject(req);
+      return;
+    }
+
+    ++out.admitted;
+    ++per_class[req.cls].admitted;
+    Node& n = nodes[i];
+    ++n.queued;
+    const Seconds start = std::max(now, n.free_at);
+    const Seconds wait = start - now;
+    const Seconds done = start + n.service[req.cls];
+    n.free_at = done;
+#if HCEP_OBS
+    if (o != nullptr) {
+      o->metrics.add(admitted_m);
+      o->tracer.begin(start.value(), cat_s, request_s, wait_key_s,
+                      wait.value());
+    }
+#endif
+    sim.schedule_at(done, [&, i, req, wait]() {
+      finish(i, req.cls, req.first_arrival, wait);
+    });
+  };
+
+  // Open-loop arrival pump: offered first attempts, classes sampled by
+  // weight (single-class streams skip the draw).
+  std::uint64_t offered = 0;
+  std::function<void()> arrive = [&]() {
+    if (offered >= options.requests) return;
+    ++offered;
+    ++out.offered;
+
+    Request req;
+    req.first_arrival = sim.now();
+    if (classes.size() > 1) {
+      const double coin = rng.uniform01();
+      while (req.cls + 1 < classes.size() && coin > cumulative[req.cls])
+        ++req.cls;
+    }
+    ++per_class[req.cls].offered;
+    ++inflight;
+#if HCEP_OBS
+    if (o != nullptr) o->metrics.add(offered_m);
+#endif
+    note_inflight();
+    attempt(req);
+
+    const Seconds next = gen->next(sim.now(), rng);
+    if (next.value() < std::numeric_limits<double>::infinity())
+      sim.schedule_at(next, arrive);
+  };
+  const Seconds first = gen->next(Seconds{0.0}, rng);
+  if (first.value() < std::numeric_limits<double>::infinity())
+    sim.schedule_at(first, arrive);
+  sim.run();
+
+  // ------------------------------------------------------------ summaries
+  out.wait = LatencySummary::from_samples(all_wait);
+  out.service = LatencySummary::from_samples(all_service);
+  out.sojourn = LatencySummary::from_samples(all_sojourn);
+
+  Watts idle_floor{0.0};
+  for (const auto& n : nodes) idle_floor += n.idle;
+  const Joules idle_energy = idle_floor * makespan;
+  out.makespan = makespan;
+  out.energy = idle_energy + dynamic_energy;
+  if (makespan.value() > 0.0) out.average_power = out.energy / makespan;
+  if (out.completed > 0)
+    out.energy_per_request = out.energy / static_cast<double>(out.completed);
+
+  for (std::size_t s = 0; s < classes.size(); ++s) {
+    ClassStats st;
+    st.name = classes[s].workload.name;
+    st.slo = classes[s].slo;
+    ClassSamples& cs = per_class[s];
+    st.offered = cs.offered;
+    st.admitted = cs.admitted;
+    st.shed = cs.shed;
+    st.retries = cs.retries;
+    st.completed = cs.completed;
+    st.failed = cs.failed;
+    st.slo_violations = cs.slo_violations;
+    st.wait = LatencySummary::from_samples(cs.wait);
+    st.service = LatencySummary::from_samples(cs.service);
+    st.sojourn = LatencySummary::from_samples(cs.sojourn);
+    if (cs.completed > 0 && out.completed > 0) {
+      // Idle energy attributed by completion share, dynamic exactly.
+      const Joules idle_share =
+          idle_energy * (static_cast<double>(cs.completed) /
+                         static_cast<double>(out.completed));
+      st.energy_per_request = (idle_share + cs.dynamic_energy) /
+                              static_cast<double>(cs.completed);
+    }
+    out.classes.push_back(std::move(st));
+  }
+
+  // Per node type (dispatch-result convention: busy fraction is averaged
+  // over the nodes of the type).
+  for (const auto& n : nodes) {
+    auto it = std::find_if(
+        out.nodes.begin(), out.nodes.end(),
+        [&](const cluster::NodeLoad& l) { return l.node_name == n.type; });
+    if (it == out.nodes.end()) {
+      out.nodes.push_back(cluster::NodeLoad{n.type, 0, 0.0});
+      it = out.nodes.end() - 1;
+    }
+    it->jobs_served += n.served;
+    it->busy_fraction += n.busy_time.value();
+  }
+  for (auto& l : out.nodes) {
+    double count = 0;
+    for (const auto& n : nodes)
+      if (n.type == l.node_name) count += 1.0;
+    if (makespan.value() > 0.0)
+      l.busy_fraction /= std::max(1.0, count) * makespan.value();
+  }
+  return out;
+}
+
+JsonValue TrafficResult::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("schema_version", JsonValue::number(std::int64_t{1}));
+  o.set("arrival_process", JsonValue::string(arrival_process));
+  o.set("offered", JsonValue::number(static_cast<std::int64_t>(offered)));
+  o.set("admitted", JsonValue::number(static_cast<std::int64_t>(admitted)));
+  o.set("shed_bucket",
+        JsonValue::number(static_cast<std::int64_t>(shed_bucket)));
+  o.set("shed_queue",
+        JsonValue::number(static_cast<std::int64_t>(shed_queue)));
+  o.set("retries", JsonValue::number(static_cast<std::int64_t>(retries)));
+  o.set("completed",
+        JsonValue::number(static_cast<std::int64_t>(completed)));
+  o.set("failed", JsonValue::number(static_cast<std::int64_t>(failed)));
+  o.set("makespan_s", JsonValue::number(makespan.value()));
+  o.set("wait", wait.to_json());
+  o.set("service", service.to_json());
+  o.set("sojourn", sojourn.to_json());
+  o.set("energy_j", JsonValue::number(energy.value()));
+  o.set("average_power_w", JsonValue::number(average_power.value()));
+  o.set("energy_per_request_j",
+        JsonValue::number(energy_per_request.value()));
+  JsonValue cls = JsonValue::array();
+  for (const auto& c : classes) cls.push(c.to_json());
+  o.set("classes", std::move(cls));
+  JsonValue nds = JsonValue::array();
+  for (const auto& n : nodes) {
+    JsonValue nd = JsonValue::object();
+    nd.set("node", JsonValue::string(n.node_name));
+    nd.set("requests",
+           JsonValue::number(static_cast<std::int64_t>(n.jobs_served)));
+    nd.set("busy_fraction", JsonValue::number(n.busy_fraction));
+    nds.push(std::move(nd));
+  }
+  o.set("nodes", std::move(nds));
+  return o;
+}
+
+}  // namespace hcep::traffic

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "hcep/cluster/simulator.hpp"
 #include "hcep/hw/catalog.hpp"
@@ -14,6 +16,7 @@
 #include "hcep/obs/power_probe.hpp"
 #include "hcep/power/curve.hpp"
 #include "hcep/queueing/md1.hpp"
+#include "hcep/traffic/arrivals.hpp"
 #include "hcep/util/math.hpp"
 #include "hcep/util/rng.hpp"
 #include "hcep/workload/node_ops.hpp"
@@ -179,6 +182,117 @@ TEST_P(RandomQueues, CdfMonotoneAndPercentileConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueues,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------------------------------------------------- arrival generators
+
+/// First `n` arrival instants of a pristine clone under a fresh seed.
+std::vector<double> draw_arrivals(const traffic::ArrivalProcess& process,
+                                  std::size_t n, std::uint64_t seed) {
+  auto gen = process.clone();
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  Seconds t{0.0};
+  while (out.size() < n) {
+    t = gen->next(t, rng);
+    if (std::isinf(t.value())) break;
+    out.push_back(t.value());
+  }
+  return out;
+}
+
+/// The generator catalog exercised by the properties below.
+std::vector<std::unique_ptr<traffic::ArrivalProcess>> generator_catalog() {
+  std::vector<std::unique_ptr<traffic::ArrivalProcess>> out;
+  out.push_back(traffic::make_poisson(80.0));
+  out.push_back(traffic::make_deterministic(80.0));
+  out.push_back(traffic::make_bursty(30.0, Seconds{2.0}, 300.0,
+                                     Seconds{0.2}));
+  out.push_back(traffic::make_diurnal(100.0, 0.6, Seconds{20.0}));
+  out.push_back(traffic::make_replay(
+      {Seconds{0.1}, Seconds{0.4}, Seconds{0.5}, Seconds{0.9}},
+      /*loop=*/true));
+  return out;
+}
+
+class ArrivalGenerators : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArrivalGenerators, EmpiricalRateConvergesToDeclaredMeanRate) {
+  for (const auto& gen : generator_catalog()) {
+    const auto t = draw_arrivals(*gen, 50000, GetParam());
+    ASSERT_EQ(t.size(), 50000u) << gen->name();
+    const double span = t.back() - t.front();
+    ASSERT_GT(span, 0.0) << gen->name();
+    const double empirical = static_cast<double>(t.size() - 1) / span;
+    // 10%: wide enough for the MMPP's slow (per-dwell-cycle) mixing.
+    EXPECT_NEAR(empirical, gen->mean_rate_per_s(),
+                0.10 * gen->mean_rate_per_s())
+        << gen->name();
+  }
+}
+
+TEST_P(ArrivalGenerators, ArrivalInstantsAreStrictlyOrdered) {
+  for (const auto& gen : generator_catalog()) {
+    const auto t = draw_arrivals(*gen, 5000, GetParam());
+    for (std::size_t i = 1; i < t.size(); ++i)
+      ASSERT_GE(t[i], t[i - 1]) << gen->name() << " i=" << i;
+    EXPECT_GE(t.front(), 0.0) << gen->name();
+  }
+}
+
+TEST_P(ArrivalGenerators, SameSeedStreamsAreIdentical) {
+  for (const auto& gen : generator_catalog()) {
+    const auto a = draw_arrivals(*gen, 20000, GetParam());
+    const auto b = draw_arrivals(*gen, 20000, GetParam());
+    ASSERT_EQ(a.size(), b.size()) << gen->name();
+    for (std::size_t i = 0; i < a.size(); ++i)
+      ASSERT_EQ(a[i], b[i]) << gen->name() << " i=" << i;  // bit-exact
+  }
+}
+
+TEST_P(ArrivalGenerators, DifferentSeedsProduceDifferentStochasticStreams) {
+  for (const auto& gen : generator_catalog()) {
+    if (gen->name() == "deterministic" || gen->name() == "replay")
+      continue;  // seed-independent by design
+    const auto a = draw_arrivals(*gen, 100, GetParam());
+    const auto b = draw_arrivals(*gen, 100, GetParam() + 1);
+    EXPECT_NE(a, b) << gen->name();
+  }
+}
+
+TEST_P(ArrivalGenerators, PoissonInterArrivalsAreExponentialAndIndependent) {
+  const double rate = 80.0;
+  const auto t = draw_arrivals(*traffic::make_poisson(rate), 50000,
+                               GetParam());
+  std::vector<double> gaps;
+  gaps.reserve(t.size());
+  gaps.push_back(t.front());
+  for (std::size_t i = 1; i < t.size(); ++i)
+    gaps.push_back(t[i] - t[i - 1]);
+
+  const auto n = static_cast<double>(gaps.size());
+  double sum = 0.0;
+  for (const double g : gaps) sum += g;
+  const double mean = sum / n;
+  double var = 0.0;
+  for (const double g : gaps) var += (g - mean) * (g - mean);
+  var /= n - 1.0;
+
+  // Exponential(rate): mean 1/rate, coefficient of variation exactly 1.
+  EXPECT_NEAR(mean, 1.0 / rate, 0.03 / rate);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+
+  // Independence: lag-1 autocorrelation of the gap sequence vanishes
+  // (SE = 1/sqrt(n) ~ 0.0045; 0.03 is a >6-sigma gate).
+  double lag1 = 0.0;
+  for (std::size_t i = 1; i < gaps.size(); ++i)
+    lag1 += (gaps[i] - mean) * (gaps[i - 1] - mean);
+  lag1 /= (n - 1.0) * var;
+  EXPECT_LT(std::abs(lag1), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrivalGenerators,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 // -------------------------------------------------------- observability
 

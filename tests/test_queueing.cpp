@@ -126,6 +126,51 @@ TEST(MD1, HighRhoTailPathIsUsable) {
   EXPECT_GT(p99.value(), q.mean_wait().value());
 }
 
+TEST(MD1, ExtremeRhoCdfIsMonotone) {
+  // Regression: the geometric-tail constant used to be anchored on the
+  // alternating series' value at the switchover point, whose cancellation
+  // noise leaked into the far tail at rho >= 0.98. With the exact
+  // pole-residue constant the CDF must be monotone through the series
+  // region, across the switchover and arbitrarily deep into the tail.
+  for (double rho : {0.98, 0.99, 0.995}) {
+    const MD1 q = MD1::from_utilization(1_s, rho);
+    double prev = 0.0;
+    for (double t = 0.0; t <= 4000.0; t += 2.0) {
+      const double cdf = q.wait_cdf(Seconds{t});
+      EXPECT_GE(cdf, prev) << "rho=" << rho << " t=" << t;
+      EXPECT_LE(cdf, 1.0) << "rho=" << rho << " t=" << t;
+      prev = cdf;
+    }
+    EXPECT_GT(prev, 0.999) << "rho=" << rho;
+    // Fine grid across the series-to-tail switchover (lambda * t = 18).
+    prev = 0.0;
+    for (double t = 15.0; t <= 22.0; t += 0.01) {
+      const double cdf = q.wait_cdf(Seconds{t});
+      EXPECT_GE(cdf, prev) << "rho=" << rho << " t=" << t;
+      prev = cdf;
+    }
+  }
+}
+
+TEST(MD1, ExtremePercentileRoundTrip) {
+  // Regression: p >= 99.9 at rho >= 0.98 lands deep in the geometric
+  // tail, where bisecting a 1 - epsilon plateau used to lose precision;
+  // the analytic inversion must round-trip through wait_cdf to within a
+  // sliver of the tail mass it targets.
+  for (double rho : {0.98, 0.99, 0.995}) {
+    const MD1 q = MD1::from_utilization(1_s, rho);
+    double prev_t = 0.0;
+    for (double p : {99.0, 99.9, 99.99, 99.999}) {
+      const Seconds t = q.wait_percentile(p);
+      EXPECT_GT(t.value(), prev_t) << "rho=" << rho << " p=" << p;
+      const double back = q.wait_cdf(t);
+      EXPECT_NEAR(back, p / 100.0, (1.0 - p / 100.0) * 1e-6)
+          << "rho=" << rho << " p=" << p;
+      prev_t = t.value();
+    }
+  }
+}
+
 TEST(MD1, Validation) {
   EXPECT_THROW(MD1(0_s, 1.0), PreconditionError);
   EXPECT_THROW(MD1(1_s, 1.0), PreconditionError);  // rho = 1

@@ -71,4 +71,21 @@ TEST(Report, ObservabilityOptionAppendsTracedRunSection) {
 #endif
 }
 
+TEST(Report, TrafficOptionAppendsRequestLevelSection) {
+  const core::PaperStudy study;
+  const std::string without = render_report(study);
+  EXPECT_EQ(without.find("## Traffic"), std::string::npos);
+
+  ReportOptions opts;
+  opts.include_traffic = true;
+  const std::string with = render_report(study, opts);
+  EXPECT_NE(with.find("## Traffic"), std::string::npos);
+  EXPECT_NE(with.find("Ledger:"), std::string::npos);
+  EXPECT_NE(with.find("queue wait"), std::string::npos);
+  EXPECT_NE(with.find("p95 SLO met"), std::string::npos);
+  EXPECT_NE(with.find("memcached"), std::string::npos);
+  // Deterministic: two renders are byte-identical.
+  EXPECT_EQ(with, render_report(study, opts));
+}
+
 }  // namespace

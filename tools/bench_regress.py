@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for the sweep pipeline.
+"""Benchmark regression gate.
 
-Runs ``bench/perf_enumeration`` and ``bench/perf_pareto`` with
+Runs one suite of google-benchmark binaries with
 ``--benchmark_format=json``, writes the merged results to an output JSON
 file, and fails (exit 1) when any gated benchmark regresses by more than
-the threshold against the checked-in baseline (``BENCH_sweep.json`` at
-the repository root).
+the threshold against the suite's checked-in baseline at the repository
+root. Suites: ``sweep`` (perf_enumeration + perf_pareto vs
+``BENCH_sweep.json``, the default) and ``traffic`` (perf_traffic vs
+``BENCH_traffic.json``).
 
 The gate compares ``items_per_second`` for serial benchmarks only:
 google-benchmark's CPU timer measures the main benchmark thread, so
 thread-pool variants under-report work and are recorded but never gated.
 
 Usage:
-  tools/bench_regress.py [--build-dir build] [--baseline BENCH_sweep.json]
-                         [--output build/BENCH_sweep.json]
+  tools/bench_regress.py [--suite sweep|traffic] [--build-dir build]
+                         [--baseline BENCH_<suite>.json]
+                         [--output build/BENCH_<suite>.json]
                          [--threshold 0.20] [--smoke] [--update-baseline]
 
 ``--smoke`` runs a short, filtered pass for ctest (seconds, not minutes)
@@ -30,22 +33,43 @@ import os
 import subprocess
 import sys
 
-# Serial benchmarks with stable CPU-time throughput; everything else is
-# recorded for reference but not gated.
-GATED = [
-    "BM_ConfigDecode",
-    "BM_DecodeAt",
-    "BM_FullSweep",
-    "BM_EvaluateSpace/10/1",
-    "BM_ParetoFront",
-]
-
-SMOKE_FILTER = (
-    "BM_ConfigDecode|BM_DecodeAt|BM_FullSweep$|"
-    "BM_EvaluateSpace/10/1|BM_ParetoFront$"
-)
-
-BINARIES = ["perf_enumeration", "perf_pareto"]
+# Per-suite configuration. ``gated`` lists serial benchmarks with stable
+# CPU-time throughput; everything else is recorded for reference but not
+# gated. ``smoke_filter`` keeps the ctest pass to seconds.
+SUITES = {
+    "sweep": {
+        "binaries": ["perf_enumeration", "perf_pareto"],
+        "baseline": "BENCH_sweep.json",
+        "gated": [
+            "BM_ConfigDecode",
+            "BM_DecodeAt",
+            "BM_FullSweep",
+            "BM_EvaluateSpace/10/1",
+            "BM_ParetoFront",
+        ],
+        "smoke_filter": (
+            "BM_ConfigDecode|BM_DecodeAt|BM_FullSweep$|"
+            "BM_EvaluateSpace/10/1|BM_ParetoFront$"
+        ),
+    },
+    "traffic": {
+        "binaries": ["perf_traffic"],
+        "baseline": "BENCH_traffic.json",
+        "gated": [
+            "BM_PoissonArrivals",
+            "BM_TokenBucketAcquire",
+            "BM_SimulateTraffic/16384",
+            "BM_AdmissionSloPath/131072",
+            "BM_AdmissionSloPath/1048576",
+        ],
+        # The smoke pass swaps the >1M-request gate for the 128k size:
+        # the path is identical, the wall time is ctest-friendly.
+        "smoke_filter": (
+            "BM_PoissonArrivals$|BM_TokenBucketAcquire$|"
+            "BM_SimulateTraffic/16384$|BM_AdmissionSloPath/131072$"
+        ),
+    },
+}
 
 
 def run_benchmark(path, min_time, bench_filter=None):
@@ -59,13 +83,15 @@ def run_benchmark(path, min_time, bench_filter=None):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--suite", default="sweep", choices=sorted(SUITES),
+                    help="which benchmark suite to run (default: sweep)")
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--baseline", default=None,
-                    help="baseline JSON (default: BENCH_sweep.json next to "
-                         "this script's repository root)")
+                    help="baseline JSON (default: the suite's "
+                         "BENCH_<suite>.json at the repository root)")
     ap.add_argument("--output", default=None,
                     help="where to write measured results "
-                         "(default: <build-dir>/BENCH_sweep.json)")
+                         "(default: <build-dir>/BENCH_<suite>.json)")
     ap.add_argument("--threshold", type=float, default=None,
                     help="max allowed fractional regression (default 0.20, "
                          "or 0.60 with --smoke)")
@@ -75,17 +101,19 @@ def main():
                     help="rewrite the baseline block from this run")
     args = ap.parse_args()
 
+    suite = SUITES[args.suite]
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    baseline_path = args.baseline or os.path.join(repo_root, "BENCH_sweep.json")
+    baseline_path = args.baseline or os.path.join(repo_root,
+                                                  suite["baseline"])
     output_path = args.output or os.path.join(args.build_dir,
-                                              "BENCH_sweep.json")
+                                              suite["baseline"])
     threshold = args.threshold if args.threshold is not None else (
         0.60 if args.smoke else 0.20)
     min_time = 0.025 if args.smoke else 0.25
-    bench_filter = SMOKE_FILTER if args.smoke else None
+    bench_filter = suite["smoke_filter"] if args.smoke else None
 
     measured = {}
-    for binary in BINARIES:
+    for binary in suite["binaries"]:
         path = os.path.join(args.build_dir, "bench", binary)
         if not os.path.exists(path):
             print(f"bench_regress: missing benchmark binary {path}",
@@ -115,7 +143,8 @@ def main():
     if args.update_baseline:
         baseline_doc["baseline"] = {
             name: {"items_per_second": measured[name]["items_per_second"]}
-            for name in GATED if measured.get(name, {}).get("items_per_second")
+            for name in suite["gated"]
+            if measured.get(name, {}).get("items_per_second")
         }
         with open(baseline_path, "w") as f:
             json.dump(baseline_doc, f, indent=2, sort_keys=True)
@@ -129,7 +158,7 @@ def main():
         return 2
 
     failed = []
-    for name in GATED:
+    for name in suite["gated"]:
         base = baseline.get(name, {}).get("items_per_second")
         cur = measured.get(name, {}).get("items_per_second")
         if base is None or cur is None:

@@ -45,6 +45,13 @@ int usage() {
          "  governor <program> [nA9 nK10]   race vs pace\n"
          "  autoscale <program>             autoscaling vs static fleet\n"
          "  export json [path]              full study as JSON\n"
+         "  traffic <program|synthetic> [--arrivals poisson|deterministic|"
+         "bursty|diurnal]\n"
+         "          [--util U] [--requests N] [--policy P] [--seed S] "
+         "[--slo-ms MS]\n"
+         "          [--bucket-rate R] [--bucket-burst B] [--max-queue D] "
+         "[--retries K]\n"
+         "          [--json path]           request-level simulation\n"
          "  trace <program|synthetic> [path]  traced DES run -> JSONL\n"
          "  profile <trace.jsonl> [--interval S] [--json p] [--folded p] "
          "[--prom p]\n"
@@ -67,6 +74,7 @@ int cmd_report(const std::vector<std::string>& args) {
   }
   analysis::ReportOptions options;
   options.include_observability = true;
+  options.include_traffic = true;
   out << analysis::render_report(study(), options);
   std::cout << "wrote " << path << "\n";
   return 0;
@@ -421,6 +429,135 @@ int cmd_selftest(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ------------------------------------------------------------- traffic
+
+int cmd_traffic(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const bool synthetic = args[0] == "synthetic";
+  const workload::Workload w =
+      synthetic ? synthetic_workload() : study().workload(args[0]);
+
+  std::string arrivals_name = "poisson";
+  std::string policy_name = "join-shortest-queue";
+  double util = 0.7;
+  double slo_ms = 0.0;
+  std::string json_path;
+  traffic::TrafficOptions options;
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    const std::string& key = args[i];
+    const std::string& value = args[i + 1];
+    if (key == "--arrivals")
+      arrivals_name = value;
+    else if (key == "--policy")
+      policy_name = value;
+    else if (key == "--util")
+      util = std::stod(value);
+    else if (key == "--requests")
+      options.requests = std::stoull(value);
+    else if (key == "--seed")
+      options.seed = std::stoull(value);
+    else if (key == "--bucket-rate")
+      options.admission.bucket_rate_per_s = std::stod(value);
+    else if (key == "--bucket-burst")
+      options.admission.bucket_burst = std::stod(value);
+    else if (key == "--max-queue")
+      options.admission.max_queue_depth = std::stoull(value);
+    else if (key == "--retries")
+      options.retry.max_attempts =
+          1 + static_cast<std::uint32_t>(std::stoul(value));
+    else if (key == "--slo-ms")
+      slo_ms = std::stod(value);
+    else if (key == "--json")
+      json_path = value;
+    else
+      return usage();
+  }
+
+  bool policy_found = false;
+  for (const auto p : cluster::all_dispatch_policies()) {
+    if (cluster::to_string(p) == policy_name) {
+      options.policy = p;
+      policy_found = true;
+    }
+  }
+  if (!policy_found) {
+    std::cerr << "unknown policy " << policy_name << "\n";
+    return 1;
+  }
+
+  std::vector<traffic::TrafficClass> classes{
+      traffic::TrafficClass{w, 1.0, traffic::SloTarget{}}};
+  if (slo_ms > 0.0)
+    classes[0].slo = traffic::SloTarget{Seconds{slo_ms * 1e-3}, 0.95};
+  const double capacity = traffic::cluster_capacity_per_s(
+      model::make_a9_k10_cluster(4, 2), classes);
+  const double rate = util * capacity;
+
+  std::unique_ptr<traffic::ArrivalProcess> arrivals;
+  if (arrivals_name == "poisson")
+    arrivals = traffic::make_poisson(rate);
+  else if (arrivals_name == "deterministic")
+    arrivals = traffic::make_deterministic(rate);
+  else if (arrivals_name == "bursty")
+    // 4:1 quiet/burst dwell split with the same long-run mean rate.
+    arrivals = traffic::make_bursty(0.5 * rate, Seconds{4.0 / rate * 100.0},
+                                    3.0 * rate, Seconds{1.0 / rate * 100.0});
+  else if (arrivals_name == "diurnal")
+    arrivals = traffic::make_diurnal(rate, 0.5, Seconds{200.0 / rate});
+  else {
+    std::cerr << "unknown arrival process " << arrivals_name << "\n";
+    return 1;
+  }
+
+  const auto r = traffic::simulate_traffic(model::make_a9_k10_cluster(4, 2),
+                                           classes, *arrivals, options);
+
+  std::cout << w.name << " over 4xA9 + 2xK10, " << r.arrival_process
+            << " arrivals at " << fmt(rate, 1) << " req/s (util "
+            << fmt(util * 100.0, 0) << "% of " << fmt(capacity, 1)
+            << " req/s), policy " << policy_name << ":\n"
+            << "  offered " << r.offered << "  admitted " << r.admitted
+            << "  shed " << r.shed_bucket + r.shed_queue << " (bucket "
+            << r.shed_bucket << ", queue " << r.shed_queue << ")  retries "
+            << r.retries << "  completed " << r.completed << "  failed "
+            << r.failed << "\n";
+  TextTable t({"latency", "mean [ms]", "p50 [ms]", "p95 [ms]", "p99 [ms]",
+               "max [ms]"});
+  const auto row = [&](const std::string& label,
+                       const traffic::LatencySummary& s) {
+    t.add_row({label, fmt(s.mean.value() * 1e3, 2),
+               fmt(s.p50.value() * 1e3, 2), fmt(s.p95.value() * 1e3, 2),
+               fmt(s.p99.value() * 1e3, 2), fmt(s.max.value() * 1e3, 2)});
+  };
+  row("queue wait", r.wait);
+  row("service", r.service);
+  row("sojourn", r.sojourn);
+  std::cout << t;
+  std::cout << "  energy " << fmt(r.energy.value(), 1) << " J over "
+            << fmt(r.makespan.value(), 2) << " s  ("
+            << fmt(r.energy_per_request.value(), 2)
+            << " J/request, average power " << fmt(r.average_power.value(), 1)
+            << " W)\n";
+  if (!r.classes.empty() && r.classes[0].slo.enabled()) {
+    const auto& c = r.classes[0];
+    std::cout << "  SLO p95 <= " << fmt(slo_ms, 1) << " ms: "
+              << c.slo_violations << " violations ("
+              << fmt(100.0 * c.violation_fraction(), 1) << "%) — "
+              << (c.slo_met() ? "met" : "MISSED") << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << r.to_json().dump_pretty() << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_governor(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   analysis::GovernorStudyOptions opts;
@@ -456,6 +593,7 @@ int main(int argc, char** argv) {
     if (cmd == "governor") return cmd_governor(args);
     if (cmd == "autoscale") return cmd_autoscale(args);
     if (cmd == "export") return cmd_export(args);
+    if (cmd == "traffic") return cmd_traffic(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "selftest") return cmd_selftest(args);

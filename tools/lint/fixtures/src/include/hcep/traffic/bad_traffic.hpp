@@ -1,0 +1,31 @@
+// hcep-lint selftest fixture: traffic-header rules added with the
+// hcep::traffic subsystem — SLO-flavoured identifiers (latency, deadline,
+// sojourn) now count as physical-unit names, and /traffic/ headers are
+// evaluator headers whose value-returning functions must be
+// [[nodiscard]]. One live violation per rule plus a suppressed twin.
+// This tree is scanned only by `hcep-lint --selftest`; it is not part of
+// the build.
+#pragma once
+
+namespace hcep::traffic {
+
+struct BadTrafficSurface {
+  // LIVE unit-double: a naked double claiming to hold an SLO latency.
+  double tail_latency = 0.0;
+
+  // Suppressed twin: must stay silent.
+  double sojourn = 0.0;  // hcep-lint: allow(unit-double)
+
+  // LIVE nodiscard: a value-returning SLO evaluator without
+  // [[nodiscard]] — dropping the computed deadline is always a bug.
+  Seconds deadline_for(std::size_t cls) const;
+
+  // Suppressed twin.
+  Seconds backoff_hint() const;  // hcep-lint: allow(nodiscard)
+
+  // Controls: compliant declarations must not fire.
+  [[nodiscard]] Seconds admit_horizon() const;
+  [[nodiscard]] double weight_share() const;
+};
+
+}  // namespace hcep::traffic
