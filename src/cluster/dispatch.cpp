@@ -1,6 +1,7 @@
 #include "hcep/cluster/dispatch.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "hcep/des/simulator.hpp"

@@ -58,94 +58,104 @@ RunPlan make_plan(const model::TimeEnergyModel& m, bool use_overheads) {
   return plan;
 }
 
-}  // namespace
-
-SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
-  require(options.utilization >= 0.0 && options.utilization < 1.0,
-          "simulate: utilization must lie in [0, 1)");
-  require(options.min_jobs > 0, "simulate: min_jobs must be positive");
-  require(options.batch_size >= 1, "simulate: batch_size must be >= 1");
-
-  const RunPlan plan = make_plan(m, options.use_testbed_overheads);
-  const double u = options.utilization;
-  // Batch arrivals: the batch rate carries batch_size jobs each, so it is
-  // scaled down to keep the offered utilization at the target.
-  const double lambda =
-      u > 0.0 ? u / (plan.expected_service.value() *
-                     static_cast<double>(options.batch_size))
-              : 0.0;
-
-  Seconds window = options.window;
-  if (window.value() <= 0.0) {
-    window = u > 0.0 ? plan.expected_service *
-                           (static_cast<double>(options.min_jobs) / u)
-                     : plan.expected_service *
-                           static_cast<double>(options.min_jobs);
-  }
-
-  Rng rng(options.seed);
+/// Mutable run state shared by all event callbacks. Each callback
+/// captures one SimCtx* plus a few value parameters, so every event fits
+/// des::Callback's inline buffer (static_asserted at the schedule sites)
+/// and the kernel hot path never allocates.
+struct SimCtx {
+  const model::TimeEnergyModel& m;
+  const SimOptions& options;
+  const RunPlan& plan;
+  double lambda = 0.0;
+  Seconds window{};
+  Rng rng;
+  obs::Observer* o = nullptr;
 #if HCEP_OBS
-  obs::Observer* o = obs::current();
   obs::MetricId jobs_arrived_m = 0, jobs_completed_m = 0;
   obs::MetricId arrival_ev_m = 0, completion_ev_m = 0, power_ev_m = 0;
   obs::StringId cat_s = 0, job_s = 0, wait_s = 0, arrival_s = 0, batch_s = 0;
   obs::StringId node_cat_s = 0, node_id_s = 0;
   std::vector<obs::StringId> group_name_s;
-  if (o != nullptr) {
-    jobs_arrived_m = o->metrics.counter("sim.jobs_arrived");
-    jobs_completed_m = o->metrics.counter("sim.jobs_completed");
-    arrival_ev_m = o->metrics.counter("sim.arrival_events");
-    completion_ev_m = o->metrics.counter("sim.completion_events");
-    power_ev_m = o->metrics.counter("sim.power_events");
-    cat_s = o->tracer.intern("cluster");
-    job_s = o->tracer.intern("job");
-    wait_s = o->tracer.intern("wait_s");
-    arrival_s = o->tracer.intern("arrival");
-    batch_s = o->tracer.intern("batch");
-    // Per-node execution spans carry the group's name and the node id the
-    // span executed on, so the profiler can attribute time per node.
-    node_cat_s = o->tracer.intern("node");
-    node_id_s = o->tracer.intern("node_id");
-    group_name_s.reserve(m.cluster().groups.size());
-    for (const auto& g : m.cluster().groups)
-      group_name_s.push_back(o->tracer.intern(g.spec.name));
-  }
-#else
-  obs::Observer* o = nullptr;
 #endif
   des::Simulator sim;
   // The exact power timeline goes through the probe: same PowerTrace as
   // before, plus a "cluster_W" counter track on the active tracer.
-  obs::PowerProbe probe(o, "cluster_W");
+  obs::PowerProbe probe;
+  Watts level{};
+  SimResult out;
+  std::deque<Seconds> queue;  // arrival times of waiting jobs
+  bool server_busy = false;
+  RunningStats service_stats;
+  RunningStats response_stats;
+  P2Quantile p95{0.95};
+  Seconds busy_time{};
 
-  // Current power level bookkeeping.
-  Watts level = plan.idle_power;
-  probe.step(Seconds{0.0}, level);
-  auto adjust = [&](Watts delta) {
+  SimCtx(const model::TimeEnergyModel& model, const SimOptions& opts,
+         const RunPlan& run_plan)
+      : m(model),
+        options(opts),
+        plan(run_plan),
+        rng(opts.seed),
+#if HCEP_OBS
+        o(obs::current()),
+#endif
+        probe(o, "cluster_W"),
+        level(run_plan.idle_power) {
+#if HCEP_OBS
+    if (o != nullptr) {
+      jobs_arrived_m = o->metrics.counter("sim.jobs_arrived");
+      jobs_completed_m = o->metrics.counter("sim.jobs_completed");
+      arrival_ev_m = o->metrics.counter("sim.arrival_events");
+      completion_ev_m = o->metrics.counter("sim.completion_events");
+      power_ev_m = o->metrics.counter("sim.power_events");
+      cat_s = o->tracer.intern("cluster");
+      job_s = o->tracer.intern("job");
+      wait_s = o->tracer.intern("wait_s");
+      arrival_s = o->tracer.intern("arrival");
+      batch_s = o->tracer.intern("batch");
+      // Per-node execution spans carry the group's name and the node id
+      // the span executed on, so the profiler can attribute time per node.
+      node_cat_s = o->tracer.intern("node");
+      node_id_s = o->tracer.intern("node_id");
+      group_name_s.reserve(m.cluster().groups.size());
+      for (const auto& g : m.cluster().groups)
+        group_name_s.push_back(o->tracer.intern(g.spec.name));
+    }
+#endif
+    probe.step(Seconds{0.0}, level);
+    out.counters.reserve(m.cluster().groups.size());
+    for (const auto& g : m.cluster().groups)
+      out.counters.push_back(GroupCounters{g.spec.name, 0, 0, 0, 0});
+  }
+
+  void adjust(Watts delta) {
     level += delta;
     probe.step(sim.now(), level);
 #if HCEP_OBS
     if (o != nullptr) o->metrics.add(power_ev_m);
 #endif
-  };
+  }
 
-  SimResult out;
-  out.counters.reserve(m.cluster().groups.size());
-  for (const auto& g : m.cluster().groups)
-    out.counters.push_back(GroupCounters{g.spec.name, 0, 0, 0, 0});
+  void group_power_on(std::size_t i, Watts dyn) {
+    adjust(dyn);
+#if HCEP_OBS
+    if (o != nullptr) {
+      o->tracer.begin(sim.now().value(), node_cat_s, group_name_s[i],
+                      node_id_s, static_cast<double>(i));
+    }
+#endif
+  }
 
-  std::deque<Seconds> queue;  // arrival times of waiting jobs
-  bool server_busy = false;
-  RunningStats service_stats;
-  RunningStats response_stats;
-  P2Quantile p95(0.95);
-  Seconds busy_time{0.0};
+  void group_power_off(std::size_t i, Watts dyn) {
+#if HCEP_OBS
+    if (o != nullptr) {
+      o->tracer.end(sim.now().value(), node_cat_s, group_name_s[i]);
+    }
+#endif
+    adjust(-dyn);
+  }
 
-  const auto& demand_groups = m.cluster().groups;
-
-  // Forward declaration dance: start_service schedules completion which
-  // may start the next service.
-  std::function<void()> try_start_service = [&]() {
+  void try_start_service() {
     if (server_busy || queue.empty()) return;
     server_busy = true;
     const Seconds arrival = queue.front();
@@ -162,8 +172,7 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
     if (plan.ovh.service_noise_cv > 0.0) {
       jitter = std::max(0.2, rng.normal(1.0, plan.ovh.service_noise_cv));
     }
-    const Seconds exec =
-        plan.model_job_time * (plan.ovh.time_factor * jitter);
+    const Seconds exec = plan.model_job_time * (plan.ovh.time_factor * jitter);
     const Seconds service = exec + plan.ovh.dispatch;
     const Seconds start_exec = sim.now() + plan.ovh.dispatch;
     const Seconds done = start_exec + exec;
@@ -173,103 +182,127 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
     for (std::size_t i = 0; i < plan.group_dynamic.size(); ++i) {
       if (plan.group_dynamic[i].value() <= 0.0) continue;
       const Watts dyn = plan.group_dynamic[i];
-      const Seconds group_end =
-          start_exec + exec * plan.group_busy_fraction[i];
+      const Seconds group_end = start_exec + exec * plan.group_busy_fraction[i];
       // The node-span begin/end piggyback on the power-step callbacks
       // already scheduled here, so tracing adds no DES events (keeping
       // des.events == arrival + completion + power intact).
-      sim.schedule_at(start_exec, [&, i, dyn] {
-        adjust(dyn);
-#if HCEP_OBS
-        if (o != nullptr) {
-          o->tracer.begin(sim.now().value(), node_cat_s, group_name_s[i],
-                          node_id_s, static_cast<double>(i));
-        }
-#endif
-      });
-      sim.schedule_at(group_end, [&, i, dyn] {
-#if HCEP_OBS
-        if (o != nullptr) {
-          o->tracer.end(sim.now().value(), node_cat_s, group_name_s[i]);
-        }
-#endif
-        adjust(-dyn);
-      });
+      auto on = [this, i, dyn] { group_power_on(i, dyn); };
+      static_assert(des::Callback::stores_inline<decltype(on)>);
+      sim.schedule_at(start_exec, std::move(on));
+      auto off = [this, i, dyn] { group_power_off(i, dyn); };
+      static_assert(des::Callback::stores_inline<decltype(off)>);
+      sim.schedule_at(group_end, std::move(off));
     }
 
     const Seconds busy_from = sim.now();
-    sim.schedule_at(done, [&, arrival, service, busy_from] {
-      server_busy = false;
-#if HCEP_OBS
-      if (o != nullptr) {
-        o->tracer.end(sim.now().value(), cat_s, job_s);
-        o->metrics.add(completion_ev_m);
-        o->metrics.add(jobs_completed_m);
-      }
-#endif
-      ++out.jobs_completed;
-      out.units_completed += m.workload().units_per_job;
-      // Clip the busy interval to the observation window so the realized
-      // utilization matches the window the energy is integrated over.
-      const Seconds clipped_end = std::min(sim.now(), window);
-      if (clipped_end > busy_from)
-        busy_time += clipped_end - std::min(busy_from, window);
-      service_stats.add(service.value());
-      const double response = (sim.now() - arrival).value();
-      response_stats.add(response);
-      p95.add(response);
-      out.response_samples.push_back(response);
-      for (std::size_t i = 0; i < out.counters.size(); ++i) {
-        const auto& d =
-            m.workload().demand_for(demand_groups[i].spec.name);
-        out.counters[i].work_cycles += plan.group_units[i] * d.cycles_core;
-        out.counters[i].stall_cycles += plan.group_units[i] * d.cycles_mem;
-        out.counters[i].io_bytes +=
-            plan.group_units[i] * d.io_bytes.value();
-        out.counters[i].jobs_served += demand_groups[i].count > 0 ? 1 : 0;
-      }
-      try_start_service();
-    });
-  };
+    auto cb = [this, arrival, service, busy_from] {
+      complete(arrival, service, busy_from);
+    };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim.schedule_at(done, std::move(cb));
+  }
 
-  // Poisson arrival process, stopped at the window edge.
-  std::function<void()> arrive = [&]() {
+  void complete(Seconds arrival, Seconds service, Seconds busy_from) {
+    server_busy = false;
+#if HCEP_OBS
+    if (o != nullptr) {
+      o->tracer.end(sim.now().value(), cat_s, job_s);
+      o->metrics.add(completion_ev_m);
+      o->metrics.add(jobs_completed_m);
+    }
+#endif
+    ++out.jobs_completed;
+    out.units_completed += m.workload().units_per_job;
+    // Clip the busy interval to the observation window so the realized
+    // utilization matches the window the energy is integrated over.
+    const Seconds clipped_end = std::min(sim.now(), window);
+    if (clipped_end > busy_from)
+      busy_time += clipped_end - std::min(busy_from, window);
+    service_stats.add(service.value());
+    const double response = (sim.now() - arrival).value();
+    response_stats.add(response);
+    p95.add(response);
+    out.response_samples.push_back(response);
+    const auto& demand_groups = m.cluster().groups;
+    for (std::size_t i = 0; i < out.counters.size(); ++i) {
+      const auto& d = m.workload().demand_for(demand_groups[i].spec.name);
+      out.counters[i].work_cycles += plan.group_units[i] * d.cycles_core;
+      out.counters[i].stall_cycles += plan.group_units[i] * d.cycles_mem;
+      out.counters[i].io_bytes += plan.group_units[i] * d.io_bytes.value();
+      out.counters[i].jobs_served += demand_groups[i].count > 0 ? 1 : 0;
+    }
+    try_start_service();
+  }
+
+  /// Poisson arrival process, stopped at the window edge.
+  void schedule_next_arrival() {
     if (lambda <= 0.0) return;
     const Seconds next = sim.now() + Seconds{rng.exponential(lambda)};
     if (next > window) return;
-    sim.schedule_at(next, [&]() {
+    auto cb = [this] { on_arrival(); };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim.schedule_at(next, std::move(cb));
+  }
+
+  void on_arrival() {
 #if HCEP_OBS
-      if (o != nullptr) {
-        o->metrics.add(arrival_ev_m);
-        o->metrics.add(jobs_arrived_m, options.batch_size);
-        o->tracer.instant(sim.now().value(), cat_s, arrival_s, batch_s,
-                          static_cast<double>(options.batch_size));
-      }
+    if (o != nullptr) {
+      o->metrics.add(arrival_ev_m);
+      o->metrics.add(jobs_arrived_m, options.batch_size);
+      o->tracer.instant(sim.now().value(), cat_s, arrival_s, batch_s,
+                        static_cast<double>(options.batch_size));
+    }
 #endif
-      for (unsigned b = 0; b < options.batch_size; ++b) {
-        ++out.jobs_arrived;
-        queue.push_back(sim.now());
-      }
-      try_start_service();
-      arrive();
-    });
-  };
-  arrive();
+    for (unsigned b = 0; b < options.batch_size; ++b) {
+      ++out.jobs_arrived;
+      queue.push_back(sim.now());
+    }
+    try_start_service();
+    schedule_next_arrival();
+  }
+};
 
+}  // namespace
+
+SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
+  require(options.utilization >= 0.0 && options.utilization < 1.0,
+          "simulate: utilization must lie in [0, 1)");
+  require(options.min_jobs > 0, "simulate: min_jobs must be positive");
+  require(options.batch_size >= 1, "simulate: batch_size must be >= 1");
+
+  const RunPlan plan = make_plan(m, options.use_testbed_overheads);
+  const double u = options.utilization;
+
+  SimCtx ctx(m, options, plan);
+  // Batch arrivals: the batch rate carries batch_size jobs each, so it is
+  // scaled down to keep the offered utilization at the target.
+  ctx.lambda = u > 0.0 ? u / (plan.expected_service.value() *
+                              static_cast<double>(options.batch_size))
+                       : 0.0;
+  ctx.window = options.window;
+  if (ctx.window.value() <= 0.0) {
+    ctx.window = u > 0.0 ? plan.expected_service *
+                               (static_cast<double>(options.min_jobs) / u)
+                         : plan.expected_service *
+                               static_cast<double>(options.min_jobs);
+  }
+
+  ctx.schedule_next_arrival();
   // Run: process all events (in-flight jobs past the window drain too).
-  sim.run();
+  ctx.sim.run();
 
-  out.window = window;
-  out.energy_exact = probe.energy(window);
+  SimResult out = std::move(ctx.out);
+  out.window = ctx.window;
+  out.energy_exact = ctx.probe.energy(ctx.window);
   power::PowerMeter meter(options.meter, options.seed ^ 0x5eedULL);
-  out.energy_measured = meter.measure_energy(probe.trace(), window);
-  out.average_power = out.energy_exact / window;
+  out.energy_measured = meter.measure_energy(ctx.probe.trace(), ctx.window);
+  out.average_power = out.energy_exact / ctx.window;
   out.measured_utilization =
-      std::min(1.0, busy_time.value() / window.value());
+      std::min(1.0, ctx.busy_time.value() / ctx.window.value());
   if (out.jobs_completed > 0) {
-    out.mean_service = Seconds{service_stats.mean()};
-    out.mean_response = Seconds{response_stats.mean()};
-    out.p95_response = Seconds{p95.value()};
+    out.mean_service = Seconds{ctx.service_stats.mean()};
+    out.mean_response = Seconds{ctx.response_stats.mean()};
+    out.p95_response = Seconds{ctx.p95.value()};
   }
   return out;
 }

@@ -1,0 +1,125 @@
+// Out-of-line slow paths of CalendarScheduler. The push/pop hot paths
+// live inline in scheduler.hpp; what's here runs once per bucket, per
+// geometry change, or per horizon crossing — not once per event.
+#include "hcep/des/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hcep::des {
+
+void CalendarScheduler::advance_bucket() {
+  cursor_ = (cursor_ + 1) & mask_;
+  base_ += width_;
+  cursor_heaped_ = false;
+  // The bucket the cursor just left now addresses the next horizon
+  // slice; cascade any overflow events that fall inside it.
+  const double h = horizon();
+  while (!overflow_.empty() && overflow_.front().time < h) {
+    place_in_wheel(overflow_pop());
+  }
+}
+
+void CalendarScheduler::settle_slow() {
+  if (wheel_count_ == 0) {
+    // Everything pending lives past the horizon: re-anchor the wheel at
+    // the overflow minimum instead of stepping bucket by bucket.
+    base_ = overflow_.front().time;
+    cursor_heaped_ = false;
+    const double h = horizon();
+    while (!overflow_.empty() && overflow_.front().time < h) {
+      place_in_wheel(overflow_pop());
+    }
+  }
+  std::size_t steps = 0;
+  while (buckets_[cursor_].empty()) {
+    advance_bucket();
+    // A sparse wheel (events spread over far more buckets than their
+    // count justifies) means the width no longer matches the event
+    // spacing; re-derive it rather than keep scanning empties.
+    if (++steps > (mask_ + 1) / 2 && count_ > kInitialBuckets) {
+      rebuild();
+      steps = 0;
+    }
+  }
+  if (!cursor_heaped_) {
+    // Heapify rather than sort: O(n) against O(n log n), entries are
+    // trivially copyable PODs, and — unlike a sorted vector — events
+    // pushed into the bucket while it drains sift in at O(log n) instead
+    // of an O(n) ordered insert (which turns quadratic the moment a
+    // workload mixes short service delays with long timer delays and the
+    // cursor bucket runs hundreds of entries deep).
+    Bucket& bucket = buckets_[cursor_];
+    if (bucket.size() > 1) {
+      std::make_heap(bucket.begin(), bucket.end(), After{});
+    }
+    cursor_heaped_ = true;
+  }
+}
+
+void CalendarScheduler::rebuild() {
+  // Collect every pending entry; derive geometry from the actual span.
+  std::vector<Entry> pending;
+  pending.reserve(count_);
+  for (Bucket& bucket : buckets_) {
+    pending.insert(pending.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  pending.insert(pending.end(), overflow_.begin(), overflow_.end());
+  overflow_.clear();
+  wheel_count_ = 0;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Entry& e : pending) {
+    lo = std::min(lo, e.time);
+    hi = std::max(hi, e.time);
+  }
+
+  std::size_t want = kInitialBuckets;
+  const double per_bucket =
+      static_cast<double>(pending.size()) / kTargetPerBucket;
+  while (static_cast<double>(want) < per_bucket && want < kMaxBuckets)
+    want <<= 1;
+  // Bucket vectors are kept (cleared above, capacity retained): re-growing
+  // 2^16 bucket allocations after every geometry change would dominate
+  // the steady-state profile.
+  if (want != buckets_.size()) buckets_.resize(want);
+  mask_ = want - 1;
+  cursor_ = 0;
+  cursor_heaped_ = false;
+  base_ = pending.empty() ? 0.0 : lo;
+  const double span = hi - lo;
+  // The wheel must cover the full pending span even when the bucket count
+  // is capped: span/want, NOT span*target/n (those agree only while the
+  // wanted count is uncapped — with 1M events pending and the 2^16 cap,
+  // the latter would leave ~87% of the events in the overflow heap and
+  // forfeit the O(1) scheduling). The nudge keeps the max event strictly
+  // below the horizon.
+  set_width(span > 0.0
+                ? span * (1.0 + 1.0 / 1024.0) / static_cast<double>(want)
+                : 1.0);
+
+  const double h = horizon();
+  for (const Entry& e : pending) {
+    if (e.time >= h) {
+      overflow_push(e);
+    } else {
+      place_in_wheel(e);
+    }
+  }
+}
+
+void CalendarScheduler::overflow_push(Entry e) {
+  overflow_.push_back(e);
+  std::push_heap(overflow_.begin(), overflow_.end(), After{});
+}
+
+CalendarScheduler::Entry CalendarScheduler::overflow_pop() {
+  std::pop_heap(overflow_.begin(), overflow_.end(), After{});
+  const Entry e = overflow_.back();
+  overflow_.pop_back();
+  return e;
+}
+
+}  // namespace hcep::des

@@ -1,0 +1,88 @@
+#include "hcep/des/sharded.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hcep/parallel/thread_pool.hpp"
+#include "hcep/util/error.hpp"
+
+namespace hcep::des {
+
+ShardedSimulator::ShardedSimulator(std::size_t shards, Seconds lookahead)
+    : outbox_(shards), post_seq_(shards, 0), lookahead_(lookahead) {
+  require(shards >= 1, "ShardedSimulator: need at least one shard");
+  require(lookahead.value() > 0.0,
+          "ShardedSimulator: lookahead must be positive");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Simulator>());
+}
+
+void ShardedSimulator::schedule_on(std::size_t shard, Seconds t,
+                                   Callback cb) {
+  require(shard < shards_.size(), "ShardedSimulator: shard out of range");
+  shards_[shard]->schedule_at(t, std::move(cb));
+}
+
+void ShardedSimulator::post(std::size_t from, std::size_t to, Seconds t,
+                            Callback cb) {
+  require(from < shards_.size() && to < shards_.size(),
+          "ShardedSimulator: shard out of range");
+  require(t >= shards_[from]->now() + lookahead_,
+          "ShardedSimulator: post violates the lookahead contract");
+  outbox_[from].push_back(Post{to, t, from, post_seq_[from]++, std::move(cb)});
+}
+
+std::size_t ShardedSimulator::flush_posts() {
+  std::vector<Post> pending;
+  for (auto& box : outbox_) {
+    for (Post& p : box) pending.push_back(std::move(p));
+    box.clear();
+  }
+  if (pending.empty()) return 0;
+  // Deterministic delivery order — independent of which shard thread
+  // finished its window first: target shard, then time, then sender,
+  // then the sender's post counter.
+  std::sort(pending.begin(), pending.end(),
+            [](const Post& a, const Post& b) {
+              if (a.to != b.to) return a.to < b.to;
+              if (a.time != b.time) return a.time < b.time;
+              if (a.from != b.from) return a.from < b.from;
+              return a.index < b.index;
+            });
+  for (Post& p : pending)
+    shards_[p.to]->schedule_at(p.time, std::move(p.cb));
+  return pending.size();
+}
+
+void ShardedSimulator::run(bool parallel) {
+  for (;;) {
+    double t_min = std::numeric_limits<double>::infinity();
+    for (const auto& shard : shards_) {
+      if (!shard->empty())
+        t_min = std::min(t_min, shard->next_event_time().value());
+    }
+    if (t_min == std::numeric_limits<double>::infinity()) {
+      // No pending events; pending posts (from setup) still need a round.
+      if (flush_posts() == 0) return;
+      continue;
+    }
+    const Seconds window_end = Seconds{t_min} + lookahead_;
+    if (parallel && shards_.size() > 1) {
+      parallel_for(
+          0, shards_.size(),
+          [&](std::size_t i) { shards_[i]->run_before(window_end); }, 1);
+    } else {
+      for (auto& shard : shards_) shard->run_before(window_end);
+    }
+    flush_posts();
+  }
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_processed();
+  return total;
+}
+
+}  // namespace hcep::des

@@ -1,0 +1,156 @@
+// Allocation-free event callbacks for the DES hot path.
+//
+// The seed kernel stored every event callback in a std::function<void()>,
+// whose small-buffer optimization (16 bytes in libstdc++) is too small
+// for the capture lists the simulators actually schedule — so every
+// scheduled event paid a heap allocation plus a virtual-ish indirect
+// copy. des::Callback is a move-only type-erased callable with inline
+// storage sized for the kernel's real captures (a context pointer plus a
+// request record plus a couple of Seconds): captures up to kInlineSize
+// bytes live inside the event record itself and never touch the heap.
+// Larger captures still work — they spill to a single heap cell — but the
+// hot paths (traffic::simulate_traffic, cluster::simulate, the bench
+// churn loops) are written so every scheduled capture fits inline;
+// Callback::stores_inline<F> lets tests static_assert that contract.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hcep::des {
+
+class Callback {
+ public:
+  /// Inline capture budget. 48 bytes fits a context pointer, a 24-byte
+  /// request record and two Seconds — the largest hot-path capture in the
+  /// tree (see traffic/simulate.cpp).
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(void*) * 2;
+  static_assert(kInlineSize >= 48,
+                "DES hot-path captures are sized against a 48-byte "
+                "minimum inline budget");
+
+  /// Whether a callable of type F is stored inline (no heap allocation on
+  /// schedule). Hot-path call sites static_assert this.
+  template <class F>
+  static constexpr bool stores_inline =
+      sizeof(std::decay_t<F>) <= kInlineSize &&
+      alignof(std::decay_t<F>) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  Callback() noexcept = default;
+
+  template <class F,
+            class D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                 std::is_invocable_r_v<void, D&>,
+                             int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): callbacks bind lambdas
+  Callback(F&& f) {
+    if constexpr (stores_inline<F>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  /// Destroys the current callable (if any) and constructs a new one in
+  /// place — the schedule fast path: the simulator emplaces hot-path
+  /// lambdas straight into the scheduler's arena slot, so the capture
+  /// bytes are written exactly once, with no intermediate relocate calls.
+  template <class F,
+            class D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                 std::is_invocable_r_v<void, D&>,
+                             int> = 0>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (stores_inline<F>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  /// Invokes the stored callable (undefined when empty; the simulator
+  /// rejects empty callbacks at schedule time).
+  void operator()() { vtable_->invoke(storage_); }
+
+  /// True when the stored callable lives in the inline buffer.
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <class D>
+  static constexpr VTable kInlineVTable{
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+      true};
+
+  template <class D>
+  static constexpr VTable kHeapVTable{
+      [](void* s) { (**reinterpret_cast<D**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* s) noexcept { delete *reinterpret_cast<D**>(s); },
+      false};
+
+  void move_from(Callback& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace hcep::des

@@ -1,0 +1,332 @@
+// Pending-event schedulers for the DES kernel.
+//
+// The kernel's contract is a strict total order: events execute in
+// (time, seq) order, seq being the schedule sequence number — FIFO among
+// simultaneous events. Two interchangeable structures provide it:
+//
+//   HeapScheduler      binary min-heap over a contiguous vector. O(log n)
+//                      push/pop, trivially correct — the oracle the
+//                      calendar implementation is cross-checked against
+//                      (tests/test_des.cpp runs both on identical
+//                      schedules and asserts identical pop sequences).
+//   CalendarScheduler  calendar queue (Brown '88 shape): a power-of-two
+//                      ring of time buckets of adaptive width for the
+//                      near future plus a HeapScheduler overflow for
+//                      events beyond the wheel horizon. Push appends to a
+//                      bucket (O(1)); pop drains the cursor bucket as a
+//                      small POD min-heap (heapified once per bucket, so
+//                      events scheduled into the in-progress bucket cost
+//                      O(log bucket) — not an O(bucket) sorted insert)
+//                      and cascades overflow events into the wheel as the
+//                      horizon advances. For the
+//                      near-uniform timestamp distributions the
+//                      Poisson/MMPP arrival processes produce, push and
+//                      pop are O(1) amortized — the binary heap's
+//                      O(log n) comparison chain (20 cache-missing levels
+//                      at 1M pending events) is what this replaces.
+//
+// Both structures own their event records in contiguous vectors (bucket
+// and heap storage is recycled across pops — the steady-state hot path
+// performs no allocation), and both pop by value, so callbacks move out
+// of storage without the const_cast workaround the seed kernel needed
+// around priority_queue::top().
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hcep/des/callback.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::des {
+
+/// One scheduled event. The callback lives inside the record (inline for
+/// hot-path captures; see callback.hpp), so the scheduler's vectors are
+/// the event arena — there is no per-event node allocation.
+struct Event {
+  Seconds time{};
+  std::uint64_t seq = 0;
+  Callback callback;
+
+  /// Strict total order: earlier time first, then FIFO by sequence.
+  [[nodiscard]] bool before(const Event& other) const {
+    if (time != other.time) return time < other.time;
+    return seq < other.seq;
+  }
+};
+
+/// What BasicSimulator needs from a pending-event structure. pop() must
+/// return the globally least event under Event::before; peek_time() the
+/// time that event will pop at (both may reorganize internal state).
+template <class S>
+concept Scheduler = requires(S s, const S cs, Seconds t, std::uint64_t seq,
+                             Callback cb) {
+  { s.push(t, seq, std::move(cb)) } -> std::same_as<void>;
+  { cs.empty() } -> std::same_as<bool>;
+  { cs.size() } -> std::same_as<std::size_t>;
+  { s.peek_time() } -> std::same_as<Seconds>;
+  { s.pop() } -> std::same_as<Event>;
+};
+
+/// Binary min-heap scheduler: the straightforward O(log n) structure and
+/// the determinism oracle for CalendarScheduler.
+class HeapScheduler {
+ public:
+  void push(Seconds t, std::uint64_t seq, Callback cb) {
+    heap_.push_back(Event{t, seq, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), kAfter);
+  }
+
+  /// Emplace parity with CalendarScheduler: constructs the callback in
+  /// the heap's event record (one move fewer than push; the oracle does
+  /// not need to be fast, but the schedule API must behave identically).
+  template <class F>
+  void emplace(Seconds t, std::uint64_t seq, F&& f) {
+    heap_.emplace_back(t, seq, Callback(std::forward<F>(f)));
+    std::push_heap(heap_.begin(), heap_.end(), kAfter);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] Seconds peek_time() { return heap_.front().time; }
+
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), kAfter);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+ private:
+  // std::push_heap builds a max-heap under the comparator, so "a after b"
+  // puts the least (time, seq) event at the front.
+  static constexpr auto kAfter = [](const Event& a, const Event& b) {
+    return b.before(a);
+  };
+
+  std::vector<Event> heap_;
+};
+
+/// Calendar-queue scheduler: O(1) amortized push/pop for timestamp
+/// distributions without heavy far-future tails. See the file comment and
+/// docs/SIMULATOR.md for the structure; tests/test_des.cpp cross-checks
+/// its pop order against HeapScheduler event-for-event.
+///
+/// Storage is split in two, and the split is what makes it fast:
+///
+///   - a slot arena (`slots_` + a LIFO free list) owns the move-only
+///     Callback records — each callback is moved exactly twice (in at
+///     push, out at pop), and the LIFO reuse keeps the active slots
+///     cache-hot;
+///   - the wheel, cursor bucket and overflow heap shuffle only 24-byte
+///     trivially-copyable Entry{time, seq, slot} values, so bucket
+///     appends, sorts, heap sifts and rebuilds are branch-light memcpy
+///     loops with no indirect calls.
+class CalendarScheduler {
+ public:
+  CalendarScheduler() : buckets_(kInitialBuckets), mask_(kInitialBuckets - 1) {}
+
+  void push(Seconds t, std::uint64_t seq, Callback cb) {
+    const std::uint32_t slot = park_slot();
+    slots_[slot] = std::move(cb);
+    insert_entry(Entry{t.value(), seq, slot});
+  }
+
+  /// Schedule fast path: constructs the callable directly in its arena
+  /// slot — the capture bytes are written exactly once, with no
+  /// intermediate Callback relocations on the way in.
+  template <class F>
+  void emplace(Seconds t, std::uint64_t seq, F&& f) {
+    const std::uint32_t slot = park_slot();
+    slots_[slot].emplace(std::forward<F>(f));
+    insert_entry(Entry{t.value(), seq, slot});
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Time of the next event to pop (advances the cursor over drained
+  /// buckets and heapifies the target bucket; precondition: !empty()).
+  [[nodiscard]] Seconds peek_time() {
+    settle();
+    return Seconds{buckets_[cursor_].front().time};
+  }
+
+  /// Removes and returns the least pending event (precondition: !empty()).
+  Event pop() {
+    settle();
+    Bucket& bucket = buckets_[cursor_];
+    if (bucket.size() > 1) {
+      std::pop_heap(bucket.begin(), bucket.end(), After{});
+    }
+    const Entry e = bucket.back();
+    bucket.pop_back();  // capacity is retained: the bucket is recycled
+    --wheel_count_;
+    --count_;
+    free_slots_.push_back(e.slot);
+    if (!bucket.empty()) {
+      // The heap root is the event the NEXT pop returns, so the slot it
+      // will relocate out of is known now. At deep pending counts (1M
+      // events = a ~56MB arena) that read is a guaranteed DRAM miss;
+      // issuing it one event early hides the latency behind the current
+      // event's callback.
+      prefetch_for_write(&slots_[bucket.front().slot]);
+    }
+    return Event{Seconds{e.time}, e.seq, std::move(slots_[e.slot])};
+  }
+
+ private:
+  // Wheel geometry. kInitialBuckets is deliberately small: the structure
+  // self-tunes by rebuilding, so the constant only matters for the first
+  // few thousand events of a run. Rebuilds trigger when the wheel holds
+  // more than kLoadFactor events per bucket (and can still grow) and
+  // re-derive the width so buckets hold ~kTargetPerBucket events — deep
+  // enough that a push rarely misses more than one cache line, shallow
+  // enough that the per-bucket sort stays O(1) amortized per event.
+  static constexpr std::size_t kInitialBuckets = 256;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
+  static constexpr std::size_t kLoadFactor = 16;
+  static constexpr double kTargetPerBucket = 8.0;
+
+  /// Wheel/overflow record: the callback stays in the arena, the
+  /// structures move only this POD.
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+
+    [[nodiscard]] bool before(const Entry& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
+    }
+  };
+  static_assert(std::is_trivially_copyable_v<Entry>);
+
+  /// Heap comparator: a max-heap under "a after b" keeps the least
+  /// (time, seq) entry at the root. Used for the cursor bucket and the
+  /// overflow heap alike — both sift the same 24-byte PODs.
+  struct After {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const {
+      return b.before(a);
+    }
+  };
+
+  using Bucket = std::vector<Entry>;
+
+  static void prefetch_for_write(void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, 1);
+#else
+    (void)p;
+#endif
+  }
+
+  /// Claims an arena slot (LIFO recycling: in steady-state churn the slot
+  /// being filled is the one the previous pop vacated — already hot).
+  std::uint32_t park_slot() {
+    if (free_slots_.empty()) {
+      slots_.emplace_back();
+      return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+
+  /// Routes an entry to the wheel or the overflow heap.
+  void insert_entry(Entry e) {
+    if (count_ == 0) {
+      // Empty scheduler: re-anchor the wheel at the event so it lands in
+      // the cursor bucket regardless of how far the clock has drifted.
+      base_ = e.time;
+      cursor_heaped_ = false;
+    }
+    ++count_;
+    if (e.time >= horizon()) {
+      overflow_push(e);
+      return;
+    }
+    place_in_wheel(e);
+    if (wheel_count_ > kLoadFactor * buckets_.size() &&
+        buckets_.size() < kMaxBuckets) {
+      rebuild();
+    }
+  }
+
+  /// Places an entry into the wheel; precondition: time < horizon().
+  void place_in_wheel(Entry e) {
+    std::size_t index = cursor_;
+    if (e.time > base_) {
+      // Events before base_ (possible after an empty-wheel re-anchor,
+      // since the simulator clock may trail the anchor) clamp into the
+      // cursor bucket: they precede everything else in the wheel, and the
+      // cursor bucket is the one drained next.
+      const double offset = (e.time - base_) * inv_width_;
+      if (offset >= 1.0) {
+        // The multiply can round up to the bucket count even though the
+        // caller checked time < horizon(); clamp into the last bucket so
+        // the event cannot wrap around the ring into the cursor bucket.
+        std::size_t off = static_cast<std::size_t>(offset);
+        if (off > mask_) off = mask_;
+        index = (cursor_ + off) & mask_;
+      }
+    }
+    Bucket& bucket = buckets_[index];
+    bucket.push_back(e);
+    if (index == cursor_ && cursor_heaped_) {
+      // Mid-drain insert into the bucket currently being popped from:
+      // an O(log bucket) sift, NOT an O(bucket) sorted insert — service
+      // completions landing a few microseconds out hit this path on
+      // every push once the queue is deep enough that bucket widths
+      // exceed the typical event delay.
+      std::push_heap(bucket.begin(), bucket.end(), After{});
+    }
+    ++wheel_count_;
+  }
+
+  /// Ensures the cursor bucket holds the globally least event at its heap
+  /// root. The fast path is branch-two-loads; everything else lives out
+  /// of line in settle_slow().
+  void settle() {
+    if (cursor_heaped_ && !buckets_[cursor_].empty()) return;
+    settle_slow();
+  }
+  void settle_slow();
+  /// Advances the cursor one bucket, cascading newly reachable overflow
+  /// events into the freed horizon slice.
+  void advance_bucket();
+  /// Rebuilds buckets/width from the current pending set.
+  void rebuild();
+  void set_width(double width) {
+    width_ = width;
+    inv_width_ = 1.0 / width;
+  }
+
+  [[nodiscard]] double horizon() const {
+    return base_ + width_ * static_cast<double>(buckets_.size());
+  }
+
+  // Overflow min-heap over (time, seq), kept as a raw vector + sift
+  // helpers so its elements are the same POD entries as the wheel's.
+  void overflow_push(Entry e);
+  Entry overflow_pop();
+
+  std::vector<Bucket> buckets_;
+  std::size_t mask_ = 0;        ///< buckets_.size() - 1 (power of two)
+  std::size_t cursor_ = 0;      ///< index of the current bucket
+  double base_ = 0.0;           ///< start time of the current bucket
+  double width_ = 1.0;          ///< bucket width (seconds)
+  double inv_width_ = 1.0;      ///< 1/width_ (push divides on every call)
+  bool cursor_heaped_ = false;  ///< cursor bucket heapified (root = least)?
+  std::size_t wheel_count_ = 0;
+  std::size_t count_ = 0;
+  std::vector<Entry> overflow_;  ///< events at/beyond the wheel horizon
+  std::vector<Callback> slots_;  ///< the event-record arena
+  std::vector<std::uint32_t> free_slots_;  ///< LIFO slot recycling
+};
+
+}  // namespace hcep::des

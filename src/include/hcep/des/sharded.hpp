@@ -1,0 +1,84 @@
+// Sharded DES execution with conservative-lookahead synchronization.
+//
+// One shard = one independent event loop (typically one node group of a
+// simulated cluster). Execution proceeds in global windows:
+//
+//   1. t_min   = min over shards of the next pending event time
+//   2. window  = [t_min, t_min + lookahead)
+//   3. every shard executes its events with time < window end — in
+//      parallel on the global thread pool (opt-in), since shards only
+//      touch shard-local state inside the window
+//   4. barrier: cross-shard events posted during the window are merged
+//      and delivered in a deterministic (target, time, source, post
+//      index) order, then the next window starts
+//
+// Conservative lookahead: a cross-shard post must target a time at least
+// `lookahead` past the sender's clock. Because every event executed in a
+// window lies before t_min + lookahead, every post lands at or past the
+// window end — no shard can receive an event in its past, regardless of
+// how the OS schedules the shard threads. Combined with the deterministic
+// merge order at the barrier, a run's event order per shard — and hence
+// any statistic derived from it — is byte-identical for a fixed
+// (seed, shard count) pair whether shards run serially or in parallel
+// (asserted in tests/test_des.cpp; the TSan `sanitize` label covers the
+// parallel path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hcep/des/simulator.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::des {
+
+class ShardedSimulator {
+ public:
+  /// `lookahead` is the conservative synchronization horizon: the minimum
+  /// sender-clock-to-delivery distance of cross-shard posts, and the
+  /// window length of the execution loop. Must be positive.
+  ShardedSimulator(std::size_t shards, Seconds lookahead);
+
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+  [[nodiscard]] Simulator& shard(std::size_t i) { return *shards_[i]; }
+
+  /// Schedules a shard-local event (setup or from within that shard's
+  /// own callbacks).
+  void schedule_on(std::size_t shard, Seconds t, Callback cb);
+
+  /// Posts a cross-shard event from `from` to `to` at absolute time `t`;
+  /// requires t >= shard(from).now() + lookahead (the conservative
+  /// contract). Delivered at the next window barrier.
+  void post(std::size_t from, std::size_t to, Seconds t, Callback cb);
+
+  /// Runs windows until every shard drains and no posts are pending.
+  /// With `parallel`, shards execute each window concurrently on the
+  /// global hcep::ThreadPool; the result is identical either way.
+  void run(bool parallel = true);
+
+  /// Total events executed across shards.
+  [[nodiscard]] std::uint64_t events_processed() const;
+
+ private:
+  struct Post {
+    std::size_t to = 0;
+    Seconds time{};
+    std::size_t from = 0;
+    std::uint64_t index = 0;  ///< per-sender post counter (FIFO tiebreak)
+    Callback cb;
+  };
+
+  /// Delivers pending posts in deterministic order; returns the count.
+  std::size_t flush_posts();
+
+  // Simulator is non-movable (self-referential scheduler state may be
+  // captured by callbacks), so shards live behind stable pointers.
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::vector<Post>> outbox_;  ///< indexed by sender shard
+  std::vector<std::uint64_t> post_seq_;    ///< per-sender post counter
+  Seconds lookahead_{};
+};
+
+}  // namespace hcep::des

@@ -1,68 +1,154 @@
 // Discrete-event simulation kernel.
 //
-// A minimal, deterministic event-queue engine: callbacks scheduled at
-// absolute or relative simulated times, executed in (time, insertion)
-// order. The cluster simulator (hcep::cluster) builds its dispatcher,
-// nodes and measurement campaign on top of this.
+// A deterministic event-queue engine: callbacks scheduled at absolute or
+// relative simulated times, executed in (time, insertion) order. The
+// cluster simulator (hcep::cluster) and the request-level traffic
+// simulator (hcep::traffic) build on top of this.
+//
+// The kernel is a thin loop over a pluggable Scheduler (scheduler.hpp):
+//
+//   Simulator      = BasicSimulator<CalendarScheduler>   the default —
+//                    O(1) amortized scheduling, allocation-free events
+//   HeapSimulator  = BasicSimulator<HeapScheduler>       the binary-heap
+//                    oracle the calendar queue is cross-checked against
+//
+// Both execute identical schedules in byte-identical order: the
+// (time, seq) total order is the contract, the scheduler only changes
+// how fast it is realized. Callbacks are des::Callback — captures up to
+// 48 bytes are stored inside the event record, so scheduling an event
+// allocates nothing on the hot path (see callback.hpp).
+//
+// For multi-shard execution (one event loop per node group, conservative
+// lookahead synchronization) see sharded.hpp.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
+#include "hcep/des/callback.hpp"
+#include "hcep/des/scheduler.hpp"
 #include "hcep/obs/obs.hpp"
+#include "hcep/util/error.hpp"
 #include "hcep/util/units.hpp"
 
 namespace hcep::des {
 
-using EventCallback = std::function<void()>;
+/// Back-compat alias: the kernel's callback type. (The seed kernel used
+/// std::function<void()>; des::Callback accepts the same lambdas without
+/// the per-event heap allocation.)
+using EventCallback = Callback;
 
-class Simulator {
+template <Scheduler Sched>
+class BasicSimulator {
  public:
   /// Binds to obs::current() at construction (null sink by default):
   /// every executed event feeds the `des.events` counter plus queue-depth
   /// and event-time histograms of the active observer.
-  Simulator();
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
+  BasicSimulator() {
+#if HCEP_OBS
+    obs_ = obs::current();
+    if (obs_ != nullptr) {
+      events_metric_ = obs_->metrics.counter("des.events");
+      depth_metric_ = obs_->metrics.histogram(
+          "des.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+      time_metric_ = obs_->metrics.histogram(
+          "des.event_time_s", {1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4});
+    }
+#endif
+  }
+  BasicSimulator(const BasicSimulator&) = delete;
+  BasicSimulator& operator=(const BasicSimulator&) = delete;
 
   /// Current simulated time.
   [[nodiscard]] Seconds now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (must not lie in the past).
-  void schedule_at(Seconds t, EventCallback cb);
+  void schedule_at(Seconds t, Callback cb) {
+    require(t >= now_, "Simulator::schedule_at: time lies in the past");
+    require(static_cast<bool>(cb), "Simulator::schedule_at: empty callback");
+    queue_.push(t, next_seq_++, std::move(cb));
+  }
+
+  /// Schedule fast path for callables that are not already a Callback:
+  /// the lambda is emplaced directly into the scheduler's event record,
+  /// so its capture bytes are written exactly once (no type-erased
+  /// relocation hops between here and the arena slot).
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  void schedule_at(Seconds t, F&& f) {
+    require(t >= now_, "Simulator::schedule_at: time lies in the past");
+    if constexpr (requires { queue_.emplace(t, next_seq_, std::forward<F>(f)); }) {
+      queue_.emplace(t, next_seq_++, std::forward<F>(f));
+    } else {
+      queue_.push(t, next_seq_++, Callback(std::forward<F>(f)));
+    }
+  }
 
   /// Schedules `cb` after `delay` from now (delay >= 0).
-  void schedule_in(Seconds delay, EventCallback cb);
+  void schedule_in(Seconds delay, Callback cb) {
+    require(delay.value() >= 0.0, "Simulator::schedule_in: negative delay");
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  void schedule_in(Seconds delay, F&& f) {
+    require(delay.value() >= 0.0, "Simulator::schedule_in: negative delay");
+    schedule_at<F>(now_ + delay, std::forward<F>(f));
+  }
 
   /// Executes the next event; returns false when the queue is empty.
-  bool step();
+  bool step() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+#if HCEP_OBS
+    if (obs_ != nullptr) {
+      obs_->metrics.add(events_metric_);
+      obs_->metrics.observe(depth_metric_,
+                            static_cast<double>(queue_.size()));
+      obs_->metrics.observe(time_metric_, now_.value());
+    }
+#endif
+    ev.callback();
+    return true;
+  }
 
   /// Runs events until the queue drains or the next event lies beyond
   /// `horizon`; the clock is finally advanced to exactly `horizon`.
-  void run_until(Seconds horizon);
+  void run_until(Seconds horizon) {
+    require(horizon >= now_, "Simulator::run_until: horizon in the past");
+    while (!queue_.empty() && queue_.peek_time() <= horizon) step();
+    now_ = horizon;
+  }
+
+  /// Runs events with time strictly below `bound`, leaving the clock at
+  /// the last executed event (NOT advanced to the bound) — the window
+  /// primitive of the sharded conservative-lookahead loop: events at or
+  /// past the bound stay queued for the next window.
+  void run_before(Seconds bound) {
+    while (!queue_.empty() && queue_.peek_time() < bound) step();
+  }
 
   /// Runs until the queue drains completely.
-  void run();
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Time of the next pending event (precondition: !empty()).
+  [[nodiscard]] Seconds next_event_time() { return queue_.peek_time(); }
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:
-  struct Event {
-    Seconds time{};
-    std::uint64_t seq = 0;
-    EventCallback callback;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;  // FIFO among simultaneous events
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Sched queue_;
   Seconds now_{0.0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
@@ -73,5 +159,10 @@ class Simulator {
   obs::MetricId time_metric_ = 0;
 #endif
 };
+
+/// The production kernel.
+using Simulator = BasicSimulator<CalendarScheduler>;
+/// The O(log n) oracle (tests cross-check pop order against Simulator).
+using HeapSimulator = BasicSimulator<HeapScheduler>;
 
 }  // namespace hcep::des

@@ -46,6 +46,18 @@ struct TrafficOptions {
   AdmissionOptions admission{};
   RetryPolicy retry{};
   std::uint64_t seed = 1;
+  /// Opt-in sharded execution (des::ShardedSimulator): nodes are
+  /// partitioned round-robin into `shards` groups, arrivals are assigned
+  /// round-robin by arrival index, and the token-bucket rate/burst are
+  /// split evenly. 1 = the classic single-loop path (byte-identical to
+  /// previous releases for a fixed seed). With shards > 1 the dispatch
+  /// policy sees only the shard's nodes, so results differ from the
+  /// single-shard run — but are byte-identical across repeated runs (and
+  /// across serial/parallel execution) for a fixed (seed, shards) pair.
+  std::size_t shards = 1;
+  /// Run shards concurrently on the global thread pool (identical
+  /// results either way; turn off to debug under a deterministic stack).
+  bool parallel_shards = true;
 };
 
 /// Aggregate ledger plus exact latency summaries of one traffic run.
@@ -57,6 +69,7 @@ struct TrafficOptions {
 /// Without admission control, sojourn == wait + service exactly.
 struct TrafficResult {
   std::string arrival_process;
+  std::uint64_t shards = 1;  ///< event-loop shards the run executed on
   std::uint64_t offered = 0;      ///< first-attempt arrivals generated
   std::uint64_t admitted = 0;     ///< attempts that passed admission
   std::uint64_t shed_bucket = 0;  ///< attempts rejected by the token bucket

@@ -1,10 +1,10 @@
 #include "hcep/traffic/simulate.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <limits>
 #include <memory>
 
+#include "hcep/des/sharded.hpp"
 #include "hcep/des/simulator.hpp"
 #include "hcep/obs/obs.hpp"
 #include "hcep/util/error.hpp"
@@ -81,6 +81,354 @@ std::vector<double> cumulative_weights(
   return cumulative;
 }
 
+struct ClassSamples {
+  std::vector<double> wait, service, sojourn;
+  std::uint64_t offered = 0, admitted = 0, shed = 0, retries = 0,
+                completed = 0, failed = 0, slo_violations = 0;
+  Joules dynamic_energy{};
+};
+
+/// One in-flight request attempt; retries carry the same first_arrival.
+/// Sized so the hot-path callback captures below stay within
+/// des::Callback's inline buffer.
+struct Request {
+  std::size_t cls = 0;
+  Seconds first_arrival{};
+  std::uint32_t attempt = 1;
+};
+static_assert(sizeof(Request) <= 24, "Request must stay callback-inline");
+
+/// The per-event-loop simulation engine: one per shard (single-shard runs
+/// use exactly one over all nodes, preserving the seed code path's event
+/// and RNG order byte-for-byte).
+///
+/// Every callback this engine schedules captures at most {Engine*, node
+/// index, Request, Seconds} — 48 bytes — so no event allocates
+/// (static_asserted at each schedule site against
+/// des::Callback::stores_inline).
+class Engine {
+ public:
+  Engine(des::Simulator& sim, const std::vector<TrafficClass>& classes,
+         const std::vector<double>& cumulative,
+         const TrafficOptions& options, std::vector<Node> nodes,
+         std::uint64_t request_budget, Rng rng, bool tracing)
+      : sim_(sim),
+        classes_(classes),
+        cumulative_(cumulative),
+        options_(options),
+        nodes_(std::move(nodes)),
+        request_budget_(request_budget),
+        rng_(rng),
+        tracing_(tracing),
+        per_class_(classes.size()) {
+    if (options.admission.bucket_enabled()) {
+      const double split = static_cast<double>(options.shards);
+      bucket_ = std::make_unique<TokenBucket>(
+          options.admission.bucket_rate_per_s / split,
+          std::max(1.0, options.admission.bucket_burst / split));
+    }
+    all_wait_.reserve(request_budget);
+    all_service_.reserve(request_budget);
+    all_sojourn_.reserve(request_budget);
+#if HCEP_OBS
+    o_ = obs::current();
+    if (o_ != nullptr) {
+      offered_m_ = o_->metrics.counter("traffic.offered");
+      admitted_m_ = o_->metrics.counter("traffic.admitted");
+      shed_m_ = o_->metrics.counter("traffic.shed");
+      retries_m_ = o_->metrics.counter("traffic.retries");
+      completed_m_ = o_->metrics.counter("traffic.completed");
+      failed_m_ = o_->metrics.counter("traffic.failed");
+      sojourn_m_ = o_->metrics.histogram(
+          "traffic.sojourn_s", {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                                0.25, 0.5, 1.0, 2.5, 5.0, 10.0});
+      cat_s_ = o_->tracer.intern("traffic");
+      request_s_ = o_->tracer.intern("request");
+      wait_key_s_ = o_->tracer.intern("wait_s");
+      inflight_s_ = o_->tracer.intern("traffic_inflight");
+      shed_cat_s_ = o_->tracer.intern("shed");
+      bucket_s_ = o_->tracer.intern("bucket");
+      queue_s_ = o_->tracer.intern("queue_depth");
+    }
+#endif
+  }
+
+  /// Open-loop arrival pump (single-shard path): the generator is
+  /// sampled inside the event loop, exactly like the seed code.
+  void start_pump(const ArrivalProcess& arrivals) {
+    gen_ = arrivals.clone();
+    const Seconds first = gen_->next(Seconds{0.0}, rng_);
+    if (first.value() < std::numeric_limits<double>::infinity())
+      schedule_pump(first);
+  }
+
+  /// Pre-assigned arrivals (sharded path): (time, class) pairs generated
+  /// up front from the shared arrival stream.
+  void preload(const std::vector<std::pair<Seconds, std::size_t>>& arrivals) {
+    for (const auto& [t, cls] : arrivals) {
+      auto cb = [this, cls = cls]() { admit_arrival(cls); };
+      static_assert(des::Callback::stores_inline<decltype(cb)>);
+      sim_.schedule_at(t, std::move(cb));
+    }
+  }
+
+  // ---- merged outputs ----
+  std::uint64_t offered = 0, admitted = 0, shed_bucket = 0, shed_queue = 0,
+                retries = 0, completed = 0, failed = 0;
+  [[nodiscard]] Seconds makespan() const { return makespan_; }
+  [[nodiscard]] Joules dynamic_energy() const { return dynamic_energy_; }
+  [[nodiscard]] std::vector<ClassSamples>& per_class() { return per_class_; }
+  [[nodiscard]] std::vector<Node>& nodes() { return nodes_; }
+  [[nodiscard]] std::vector<double>& all_wait() { return all_wait_; }
+  [[nodiscard]] std::vector<double>& all_service() { return all_service_; }
+  [[nodiscard]] std::vector<double>& all_sojourn() { return all_sojourn_; }
+
+ private:
+  void schedule_pump(Seconds t) {
+    auto cb = [this]() { pump_arrival(); };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim_.schedule_at(t, std::move(cb));
+  }
+
+  /// One pump firing: admit an arrival (class drawn here) and schedule
+  /// the next one. Mirrors the seed code's draw order: class coin, then
+  /// attempt (which may draw for node picks), then the generator.
+  void pump_arrival() {
+    if (offered >= request_budget_) return;
+    std::size_t cls = 0;
+    if (classes_.size() > 1) {
+      const double coin = rng_.uniform01();
+      while (cls + 1 < classes_.size() && coin > cumulative_[cls]) ++cls;
+    }
+    arrive(cls);
+    const Seconds next = gen_->next(sim_.now(), rng_);
+    if (next.value() < std::numeric_limits<double>::infinity())
+      schedule_pump(next);
+  }
+
+  /// Preloaded-arrival firing (class was drawn at generation time).
+  void admit_arrival(std::size_t cls) { arrive(cls); }
+
+  void arrive(std::size_t cls) {
+    ++offered;
+    Request req;
+    req.cls = cls;
+    req.first_arrival = sim_.now();
+    ++per_class_[cls].offered;
+    ++inflight_;
+#if HCEP_OBS
+    if (o_ != nullptr) o_->metrics.add(offered_m_);
+#endif
+    note_inflight();
+    attempt(req);
+  }
+
+  void note_inflight() {
+#if HCEP_OBS
+    if (o_ != nullptr && tracing_) {
+      o_->tracer.counter(sim_.now().value(), cat_s_, inflight_s_,
+                         static_cast<double>(inflight_));
+    }
+#endif
+  }
+
+  /// Dispatch-policy node choice, shared with cluster::simulate_dispatch
+  /// semantics (over this engine's node subset).
+  std::size_t pick_node(std::size_t cls) {
+    switch (options_.policy) {
+      case cluster::DispatchPolicy::kRoundRobin: {
+        const std::size_t i = rr_cursor_;
+        rr_cursor_ = (rr_cursor_ + 1) % nodes_.size();
+        return i;
+      }
+      case cluster::DispatchPolicy::kRandom:
+        return static_cast<std::size_t>(rng_.uniform_int(nodes_.size()));
+      case cluster::DispatchPolicy::kJoinShortestQueue: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < nodes_.size(); ++i) {
+          if (nodes_[i].queued < nodes_[best].queued ||
+              (nodes_[i].queued == nodes_[best].queued &&
+               nodes_[i].service[cls] < nodes_[best].service[cls])) {
+            best = i;
+          }
+        }
+        return best;
+      }
+      case cluster::DispatchPolicy::kFastestFirst: {
+        std::size_t best = 0;
+        double best_eta = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          const double backlog =
+              std::max(0.0, (nodes_[i].free_at - sim_.now()).value());
+          const double eta = backlog + nodes_[i].service[cls].value();
+          if (eta < best_eta) {
+            best_eta = eta;
+            best = i;
+          }
+        }
+        return best;
+      }
+      case cluster::DispatchPolicy::kLeastEnergy: {
+        std::size_t best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          const double joules = nodes_[i].dynamic[cls].value() *
+                                nodes_[i].service[cls].value();
+          const double backlog =
+              std::max(0.0, (nodes_[i].free_at - sim_.now()).value());
+          const double score = joules + backlog * 1e-3;
+          if (score < best_score) {
+            best_score = score;
+            best = i;
+          }
+        }
+        return best;
+      }
+    }
+    throw PreconditionError("simulate_traffic: unknown policy");
+  }
+
+  void attempt(Request req) {
+    const Seconds now = sim_.now();
+
+    if (bucket_ && !bucket_->try_acquire(now)) {
+      ++shed_bucket;
+      ++per_class_[req.cls].shed;
+#if HCEP_OBS
+      if (o_ != nullptr) {
+        o_->metrics.add(shed_m_);
+        if (tracing_)
+          o_->tracer.instant(now.value(), shed_cat_s_, bucket_s_);
+      }
+#endif
+      reject(req);
+      return;
+    }
+
+    const std::size_t i = pick_node(req.cls);
+    if (options_.admission.shedding_enabled() &&
+        nodes_[i].queued >= options_.admission.max_queue_depth) {
+      ++shed_queue;
+      ++per_class_[req.cls].shed;
+#if HCEP_OBS
+      if (o_ != nullptr) {
+        o_->metrics.add(shed_m_);
+        if (tracing_)
+          o_->tracer.instant(now.value(), shed_cat_s_, queue_s_);
+      }
+#endif
+      reject(req);
+      return;
+    }
+
+    ++admitted;
+    ++per_class_[req.cls].admitted;
+    Node& n = nodes_[i];
+    ++n.queued;
+    const Seconds start = std::max(now, n.free_at);
+    const Seconds wait = start - now;
+    const Seconds done = start + n.service[req.cls];
+    n.free_at = done;
+#if HCEP_OBS
+    if (o_ != nullptr) {
+      o_->metrics.add(admitted_m_);
+      if (tracing_)
+        o_->tracer.begin(start.value(), cat_s_, request_s_, wait_key_s_,
+                         wait.value());
+    }
+#endif
+    // The kernel hot path: {Engine*, index, Request, Seconds} is exactly
+    // des::Callback's 48-byte inline budget — no allocation per event.
+    auto cb = [this, i, req, wait]() {
+      finish(i, req.cls, req.first_arrival, wait);
+    };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim_.schedule_at(done, std::move(cb));
+  }
+
+  void reject(Request req) {
+    if (req.attempt < options_.retry.max_attempts) {
+      ++retries;
+      ++per_class_[req.cls].retries;
+#if HCEP_OBS
+      if (o_ != nullptr) o_->metrics.add(retries_m_);
+#endif
+      const Seconds delay = options_.retry.backoff_after(req.attempt);
+      ++req.attempt;
+      auto cb = [this, req]() { attempt(req); };
+      static_assert(des::Callback::stores_inline<decltype(cb)>);
+      sim_.schedule_in(delay, std::move(cb));
+    } else {
+      ++failed;
+      ++per_class_[req.cls].failed;
+      makespan_ = std::max(makespan_, sim_.now());
+      --inflight_;
+#if HCEP_OBS
+      if (o_ != nullptr) o_->metrics.add(failed_m_);
+#endif
+      note_inflight();
+    }
+  }
+
+  void finish(std::size_t node_index, std::size_t cls, Seconds first_arrival,
+              Seconds wait) {
+    Node& node = nodes_[node_index];
+    --node.queued;
+    ++node.served;
+    const Seconds service = node.service[cls];
+    node.busy_time += service;
+    const Joules joules = node.dynamic[cls] * service;
+    dynamic_energy_ += joules;
+    per_class_[cls].dynamic_energy += joules;
+
+    const Seconds sojourn = sim_.now() - first_arrival;
+    all_wait_.push_back(wait.value());
+    all_service_.push_back(service.value());
+    all_sojourn_.push_back(sojourn.value());
+    per_class_[cls].wait.push_back(wait.value());
+    per_class_[cls].service.push_back(service.value());
+    per_class_[cls].sojourn.push_back(sojourn.value());
+    ++completed;
+    ++per_class_[cls].completed;
+    if (classes_[cls].slo.enabled() && sojourn > classes_[cls].slo.latency)
+      ++per_class_[cls].slo_violations;
+    makespan_ = std::max(makespan_, sim_.now());
+    --inflight_;
+#if HCEP_OBS
+    if (o_ != nullptr) {
+      if (tracing_) o_->tracer.end(sim_.now().value(), cat_s_, request_s_);
+      o_->metrics.add(completed_m_);
+      o_->metrics.observe(sojourn_m_, sojourn.value());
+    }
+#endif
+    note_inflight();
+  }
+
+  des::Simulator& sim_;
+  const std::vector<TrafficClass>& classes_;
+  const std::vector<double>& cumulative_;
+  const TrafficOptions& options_;
+  std::vector<Node> nodes_;
+  std::uint64_t request_budget_;
+  Rng rng_;
+  bool tracing_;
+  std::unique_ptr<ArrivalProcess> gen_;
+  std::unique_ptr<TokenBucket> bucket_;
+  std::size_t rr_cursor_ = 0;
+  std::uint64_t inflight_ = 0;
+  Seconds makespan_{};
+  Joules dynamic_energy_{};
+  std::vector<ClassSamples> per_class_;
+  std::vector<double> all_wait_, all_service_, all_sojourn_;
+#if HCEP_OBS
+  obs::Observer* o_ = nullptr;
+  obs::MetricId offered_m_ = 0, admitted_m_ = 0, shed_m_ = 0, retries_m_ = 0,
+                completed_m_ = 0, failed_m_ = 0, sojourn_m_ = 0;
+  obs::StringId cat_s_ = 0, request_s_ = 0, wait_key_s_ = 0, inflight_s_ = 0,
+                shed_cat_s_ = 0, bucket_s_ = 0, queue_s_ = 0;
+#endif
+};
+
 }  // namespace
 
 double cluster_capacity_per_s(const model::ClusterSpec& cluster,
@@ -110,289 +458,139 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
   require(options.requests > 0, "simulate_traffic: need at least one request");
   require(options.retry.max_attempts >= 1,
           "simulate_traffic: retry.max_attempts must be >= 1");
+  require(options.shards >= 1, "simulate_traffic: shards must be >= 1");
 
-  std::vector<Node> nodes = materialize_nodes(cluster, classes);
+  std::vector<Node> all_nodes = materialize_nodes(cluster, classes);
+  require(options.shards <= all_nodes.size(),
+          "simulate_traffic: more shards than nodes");
   const std::vector<double> cumulative = cumulative_weights(classes);
+  const std::size_t shard_count = options.shards;
 
-  Rng rng(options.seed);
-  des::Simulator sim;
-  std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::string process_name;
 
-  std::unique_ptr<TokenBucket> bucket;
-  if (options.admission.bucket_enabled()) {
-    bucket = std::make_unique<TokenBucket>(
-        options.admission.bucket_rate_per_s,
-        std::max(1.0, options.admission.bucket_burst));
+  if (shard_count == 1) {
+    // Classic path: one event loop, generator sampled in-loop. This is
+    // byte-identical (same RNG draw order, same event sequence) to the
+    // pre-sharding implementation.
+    auto sim = std::make_unique<des::Simulator>();
+    engines.push_back(std::make_unique<Engine>(
+        *sim, classes, cumulative, options, std::move(all_nodes),
+        options.requests, Rng(options.seed), /*tracing=*/true));
+    std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
+    process_name = gen->name();
+    engines[0]->start_pump(*gen);
+    sim->run();
+  } else {
+    // Sharded path: the arrival stream (time and class of every request)
+    // is generated up front from the seed — the same stream regardless
+    // of shard count — then requests and nodes are partitioned
+    // round-robin across shards. Shards share no mutable state, so the
+    // windows can run in parallel; per-request tracer spans are disabled
+    // (thread interleaving would make the trace nondeterministic) while
+    // the atomic metrics counters stay on.
+    std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
+    process_name = gen->name();
+    Rng arrival_rng(options.seed);
+    std::vector<std::vector<std::pair<Seconds, std::size_t>>> shard_arrivals(
+        shard_count);
+    Seconds t{0.0};
+    for (std::uint64_t k = 0; k < options.requests; ++k) {
+      t = gen->next(t, arrival_rng);
+      if (!(t.value() < std::numeric_limits<double>::infinity())) break;
+      std::size_t cls = 0;
+      if (classes.size() > 1) {
+        const double coin = arrival_rng.uniform01();
+        while (cls + 1 < classes.size() && coin > cumulative[cls]) ++cls;
+      }
+      shard_arrivals[k % shard_count].emplace_back(t, cls);
+    }
+
+    std::vector<std::vector<Node>> shard_nodes(shard_count);
+    for (std::size_t i = 0; i < all_nodes.size(); ++i)
+      shard_nodes[i % shard_count].push_back(std::move(all_nodes[i]));
+
+    // The traffic shards exchange no cross-shard events, so the
+    // conservative window can span the whole run: one window, one
+    // barrier, full parallelism.
+    des::ShardedSimulator sharded(shard_count, Seconds{1e300});
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      engines.push_back(std::make_unique<Engine>(
+          sharded.shard(s), classes, cumulative, options,
+          std::move(shard_nodes[s]),
+          options.requests / shard_count + 1,
+          Rng(options.seed).split(static_cast<unsigned>(s)),
+          /*tracing=*/false));
+      engines[s]->preload(shard_arrivals[s]);
+    }
+    sharded.run(options.parallel_shards);
   }
-
-#if HCEP_OBS
-  obs::Observer* o = obs::current();
-  obs::MetricId offered_m = 0, admitted_m = 0, shed_m = 0, retries_m = 0,
-                completed_m = 0, failed_m = 0, sojourn_m = 0;
-  obs::StringId cat_s = 0, request_s = 0, wait_key_s = 0, inflight_s = 0,
-                shed_cat_s = 0, bucket_s = 0, queue_s = 0;
-  if (o != nullptr) {
-    offered_m = o->metrics.counter("traffic.offered");
-    admitted_m = o->metrics.counter("traffic.admitted");
-    shed_m = o->metrics.counter("traffic.shed");
-    retries_m = o->metrics.counter("traffic.retries");
-    completed_m = o->metrics.counter("traffic.completed");
-    failed_m = o->metrics.counter("traffic.failed");
-    sojourn_m = o->metrics.histogram(
-        "traffic.sojourn_s", {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-                              0.25, 0.5, 1.0, 2.5, 5.0, 10.0});
-    cat_s = o->tracer.intern("traffic");
-    request_s = o->tracer.intern("request");
-    wait_key_s = o->tracer.intern("wait_s");
-    inflight_s = o->tracer.intern("traffic_inflight");
-    shed_cat_s = o->tracer.intern("shed");
-    bucket_s = o->tracer.intern("bucket");
-    queue_s = o->tracer.intern("queue_depth");
-  }
-#endif
-
-  // Dispatch-policy node choice, shared with cluster::simulate_dispatch
-  // semantics.
-  std::size_t rr_cursor = 0;
-  const auto pick_node = [&](std::size_t cls) -> std::size_t {
-    switch (options.policy) {
-      case cluster::DispatchPolicy::kRoundRobin: {
-        const std::size_t i = rr_cursor;
-        rr_cursor = (rr_cursor + 1) % nodes.size();
-        return i;
-      }
-      case cluster::DispatchPolicy::kRandom:
-        return static_cast<std::size_t>(rng.uniform_int(nodes.size()));
-      case cluster::DispatchPolicy::kJoinShortestQueue: {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < nodes.size(); ++i) {
-          if (nodes[i].queued < nodes[best].queued ||
-              (nodes[i].queued == nodes[best].queued &&
-               nodes[i].service[cls] < nodes[best].service[cls])) {
-            best = i;
-          }
-        }
-        return best;
-      }
-      case cluster::DispatchPolicy::kFastestFirst: {
-        std::size_t best = 0;
-        double best_eta = std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < nodes.size(); ++i) {
-          const double backlog =
-              std::max(0.0, (nodes[i].free_at - sim.now()).value());
-          const double eta = backlog + nodes[i].service[cls].value();
-          if (eta < best_eta) {
-            best_eta = eta;
-            best = i;
-          }
-        }
-        return best;
-      }
-      case cluster::DispatchPolicy::kLeastEnergy: {
-        std::size_t best = 0;
-        double best_score = std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < nodes.size(); ++i) {
-          const double joules = nodes[i].dynamic[cls].value() *
-                                nodes[i].service[cls].value();
-          const double backlog =
-              std::max(0.0, (nodes[i].free_at - sim.now()).value());
-          const double score = joules + backlog * 1e-3;
-          if (score < best_score) {
-            best_score = score;
-            best = i;
-          }
-        }
-        return best;
-      }
-    }
-    throw PreconditionError("simulate_traffic: unknown policy");
-  };
-
-  TrafficResult out;
-  out.arrival_process = gen->name();
-
-  struct ClassSamples {
-    std::vector<double> wait, service, sojourn;
-    std::uint64_t offered = 0, admitted = 0, shed = 0, retries = 0,
-                  completed = 0, failed = 0, slo_violations = 0;
-    Joules dynamic_energy{};
-  };
-  std::vector<ClassSamples> per_class(classes.size());
-  std::vector<double> all_wait, all_service, all_sojourn;
-  all_wait.reserve(options.requests);
-  all_service.reserve(options.requests);
-  all_sojourn.reserve(options.requests);
-
-  Joules dynamic_energy{0.0};
-  Seconds makespan{0.0};
-  std::uint64_t inflight = 0;
-
-#if HCEP_OBS
-  const auto note_inflight = [&]() {
-    if (o != nullptr) {
-      o->tracer.counter(sim.now().value(), cat_s, inflight_s,
-                        static_cast<double>(inflight));
-    }
-  };
-#else
-  const auto note_inflight = [] {};
-#endif
-
-  // One in-flight request attempt; retries carry the same first_arrival.
-  struct Request {
-    std::size_t cls = 0;
-    Seconds first_arrival{};
-    std::uint32_t attempt = 1;
-  };
-
-  std::function<void(Request)> attempt;
-
-  const auto finish = [&](std::size_t node_index, std::size_t cls,
-                          Seconds first_arrival, Seconds wait) {
-    Node& node = nodes[node_index];
-    --node.queued;
-    ++node.served;
-    const Seconds service = node.service[cls];
-    node.busy_time += service;
-    const Joules joules = node.dynamic[cls] * service;
-    dynamic_energy += joules;
-    per_class[cls].dynamic_energy += joules;
-
-    const Seconds sojourn = sim.now() - first_arrival;
-    all_wait.push_back(wait.value());
-    all_service.push_back(service.value());
-    all_sojourn.push_back(sojourn.value());
-    per_class[cls].wait.push_back(wait.value());
-    per_class[cls].service.push_back(service.value());
-    per_class[cls].sojourn.push_back(sojourn.value());
-    ++out.completed;
-    ++per_class[cls].completed;
-    if (classes[cls].slo.enabled() && sojourn > classes[cls].slo.latency)
-      ++per_class[cls].slo_violations;
-    makespan = std::max(makespan, sim.now());
-    --inflight;
-#if HCEP_OBS
-    if (o != nullptr) {
-      o->tracer.end(sim.now().value(), cat_s, request_s);
-      o->metrics.add(completed_m);
-      o->metrics.observe(sojourn_m, sojourn.value());
-    }
-#endif
-    note_inflight();
-  };
-
-  const auto reject = [&](Request req) {
-    if (req.attempt < options.retry.max_attempts) {
-      ++out.retries;
-      ++per_class[req.cls].retries;
-#if HCEP_OBS
-      if (o != nullptr) o->metrics.add(retries_m);
-#endif
-      const Seconds delay = options.retry.backoff_after(req.attempt);
-      ++req.attempt;
-      sim.schedule_in(delay, [&attempt, req]() { attempt(req); });
-    } else {
-      ++out.failed;
-      ++per_class[req.cls].failed;
-      makespan = std::max(makespan, sim.now());
-      --inflight;
-#if HCEP_OBS
-      if (o != nullptr) o->metrics.add(failed_m);
-#endif
-      note_inflight();
-    }
-  };
-
-  attempt = [&](Request req) {
-    const Seconds now = sim.now();
-
-    if (bucket && !bucket->try_acquire(now)) {
-      ++out.shed_bucket;
-      ++per_class[req.cls].shed;
-#if HCEP_OBS
-      if (o != nullptr) {
-        o->metrics.add(shed_m);
-        o->tracer.instant(now.value(), shed_cat_s, bucket_s);
-      }
-#endif
-      reject(req);
-      return;
-    }
-
-    const std::size_t i = pick_node(req.cls);
-    if (options.admission.shedding_enabled() &&
-        nodes[i].queued >= options.admission.max_queue_depth) {
-      ++out.shed_queue;
-      ++per_class[req.cls].shed;
-#if HCEP_OBS
-      if (o != nullptr) {
-        o->metrics.add(shed_m);
-        o->tracer.instant(now.value(), shed_cat_s, queue_s);
-      }
-#endif
-      reject(req);
-      return;
-    }
-
-    ++out.admitted;
-    ++per_class[req.cls].admitted;
-    Node& n = nodes[i];
-    ++n.queued;
-    const Seconds start = std::max(now, n.free_at);
-    const Seconds wait = start - now;
-    const Seconds done = start + n.service[req.cls];
-    n.free_at = done;
-#if HCEP_OBS
-    if (o != nullptr) {
-      o->metrics.add(admitted_m);
-      o->tracer.begin(start.value(), cat_s, request_s, wait_key_s,
-                      wait.value());
-    }
-#endif
-    sim.schedule_at(done, [&, i, req, wait]() {
-      finish(i, req.cls, req.first_arrival, wait);
-    });
-  };
-
-  // Open-loop arrival pump: offered first attempts, classes sampled by
-  // weight (single-class streams skip the draw).
-  std::uint64_t offered = 0;
-  std::function<void()> arrive = [&]() {
-    if (offered >= options.requests) return;
-    ++offered;
-    ++out.offered;
-
-    Request req;
-    req.first_arrival = sim.now();
-    if (classes.size() > 1) {
-      const double coin = rng.uniform01();
-      while (req.cls + 1 < classes.size() && coin > cumulative[req.cls])
-        ++req.cls;
-    }
-    ++per_class[req.cls].offered;
-    ++inflight;
-#if HCEP_OBS
-    if (o != nullptr) o->metrics.add(offered_m);
-#endif
-    note_inflight();
-    attempt(req);
-
-    const Seconds next = gen->next(sim.now(), rng);
-    if (next.value() < std::numeric_limits<double>::infinity())
-      sim.schedule_at(next, arrive);
-  };
-  const Seconds first = gen->next(Seconds{0.0}, rng);
-  if (first.value() < std::numeric_limits<double>::infinity())
-    sim.schedule_at(first, arrive);
-  sim.run();
 
   // ------------------------------------------------------------ summaries
+  // Merge in shard order — deterministic for a fixed (seed, shards).
+  TrafficResult out;
+  out.arrival_process = process_name;
+  out.shards = shard_count;
+
+  std::vector<double> all_wait, all_service, all_sojourn;
+  std::vector<ClassSamples> per_class(classes.size());
+  Joules dynamic_energy{0.0};
+  Seconds makespan{0.0};
+  std::vector<Node*> merged_nodes;
+  for (auto& e : engines) {
+    out.offered += e->offered;
+    out.admitted += e->admitted;
+    out.shed_bucket += e->shed_bucket;
+    out.shed_queue += e->shed_queue;
+    out.retries += e->retries;
+    out.completed += e->completed;
+    out.failed += e->failed;
+    dynamic_energy += e->dynamic_energy();
+    makespan = std::max(makespan, e->makespan());
+    for (std::size_t s = 0; s < classes.size(); ++s) {
+      ClassSamples& dst = per_class[s];
+      ClassSamples& src = e->per_class()[s];
+      dst.offered += src.offered;
+      dst.admitted += src.admitted;
+      dst.shed += src.shed;
+      dst.retries += src.retries;
+      dst.completed += src.completed;
+      dst.failed += src.failed;
+      dst.slo_violations += src.slo_violations;
+      dst.dynamic_energy += src.dynamic_energy;
+      if (engines.size() == 1) {
+        dst.wait = std::move(src.wait);
+        dst.service = std::move(src.service);
+        dst.sojourn = std::move(src.sojourn);
+      } else {
+        dst.wait.insert(dst.wait.end(), src.wait.begin(), src.wait.end());
+        dst.service.insert(dst.service.end(), src.service.begin(),
+                           src.service.end());
+        dst.sojourn.insert(dst.sojourn.end(), src.sojourn.begin(),
+                           src.sojourn.end());
+      }
+    }
+    if (engines.size() == 1) {
+      all_wait = std::move(e->all_wait());
+      all_service = std::move(e->all_service());
+      all_sojourn = std::move(e->all_sojourn());
+    } else {
+      all_wait.insert(all_wait.end(), e->all_wait().begin(),
+                      e->all_wait().end());
+      all_service.insert(all_service.end(), e->all_service().begin(),
+                         e->all_service().end());
+      all_sojourn.insert(all_sojourn.end(), e->all_sojourn().begin(),
+                         e->all_sojourn().end());
+    }
+    for (Node& n : e->nodes()) merged_nodes.push_back(&n);
+  }
+
   out.wait = LatencySummary::from_samples(all_wait);
   out.service = LatencySummary::from_samples(all_service);
   out.sojourn = LatencySummary::from_samples(all_sojourn);
 
   Watts idle_floor{0.0};
-  for (const auto& n : nodes) idle_floor += n.idle;
+  for (const Node* n : merged_nodes) idle_floor += n->idle;
   const Joules idle_energy = idle_floor * makespan;
   out.makespan = makespan;
   out.energy = idle_energy + dynamic_energy;
@@ -428,21 +626,21 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
 
   // Per node type (dispatch-result convention: busy fraction is averaged
   // over the nodes of the type).
-  for (const auto& n : nodes) {
+  for (const Node* n : merged_nodes) {
     auto it = std::find_if(
         out.nodes.begin(), out.nodes.end(),
-        [&](const cluster::NodeLoad& l) { return l.node_name == n.type; });
+        [&](const cluster::NodeLoad& l) { return l.node_name == n->type; });
     if (it == out.nodes.end()) {
-      out.nodes.push_back(cluster::NodeLoad{n.type, 0, 0.0});
+      out.nodes.push_back(cluster::NodeLoad{n->type, 0, 0.0});
       it = out.nodes.end() - 1;
     }
-    it->jobs_served += n.served;
-    it->busy_fraction += n.busy_time.value();
+    it->jobs_served += n->served;
+    it->busy_fraction += n->busy_time.value();
   }
   for (auto& l : out.nodes) {
     double count = 0;
-    for (const auto& n : nodes)
-      if (n.type == l.node_name) count += 1.0;
+    for (const Node* n : merged_nodes)
+      if (n->type == l.node_name) count += 1.0;
     if (makespan.value() > 0.0)
       l.busy_fraction /= std::max(1.0, count) * makespan.value();
   }
@@ -453,6 +651,10 @@ JsonValue TrafficResult::to_json() const {
   JsonValue o = JsonValue::object();
   o.set("schema_version", JsonValue::number(std::int64_t{1}));
   o.set("arrival_process", JsonValue::string(arrival_process));
+  // Emitted only for sharded runs: the single-shard document stays
+  // byte-identical with pre-sharding releases.
+  if (shards > 1)
+    o.set("shards", JsonValue::number(static_cast<std::int64_t>(shards)));
   o.set("offered", JsonValue::number(static_cast<std::int64_t>(offered)));
   o.set("admitted", JsonValue::number(static_cast<std::int64_t>(admitted)));
   o.set("shed_bucket",

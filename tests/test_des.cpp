@@ -1,8 +1,18 @@
-// Discrete-event kernel: ordering, FIFO tie-breaking, horizons.
+// Discrete-event kernel: ordering, FIFO tie-breaking, horizons, the
+// calendar-vs-heap oracle cross-check, callback SBO, and sharded
+// conservative-lookahead execution.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "hcep/des/callback.hpp"
+#include "hcep/des/sharded.hpp"
 #include "hcep/des/simulator.hpp"
 #include "hcep/util/error.hpp"
 
@@ -106,6 +116,250 @@ TEST(Des, RejectsPastScheduling) {
 TEST(Des, RejectsEmptyCallback) {
   Simulator sim;
   EXPECT_THROW(sim.schedule_at(1_s, EventCallback{}), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Calendar-vs-heap oracle cross-check: both schedulers execute identical
+// schedules in identical order — the (time, seq) total order is the
+// kernel's contract, the scheduler only changes how fast it is realized.
+
+/// Runs a pseudo-random self-rescheduling workload and records the exact
+/// execution order as (time, tag) pairs. Duplicate timestamps (FIFO
+/// ties), a far-future tail (overflow-heap traffic) and enough churn to
+/// cross the calendar's rebuild thresholds are all exercised.
+template <class Sim>
+std::vector<std::pair<double, std::uint64_t>> run_oracle_workload(
+    std::uint64_t seeds, std::uint64_t budget) {
+  Sim sim;
+  std::vector<std::pair<double, std::uint64_t>> order;
+  order.reserve(budget + seeds);
+  std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+  std::uint64_t scheduled = 0;
+  std::uint64_t tag = 0;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg;
+  };
+  // Mutually recursive via a stable heap cell (the lambda captures 24
+  // bytes, well inside the inline budget).
+  struct Hooks {
+    std::function<void(std::uint64_t)> tick;
+  };
+  auto hooks = std::make_shared<Hooks>();
+  hooks->tick = [&, hooks](std::uint64_t t) {
+    order.emplace_back(sim.now().value(), t);
+    if (scheduled < budget) {
+      const std::uint64_t r = next();
+      const std::uint64_t my_tag = ++tag;
+      // 1/8 of events are simultaneous re-posts (FIFO ties), 1/8 land
+      // ~1000s out (overflow), the rest microseconds-to-milliseconds.
+      Seconds delay{0.0};
+      if ((r & 7u) == 1) {
+        delay = Seconds{1000.0 + static_cast<double>((r >> 8) % 977)};
+      } else if ((r & 7u) != 0) {
+        delay = Seconds{1e-6 * static_cast<double>(1 + ((r >> 8) % 99991))};
+      }
+      ++scheduled;
+      sim.schedule_in(delay, [&, hooks, my_tag] { hooks->tick(my_tag); });
+    }
+  };
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t my_tag = ++tag;
+    ++scheduled;
+    sim.schedule_at(Seconds{1e-6 * static_cast<double>(next() % 100000)},
+                    [&, hooks, my_tag] { hooks->tick(my_tag); });
+  }
+  sim.run();
+  return order;
+}
+
+TEST(Des, CalendarMatchesHeapOracleEventForEvent) {
+  // 20k events starting from 600 pending: crosses the calendar's initial
+  // geometry (256 buckets), at least one load-factor rebuild, overflow
+  // cascades and empty-wheel re-anchors.
+  const auto calendar = run_oracle_workload<Simulator>(600, 20000);
+  const auto heap = run_oracle_workload<HeapSimulator>(600, 20000);
+  ASSERT_EQ(calendar.size(), heap.size());
+  for (std::size_t i = 0; i < calendar.size(); ++i) {
+    ASSERT_EQ(calendar[i], heap[i]) << "divergence at event " << i;
+  }
+}
+
+TEST(Des, CalendarFifoTiesAcrossRebuilds) {
+  // Many distinct times, each with a burst of simultaneous events, at a
+  // scale that forces bucket-count growth: FIFO order must hold within
+  // every burst even as entries migrate between wheel and overflow.
+  Simulator sim;
+  std::vector<int> order;
+  int id = 0;
+  for (int wave = 0; wave < 400; ++wave) {
+    for (int k = 0; k < 12; ++k) {
+      sim.schedule_at(Seconds{static_cast<double>((wave * 7919) % 400)},
+                      [&order, my = id++] { order.push_back(my); });
+    }
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 4800u);
+  // Events at the same time must appear in schedule order; schedule order
+  // within a wave IS id order, and waves at the same time are scheduled
+  // in id order too, so any same-time run must be increasing.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    // Reconstruct times: id -> wave -> time.
+    const int t_prev = ((order[i - 1] / 12) * 7919) % 400;
+    const int t_cur = ((order[i] / 12) * 7919) % 400;
+    ASSERT_LE(t_prev, t_cur);
+    if (t_prev == t_cur) {
+      ASSERT_LT(order[i - 1], order[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// des::Callback: the allocation-free event representation.
+
+TEST(DesCallback, HotPathCapturesStayInline) {
+  struct Capture {
+    void* ctx;
+    double a, b, c;
+    std::uint64_t d;
+  };  // 40 bytes: the traffic hot-path shape
+  Capture cap{nullptr, 1, 2, 3, 4};
+  auto fn = [cap] { (void)cap; };
+  static_assert(Callback::stores_inline<decltype(fn)>);
+  Callback cb(fn);
+  EXPECT_TRUE(cb.is_inline());
+}
+
+TEST(DesCallback, OversizedCapturesSpillButWork) {
+  std::array<double, 9> big{};
+  big[8] = 42.0;
+  double seen = 0.0;
+  auto fn = [big, &seen] { seen = big[8]; };
+  static_assert(!Callback::stores_inline<decltype(fn)>);
+  Callback cb(fn);
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(DesCallback, MoveTransfersOwnershipAndState) {
+  auto counter = std::make_shared<int>(0);
+  Callback a([counter] { ++*counter; });
+  Callback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  // Destruction releases the capture: the shared_ptr refcount drops.
+  EXPECT_EQ(counter.use_count(), 2);
+  b = Callback{[] {}};
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(DesCallback, EmplaceReplacesInPlace) {
+  auto counter = std::make_shared<int>(0);
+  Callback cb([counter] { *counter += 1; });
+  cb.emplace([counter] { *counter += 10; });
+  cb();
+  EXPECT_EQ(*counter, 10);
+  cb.emplace([] {});
+  EXPECT_EQ(counter.use_count(), 1);  // old capture destroyed
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSimulator: conservative lookahead, deterministic merge.
+
+struct ShardTrace {
+  std::vector<std::string> events;
+};
+
+/// A two-shard ping-pong with shard-local chatter; returns the exact
+/// per-shard event interleaving.
+std::vector<ShardTrace> run_sharded(bool parallel) {
+  ShardedSimulator sharded(2, Seconds{0.5});
+  auto traces = std::vector<ShardTrace>(2);
+  auto* tr = traces.data();
+  struct Hooks {
+    std::function<void(std::size_t, int)> ping;
+  };
+  auto hooks = std::make_shared<Hooks>();
+  auto* sh = &sharded;
+  hooks->ping = [sh, tr, hooks](std::size_t me, int hops) {
+    tr[me].events.push_back("ping@" +
+                            std::to_string(sh->shard(me).now().value()));
+    // Local follow-up inside the window.
+    sh->shard(me).schedule_in(Seconds{0.01}, [tr, me, sh] {
+      tr[me].events.push_back("local@" +
+                              std::to_string(sh->shard(me).now().value()));
+    });
+    if (hops > 0) {
+      const std::size_t other = 1 - me;
+      sh->post(me, other, sh->shard(me).now() + Seconds{0.6},
+               [hooks, other, hops] { hooks->ping(other, hops - 1); });
+    }
+  };
+  sharded.schedule_on(0, Seconds{0.0}, [hooks] { hooks->ping(0, 8); });
+  sharded.run(parallel);
+  return traces;
+}
+
+TEST(DesSharded, ParallelMatchesSerialExactly) {
+  const auto serial = run_sharded(false);
+  const auto parallel = run_sharded(true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(serial[s].events, parallel[s].events) << "shard " << s;
+  }
+  EXPECT_FALSE(serial[0].events.empty());
+  EXPECT_FALSE(serial[1].events.empty());
+}
+
+TEST(DesSharded, RepeatedRunsAreIdentical) {
+  const auto a = run_sharded(true);
+  const auto b = run_sharded(true);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].events, b[s].events) << "shard " << s;
+  }
+}
+
+TEST(DesSharded, PostsBelowLookaheadAreRejected) {
+  ShardedSimulator sharded(2, Seconds{1.0});
+  EXPECT_THROW(sharded.post(0, 1, Seconds{0.5}, [] {}), PreconditionError);
+  // At exactly now + lookahead the post is legal.
+  sharded.post(0, 1, Seconds{1.0}, [] {});
+  sharded.run(false);
+  EXPECT_EQ(sharded.events_processed(), 1u);
+}
+
+TEST(DesSharded, SimultaneousPostsDeliverInSenderOrder) {
+  // Both shards post to shard 0 at the same absolute time; delivery must
+  // order by (time, sender, per-sender index) — byte-stable regardless
+  // of which shard's window callback ran first.
+  std::vector<int> order;
+  for (int rep = 0; rep < 2; ++rep) {
+    std::vector<int> this_run;
+    ShardedSimulator sharded(3, Seconds{0.1});
+    auto* o = &this_run;
+    for (std::size_t sender : {2u, 1u}) {
+      sharded.schedule_on(sender, Seconds{0.0}, [&sharded, sender, o] {
+        for (int k = 0; k < 3; ++k) {
+          sharded.post(sender, 0, Seconds{5.0},
+                       [o, sender, k] {
+                         o->push_back(static_cast<int>(sender) * 10 + k);
+                       });
+        }
+      });
+    }
+    sharded.run(true);
+    ASSERT_EQ(this_run.size(), 6u);
+    if (rep == 0) {
+      order = this_run;
+      // Sender 1 before sender 2 at equal times, FIFO within a sender.
+      EXPECT_EQ(this_run, (std::vector<int>{10, 11, 12, 20, 21, 22}));
+    } else {
+      EXPECT_EQ(order, this_run);
+    }
+  }
 }
 
 }  // namespace

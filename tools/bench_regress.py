@@ -6,12 +6,22 @@ Runs one suite of google-benchmark binaries with
 file, and fails (exit 1) when any gated benchmark regresses by more than
 the threshold against the suite's checked-in baseline at the repository
 root. Suites: ``sweep`` (perf_enumeration + perf_pareto vs
-``BENCH_sweep.json``, the default) and ``traffic`` (perf_traffic vs
-``BENCH_traffic.json``).
+``BENCH_sweep.json``, the default), ``traffic`` (perf_traffic vs
+``BENCH_traffic.json``) and ``des`` (perf_des vs ``BENCH_des.json``).
 
 The gate compares ``items_per_second`` for serial benchmarks only:
 google-benchmark's CPU timer measures the main benchmark thread, so
-thread-pool variants under-report work and are recorded but never gated.
+thread-pool variants under-report work and are recorded but never gated
+(the ``des`` suite records BM_ShardedTraffic/1..8 wall-clock scaling this
+way — on a single-core builder the shards serialize, so scaling is
+reported, not gated).
+
+Suites may additionally declare ``ratio_gates``: within-run throughput
+ratios between a fast and a slow implementation measured minutes apart at
+most (e.g. the calendar-queue DES kernel vs the seed binary-heap +
+std::function replica). Unlike the absolute gates these need no baseline
+and survive machine-speed changes — a builder twice as slow fails both
+sides equally — so they are enforced in smoke runs too.
 
 Usage:
   tools/bench_regress.py [--suite sweep|traffic] [--build-dir build]
@@ -67,6 +77,37 @@ SUITES = {
         "smoke_filter": (
             "BM_PoissonArrivals$|BM_TokenBucketAcquire$|"
             "BM_SimulateTraffic/16384$|BM_AdmissionSloPath/131072$"
+        ),
+    },
+    "des": {
+        "binaries": ["perf_des"],
+        "baseline": "BENCH_des.json",
+        "gated": [
+            "BM_ChurnCalendar/65536",
+            "BM_EventQueueChurn/100000",
+            "BM_CallbackInline",
+        ],
+        # Within-run kernel-vs-seed-replica ratios. Thresholds sit below
+        # the ratios measured on a quiet single-core builder (2.4x / 2.0x
+        # / 2.0x best-of-3; see docs/PERF.md) by enough margin to absorb
+        # the +-30% thermal noise observed on shared machines, while
+        # still catching any change that drags the calendar kernel back
+        # toward heap+std::function parity.
+        "ratio_gates": [
+            {"fast": "BM_ChurnCalendar/65536",
+             "slow": "BM_ChurnLegacy/65536", "min_ratio": 1.5},
+            {"fast": "BM_ChurnCalendar/1048576",
+             "slow": "BM_ChurnLegacy/1048576", "min_ratio": 1.4},
+            {"fast": "BM_ChurnBimodalCalendar/65536",
+             "slow": "BM_ChurnBimodalLegacy/65536", "min_ratio": 1.3},
+        ],
+        # Churn iterations execute 2M events each, so even the smoke pass
+        # measures the gated ratios at full depth; the 1M-pending pair and
+        # the sharded end-to-end runs are full-suite only.
+        "smoke_filter": (
+            "BM_ChurnCalendar/65536$|BM_ChurnLegacy/65536$|"
+            "BM_ChurnBimodalCalendar/65536$|BM_ChurnBimodalLegacy/65536$|"
+            "BM_EventQueueChurn/100000$|BM_CallbackInline$"
         ),
     },
 }
@@ -169,6 +210,19 @@ def main():
               f"current={cur:12.4g}/s  ratio={ratio:6.3f}  {status}")
         if ratio < 1.0 - threshold:
             failed.append(name)
+
+    for gate in suite.get("ratio_gates", []):
+        fast = measured.get(gate["fast"], {}).get("items_per_second")
+        slow = measured.get(gate["slow"], {}).get("items_per_second")
+        if fast is None or slow is None:
+            continue  # pair filtered out of this run
+        ratio = fast / slow
+        ok = ratio >= gate["min_ratio"]
+        print(f"  {gate['fast']} vs {gate['slow']}: "
+              f"{ratio:.2f}x (min {gate['min_ratio']:.2f}x)  "
+              f"{'OK' if ok else 'TOO SLOW'}")
+        if not ok:
+            failed.append(f"{gate['fast']} vs {gate['slow']}")
 
     if failed:
         print(f"bench_regress: FAIL — {', '.join(failed)} regressed more "

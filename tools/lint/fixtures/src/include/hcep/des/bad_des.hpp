@@ -1,0 +1,26 @@
+// hcep-lint selftest fixture: the std-function-hot-path rule added with
+// the calendar-queue DES kernel rewrite. include/hcep/des/ (and
+// /traffic/) headers sit on the per-event path; a std::function member
+// or parameter there reintroduces the per-event heap allocation the
+// des::Callback rewrite removed. One live violation plus a suppressed
+// twin. This tree is scanned only by `hcep-lint --selftest`; it is not
+// part of the build.
+#pragma once
+
+#include <functional>
+
+namespace hcep::des {
+
+struct BadDesSurface {
+  // LIVE std-function-hot-path: a per-event callback stored in a
+  // std::function — every scheduled event would heap-allocate.
+  std::function<void()> on_complete;
+
+  // Suppressed twin: must stay silent.
+  std::function<void()> on_drop;  // hcep-lint: allow(std-function-hot-path)
+
+  // Control: the kernel's own callback type is fine.
+  void schedule(int slot);
+};
+
+}  // namespace hcep::des

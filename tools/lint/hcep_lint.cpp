@@ -23,6 +23,14 @@
 //   banned-call          rand()/srand()/time() in src/ break same-seed
 //                        reproducibility; use hcep::Rng and simulated
 //                        clocks.
+//   std-function-hot-path
+//                        The DES/traffic hot-path headers (include/hcep/
+//                        {des,traffic}/) must not declare std::function:
+//                        its 16-byte SBO heap-allocates every kernel
+//                        capture, which is exactly what the des::Callback
+//                        rewrite removed (one malloc per scheduled event
+//                        plus one per priority_queue::top() copy). Use
+//                        des::Callback or a template parameter.
 //
 // Suppress a finding by appending
 //   // hcep-lint: allow(<rule>)
@@ -231,6 +239,20 @@ void rule_banned(const fs::path& file, std::size_t lineno,
                      "/ simulated time"});
 }
 
+// --- Rule: std-function-hot-path --------------------------------------------
+
+void rule_std_function(const fs::path& file, std::size_t lineno,
+                       const std::string& raw, const std::string& code,
+                       std::vector<Finding>& out) {
+  if (!contains(code, "std::function")) return;
+  if (suppressed(raw, "std-function-hot-path")) return;
+  out.push_back({file.string(), lineno, "std-function-hot-path",
+                 "std::function in a DES/traffic hot-path header heap-"
+                 "allocates every event capture (16-byte SBO); use "
+                 "des::Callback (48-byte inline budget) or a template "
+                 "parameter"});
+}
+
 // --- Driver ------------------------------------------------------------------
 
 std::vector<std::string> read_lines(const fs::path& p) {
@@ -254,6 +276,14 @@ bool deterministic_output_path(const fs::path& p) {
   const std::string s = p.generic_string();
   return contains(s, "report") || contains(s, "export") ||
          contains(s, "json") || contains(s, "/table");
+}
+
+/// Event-kernel hot-path headers: every type declared here sits on the
+/// per-event path of the DES or traffic simulators.
+bool hot_path_header(const fs::path& p) {
+  const std::string s = p.generic_string();
+  if (!contains(s, "include/hcep/")) return false;
+  return contains(s, "/des/") || contains(s, "/traffic/");
 }
 
 /// Headers whose evaluators must be [[nodiscard]]: the model-facing
@@ -293,6 +323,8 @@ void scan_file(const fs::path& file, const fs::path& root,
 
     if (is_public_header)
       rule_unit_double(file, i + 1, lines[i], code, out);
+    if (is_public_header && hot_path_header(file))
+      rule_std_function(file, i + 1, lines[i], code, out);
     if (in_src && deterministic_output_path(file))
       rule_unordered(file, i + 1, lines[i], code, out);
     if (in_src)
@@ -337,13 +369,15 @@ int selftest(const fs::path& fixtures) {
   // Per-rule seeded-violation counts: the model fixture plants one
   // unit-double + one nodiscard, the traffic fixture plants one of each
   // again (latency/sojourn identifier forms), report_bad.cpp plants the
-  // hash-container and the rand() call. Each live bug has a suppressed
-  // twin that must stay silent, so the counts are exact.
+  // hash-container and the rand() call, and the des fixture plants the
+  // std::function hot-path hit. Each live bug has a suppressed twin that
+  // must stay silent, so the counts are exact.
   const std::map<std::string, std::size_t> expected = {
       {"unit-double", 2},
       {"nodiscard", 2},
       {"unordered-iteration", 1},
-      {"banned-call", 1}};
+      {"banned-call", 1},
+      {"std-function-hot-path", 1}};
   std::map<std::string, std::size_t> fired;
   for (const auto& f : findings) ++fired[f.rule];
   int rc = 0;
