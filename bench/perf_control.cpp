@@ -1,0 +1,173 @@
+// Library performance: the closed-loop control plane.
+//
+// Quantifies the overhead the control machinery adds to the request hot
+// path. The headline pair: BM_OpenLoopTraffic vs BM_FrozenControlTraffic
+// push the same request stream through simulate_traffic with no
+// controller and with the frozen (no-op) controller ticking at a
+// realistic cadence — the difference is pure tick overhead (window
+// accounting, status materialization, controller dispatch), which
+// tools/bench_regress.py --suite control gates at <= 5% for the 1M-
+// request configuration (max_ratio 1.05 in BENCH_control.json's suite).
+// Actuating controllers (power gate, DVFS) are recorded for reference
+// but not ratio-gated: their actuations change the simulated workload
+// itself, so their "overhead" is not comparable.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hcep/control/controller.hpp"
+#include "hcep/control/controllers.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/traffic/simulate.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::traffic;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+std::vector<TrafficClass> one_class() {
+  return {TrafficClass{wl("EP"), 1.0, SloTarget{}}};
+}
+
+/// Shared scenario: 4 A9 + 2 K10 at 70% utilization, identical to the
+/// BM_SimulateTraffic scenario in perf_traffic.cpp so numbers compare.
+TrafficOptions scenario_options(std::uint64_t requests, double rate,
+                                std::shared_ptr<const control::Controller>
+                                    controller) {
+  TrafficOptions options;
+  options.requests = requests;
+  if (controller != nullptr) {
+    options.control.controller = std::move(controller);
+    // ~1 tick per 50 requests: 20k+ ticks over the 1M-request run, a
+    // deliberately aggressive cadence so the gate bounds the worst case.
+    options.control.period = Seconds{50.0 / rate};
+  }
+  return options;
+}
+
+void run_traffic(benchmark::State& state,
+                 std::shared_ptr<const control::Controller> controller) {
+  const auto cluster = model::make_a9_k10_cluster(4, 2);
+  const auto classes = one_class();
+  const double rate = 0.7 * cluster_capacity_per_s(cluster, classes);
+  const auto arrivals = make_poisson(rate);
+  const TrafficOptions options = scenario_options(
+      static_cast<std::uint64_t>(state.range(0)), rate,
+      std::move(controller));
+  for (auto _ : state) {
+    const TrafficResult r =
+        simulate_traffic(cluster, classes, *arrivals, options);
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+/// Baseline: the open-loop path, no control machinery installed.
+void BM_OpenLoopTraffic(benchmark::State& state) {
+  run_traffic(state, nullptr);
+}
+BENCHMARK(BM_OpenLoopTraffic)->Arg(1 << 17)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// Tick overhead in isolation: the frozen controller observes every tick
+/// and actuates nothing, so the request stream is byte-identical to the
+/// open loop (the tests/test_control.cpp oracle) and the throughput
+/// difference is exactly the control plane's cost.
+void BM_FrozenControlTraffic(benchmark::State& state) {
+  run_traffic(state, control::make_frozen());
+}
+BENCHMARK(BM_FrozenControlTraffic)->Arg(1 << 17)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// Reference: a live power-gating run (actuations change the workload,
+/// so this is recorded, never ratio-gated against the open loop).
+void BM_PowerGateTraffic(benchmark::State& state) {
+  run_traffic(state, control::make_power_gate());
+}
+BENCHMARK(BM_PowerGateTraffic)->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+/// Reference: a live DVFS-governed run.
+void BM_DvfsControlTraffic(benchmark::State& state) {
+  run_traffic(state, control::make_dvfs_governor());
+}
+BENCHMARK(BM_DvfsControlTraffic)->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Controller tick microbenchmark --------------------------------------
+
+/// Fixed-table actuator: answers the planning queries in O(1) and counts
+/// refused/accepted commands, isolating the controller's own decision
+/// cost from the simulation around it.
+class TableActuator final : public control::Actuator {
+ public:
+  bool sleep_node(std::size_t) override { return true; }
+  bool wake_node(std::size_t) override { return true; }
+  bool set_operating_point(std::size_t, std::uint32_t) override {
+    return true;
+  }
+  [[nodiscard]] std::size_t num_points(std::uint32_t) const override {
+    return 10;
+  }
+  [[nodiscard]] Watts busy_power(std::size_t node,
+                                 std::uint32_t point) const override {
+    return Watts{5.0 + static_cast<double>(node % 3) +
+                 0.5 * static_cast<double>(point)};
+  }
+  [[nodiscard]] Seconds mean_service(std::size_t node,
+                                     std::uint32_t point) const override {
+    return Seconds{0.2 / (1.0 + static_cast<double>(node % 3)) /
+                   (1.0 + static_cast<double>(point))};
+  }
+  [[nodiscard]] double service_rate(std::size_t node,
+                                    std::uint32_t point) const override {
+    return 1.0 / mean_service(node, point).value();
+  }
+};
+
+/// Cost of one PowerGateController decision over an n-node fleet: the
+/// efficiency ranking plus the keep/park/wake sweep.
+void BM_PowerGateTick(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<control::NodeStatus> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i].type = static_cast<std::uint32_t>(i % 3);
+    nodes[i].queued = i % 5;
+    nodes[i].utilization = 0.1 * static_cast<double>(i % 10);
+    nodes[i].idle_power = Watts{5.0};
+    nodes[i].sleep_power = Watts{0.5};
+  }
+  control::TickContext ctx;
+  ctx.now = Seconds{100.0};
+  ctx.period = Seconds{5.0};
+  ctx.window_arrivals_per_s = 40.0;
+  ctx.nodes = nodes.data();
+  ctx.num_nodes = nodes.size();
+  TableActuator actuator;
+  const auto controller = control::make_power_gate();
+  // One pristine clone per iteration batch would allocate; tick the same
+  // instance — the controller is a pure function of (ctx, state).
+  const auto instance = controller->clone();
+  for (auto _ : state) {
+    instance->tick(ctx, actuator);
+    benchmark::DoNotOptimize(actuator);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PowerGateTick)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -47,6 +47,8 @@
 #include "hcep/config/pareto.hpp"
 #include "hcep/config/prune.hpp"
 #include "hcep/config/space.hpp"
+#include "hcep/control/controller.hpp"
+#include "hcep/control/controllers.hpp"
 #include "hcep/core/paper_study.hpp"
 #include "hcep/des/simulator.hpp"
 #include "hcep/hw/catalog.hpp"

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hcep/cluster/dispatch.hpp"
+#include "hcep/control/controller.hpp"
 #include "hcep/model/cluster_spec.hpp"
 #include "hcep/traffic/admission.hpp"
 #include "hcep/traffic/arrivals.hpp"
@@ -58,6 +59,13 @@ struct TrafficOptions {
   /// Run shards concurrently on the global thread pool (identical
   /// results either way; turn off to debug under a deterministic stack).
   bool parallel_shards = true;
+  /// Closed-loop control plane (hcep::control). Default-constructed =
+  /// open loop: no controller, no ticks, the classic instruction stream.
+  /// With a controller installed, ticks run as ordinary DES events and
+  /// the run stays byte-deterministic for a fixed (seed, shards) pair; a
+  /// control::make_frozen() controller reproduces the open-loop result
+  /// byte-identically (the oracle property tests/test_control.cpp pins).
+  control::ControlOptions control{};
 };
 
 /// Aggregate ledger plus exact latency summaries of one traffic run.
@@ -89,6 +97,13 @@ struct TrafficResult {
 
   std::vector<ClassStats> classes;
   std::vector<cluster::NodeLoad> nodes;
+
+  /// Control-plane ledger (enabled == false for open-loop runs).
+  /// Deliberately NOT part of to_json(): the core result document stays
+  /// controller-agnostic so the frozen-controller oracle can require
+  /// byte-identity against the open-loop document. Serialize it
+  /// separately via control.to_json().
+  control::ControlSummary control;
 
   /// Deterministic JSON (insertion-ordered keys; same-seed runs are
   /// byte-identical).

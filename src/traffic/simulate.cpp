@@ -1,9 +1,14 @@
 #include "hcep/traffic/simulate.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <memory>
+#include <utility>
 
+#include "hcep/config/operating_points.hpp"
+#include "hcep/config/space.hpp"
+#include "hcep/control/controller.hpp"
 #include "hcep/des/sharded.hpp"
 #include "hcep/des/simulator.hpp"
 #include "hcep/obs/obs.hpp"
@@ -26,6 +31,20 @@ struct Node {
   Seconds free_at{};
   std::uint64_t served = 0;
   Seconds busy_time{};
+  // --- closed-loop state; meaningful only under a controller ---
+  std::uint32_t type_ord = 0;  ///< index into the run's TypePoints tables
+  std::uint32_t point = 0;     ///< current operating-point index
+  control::PowerState pstate = control::PowerState::kActive;
+  Seconds sleep_since{};   ///< start of the current sleep interval
+  Seconds window_busy{};   ///< busy time credited since the last tick
+  Watts sleep_power{};     ///< draw while parked
+  /// Dispatch-time (service, dynamic power) of each in-flight request,
+  /// FIFO — finishes occur in dispatch order because free_at is strictly
+  /// increasing. Populated only under a controller: an operating-point
+  /// change mid-flight moves the node's tables, but the in-flight
+  /// request's terms are fixed at dispatch (Actuator contract), and the
+  /// energy ledger must charge exactly what the power trace recorded.
+  std::deque<std::pair<Seconds, Watts>> inflight;
 };
 
 std::vector<Node> materialize_nodes(const model::ClusterSpec& cluster,
@@ -56,11 +75,103 @@ std::vector<Node> materialize_nodes(const model::ClusterSpec& cluster,
                            .queued = 0,
                            .free_at = Seconds{0.0},
                            .served = 0,
-                           .busy_time = Seconds{0.0}});
+                           .busy_time = Seconds{0.0},
+                           .inflight = {}});
     }
   }
   require(!nodes.empty(), "simulate_traffic: empty cluster");
   return nodes;
+}
+
+/// Per-(node type) operating-point tables for closed-loop runs: one
+/// entry per present NodeGroup, with the group's full DVFS ladder at its
+/// configured core count (the configured frequency is inserted when it
+/// is not a ladder step). Service and dynamic-power values come from
+/// config::OperatingPointTable — the same memoized primitives the
+/// offline sweeps use — so the entry at `configured` is bit-identical to
+/// what materialize_nodes computes directly.
+struct TypePoints {
+  std::vector<config::OperatingPoint> points;  ///< ascending frequency
+  std::uint32_t configured = 0;  ///< index of the group's (cores, freq)
+  Watts idle{};
+  std::vector<std::vector<Seconds>> service;  ///< [point][class]
+  std::vector<std::vector<Watts>> dynamic;    ///< [point][class]
+  std::vector<Watts> busy_worst;     ///< idle + max per-class dynamic
+  std::vector<Seconds> mean_service; ///< class-weight-averaged
+  std::vector<double> rate;          ///< requests/s = 1 / mean_service
+};
+
+std::vector<TypePoints> materialize_point_tables(
+    const model::ClusterSpec& cluster,
+    const std::vector<TrafficClass>& classes) {
+  double weight_total = 0.0;
+  for (const auto& c : classes) weight_total += c.weight;
+
+  std::vector<TypePoints> tables;
+  std::vector<config::TypeOptions> type_options;
+  for (const auto& g : cluster.groups) {
+    if (g.count == 0) continue;
+    TypePoints t;
+    t.idle = g.spec.power.idle;
+    bool have_configured = false;
+    for (const Hertz f : g.spec.dvfs.steps()) {
+      if (!have_configured && g.freq().value() < f.value()) {
+        t.configured = static_cast<std::uint32_t>(t.points.size());
+        t.points.push_back({g.cores(), g.freq()});
+        have_configured = true;
+      }
+      if (f.value() == g.freq().value()) {
+        t.configured = static_cast<std::uint32_t>(t.points.size());
+        have_configured = true;
+      }
+      t.points.push_back({g.cores(), f});
+    }
+    if (!have_configured) {
+      t.configured = static_cast<std::uint32_t>(t.points.size());
+      t.points.push_back({g.cores(), g.freq()});
+    }
+    config::TypeOptions opts;
+    opts.spec = g.spec;
+    opts.max_nodes = 1;
+    opts.operating_points = t.points;
+    type_options.push_back(std::move(opts));
+    tables.push_back(std::move(t));
+  }
+
+  const config::ConfigSpace space(std::move(type_options));
+  for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+    TypePoints& t = tables[ti];
+    const std::size_t np = t.points.size();
+    t.service.assign(np, std::vector<Seconds>(classes.size()));
+    t.dynamic.assign(np, std::vector<Watts>(classes.size()));
+    t.busy_worst.assign(np, Watts{0.0});
+    t.mean_service.assign(np, Seconds{0.0});
+    t.rate.assign(np, 0.0);
+  }
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const config::OperatingPointTable table(space, classes[c].workload);
+    const double share = classes[c].weight / weight_total;
+    for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+      TypePoints& t = tables[ti];
+      for (std::size_t p = 0; p < t.points.size(); ++p) {
+        const config::OperatingPointEntry& e = table.entry(ti, p);
+        const Seconds service{classes[c].workload.units_per_job /
+                              e.throughput};
+        t.service[p][c] = service;
+        t.dynamic[p][c] = e.busy_power - t.idle;
+        t.busy_worst[p] = std::max(t.busy_worst[p], t.dynamic[p][c]);
+        t.mean_service[p] += service * share;
+      }
+    }
+  }
+  for (TypePoints& t : tables) {
+    for (std::size_t p = 0; p < t.points.size(); ++p) {
+      t.busy_worst[p] += t.idle;
+      if (t.mean_service[p].value() > 0.0)
+        t.rate[p] = 1.0 / t.mean_service[p].value();
+    }
+  }
+  return tables;
 }
 
 /// Per-class normalized cumulative weight distribution.
@@ -106,12 +217,19 @@ static_assert(sizeof(Request) <= 24, "Request must stay callback-inline");
 /// index, Request, Seconds} — 48 bytes — so no event allocates
 /// (static_asserted at each schedule site against
 /// des::Callback::stores_inline).
-class Engine {
+///
+/// With a controller installed (options.control.enabled()) the engine
+/// doubles as the control::Actuator: ticks are scheduled as ordinary DES
+/// events, node sleep/wake and operating-point changes mutate the live
+/// node tables, and every control branch is guarded by `copts_` so the
+/// open-loop path executes the seed instruction stream unchanged.
+class Engine final : public control::Actuator {
  public:
   Engine(des::Simulator& sim, const std::vector<TrafficClass>& classes,
          const std::vector<double>& cumulative,
          const TrafficOptions& options, std::vector<Node> nodes,
-         std::uint64_t request_budget, Rng rng, bool tracing)
+         std::uint64_t request_budget, Rng rng, bool tracing,
+         const std::vector<TypePoints>* tables, double shard_share)
       : sim_(sim),
         classes_(classes),
         cumulative_(cumulative),
@@ -151,6 +269,39 @@ class Engine {
       queue_s_ = o_->tracer.intern("queue_depth");
     }
 #endif
+    if (options_.control.enabled()) {
+      copts_ = &options_.control;
+      tables_ = tables;
+      shard_share_ = shard_share;
+      controller_ = copts_->controller->clone();
+      dispatchable_ = nodes_.size();
+      window_shed_.assign(classes.size(), 0);
+      window_sojourns_.resize(classes.size());
+#if HCEP_OBS
+      if (o_ != nullptr) {
+        ctrl_ticks_m_ = o_->metrics.counter("control.ticks");
+        ctrl_sleeps_m_ = o_->metrics.counter("control.sleeps");
+        ctrl_wakes_m_ = o_->metrics.counter("control.wakes");
+        ctrl_points_m_ = o_->metrics.counter("control.point_changes");
+        ctrl_active_g_ = o_->metrics.gauge("control.active_nodes");
+        ctrl_power_g_ = o_->metrics.gauge("control.worst_case_power_w");
+        ctrl_cat_s_ = o_->tracer.intern("control");
+        tick_s_ = o_->tracer.intern("tick");
+        active_track_s_ = o_->tracer.intern("control_active_nodes");
+        power_track_s_ = o_->tracer.intern("control_rack_power_w");
+      }
+#endif
+    }
+  }
+
+  /// Schedules the tick chain (t = 0 first); no-op without a controller.
+  /// The chain self-terminates once arrivals are exhausted and the
+  /// system has drained, so sim.run() still completes.
+  void start_control() {
+    if (copts_ == nullptr) return;
+    auto cb = [this]() { periodic_tick(); };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim_.schedule_at(Seconds{0.0}, std::move(cb));
   }
 
   /// Open-loop arrival pump (single-shard path): the generator is
@@ -160,11 +311,15 @@ class Engine {
     const Seconds first = gen_->next(Seconds{0.0}, rng_);
     if (first.value() < std::numeric_limits<double>::infinity())
       schedule_pump(first);
+    else
+      arrivals_done_ = true;
   }
 
   /// Pre-assigned arrivals (sharded path): (time, class) pairs generated
   /// up front from the shared arrival stream.
   void preload(const std::vector<std::pair<Seconds, std::size_t>>& arrivals) {
+    preload_total_ = arrivals.size();
+    if (preload_total_ == 0) arrivals_done_ = true;
     for (const auto& [t, cls] : arrivals) {
       auto cb = [this, cls = cls]() { admit_arrival(cls); };
       static_assert(des::Callback::stores_inline<decltype(cb)>);
@@ -182,6 +337,34 @@ class Engine {
   [[nodiscard]] std::vector<double>& all_wait() { return all_wait_; }
   [[nodiscard]] std::vector<double>& all_service() { return all_service_; }
   [[nodiscard]] std::vector<double>& all_sojourn() { return all_sojourn_; }
+  [[nodiscard]] control::ControlSummary& control_summary() { return csum_; }
+  [[nodiscard]] std::vector<std::pair<double, double>>& ledger() {
+    return ledger_;
+  }
+
+  /// Closes open sleep intervals and integrates the gating savings,
+  /// clipped to the run's makespan (the idle-floor baseline the savings
+  /// are deducted from only spans [0, makespan]).
+  void finalize_control(Seconds makespan) {
+    if (copts_ == nullptr) return;
+    for (const Node& n : nodes_) {
+      if (n.pstate == control::PowerState::kSleeping) {
+        sleep_spans_.push_back(
+            {n.sleep_since,
+             Seconds{std::numeric_limits<double>::infinity()},
+             n.idle - n.sleep_power});
+      }
+    }
+    Joules savings{0.0};
+    for (const SleepSpan& s : sleep_spans_) {
+      const double a = std::min(s.start.value(), makespan.value());
+      const double b = std::min(s.end.value(), makespan.value());
+      if (b > a) savings += s.delta * Seconds{b - a};
+    }
+    csum_.gating_savings = savings;
+    csum_.enabled = true;
+    csum_.controller = controller_->name();
+  }
 
  private:
   void schedule_pump(Seconds t) {
@@ -194,7 +377,10 @@ class Engine {
   /// the next one. Mirrors the seed code's draw order: class coin, then
   /// attempt (which may draw for node picks), then the generator.
   void pump_arrival() {
-    if (offered >= request_budget_) return;
+    if (offered >= request_budget_) {
+      arrivals_done_ = true;
+      return;
+    }
     std::size_t cls = 0;
     if (classes_.size() > 1) {
       const double coin = rng_.uniform01();
@@ -204,13 +390,20 @@ class Engine {
     const Seconds next = gen_->next(sim_.now(), rng_);
     if (next.value() < std::numeric_limits<double>::infinity())
       schedule_pump(next);
+    else
+      arrivals_done_ = true;
   }
 
   /// Preloaded-arrival firing (class was drawn at generation time).
-  void admit_arrival(std::size_t cls) { arrive(cls); }
+  void admit_arrival(std::size_t cls) {
+    ++preload_fired_;
+    if (preload_fired_ >= preload_total_) arrivals_done_ = true;
+    arrive(cls);
+  }
 
   void arrive(std::size_t cls) {
     ++offered;
+    if (copts_ != nullptr) ++window_arrivals_;
     Request req;
     req.cls = cls;
     req.first_arrival = sim_.now();
@@ -232,9 +425,283 @@ class Engine {
 #endif
   }
 
+  // --------------------------------------------------------------- control
+  [[nodiscard]] bool work_remaining() const {
+    return !arrivals_done_ || inflight_ > 0;
+  }
+
+  /// Fixed-interval tick chain; stops once the run has drained so the
+  /// event queue empties and sim.run() returns.
+  void periodic_tick() {
+    if (!work_remaining()) return;
+    run_tick(/*event=*/false);
+    auto cb = [this]() { periodic_tick(); };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim_.schedule_at(sim_.now() + copts_->period, std::move(cb));
+  }
+
+  /// Schedules a near-immediate extra tick on congestion signals (queue
+  /// sheds), rate-limited by min_event_spacing.
+  void request_event_tick() {
+    if (copts_ == nullptr || !copts_->event_triggered || event_tick_pending_)
+      return;
+    if (sim_.now() - last_tick_ < copts_->min_event_spacing) return;
+    event_tick_pending_ = true;
+    auto cb = [this]() {
+      event_tick_pending_ = false;
+      if (work_remaining()) run_tick(/*event=*/true);
+    };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim_.schedule_at(sim_.now(), std::move(cb));
+  }
+
+  /// One controller tick: snapshot fleet + class-window feedback, invoke
+  /// the policy (this engine is the Actuator), reset the window. Draws
+  /// no RNG values and touches no request-visible state itself, so a
+  /// controller that does not actuate leaves the run byte-identical.
+  void run_tick(bool event) {
+    const Seconds now = sim_.now();
+    const Seconds window = now - last_tick_;
+    status_buf_.resize(nodes_.size());
+    Watts worst{0.0};
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      control::NodeStatus& st = status_buf_[i];
+      st.type = n.type_ord;
+      st.point = n.point;
+      st.state = n.pstate;
+      st.queued = n.queued;
+      st.backlog = std::max(Seconds{0.0}, n.free_at - now);
+      st.utilization =
+          window.value() > 0.0
+              ? std::min(1.0, n.window_busy.value() / window.value())
+              : 0.0;
+      st.idle_power = n.idle;
+      st.sleep_power = n.sleep_power;
+      worst += n.pstate == control::PowerState::kSleeping
+                   ? n.sleep_power
+                   : (*tables_)[n.type_ord].busy_worst[n.point];
+    }
+    class_buf_.resize(classes_.size());
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      control::ClassFeedback& fb = class_buf_[c];
+      fb.slo_latency = classes_[c].slo.enabled() ? classes_[c].slo.latency
+                                                 : Seconds{0.0};
+      std::vector<double>& sj = window_sojourns_[c];
+      fb.window_completed = sj.size();
+      fb.window_shed = window_shed_[c];
+      fb.window_p99 = Seconds{0.0};
+      if (!sj.empty()) {
+        std::sort(sj.begin(), sj.end());
+        const std::size_t idx = static_cast<std::size_t>(
+            0.99 * static_cast<double>(sj.size() - 1) + 0.5);
+        fb.window_p99 = Seconds{sj[idx]};
+      }
+    }
+
+    control::TickContext ctx;
+    ctx.now = now;
+    ctx.period = copts_->period;
+    ctx.window_arrivals_per_s =
+        window.value() > 0.0
+            ? static_cast<double>(window_arrivals_) / window.value()
+            : 0.0;
+    ctx.nodes = status_buf_.data();
+    ctx.num_nodes = status_buf_.size();
+    ctx.classes = class_buf_.data();
+    ctx.num_classes = class_buf_.size();
+    ctx.worst_case_power = worst;
+    ctx.shard_share = shard_share_;
+
+#if HCEP_OBS
+    if (o_ != nullptr) {
+      o_->metrics.add(ctrl_ticks_m_);
+      if (tracing_) o_->tracer.begin(now.value(), ctrl_cat_s_, tick_s_);
+    }
+#endif
+    controller_->tick(ctx, *this);
+#if HCEP_OBS
+    if (o_ != nullptr) {
+      o_->metrics.set(ctrl_active_g_, static_cast<double>(dispatchable_));
+      o_->metrics.set(ctrl_power_g_, worst.value());
+      if (tracing_) {
+        o_->tracer.counter(now.value(), ctrl_cat_s_, active_track_s_,
+                           static_cast<double>(dispatchable_));
+        o_->tracer.counter(now.value(), ctrl_cat_s_, power_track_s_,
+                           worst.value());
+        o_->tracer.end(now.value(), ctrl_cat_s_, tick_s_);
+      }
+    }
+#endif
+    for (Node& n : nodes_) n.window_busy = Seconds{0.0};
+    window_arrivals_ = 0;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      window_sojourns_[c].clear();
+      window_shed_[c] = 0;
+    }
+    last_tick_ = now;
+    ++csum_.ticks;
+    if (event) ++csum_.event_ticks;
+  }
+
+  void note_power(Seconds t, Watts delta) {
+    if (copts_->record_power_trace)
+      ledger_.emplace_back(t.value(), delta.value());
+  }
+
+  // ---- control::Actuator ----
+  bool sleep_node(std::size_t i) override {
+    Node& n = nodes_[i];
+    if (n.pstate != control::PowerState::kActive) return false;
+    if (dispatchable_ <= 1) return false;  // never strand the dispatcher
+    const Seconds now = sim_.now();
+    --dispatchable_;
+    ++csum_.sleeps;
+#if HCEP_OBS
+    if (o_ != nullptr) o_->metrics.add(ctrl_sleeps_m_);
+#endif
+    if (n.queued == 0 && n.free_at <= now) {
+      n.pstate = control::PowerState::kSleeping;
+      n.sleep_since = now;
+      note_power(now, n.sleep_power - n.idle);
+    } else {
+      n.pstate = control::PowerState::kDraining;  // sleeps when it empties
+    }
+    return true;
+  }
+
+  bool wake_node(std::size_t i) override {
+    Node& n = nodes_[i];
+    if (n.pstate == control::PowerState::kActive) return false;
+    const Seconds now = sim_.now();
+    if (n.pstate == control::PowerState::kSleeping) {
+      sleep_spans_.push_back({n.sleep_since, now, n.idle - n.sleep_power});
+      note_power(now, n.idle - n.sleep_power);
+      csum_.wake_energy += copts_->wake_energy;
+      ++csum_.wakes;
+#if HCEP_OBS
+      if (o_ != nullptr) o_->metrics.add(ctrl_wakes_m_);
+#endif
+      // Boot delay: powered and drawing idle, serving only afterwards.
+      n.free_at = std::max(n.free_at, now + copts_->wake_delay);
+    }
+    n.pstate = control::PowerState::kActive;
+    ++dispatchable_;
+    return true;
+  }
+
+  bool set_operating_point(std::size_t i, std::uint32_t p) override {
+    Node& n = nodes_[i];
+    const TypePoints& t = (*tables_)[n.type_ord];
+    if (p >= t.points.size() || p == n.point) return false;
+    n.point = p;
+    // In-flight service times are already fixed; future dispatches read
+    // the new tables. Copy-assign reuses capacity (equal sizes).
+    n.service = t.service[p];
+    n.dynamic = t.dynamic[p];
+    ++csum_.point_changes;
+#if HCEP_OBS
+    if (o_ != nullptr) o_->metrics.add(ctrl_points_m_);
+#endif
+    return true;
+  }
+
+  [[nodiscard]] std::size_t num_points(std::uint32_t type) const override {
+    return (*tables_)[type].points.size();
+  }
+  [[nodiscard]] Watts busy_power(std::size_t node,
+                                 std::uint32_t p) const override {
+    return (*tables_)[nodes_[node].type_ord].busy_worst[p];
+  }
+  [[nodiscard]] Seconds mean_service(std::size_t node,
+                                     std::uint32_t p) const override {
+    return (*tables_)[nodes_[node].type_ord].mean_service[p];
+  }
+  [[nodiscard]] double service_rate(std::size_t node,
+                                    std::uint32_t p) const override {
+    return (*tables_)[nodes_[node].type_ord].rate[p];
+  }
+
+  /// Availability-aware dispatch over non-sleeping, non-draining nodes
+  /// (same policy semantics as pick_node, restricted to the active set;
+  /// dispatchable_ >= 1 is an actuator invariant so this always finds
+  /// one).
+  std::size_t pick_available_node(std::size_t cls) {
+    const auto active = [&](std::size_t i) {
+      return nodes_[i].pstate == control::PowerState::kActive;
+    };
+    switch (options_.policy) {
+      case cluster::DispatchPolicy::kRoundRobin: {
+        std::size_t i = rr_cursor_;
+        while (!active(i)) i = (i + 1) % nodes_.size();
+        rr_cursor_ = (i + 1) % nodes_.size();
+        return i;
+      }
+      case cluster::DispatchPolicy::kRandom: {
+        std::uint64_t k = rng_.uniform_int(dispatchable_);
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (!active(i)) continue;
+          if (k == 0) return i;
+          --k;
+        }
+        break;
+      }
+      case cluster::DispatchPolicy::kJoinShortestQueue: {
+        std::size_t best = nodes_.size();
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (!active(i)) continue;
+          if (best == nodes_.size() || nodes_[i].queued < nodes_[best].queued ||
+              (nodes_[i].queued == nodes_[best].queued &&
+               nodes_[i].service[cls] < nodes_[best].service[cls])) {
+            best = i;
+          }
+        }
+        if (best < nodes_.size()) return best;
+        break;
+      }
+      case cluster::DispatchPolicy::kFastestFirst: {
+        std::size_t best = nodes_.size();
+        double best_eta = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (!active(i)) continue;
+          const double backlog =
+              std::max(0.0, (nodes_[i].free_at - sim_.now()).value());
+          const double eta = backlog + nodes_[i].service[cls].value();
+          if (eta < best_eta) {
+            best_eta = eta;
+            best = i;
+          }
+        }
+        if (best < nodes_.size()) return best;
+        break;
+      }
+      case cluster::DispatchPolicy::kLeastEnergy: {
+        std::size_t best = nodes_.size();
+        double best_score = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (!active(i)) continue;
+          const double joules = nodes_[i].dynamic[cls].value() *
+                                nodes_[i].service[cls].value();
+          const double backlog =
+              std::max(0.0, (nodes_[i].free_at - sim_.now()).value());
+          const double score = joules + backlog * 1e-3;
+          if (score < best_score) {
+            best_score = score;
+            best = i;
+          }
+        }
+        if (best < nodes_.size()) return best;
+        break;
+      }
+    }
+    throw PreconditionError("simulate_traffic: no dispatchable node");
+  }
+
   /// Dispatch-policy node choice, shared with cluster::simulate_dispatch
   /// semantics (over this engine's node subset).
   std::size_t pick_node(std::size_t cls) {
+    if (copts_ != nullptr && dispatchable_ < nodes_.size())
+      return pick_available_node(cls);
     switch (options_.policy) {
       case cluster::DispatchPolicy::kRoundRobin: {
         const std::size_t i = rr_cursor_;
@@ -294,6 +761,7 @@ class Engine {
     if (bucket_ && !bucket_->try_acquire(now)) {
       ++shed_bucket;
       ++per_class_[req.cls].shed;
+      if (copts_ != nullptr) ++window_shed_[req.cls];
 #if HCEP_OBS
       if (o_ != nullptr) {
         o_->metrics.add(shed_m_);
@@ -310,6 +778,10 @@ class Engine {
         nodes_[i].queued >= options_.admission.max_queue_depth) {
       ++shed_queue;
       ++per_class_[req.cls].shed;
+      if (copts_ != nullptr) {
+        ++window_shed_[req.cls];
+        request_event_tick();  // queue shed = congestion signal
+      }
 #if HCEP_OBS
       if (o_ != nullptr) {
         o_->metrics.add(shed_m_);
@@ -329,6 +801,13 @@ class Engine {
     const Seconds wait = start - now;
     const Seconds done = start + n.service[req.cls];
     n.free_at = done;
+    if (copts_ != nullptr) {
+      if (n.pstate != control::PowerState::kActive)
+        csum_.all_dispatches_available = false;
+      n.inflight.emplace_back(n.service[req.cls], n.dynamic[req.cls]);
+      note_power(start, n.dynamic[req.cls]);
+      note_power(done, n.dynamic[req.cls] * -1.0);
+    }
 #if HCEP_OBS
     if (o_ != nullptr) {
       o_->metrics.add(admitted_m_);
@@ -375,9 +854,18 @@ class Engine {
     Node& node = nodes_[node_index];
     --node.queued;
     ++node.served;
-    const Seconds service = node.service[cls];
+    // Service time and dynamic power are fixed at dispatch: under a
+    // controller the node's tables may have moved since (operating-point
+    // change mid-flight), so charge the dispatch-time values.
+    Seconds service = node.service[cls];
+    Watts dynamic = node.dynamic[cls];
+    if (copts_ != nullptr) {
+      service = node.inflight.front().first;
+      dynamic = node.inflight.front().second;
+      node.inflight.pop_front();
+    }
     node.busy_time += service;
-    const Joules joules = node.dynamic[cls] * service;
+    const Joules joules = dynamic * service;
     dynamic_energy_ += joules;
     per_class_[cls].dynamic_energy += joules;
 
@@ -394,6 +882,15 @@ class Engine {
       ++per_class_[cls].slo_violations;
     makespan_ = std::max(makespan_, sim_.now());
     --inflight_;
+    if (copts_ != nullptr) {
+      node.window_busy += service;
+      window_sojourns_[cls].push_back(sojourn.value());
+      if (node.pstate == control::PowerState::kDraining && node.queued == 0) {
+        node.pstate = control::PowerState::kSleeping;
+        node.sleep_since = sim_.now();
+        note_power(sim_.now(), node.sleep_power - node.idle);
+      }
+    }
 #if HCEP_OBS
     if (o_ != nullptr) {
       if (tracing_) o_->tracer.end(sim_.now().value(), cat_s_, request_s_);
@@ -420,12 +917,41 @@ class Engine {
   Joules dynamic_energy_{};
   std::vector<ClassSamples> per_class_;
   std::vector<double> all_wait_, all_service_, all_sojourn_;
+  // --- closed-loop state (inert without a controller) ---
+  const control::ControlOptions* copts_ = nullptr;
+  const std::vector<TypePoints>* tables_ = nullptr;
+  std::unique_ptr<control::Controller> controller_;
+  double shard_share_ = 1.0;
+  std::size_t dispatchable_ = 0;
+  Seconds last_tick_{};
+  bool event_tick_pending_ = false;
+  bool arrivals_done_ = false;
+  std::size_t preload_total_ = 0;
+  std::size_t preload_fired_ = 0;
+  std::uint64_t window_arrivals_ = 0;
+  std::vector<std::uint64_t> window_shed_;
+  std::vector<std::vector<double>> window_sojourns_;
+  std::vector<control::NodeStatus> status_buf_;
+  std::vector<control::ClassFeedback> class_buf_;
+  control::ControlSummary csum_;
+  struct SleepSpan {
+    Seconds start;
+    Seconds end;
+    Watts delta;  ///< idle - sleep draw saved while parked
+  };
+  std::vector<SleepSpan> sleep_spans_;
+  /// (time, ΔWatts) events for post-run PowerTrace reconstruction.
+  std::vector<std::pair<double, double>> ledger_;
 #if HCEP_OBS
   obs::Observer* o_ = nullptr;
   obs::MetricId offered_m_ = 0, admitted_m_ = 0, shed_m_ = 0, retries_m_ = 0,
                 completed_m_ = 0, failed_m_ = 0, sojourn_m_ = 0;
   obs::StringId cat_s_ = 0, request_s_ = 0, wait_key_s_ = 0, inflight_s_ = 0,
                 shed_cat_s_ = 0, bucket_s_ = 0, queue_s_ = 0;
+  obs::MetricId ctrl_ticks_m_ = 0, ctrl_sleeps_m_ = 0, ctrl_wakes_m_ = 0,
+                ctrl_points_m_ = 0, ctrl_active_g_ = 0, ctrl_power_g_ = 0;
+  obs::StringId ctrl_cat_s_ = 0, tick_s_ = 0, active_track_s_ = 0,
+                power_track_s_ = 0;
 #endif
 };
 
@@ -459,12 +985,42 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
   require(options.retry.max_attempts >= 1,
           "simulate_traffic: retry.max_attempts must be >= 1");
   require(options.shards >= 1, "simulate_traffic: shards must be >= 1");
+  const bool controlled = options.control.enabled();
+  if (controlled) {
+    require(options.control.period.value() > 0.0,
+            "simulate_traffic: control.period must be > 0");
+    require(options.control.min_event_spacing.value() >= 0.0,
+            "simulate_traffic: control.min_event_spacing must be >= 0");
+  }
 
   std::vector<Node> all_nodes = materialize_nodes(cluster, classes);
   require(options.shards <= all_nodes.size(),
           "simulate_traffic: more shards than nodes");
   const std::vector<double> cumulative = cumulative_weights(classes);
   const std::size_t shard_count = options.shards;
+  const std::size_t total_nodes = all_nodes.size();
+
+  // Controlled runs additionally materialize the per-type operating-point
+  // ladders and stamp each node with its type ordinal + configured point.
+  // materialize_nodes iterates present groups in spec order, emitting
+  // g.count nodes per group, so the stamping below walks the same order.
+  std::vector<TypePoints> point_tables;
+  if (controlled) {
+    point_tables = materialize_point_tables(cluster, classes);
+    std::size_t ni = 0;
+    std::uint32_t gi = 0;
+    for (const auto& g : cluster.groups) {
+      if (g.count == 0) continue;
+      for (unsigned k = 0; k < g.count; ++k, ++ni) {
+        all_nodes[ni].type_ord = gi;
+        all_nodes[ni].point = point_tables[gi].configured;
+        all_nodes[ni].sleep_power = options.control.sleep_power;
+      }
+      ++gi;
+    }
+  }
+  const std::vector<TypePoints>* tables_ptr =
+      controlled ? &point_tables : nullptr;
 
   std::vector<std::unique_ptr<Engine>> engines;
   std::string process_name;
@@ -476,9 +1032,11 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
     auto sim = std::make_unique<des::Simulator>();
     engines.push_back(std::make_unique<Engine>(
         *sim, classes, cumulative, options, std::move(all_nodes),
-        options.requests, Rng(options.seed), /*tracing=*/true));
+        options.requests, Rng(options.seed), /*tracing=*/true, tables_ptr,
+        /*shard_share=*/1.0));
     std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
     process_name = gen->name();
+    engines[0]->start_control();
     engines[0]->start_pump(*gen);
     sim->run();
   } else {
@@ -515,13 +1073,18 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
     // barrier, full parallelism.
     des::ShardedSimulator sharded(shard_count, Seconds{1e300});
     for (std::size_t s = 0; s < shard_count; ++s) {
+      // Each shard's controller clone governs its node slice against a
+      // proportional share of any global budget.
+      const double share = static_cast<double>(shard_nodes[s].size()) /
+                           static_cast<double>(total_nodes);
       engines.push_back(std::make_unique<Engine>(
           sharded.shard(s), classes, cumulative, options,
           std::move(shard_nodes[s]),
           options.requests / shard_count + 1,
           Rng(options.seed).split(static_cast<unsigned>(s)),
-          /*tracing=*/false));
+          /*tracing=*/false, tables_ptr, share));
       engines[s]->preload(shard_arrivals[s]);
+      engines[s]->start_control();
     }
     sharded.run(options.parallel_shards);
   }
@@ -593,7 +1156,59 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
   for (const Node* n : merged_nodes) idle_floor += n->idle;
   const Joules idle_energy = idle_floor * makespan;
   out.makespan = makespan;
-  out.energy = idle_energy + dynamic_energy;
+
+  // Shared (non-request-attributable) energy: the idle floor, minus what
+  // power gating saved, plus wake transients. With no controller — or a
+  // frozen one — savings and wake costs are exactly 0.0, so the
+  // arithmetic below reproduces the open-loop energy bit-for-bit.
+  Joules shared_energy = idle_energy;
+  if (controlled) {
+    for (auto& e : engines) e->finalize_control(makespan);
+    control::ControlSummary& merged = out.control;
+    merged.enabled = true;
+    merged.controller = engines[0]->control_summary().controller;
+    merged.all_dispatches_available = true;
+    for (auto& e : engines) {
+      const control::ControlSummary& cs = e->control_summary();
+      merged.ticks += cs.ticks;
+      merged.event_ticks += cs.event_ticks;
+      merged.sleeps += cs.sleeps;
+      merged.wakes += cs.wakes;
+      merged.point_changes += cs.point_changes;
+      merged.gating_savings += cs.gating_savings;
+      merged.wake_energy += cs.wake_energy;
+      merged.all_dispatches_available =
+          merged.all_dispatches_available && cs.all_dispatches_available;
+    }
+    shared_energy = shared_energy - merged.gating_savings +
+                    merged.wake_energy;
+    if (options.control.record_power_trace) {
+      // Rebuild the rack power profile from the per-engine delta
+      // ledgers: base idle floor at t = 0, then every dispatch /
+      // completion / sleep / wake delta, coalesced per timestamp.
+      std::vector<std::pair<double, double>> deltas;
+      deltas.emplace_back(0.0, idle_floor.value());
+      for (auto& e : engines) {
+        deltas.insert(deltas.end(), e->ledger().begin(), e->ledger().end());
+      }
+      std::stable_sort(deltas.begin(), deltas.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      double level = 0.0;
+      std::size_t k = 0;
+      while (k < deltas.size()) {
+        const double t = deltas[k].first;
+        while (k < deltas.size() && deltas[k].first == t) {
+          level += deltas[k].second;
+          ++k;
+        }
+        merged.trace.step(Seconds{t}, Watts{level});
+      }
+    }
+  }
+
+  out.energy = shared_energy + dynamic_energy;
   if (makespan.value() > 0.0) out.average_power = out.energy / makespan;
   if (out.completed > 0)
     out.energy_per_request = out.energy / static_cast<double>(out.completed);
@@ -614,10 +1229,10 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
     st.service = LatencySummary::from_samples(cs.service);
     st.sojourn = LatencySummary::from_samples(cs.sojourn);
     if (cs.completed > 0 && out.completed > 0) {
-      // Idle energy attributed by completion share, dynamic exactly.
+      // Shared energy attributed by completion share, dynamic exactly.
       const Joules idle_share =
-          idle_energy * (static_cast<double>(cs.completed) /
-                         static_cast<double>(out.completed));
+          shared_energy * (static_cast<double>(cs.completed) /
+                           static_cast<double>(out.completed));
       st.energy_per_request = (idle_share + cs.dynamic_energy) /
                               static_cast<double>(cs.completed);
     }

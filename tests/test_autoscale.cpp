@@ -1,8 +1,16 @@
 // Autoscaling replay: dynamic node on/off following the load must beat
-// every static mix's proportionality.
+// every static mix's proportionality. The closed-loop section cross-
+// checks the same scenarios on the control::PowerGateController driven by
+// DES-clock ticks inside traffic::simulate_traffic — no bucket-position
+// (hour-of-day) or wall-clock assumptions, only load-derived ones.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "hcep/cluster/autoscale.hpp"
+#include "hcep/control/controllers.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/traffic/simulate.hpp"
 #include "hcep/util/error.hpp"
 #include "hcep/workload/catalog.hpp"
 
@@ -40,11 +48,22 @@ TEST(Autoscale, SavesEnergyAgainstAlwaysOn) {
 TEST(Autoscale, ActiveFractionFollowsTheLoad) {
   const auto r = autoscale_replay(fleet(), day_trace());
   ASSERT_EQ(r.buckets.size(), 24u);
-  // Peak (~bucket 6) runs far more of the fleet than the trough (~18).
-  EXPECT_GT(r.buckets[6].active_fraction,
-            r.buckets[18].active_fraction + 0.2);
-  EXPECT_GT(r.buckets[6].average_power.value(),
-            r.buckets[18].average_power.value());
+  // Locate peak and trough by the buckets' own offered load rather than
+  // assuming which hour of the synthetic day they land on.
+  std::size_t peak = 0, trough = 0;
+  for (std::size_t i = 1; i < r.buckets.size(); ++i) {
+    if (r.buckets[i].target_utilization >
+        r.buckets[peak].target_utilization)
+      peak = i;
+    if (r.buckets[i].target_utilization <
+        r.buckets[trough].target_utilization)
+      trough = i;
+  }
+  // The peak-load hour runs far more of the fleet than the trough.
+  EXPECT_GT(r.buckets[peak].active_fraction,
+            r.buckets[trough].active_fraction + 0.2);
+  EXPECT_GT(r.buckets[peak].average_power.value(),
+            r.buckets[trough].average_power.value());
 }
 
 TEST(Autoscale, EffectiveProfileBeatsTheStaticCurve) {
@@ -84,7 +103,7 @@ TEST(Autoscale, DeterministicForFixedSeed) {
   const auto a = autoscale_replay(fleet(), day_trace());
   const auto b = autoscale_replay(fleet(), day_trace());
   EXPECT_EQ(a.jobs_completed, b.jobs_completed);
-  EXPECT_DOUBLE_EQ(a.total_energy.value(), b.total_energy.value());
+  EXPECT_EQ(a.total_energy.value(), b.total_energy.value());  // bit-exact
 }
 
 TEST(Autoscale, Validation) {
@@ -96,6 +115,91 @@ TEST(Autoscale, Validation) {
   opts.min_active_fraction = 1.5;
   EXPECT_THROW((void)autoscale_replay(fleet(), day_trace(), opts),
                PreconditionError);
+}
+
+// ----------------------------------------------- closed-loop cross-check
+//
+// The replay scenarios above, re-run through the request-level control
+// plane: the PowerGateController under traffic::simulate_traffic drives
+// the same park/wake policy from DES-clock ticks. Every assertion is
+// derived from the load or the ledger, never from event positions in
+// time — the suite is deterministic for a fixed seed by construction.
+
+std::vector<traffic::TrafficClass> ep_class() {
+  return {traffic::TrafficClass{ep(), 1.0, traffic::SloTarget{}}};
+}
+
+traffic::TrafficResult gated_run(
+    std::unique_ptr<traffic::ArrivalProcess> arrivals, double rate,
+    double headroom, bool gated) {
+  const auto cluster = model::make_a9_k10_cluster(12, 2);
+  traffic::TrafficOptions opts;
+  opts.requests = 4000;
+  opts.seed = 99;
+  if (gated) {
+    opts.control.controller =
+        control::make_power_gate({.headroom = headroom});
+    opts.control.period = Seconds{20.0 / rate};
+    opts.control.wake_delay = Seconds{5.0 / rate};
+    opts.control.wake_energy = Joules{5.0};
+  }
+  return traffic::simulate_traffic(cluster, ep_class(), *arrivals, opts);
+}
+
+double diurnal_rate() {
+  static const double kRate =
+      0.3 * traffic::cluster_capacity_per_s(model::make_a9_k10_cluster(12, 2),
+                                            ep_class());
+  return kRate;
+}
+
+std::unique_ptr<traffic::ArrivalProcess> diurnal_arrivals() {
+  const double rate = diurnal_rate();
+  return traffic::make_diurnal(rate, 0.7, Seconds{400.0 / rate});
+}
+
+TEST(AutoscaleClosedLoop, SavesEnergyAgainstAlwaysOn) {
+  const double rate = diurnal_rate();
+  const auto open = gated_run(diurnal_arrivals(), rate, 0.25, false);
+  const auto gated = gated_run(diurnal_arrivals(), rate, 0.25, true);
+  // Same completions, less energy: the gated fleet parks the trough.
+  EXPECT_EQ(gated.completed, open.completed);
+  EXPECT_GT(gated.control.sleeps, 0u);
+  EXPECT_TRUE(gated.control.all_dispatches_available);
+  EXPECT_LT(gated.energy.value(), open.energy.value());
+  EXPECT_GT(gated.control.gating_savings.value(), 0.0);
+}
+
+TEST(AutoscaleClosedLoop, HeadroomBoundsTheLatencyDamage) {
+  // More headroom -> more awake capacity -> more idle burn, less queueing
+  // (the replay suite's lean-vs-generous scenario on the live ledger).
+  const double rate = diurnal_rate();
+  const auto lean = gated_run(diurnal_arrivals(), rate, 0.05, true);
+  const auto generous = gated_run(diurnal_arrivals(), rate, 1.0, true);
+  EXPECT_LT(lean.energy.value(), generous.energy.value());
+  EXPECT_GE(lean.control.gating_savings.value(),
+            generous.control.gating_savings.value());
+  EXPECT_GE(lean.sojourn.p99.value(), generous.sojourn.p99.value());
+}
+
+TEST(AutoscaleClosedLoop, FlatLoadDoesNotThrash) {
+  // Constant load: after the initial park-down the controller must hold
+  // the fleet steady — wake transitions stay a small fraction of ticks.
+  const double rate = diurnal_rate();
+  const auto r =
+      gated_run(traffic::make_deterministic(rate), rate, 0.25, true);
+  ASSERT_GT(r.control.ticks, 20u);
+  EXPECT_GT(r.control.sleeps, 0u);
+  EXPECT_LE(r.control.wakes, r.control.ticks / 4);
+}
+
+TEST(AutoscaleClosedLoop, DeterministicForFixedSeed) {
+  const double rate = diurnal_rate();
+  const auto a = gated_run(diurnal_arrivals(), rate, 0.25, true);
+  const auto b = gated_run(diurnal_arrivals(), rate, 0.25, true);
+  // Byte-identical, not merely close: same JSON bytes, same ledgers.
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_EQ(a.control.to_json().dump(), b.control.to_json().dump());
 }
 
 }  // namespace

@@ -7,7 +7,8 @@ file, and fails (exit 1) when any gated benchmark regresses by more than
 the threshold against the suite's checked-in baseline at the repository
 root. Suites: ``sweep`` (perf_enumeration + perf_pareto vs
 ``BENCH_sweep.json``, the default), ``traffic`` (perf_traffic vs
-``BENCH_traffic.json``) and ``des`` (perf_des vs ``BENCH_des.json``).
+``BENCH_traffic.json``), ``des`` (perf_des vs ``BENCH_des.json``) and
+``control`` (perf_control vs ``BENCH_control.json``).
 
 The gate compares ``items_per_second`` for serial benchmarks only:
 google-benchmark's CPU timer measures the main benchmark thread, so
@@ -21,7 +22,11 @@ ratios between a fast and a slow implementation measured minutes apart at
 most (e.g. the calendar-queue DES kernel vs the seed binary-heap +
 std::function replica). Unlike the absolute gates these need no baseline
 and survive machine-speed changes — a builder twice as slow fails both
-sides equally — so they are enforced in smoke runs too.
+sides equally — so they are enforced in smoke runs too. A gate with
+``min_ratio`` demands fast/slow stay ABOVE it (the fast side must keep
+its speedup); a gate with ``max_ratio`` demands it stay BELOW (the slow
+side is an instrumented variant whose overhead is bounded, e.g. the
+control suite's <= 5% tick-overhead gate for the frozen controller).
 
 Usage:
   tools/bench_regress.py [--suite sweep|traffic] [--build-dir build]
@@ -108,6 +113,30 @@ SUITES = {
             "BM_ChurnCalendar/65536$|BM_ChurnLegacy/65536$|"
             "BM_ChurnBimodalCalendar/65536$|BM_ChurnBimodalLegacy/65536$|"
             "BM_EventQueueChurn/100000$|BM_CallbackInline$"
+        ),
+    },
+    "control": {
+        "binaries": ["perf_control"],
+        "baseline": "BENCH_control.json",
+        "gated": [
+            "BM_OpenLoopTraffic/1048576",
+            "BM_FrozenControlTraffic/1048576",
+            "BM_PowerGateTick/64",
+        ],
+        # The ISSUE's tick-overhead bound: the frozen (no-op) controller
+        # reproduces the open-loop run byte-identically, so open/frozen
+        # throughput is pure control-plane overhead. <= 5% at 1M requests
+        # (full runs); the 128k smoke pair gets slack for timer noise on
+        # a short sample.
+        "ratio_gates": [
+            {"fast": "BM_OpenLoopTraffic/1048576",
+             "slow": "BM_FrozenControlTraffic/1048576", "max_ratio": 1.05},
+            {"fast": "BM_OpenLoopTraffic/131072",
+             "slow": "BM_FrozenControlTraffic/131072", "max_ratio": 1.15},
+        ],
+        "smoke_filter": (
+            "BM_OpenLoopTraffic/131072$|BM_FrozenControlTraffic/131072$|"
+            "BM_PowerGateTick/64$"
         ),
     },
 }
@@ -217,10 +246,17 @@ def main():
         if fast is None or slow is None:
             continue  # pair filtered out of this run
         ratio = fast / slow
-        ok = ratio >= gate["min_ratio"]
+        bounds = []
+        ok = True
+        if "min_ratio" in gate:
+            bounds.append(f"min {gate['min_ratio']:.2f}x")
+            ok = ok and ratio >= gate["min_ratio"]
+        if "max_ratio" in gate:
+            bounds.append(f"max {gate['max_ratio']:.2f}x")
+            ok = ok and ratio <= gate["max_ratio"]
         print(f"  {gate['fast']} vs {gate['slow']}: "
-              f"{ratio:.2f}x (min {gate['min_ratio']:.2f}x)  "
-              f"{'OK' if ok else 'TOO SLOW'}")
+              f"{ratio:.2f}x ({', '.join(bounds)})  "
+              f"{'OK' if ok else 'OUT OF BOUNDS'}")
         if not ok:
             failed.append(f"{gate['fast']} vs {gate['slow']}")
 

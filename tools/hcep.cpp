@@ -14,6 +14,8 @@
 //   hcep autoscale <program>         diurnal autoscaling vs static fleet
 //   hcep export <json|figures> [path]
 //                                    machine-readable study results
+//   hcep control <program|synthetic> [...]
+//                                    closed-loop control vs open loop
 //   hcep trace <program|synthetic> [path]
 //                                    traced DES run exported as JSONL
 //   hcep profile <trace.jsonl> [--interval S] [--json p] [--folded p]
@@ -52,6 +54,13 @@ int usage() {
          "          [--bucket-rate R] [--bucket-burst B] [--max-queue D] "
          "[--retries K]\n"
          "          [--json path]           request-level simulation\n"
+         "  control <program|synthetic> [--controller power_gate|dvfs|"
+         "power_cap|frozen]\n"
+         "          [--arrivals diurnal|mmpp|poisson] [--util U] "
+         "[--requests N]\n"
+         "          [--seed S] [--shards K] [--period S] [--cap W] "
+         "[--slo-ms MS]\n"
+         "          [--json path]           closed-loop vs open-loop run\n"
          "  trace <program|synthetic> [path]  traced DES run -> JSONL\n"
          "  profile <trace.jsonl> [--interval S] [--json p] [--folded p] "
          "[--prom p]\n"
@@ -558,6 +567,145 @@ int cmd_traffic(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ------------------------------------------------------------- control
+
+/// Closed-loop traffic run vs the open-loop baseline on the same seed and
+/// arrival stream: the keystone comparison of docs/CONTROL.md.
+int cmd_control(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const bool synthetic = args[0] == "synthetic";
+  const workload::Workload w =
+      synthetic ? synthetic_workload() : study().workload(args[0]);
+
+  std::string controller_name = "power_gate";
+  std::string arrivals_name = "diurnal";
+  double util = 0.5;
+  double slo_ms = 50.0;
+  double cap_w = 1000.0;
+  std::string json_path;
+  traffic::TrafficOptions options;
+  options.requests = 20000;
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    const std::string& key = args[i];
+    const std::string& value = args[i + 1];
+    if (key == "--controller")
+      controller_name = value;
+    else if (key == "--arrivals")
+      arrivals_name = value;
+    else if (key == "--util")
+      util = std::stod(value);
+    else if (key == "--requests")
+      options.requests = std::stoull(value);
+    else if (key == "--seed")
+      options.seed = std::stoull(value);
+    else if (key == "--shards")
+      options.shards = std::stoull(value);
+    else if (key == "--period")
+      options.control.period = Seconds{std::stod(value)};
+    else if (key == "--cap")
+      cap_w = std::stod(value);
+    else if (key == "--slo-ms")
+      slo_ms = std::stod(value);
+    else if (key == "--json")
+      json_path = value;
+    else
+      return usage();
+  }
+
+  std::vector<traffic::TrafficClass> classes{
+      traffic::TrafficClass{w, 1.0, traffic::SloTarget{}}};
+  if (slo_ms > 0.0)
+    classes[0].slo = traffic::SloTarget{Seconds{slo_ms * 1e-3}, 0.95};
+  const model::ClusterSpec spec = model::make_a9_k10_cluster(4, 2);
+  const double capacity = traffic::cluster_capacity_per_s(spec, classes);
+  const double rate = util * capacity;
+
+  std::unique_ptr<traffic::ArrivalProcess> arrivals;
+  if (arrivals_name == "poisson")
+    arrivals = traffic::make_poisson(rate);
+  else if (arrivals_name == "diurnal")
+    arrivals = traffic::make_diurnal(rate, 0.6, Seconds{400.0 / rate});
+  else if (arrivals_name == "mmpp")
+    arrivals = traffic::make_mmpp(
+        {{0.4 * rate, Seconds{200.0 / rate}},
+         {2.2 * rate, Seconds{100.0 / rate}}});
+  else {
+    std::cerr << "unknown arrival process " << arrivals_name << "\n";
+    return 1;
+  }
+
+  if (controller_name == "power_gate" || controller_name == "power-gate")
+    options.control.controller = control::make_power_gate({});
+  else if (controller_name == "dvfs")
+    options.control.controller = control::make_dvfs_governor({});
+  else if (controller_name == "power_cap" || controller_name == "power-cap")
+    options.control.controller =
+        control::make_power_cap({.cap = Watts{cap_w}});
+  else if (controller_name == "frozen")
+    options.control.controller = control::make_frozen();
+  else {
+    std::cerr << "unknown controller " << controller_name << "\n";
+    return 1;
+  }
+
+  traffic::TrafficOptions open = options;
+  open.control = control::ControlOptions{};  // open loop
+  const auto base = traffic::simulate_traffic(spec, classes, *arrivals, open);
+  const auto r = traffic::simulate_traffic(spec, classes, *arrivals, options);
+
+  std::cout << w.name << " over 4xA9 + 2xK10, " << r.arrival_process
+            << " arrivals at " << fmt(rate, 1) << " req/s (util "
+            << fmt(util * 100.0, 0) << "%), controller "
+            << r.control.controller << ":\n";
+  TextTable t({"run", "energy [J]", "J/request", "p99 [ms]", "completed",
+               "shed"});
+  const auto row = [&](const std::string& label,
+                       const traffic::TrafficResult& x) {
+    t.add_row({label, fmt(x.energy.value(), 1),
+               fmt(x.energy_per_request.value(), 3),
+               fmt(x.sojourn.p99.value() * 1e3, 2),
+               std::to_string(x.completed),
+               std::to_string(x.shed_bucket + x.shed_queue)});
+  };
+  row("open loop", base);
+  row("closed loop", r);
+  std::cout << t;
+  const double saved =
+      base.energy.value() > 0.0
+          ? 100.0 * (1.0 - r.energy.value() / base.energy.value())
+          : 0.0;
+  std::cout << "  control: " << r.control.ticks << " ticks ("
+            << r.control.event_ticks << " event-triggered), "
+            << r.control.sleeps << " sleeps, " << r.control.wakes
+            << " wakes, " << r.control.point_changes << " point changes\n"
+            << "  gating saved " << fmt(r.control.gating_savings.value(), 1)
+            << " J, wake transients cost "
+            << fmt(r.control.wake_energy.value(), 1) << " J  ("
+            << fmt(saved, 1) << "% total energy vs open loop)\n";
+  if (!r.classes.empty() && r.classes[0].slo.enabled()) {
+    const auto& c = r.classes[0];
+    std::cout << "  SLO p95 <= " << fmt(slo_ms, 1) << " ms: "
+              << (c.slo_met() ? "met" : "MISSED") << " ("
+              << fmt(100.0 * c.violation_fraction(), 1)
+              << "% violations)\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    JsonValue doc = JsonValue::object();
+    doc.set("open_loop", base.to_json());
+    doc.set("closed_loop", r.to_json());
+    doc.set("control", r.control.to_json());
+    out << doc.dump_pretty() << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_governor(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   analysis::GovernorStudyOptions opts;
@@ -594,6 +742,7 @@ int main(int argc, char** argv) {
     if (cmd == "autoscale") return cmd_autoscale(args);
     if (cmd == "export") return cmd_export(args);
     if (cmd == "traffic") return cmd_traffic(args);
+    if (cmd == "control") return cmd_control(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "selftest") return cmd_selftest(args);

@@ -11,6 +11,13 @@
 //                        *_hz, ...). Use the hcep::units Quantity types —
 //                        the whole point of compile-time dimensional
 //                        analysis is that such a double cannot exist.
+//   control-unit-double  Stricter vocabulary for the closed-loop control
+//                        surface (include/hcep/control/): power/energy
+//                        signals crossing the Controller/Actuator
+//                        interface also go by cap, budget, draw, savings,
+//                        penalty, floor — a raw `double` under any of
+//                        those names is a W-vs-J slip waiting to happen
+//                        and must be a units quantity too.
 //   unordered-iteration  Report/JSON/export translation units feed
 //                        byte-identical same-seed artifacts (PR 3
 //                        guarantee); std::unordered_{map,set} iteration
@@ -151,6 +158,48 @@ void rule_unit_double(const fs::path& file, std::size_t lineno,
   }
 }
 
+// --- Rule: control-unit-double ----------------------------------------------
+
+/// Control-plane signal names that denote power/energy without naming the
+/// physical unit outright: the rack cap, power budgets, instantaneous
+/// draw, gating savings, wake penalties, sleep floors.
+bool names_control_signal(const std::string& name) {
+  static const std::vector<std::string> kExact = {"cap", "budget", "draw",
+                                                  "savings", "penalty"};
+  static const std::vector<std::string> kSuffix = {
+      "_cap", "_budget", "_draw", "_savings", "_penalty", "_floor"};
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const auto& e : kExact)
+    if (lower == e) return true;
+  for (const auto& s : kSuffix)
+    if (lower.size() > s.size() &&
+        lower.compare(lower.size() - s.size(), s.size(), s) == 0)
+      return true;
+  return false;
+}
+
+void rule_control_unit_double(const fs::path& file, std::size_t lineno,
+                              const std::string& raw, const std::string& code,
+                              std::vector<Finding>& out) {
+  static const std::regex decl(
+      R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*)\s*[;={(,)])");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), decl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    // The physical-unit vocabulary is already covered by unit-double;
+    // this rule adds the control-plane synonyms on top.
+    if (!names_control_signal(name)) continue;
+    if (suppressed(raw, "control-unit-double")) continue;
+    out.push_back({file.string(), lineno, "control-unit-double",
+                   "raw `double " + name +
+                       "` power/energy signal in a control-plane header; "
+                       "controllers must exchange hcep::units quantities "
+                       "(Watts/Joules) so a W-vs-J slip cannot compile"});
+  }
+}
+
 // --- Rule: unordered-iteration ----------------------------------------------
 
 void rule_unordered(const fs::path& file, std::size_t lineno,
@@ -286,6 +335,12 @@ bool hot_path_header(const fs::path& p) {
   return contains(s, "/des/") || contains(s, "/traffic/");
 }
 
+/// Closed-loop control surface: the Controller/Actuator interface and the
+/// policy option structs, where every power/energy signal must be typed.
+bool control_header(const fs::path& p) {
+  return contains(p.generic_string(), "include/hcep/control/");
+}
+
 /// Headers whose evaluators must be [[nodiscard]]: the model-facing
 /// public surface.
 bool evaluator_header(const fs::path& p) {
@@ -323,6 +378,8 @@ void scan_file(const fs::path& file, const fs::path& root,
 
     if (is_public_header)
       rule_unit_double(file, i + 1, lines[i], code, out);
+    if (is_public_header && control_header(file))
+      rule_control_unit_double(file, i + 1, lines[i], code, out);
     if (is_public_header && hot_path_header(file))
       rule_std_function(file, i + 1, lines[i], code, out);
     if (in_src && deterministic_output_path(file))
@@ -369,11 +426,13 @@ int selftest(const fs::path& fixtures) {
   // Per-rule seeded-violation counts: the model fixture plants one
   // unit-double + one nodiscard, the traffic fixture plants one of each
   // again (latency/sojourn identifier forms), report_bad.cpp plants the
-  // hash-container and the rand() call, and the des fixture plants the
-  // std::function hot-path hit. Each live bug has a suppressed twin that
-  // must stay silent, so the counts are exact.
+  // hash-container and the rand() call, the des fixture plants the
+  // std::function hot-path hit, and the control fixture plants two
+  // control-vocabulary doubles (cap, power_budget). Each live bug has a
+  // suppressed twin that must stay silent, so the counts are exact.
   const std::map<std::string, std::size_t> expected = {
       {"unit-double", 2},
+      {"control-unit-double", 2},
       {"nodiscard", 2},
       {"unordered-iteration", 1},
       {"banned-call", 1},
