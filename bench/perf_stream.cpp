@@ -1,0 +1,105 @@
+// Library performance: streaming telemetry.
+//
+// Quantifies the overhead the tumbling-window collector adds to the
+// request hot path. The headline pair: BM_StreamOffTraffic vs
+// BM_StreamOnTraffic push the same request stream through
+// simulate_traffic with streaming disabled and enabled (256 windows,
+// default sketch accuracy) — the difference is pure collector cost
+// (window accounting, energy integration, sketch inserts), which
+// tools/bench_regress.py --suite stream gates at <= 5% for the
+// 1M-request configuration (max_ratio 1.05 in BENCH_stream.json's
+// suite). BM_SketchInsert isolates the amortized per-sample cost of the
+// quantile summary itself.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hcep/obs/stream.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/traffic/simulate.hpp"
+#include "hcep/util/rng.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::traffic;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+std::vector<TrafficClass> one_class() {
+  return {TrafficClass{wl("EP"), 1.0, SloTarget{}}};
+}
+
+/// Shared scenario: 4 A9 + 2 K10 at 70% utilization, identical to the
+/// perf_control.cpp open-loop scenario so numbers compare across suites.
+void run_traffic(benchmark::State& state, bool streamed) {
+  const auto cluster = model::make_a9_k10_cluster(4, 2);
+  const auto classes = one_class();
+  const double rate = 0.7 * cluster_capacity_per_s(cluster, classes);
+  const auto arrivals = make_poisson(rate);
+  TrafficOptions options;
+  options.requests = static_cast<std::uint64_t>(state.range(0));
+  if (streamed) {
+    // ~256 windows over the run regardless of request count — the
+    // cadence a `hcep timeline` invocation would pick.
+    const double span = static_cast<double>(options.requests) / rate;
+    options.stream.window = Seconds{span / 256.0};
+  }
+  for (auto _ : state) {
+    const TrafficResult r =
+        simulate_traffic(cluster, classes, *arrivals, options);
+    benchmark::DoNotOptimize(r.completed);
+    if (streamed) benchmark::DoNotOptimize(r.timeline.windows.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+/// Baseline: streaming disabled — no collector installed.
+void BM_StreamOffTraffic(benchmark::State& state) {
+  run_traffic(state, false);
+}
+BENCHMARK(BM_StreamOffTraffic)->Arg(1 << 17)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// Streamed run: identical request stream (the collector is purely
+/// observational — the tests/test_stream.cpp oracle), so the throughput
+/// difference is exactly the telemetry cost.
+void BM_StreamOnTraffic(benchmark::State& state) {
+  run_traffic(state, true);
+}
+BENCHMARK(BM_StreamOnTraffic)->Arg(1 << 17)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Sketch microbenchmark -----------------------------------------------
+
+/// Amortized per-sample insert cost at a given accuracy: the buffered
+/// batch design makes this a push_back most of the time with a sort +
+/// merge every 64 samples.
+void BM_SketchInsert(benchmark::State& state) {
+  const double eps =
+      1.0 / static_cast<double>(state.range(0));  // 1/200, 1/1000
+  Rng rng(42);
+  std::vector<double> samples(1 << 16);
+  for (auto& s : samples) s = rng.exponential(3.0);
+  for (auto _ : state) {
+    obs::stream::QuantileSketch sk(eps);
+    for (const double s : samples) sk.insert(s);
+    benchmark::DoNotOptimize(sk.quantile(0.99));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_SketchInsert)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

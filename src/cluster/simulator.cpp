@@ -291,6 +291,15 @@ SimResult simulate(const model::TimeEnergyModel& m, const SimOptions& options) {
   // Run: process all events (in-flight jobs past the window drain too).
   ctx.sim.run();
 
+#if HCEP_OBS
+  if (ctx.o != nullptr) {
+    // Ring drops are silent data loss: surface the tally as a live gauge
+    // so metric snapshots expose it without decoding the trace.
+    ctx.o->metrics.set(ctx.o->metrics.gauge("obs.trace_dropped"),
+                       static_cast<double>(ctx.o->tracer.dropped()));
+  }
+#endif
+
   SimResult out = std::move(ctx.out);
   out.window = ctx.window;
   out.energy_exact = ctx.probe.energy(ctx.window);

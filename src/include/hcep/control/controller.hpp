@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "hcep/obs/stream.hpp"
 #include "hcep/power/meter.hpp"
 #include "hcep/util/json.hpp"
 #include "hcep/util/units.hpp"
@@ -154,6 +155,12 @@ struct ControlOptions {
   /// ControlSummary::trace (property tests re-integrate it against the
   /// energy ledger; costs two ledger entries per dispatch).
   bool record_power_trace = false;
+  /// Append one obs::stream::DecisionRecord per tick to
+  /// ControlSummary::flight — the control plane's audit ledger (observed
+  /// signals, actions, predicted vs realized effect one window later).
+  bool flight_recorder = true;
+  /// Drop-oldest bound of the per-shard flight recorder.
+  std::size_t flight_capacity = 1u << 16;
 
   [[nodiscard]] bool enabled() const { return controller != nullptr; }
 };
@@ -181,6 +188,9 @@ struct ControlSummary {
   /// trace.energy(makespan) + wake_energy == TrafficResult::energy to
   /// 1e-9 (tests/test_properties.cpp).
   power::PowerTrace trace;
+  /// Per-tick decision audit ledger when ControlOptions::flight_recorder
+  /// (merged across shards in deterministic (time, shard, tick) order).
+  obs::stream::FlightRecorder flight;
 
   [[nodiscard]] JsonValue to_json() const;
 };

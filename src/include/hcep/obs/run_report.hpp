@@ -14,16 +14,29 @@
 
 #include "hcep/obs/metrics.hpp"
 #include "hcep/obs/profile.hpp"
+#include "hcep/obs/stream.hpp"
 #include "hcep/util/json.hpp"
 
 namespace hcep::obs {
 
-/// One run's telemetry, analyzed: profile + rollups + metrics.
+/// One run's telemetry, analyzed: profile + rollups + metrics, plus the
+/// optional streamed timeline and control-plane decision ledger.
 struct RunReport {
   std::string title;
   TraceProfile profile;
   std::vector<SeriesRollup> rollups;  ///< one per counter channel
   MetricsSnapshot metrics;
+  /// Streamed tumbling-window timeline (attach from
+  /// traffic::TrafficResult::timeline; emitted only when non-empty so
+  /// reports without streaming keep their historic byte shape).
+  stream::StreamTimeline timeline;
+  /// Control-plane decision ledger (attach from
+  /// ControlSummary::flight; emitted only when non-empty).
+  stream::FlightRecorder flight;
+
+  /// Data-loss and audit warnings: trace-ring drops and flight-recorder
+  /// evictions, in emission order. Empty when nothing was lost.
+  [[nodiscard]] std::vector<std::string> warnings() const;
 
   /// Deterministic JSON serialization (schema_version 1).
   [[nodiscard]] JsonValue to_json() const;

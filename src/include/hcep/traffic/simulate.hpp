@@ -22,6 +22,7 @@
 #include "hcep/cluster/dispatch.hpp"
 #include "hcep/control/controller.hpp"
 #include "hcep/model/cluster_spec.hpp"
+#include "hcep/obs/stream.hpp"
 #include "hcep/traffic/admission.hpp"
 #include "hcep/traffic/arrivals.hpp"
 #include "hcep/traffic/slo.hpp"
@@ -66,6 +67,12 @@ struct TrafficOptions {
   /// control::make_frozen() controller reproduces the open-loop result
   /// byte-identically (the oracle property tests/test_control.cpp pins).
   control::ControlOptions control{};
+  /// Streaming telemetry (hcep::obs::stream). Default-constructed =
+  /// off: no collector, no hooks, zero hot-path cost. With a window > 0
+  /// the run fills TrafficResult::timeline with tumbling-window
+  /// aggregates computed online — purely observational (no RNG draws, no
+  /// DES events), so enabling it leaves every other result byte-identical.
+  obs::stream::StreamOptions stream{};
 };
 
 /// Aggregate ledger plus exact latency summaries of one traffic run.
@@ -104,6 +111,13 @@ struct TrafficResult {
   /// byte-identity against the open-loop document. Serialize it
   /// separately via control.to_json().
   control::ControlSummary control;
+
+  /// Streamed tumbling-window timeline (empty unless
+  /// TrafficOptions::stream enabled it). Like `control`, deliberately
+  /// NOT part of to_json() — the core document stays byte-identical
+  /// whether or not streaming was on; serialize it separately via
+  /// timeline.to_json() / timeline.csv().
+  obs::stream::StreamTimeline timeline;
 
   /// Deterministic JSON (insertion-ordered keys; same-seed runs are
   /// byte-identical).

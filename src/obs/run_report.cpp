@@ -113,10 +113,34 @@ JsonValue rollup_json(const SeriesRollup& r) {
 
 }  // namespace
 
+std::vector<std::string> RunReport::warnings() const {
+  std::vector<std::string> out;
+  if (profile.dropped > 0) {
+    out.push_back("trace ring dropped " + std::to_string(profile.dropped) +
+                  " events; profile and rollups are incomplete (raise the "
+                  "tracer capacity or use the streaming timeline)");
+  }
+  if (flight.dropped() > 0) {
+    out.push_back("flight recorder evicted " +
+                  std::to_string(flight.dropped()) +
+                  " decision records (raise "
+                  "ControlOptions::flight_capacity)");
+  }
+  return out;
+}
+
 JsonValue RunReport::to_json() const {
   JsonValue root = JsonValue::object();
   root.set("schema_version", JsonValue::number(std::int64_t{1}));
   root.set("title", JsonValue::string(title));
+  // Warnings (and the streamed sections below) are additive: reports
+  // from runs without drops or streaming keep their historic bytes.
+  const std::vector<std::string> warns = warnings();
+  if (!warns.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const std::string& w : warns) arr.push(JsonValue::string(w));
+    root.set("warnings", std::move(arr));
+  }
 
   JsonValue prof = JsonValue::object();
   prof.set("events",
@@ -150,6 +174,10 @@ JsonValue RunReport::to_json() const {
   root.set("rollups", std::move(rollup_arr));
 
   root.set("metrics", metrics.to_json());
+  if (!timeline.empty()) root.set("stream", timeline.to_json());
+  if (!flight.empty() || flight.dropped() > 0) {
+    root.set("flight", flight.to_json());
+  }
   return root;
 }
 
@@ -173,6 +201,12 @@ RunReport make_run_report(const Trace& trace, std::string title,
           "trace.events." + c.category + "." + c.name + "." + c.phase,
           c.count);
     }
+  }
+  // Ring drops are silent data loss: surface them in the snapshot (and
+  // thus the Prometheus exposition) whenever any occurred.
+  if (report.profile.dropped > 0) {
+    report.metrics.counters.emplace_back("trace.dropped_events",
+                                         report.profile.dropped);
   }
   return report;
 }

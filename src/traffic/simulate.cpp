@@ -229,7 +229,9 @@ class Engine final : public control::Actuator {
          const std::vector<double>& cumulative,
          const TrafficOptions& options, std::vector<Node> nodes,
          std::uint64_t request_budget, Rng rng, bool tracing,
-         const std::vector<TypePoints>* tables, double shard_share)
+         const std::vector<TypePoints>* tables, double shard_share,
+         const std::vector<obs::stream::NodeClassInfo>* stream_classes,
+         std::uint32_t shard_index)
       : sim_(sim),
         classes_(classes),
         cumulative_(cumulative),
@@ -238,7 +240,9 @@ class Engine final : public control::Actuator {
         request_budget_(request_budget),
         rng_(rng),
         tracing_(tracing),
-        per_class_(classes.size()) {
+        per_class_(classes.size()),
+        shard_index_(shard_index),
+        shard_count_(static_cast<std::uint32_t>(options.shards)) {
     if (options.admission.bucket_enabled()) {
       const double split = static_cast<double>(options.shards);
       bucket_ = std::make_unique<TokenBucket>(
@@ -292,6 +296,24 @@ class Engine final : public control::Actuator {
       }
 #endif
     }
+    // Streaming telemetry: a per-shard Collector fed by the event hooks
+    // below. Purely observational (no RNG draws, no DES events), so the
+    // simulation outcome is byte-identical with it on or off.
+    if (options_.stream.enabled() && stream_classes != nullptr) {
+      std::vector<obs::stream::NodeClassInfo> cls = *stream_classes;
+      for (auto& c : cls) c.nodes = 0;
+      std::vector<Watts> floors(cls.size(), Watts{0.0});
+      for (const Node& n : nodes_) {
+        ++cls[n.type_ord].nodes;
+        floors[n.type_ord] += n.idle;
+      }
+      stream_ = std::make_unique<obs::stream::Collector>(
+          options_.stream, std::move(cls), std::move(floors));
+    }
+    if (copts_ != nullptr && copts_->flight_recorder) {
+      frec_ = std::make_unique<obs::stream::FlightRecorder>(
+          copts_->flight_capacity);
+    }
   }
 
   /// Schedules the tick chain (t = 0 first); no-op without a controller.
@@ -341,6 +363,7 @@ class Engine final : public control::Actuator {
   [[nodiscard]] std::vector<std::pair<double, double>>& ledger() {
     return ledger_;
   }
+  [[nodiscard]] obs::stream::Collector* stream() { return stream_.get(); }
 
   /// Closes open sleep intervals and integrates the gating savings,
   /// clipped to the run's makespan (the idle-floor baseline the savings
@@ -364,6 +387,7 @@ class Engine final : public control::Actuator {
     csum_.gating_savings = savings;
     csum_.enabled = true;
     csum_.controller = controller_->name();
+    if (frec_ != nullptr) csum_.flight = std::move(*frec_);
   }
 
  private:
@@ -412,6 +436,7 @@ class Engine final : public control::Actuator {
 #if HCEP_OBS
     if (o_ != nullptr) o_->metrics.add(offered_m_);
 #endif
+    if (stream_ != nullptr) stream_->on_arrival(sim_.now());
     note_inflight();
     attempt(req);
   }
@@ -513,6 +538,31 @@ class Engine final : public control::Actuator {
     ctx.worst_case_power = worst;
     ctx.shard_share = shard_share_;
 
+    // Flight recorder: close the loop on the previous record (what
+    // actually happened over the window that just ended is this tick's
+    // pre-actuation observation), then capture action-count baselines.
+    std::uint64_t window_completed = 0;
+    Seconds window_p99{0.0};
+    if (frec_ != nullptr) {
+      for (const control::ClassFeedback& fb : class_buf_) {
+        window_completed += fb.window_completed;
+        window_p99 = std::max(window_p99, fb.window_p99);
+      }
+      obs::stream::DecisionRecord* prev = frec_->last();
+      if (prev != nullptr && !prev->realized_valid) {
+        prev->realized_valid = true;
+        prev->realized_power = worst;
+        prev->realized_rate_per_s =
+            window.value() > 0.0
+                ? static_cast<double>(window_completed) / window.value()
+                : 0.0;
+        prev->realized_p99 = window_p99;
+      }
+    }
+    const std::uint64_t sleeps0 = csum_.sleeps;
+    const std::uint64_t wakes0 = csum_.wakes;
+    const std::uint64_t points0 = csum_.point_changes;
+
 #if HCEP_OBS
     if (o_ != nullptr) {
       o_->metrics.add(ctrl_ticks_m_);
@@ -533,6 +583,51 @@ class Engine final : public control::Actuator {
       }
     }
 #endif
+    if (frec_ != nullptr) {
+      obs::stream::DecisionRecord rec;
+      rec.tick = csum_.ticks;
+      rec.shard = shard_index_;
+      rec.event = event;
+      rec.t = now;
+      rec.window = window;
+      rec.arrivals_per_s = ctx.window_arrivals_per_s;
+      rec.observed_power = worst;
+      for (const control::NodeStatus& st : status_buf_) {
+        rec.queued += st.queued;
+        switch (st.state) {
+          case control::PowerState::kActive: ++rec.active; break;
+          case control::PowerState::kDraining: ++rec.draining; break;
+          case control::PowerState::kSleeping: ++rec.sleeping; break;
+        }
+      }
+      rec.window_completed = window_completed;
+      for (const control::ClassFeedback& fb : class_buf_) {
+        rec.window_shed += fb.window_shed;
+      }
+      rec.window_p99 = window_p99;
+      rec.sleeps = static_cast<std::uint32_t>(csum_.sleeps - sleeps0);
+      rec.wakes = static_cast<std::uint32_t>(csum_.wakes - wakes0);
+      rec.point_changes =
+          static_cast<std::uint32_t>(csum_.point_changes - points0);
+      rec.transitions = std::move(tick_transitions_);
+      tick_transitions_.clear();
+      // Predicted effect of the post-actuation fleet: conservative draw
+      // plus the aggregate service rate of nodes able to take work.
+      Watts predicted{0.0};
+      double rate = 0.0;
+      for (const Node& n : nodes_) {
+        if (n.pstate == control::PowerState::kSleeping) {
+          predicted += n.sleep_power;
+        } else {
+          predicted += (*tables_)[n.type_ord].busy_worst[n.point];
+          if (n.pstate == control::PowerState::kActive)
+            rate += (*tables_)[n.type_ord].rate[n.point];
+        }
+      }
+      rec.predicted_power = predicted;
+      rec.predicted_rate_per_s = rate;
+      frec_->append(std::move(rec));
+    }
     for (Node& n : nodes_) n.window_busy = Seconds{0.0};
     window_arrivals_ = 0;
     for (std::size_t c = 0; c < classes_.size(); ++c) {
@@ -547,6 +642,21 @@ class Engine final : public control::Actuator {
   void note_power(Seconds t, Watts delta) {
     if (copts_->record_power_trace)
       ledger_.emplace_back(t.value(), delta.value());
+  }
+
+  /// Global node index of a shard-local one (round-robin partition:
+  /// shard-local slot k holds global node k * shards + shard).
+  [[nodiscard]] std::uint32_t global_node(std::size_t i) const {
+    return static_cast<std::uint32_t>(i) * shard_count_ + shard_index_;
+  }
+
+  void record_transition(std::size_t i,
+                         obs::stream::DecisionRecord::Transition::Kind kind,
+                         std::uint32_t from, std::uint32_t to) {
+    if (frec_ == nullptr) return;
+    tick_transitions_.push_back(
+        obs::stream::DecisionRecord::Transition{global_node(i), kind, from,
+                                                to});
   }
 
   // ---- control::Actuator ----
@@ -564,15 +674,24 @@ class Engine final : public control::Actuator {
       n.pstate = control::PowerState::kSleeping;
       n.sleep_since = now;
       note_power(now, n.sleep_power - n.idle);
+      if (stream_ != nullptr)
+        stream_->on_floor_delta(n.type_ord, now, n.sleep_power - n.idle);
     } else {
       n.pstate = control::PowerState::kDraining;  // sleeps when it empties
     }
+    record_transition(i,
+                      n.pstate == control::PowerState::kSleeping
+                          ? obs::stream::DecisionRecord::Transition::Kind::kSleep
+                          : obs::stream::DecisionRecord::Transition::Kind::kDrain,
+                      static_cast<std::uint32_t>(control::PowerState::kActive),
+                      static_cast<std::uint32_t>(n.pstate));
     return true;
   }
 
   bool wake_node(std::size_t i) override {
     Node& n = nodes_[i];
     if (n.pstate == control::PowerState::kActive) return false;
+    const control::PowerState prev = n.pstate;
     const Seconds now = sim_.now();
     if (n.pstate == control::PowerState::kSleeping) {
       sleep_spans_.push_back({n.sleep_since, now, n.idle - n.sleep_power});
@@ -582,11 +701,18 @@ class Engine final : public control::Actuator {
 #if HCEP_OBS
       if (o_ != nullptr) o_->metrics.add(ctrl_wakes_m_);
 #endif
+      if (stream_ != nullptr) {
+        stream_->on_floor_delta(n.type_ord, now, n.idle - n.sleep_power);
+        stream_->on_wake_energy(n.type_ord, now, copts_->wake_energy);
+      }
       // Boot delay: powered and drawing idle, serving only afterwards.
       n.free_at = std::max(n.free_at, now + copts_->wake_delay);
     }
     n.pstate = control::PowerState::kActive;
     ++dispatchable_;
+    record_transition(i, obs::stream::DecisionRecord::Transition::Kind::kWake,
+                      static_cast<std::uint32_t>(prev),
+                      static_cast<std::uint32_t>(control::PowerState::kActive));
     return true;
   }
 
@@ -594,6 +720,8 @@ class Engine final : public control::Actuator {
     Node& n = nodes_[i];
     const TypePoints& t = (*tables_)[n.type_ord];
     if (p >= t.points.size() || p == n.point) return false;
+    record_transition(i, obs::stream::DecisionRecord::Transition::Kind::kPoint,
+                      n.point, p);
     n.point = p;
     // In-flight service times are already fixed; future dispatches read
     // the new tables. Copy-assign reuses capacity (equal sizes).
@@ -769,6 +897,7 @@ class Engine final : public control::Actuator {
           o_->tracer.instant(now.value(), shed_cat_s_, bucket_s_);
       }
 #endif
+      if (stream_ != nullptr) stream_->on_shed(now);
       reject(req);
       return;
     }
@@ -789,6 +918,7 @@ class Engine final : public control::Actuator {
           o_->tracer.instant(now.value(), shed_cat_s_, queue_s_);
       }
 #endif
+      if (stream_ != nullptr) stream_->on_shed(now);
       reject(req);
       return;
     }
@@ -808,6 +938,8 @@ class Engine final : public control::Actuator {
       note_power(start, n.dynamic[req.cls]);
       note_power(done, n.dynamic[req.cls] * -1.0);
     }
+    if (stream_ != nullptr)
+      stream_->on_dispatch(n.type_ord, now, start, done, n.dynamic[req.cls]);
 #if HCEP_OBS
     if (o_ != nullptr) {
       o_->metrics.add(admitted_m_);
@@ -882,6 +1014,8 @@ class Engine final : public control::Actuator {
       ++per_class_[cls].slo_violations;
     makespan_ = std::max(makespan_, sim_.now());
     --inflight_;
+    if (stream_ != nullptr)
+      stream_->on_complete(node.type_ord, sim_.now(), sojourn);
     if (copts_ != nullptr) {
       node.window_busy += service;
       window_sojourns_[cls].push_back(sojourn.value());
@@ -889,6 +1023,10 @@ class Engine final : public control::Actuator {
         node.pstate = control::PowerState::kSleeping;
         node.sleep_since = sim_.now();
         note_power(sim_.now(), node.sleep_power - node.idle);
+        if (stream_ != nullptr) {
+          stream_->on_floor_delta(node.type_ord, sim_.now(),
+                                  node.sleep_power - node.idle);
+        }
       }
     }
 #if HCEP_OBS
@@ -942,6 +1080,12 @@ class Engine final : public control::Actuator {
   std::vector<SleepSpan> sleep_spans_;
   /// (time, ΔWatts) events for post-run PowerTrace reconstruction.
   std::vector<std::pair<double, double>> ledger_;
+  // --- streaming telemetry (inert without TrafficOptions::stream) ---
+  std::unique_ptr<obs::stream::Collector> stream_;
+  std::unique_ptr<obs::stream::FlightRecorder> frec_;
+  std::vector<obs::stream::DecisionRecord::Transition> tick_transitions_;
+  std::uint32_t shard_index_ = 0;
+  std::uint32_t shard_count_ = 1;
 #if HCEP_OBS
   obs::Observer* o_ = nullptr;
   obs::MetricId offered_m_ = 0, admitted_m_ = 0, shed_m_ = 0, retries_m_ = 0,
@@ -1004,23 +1148,39 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
   // ladders and stamp each node with its type ordinal + configured point.
   // materialize_nodes iterates present groups in spec order, emitting
   // g.count nodes per group, so the stamping below walks the same order.
+  const bool streaming = options.stream.enabled();
   std::vector<TypePoints> point_tables;
-  if (controlled) {
-    point_tables = materialize_point_tables(cluster, classes);
+  if (controlled) point_tables = materialize_point_tables(cluster, classes);
+  if (controlled || streaming) {
     std::size_t ni = 0;
     std::uint32_t gi = 0;
     for (const auto& g : cluster.groups) {
       if (g.count == 0) continue;
       for (unsigned k = 0; k < g.count; ++k, ++ni) {
         all_nodes[ni].type_ord = gi;
-        all_nodes[ni].point = point_tables[gi].configured;
-        all_nodes[ni].sleep_power = options.control.sleep_power;
+        if (controlled) {
+          all_nodes[ni].point = point_tables[gi].configured;
+          all_nodes[ni].sleep_power = options.control.sleep_power;
+        }
       }
       ++gi;
     }
   }
   const std::vector<TypePoints>* tables_ptr =
       controlled ? &point_tables : nullptr;
+
+  // Node-class identity rows of the streamed timeline: one per present
+  // group, in spec order — the same ordinals type_ord indexes.
+  std::vector<obs::stream::NodeClassInfo> stream_classes;
+  if (streaming) {
+    for (const auto& g : cluster.groups) {
+      if (g.count == 0) continue;
+      stream_classes.push_back(obs::stream::NodeClassInfo{
+          g.spec.name, static_cast<std::uint64_t>(g.count)});
+    }
+  }
+  const std::vector<obs::stream::NodeClassInfo>* stream_ptr =
+      streaming ? &stream_classes : nullptr;
 
   std::vector<std::unique_ptr<Engine>> engines;
   std::string process_name;
@@ -1033,7 +1193,7 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
     engines.push_back(std::make_unique<Engine>(
         *sim, classes, cumulative, options, std::move(all_nodes),
         options.requests, Rng(options.seed), /*tracing=*/true, tables_ptr,
-        /*shard_share=*/1.0));
+        /*shard_share=*/1.0, stream_ptr, /*shard_index=*/0));
     std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
     process_name = gen->name();
     engines[0]->start_control();
@@ -1082,7 +1242,8 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
           std::move(shard_nodes[s]),
           options.requests / shard_count + 1,
           Rng(options.seed).split(static_cast<unsigned>(s)),
-          /*tracing=*/false, tables_ptr, share));
+          /*tracing=*/false, tables_ptr, share, stream_ptr,
+          static_cast<std::uint32_t>(s)));
       engines[s]->preload(shard_arrivals[s]);
       engines[s]->start_control();
     }
@@ -1157,6 +1318,13 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
   const Joules idle_energy = idle_floor * makespan;
   out.makespan = makespan;
 
+  if (streaming) {
+    std::vector<obs::stream::Collector*> collectors;
+    for (auto& e : engines) collectors.push_back(e->stream());
+    out.timeline =
+        obs::stream::Collector::merge_finalize(collectors, makespan);
+  }
+
   // Shared (non-request-attributable) energy: the idle floor, minus what
   // power gating saved, plus wake transients. With no controller — or a
   // frozen one — savings and wake costs are exactly 0.0, so the
@@ -1179,6 +1347,12 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
       merged.wake_energy += cs.wake_energy;
       merged.all_dispatches_available =
           merged.all_dispatches_available && cs.all_dispatches_available;
+    }
+    if (options.control.flight_recorder) {
+      std::vector<const obs::stream::FlightRecorder*> recorders;
+      for (auto& e : engines)
+        recorders.push_back(&e->control_summary().flight);
+      merged.flight = obs::stream::FlightRecorder::merge(recorders);
     }
     shared_energy = shared_energy - merged.gating_savings +
                     merged.wake_energy;

@@ -3,9 +3,11 @@
 // many seeds via TEST_P sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "hcep/model/time_energy.hpp"
 #include "hcep/obs/obs.hpp"
 #include "hcep/obs/power_probe.hpp"
+#include "hcep/obs/stream.hpp"
 #include "hcep/power/curve.hpp"
 #include "hcep/queueing/md1.hpp"
 #include "hcep/traffic/arrivals.hpp"
@@ -401,6 +404,13 @@ TEST_P(ControlledTraffic, ClosedLoopInvariantsHoldOverRandomizedTriples) {
           opts.control.controller = control::make_power_cap({.cap = cap});
         }
 
+        // Streamed telemetry rides along on every triple; window width
+        // and sketch accuracy are randomized per triple. These draws sit
+        // after the controller draws so the pre-existing sequences (and
+        // therefore the golden behaviour above) are untouched.
+        opts.stream.window = Seconds{span / rng.uniform(8.0, 24.0)};
+        opts.stream.sketch_epsilon = rng.uniform(0.002, 0.02);
+
         const auto arrivals = control_arrivals(process, rate);
         const auto r = simulate_traffic(cluster, classes, *arrivals, opts);
         const std::string tag = std::string(process) + "/" +
@@ -444,6 +454,128 @@ TEST_P(ControlledTraffic, ClosedLoopInvariantsHoldOverRandomizedTriples) {
         ASSERT_EQ(r.control.to_json().dump(), r2.control.to_json().dump())
             << tag;
         ASSERT_EQ(r.energy.value(), r2.energy.value()) << tag;  // bit-exact
+
+        // STREAMED TIMELINE: conservation laws tie the windowed
+        // aggregates back to the run's exact totals, and the streamed
+        // view is as deterministic as the run itself (byte-identical
+        // across the rerun, which flips serial vs parallel shards).
+        const obs::stream::StreamTimeline& tl = r.timeline;
+        ASSERT_FALSE(tl.empty()) << tag;
+        ASSERT_EQ(tl.to_json().dump(), r2.timeline.to_json().dump()) << tag;
+        std::uint64_t w_arrivals = 0;
+        std::uint64_t w_completions = 0;
+        std::uint64_t w_shed = 0;
+        std::uint64_t w_sojourns = 0;
+        double w_energy = 0.0;
+        double w_wake = 0.0;
+        for (const auto& w : tl.windows) {
+          w_arrivals += w.arrivals;
+          w_completions += w.completions;
+          w_shed += w.shed;
+          w_sojourns += w.sojourn_count;
+          w_energy += w.energy.value();
+          w_wake += w.wake.value();
+          ASSERT_LE(w.sojourn_p50.value(), w.sojourn_p95.value() + 1e-12)
+              << tag << " window=" << w.index;
+          ASSERT_LE(w.sojourn_p95.value(), w.sojourn_p99.value() + 1e-12)
+              << tag << " window=" << w.index;
+          double class_energy = 0.0;
+          double class_wake = 0.0;
+          for (const auto& c : w.classes) {
+            class_energy += c.energy.value();
+            class_wake += c.wake.value();
+          }
+          ASSERT_NEAR(w.energy.value(), class_energy,
+                      std::max(1e-9, 1e-9 * w.energy.value()))
+              << tag << " window=" << w.index;
+          ASSERT_NEAR(w.wake.value(), class_wake,
+                      std::max(1e-9, 1e-9 * w.wake.value()))
+              << tag << " window=" << w.index;
+        }
+        EXPECT_EQ(w_arrivals, r.offered) << tag;
+        EXPECT_EQ(w_completions, r.completed) << tag;
+        EXPECT_EQ(w_shed, r.shed_bucket + r.shed_queue) << tag;
+        EXPECT_EQ(w_sojourns, r.completed) << tag;
+        // The streamed energy re-integrates to the same exact ledger the
+        // power trace proves: windows sum to the trace integral, and with
+        // wake lumps added, to the run's exact energy.
+        EXPECT_NEAR(w_energy, r.control.trace.energy(r.makespan).value(),
+                    std::max(1e-9, 1e-9 * w_energy))
+            << tag;
+        EXPECT_NEAR(w_energy + w_wake, r.energy.value(),
+                    std::max(1e-9, 1e-9 * r.energy.value()))
+            << tag;
+        EXPECT_NEAR(tl.total_energy.value(), w_energy,
+                    std::max(1e-9, 1e-9 * w_energy))
+            << tag;
+        EXPECT_NEAR(tl.total_wake.value(), w_wake,
+                    std::max(1e-9, 1e-9 * std::max(w_wake, 1.0)))
+            << tag;
+
+        // FLIGHT RECORDER: every controller tick is in the ledger, with
+        // predictions populated and realized effects filled one window
+        // later (only a shard's final tick may stay unrealized).
+        const obs::stream::FlightRecorder& fr = r.control.flight;
+        ASSERT_EQ(fr.size(), r.control.ticks) << tag;
+        EXPECT_EQ(fr.dropped(), 0u) << tag;
+        std::map<std::uint32_t, std::uint64_t> last_tick;
+        for (std::size_t i = 0; i < fr.size(); ++i) {
+          const auto& rec = fr.at(i);
+          auto [it, fresh] = last_tick.try_emplace(rec.shard, rec.tick);
+          if (!fresh) it->second = std::max(it->second, rec.tick);
+        }
+        for (std::size_t i = 0; i < fr.size(); ++i) {
+          const auto& rec = fr.at(i);
+          ASSERT_GT(rec.predicted_power.value(), 0.0)
+              << tag << " tick=" << rec.tick;
+          if (rec.tick < last_tick[rec.shard]) {
+            ASSERT_TRUE(rec.realized_valid)
+                << tag << " shard=" << rec.shard << " tick=" << rec.tick;
+            ASSERT_GT(rec.realized_power.value(), 0.0)
+                << tag << " tick=" << rec.tick;
+          }
+        }
+
+        // SKETCH ACCURACY vs exact order statistics: a randomized
+        // (n, epsilon, distribution, shard split) instance per triple —
+        // 256 instances across the suite's four seeds.
+        {
+          Rng srng(seed * 104729 + triples * 53);
+          const std::size_t n = 200 + srng.uniform_int(3000);
+          const double eps = srng.uniform(0.002, 0.02);
+          const std::size_t parts = 1 + triples % 3;
+          std::vector<obs::stream::QuantileSketch> shard_sk;
+          for (std::size_t p = 0; p < parts; ++p) shard_sk.emplace_back(eps);
+          std::vector<double> values;
+          values.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            double v = 0.0;
+            switch (srng.uniform_int(4)) {
+              case 0: v = srng.uniform(0.0, 1.0); break;
+              case 1: v = static_cast<double>(srng.uniform_int(8)); break;
+              case 2: v = srng.exponential(3.0); break;
+              default: v = 1e3 + srng.uniform(0.0, 1e3); break;
+            }
+            values.push_back(v);
+            shard_sk[i % parts].insert(v);
+          }
+          obs::stream::QuantileSketch sk = std::move(shard_sk[0]);
+          for (std::size_t p = 1; p < parts; ++p) sk.merge(shard_sk[p]);
+          ASSERT_EQ(sk.count(), n) << tag;
+          ASSERT_LE(sk.buckets(), obs::stream::QuantileSketch::max_buckets())
+              << tag;
+          std::vector<double> sorted = values;
+          std::sort(sorted.begin(), sorted.end());
+          const double dn = static_cast<double>(n);
+          for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+            const double got = sk.quantile(q);
+            const auto rank = static_cast<std::size_t>(
+                std::clamp(std::ceil(q * dn), 1.0, dn));
+            const double exact = sorted[rank - 1];
+            ASSERT_NEAR(got, exact, sk.epsilon() * std::abs(exact) + 1e-12)
+                << tag << " q=" << q << " n=" << n << " eps=" << eps;
+          }
+        }
 
         ++triples;
       }

@@ -20,12 +20,19 @@
 //                                    traced DES run exported as JSONL
 //   hcep profile <trace.jsonl> [--interval S] [--json p] [--folded p]
 //                [--prom p]          analyze an exported trace
+//   hcep timeline <program|synthetic> [...]
+//                                    streamed windowed telemetry
+//   hcep diff <a.json> <b.json>      compare two timeline exports
 //
-// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures
+// (`hcep diff` returns 0 when identical within tolerance, 1 otherwise).
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,6 +72,13 @@ int usage() {
          "  profile <trace.jsonl> [--interval S] [--json p] [--folded p] "
          "[--prom p]\n"
          "                                  analyze an exported trace\n"
+         "  timeline <program|synthetic> [--arrivals A] [--util U] "
+         "[--requests N]\n"
+         "          [--policy P] [--seed S] [--shards K] [--window S] "
+         "[--epsilon E]\n"
+         "          [--json path] [--csv path]  streamed windowed telemetry\n"
+         "  diff <a.json> <b.json> [--rel T] [--abs T] [--json path]\n"
+         "                                  compare two timeline exports\n"
          "programs: EP memcached x264 blackscholes Julius RSA-2048\n";
   return 1;
 }
@@ -321,6 +335,10 @@ int cmd_profile(const std::vector<std::string>& args) {
             << p.dropped << " dropped), horizon " << fmt(p.horizon_s, 3)
             << " s, critical path " << fmt(p.critical_path_s, 3)
             << " s, idle " << fmt(p.idle_s, 3) << " s\n";
+  // Silent data loss is the one thing a profile must never hide: echo
+  // the report's warning lines (ring drops, flight-recorder evictions).
+  for (const std::string& warning : report.warnings())
+    std::cout << "WARNING: " << warning << "\n";
   if (p.unmatched_begins + p.unmatched_ends > 0) {
     std::cout << "  (" << p.unmatched_begins << " unmatched begins, "
               << p.unmatched_ends
@@ -375,8 +393,7 @@ int cmd_profile(const std::vector<std::string>& args) {
 /// End-to-end smoke of the telemetry pipeline, wired into ctest: trace a
 /// synthetic run to JSONL, profile it through the real `profile` command
 /// path, then re-parse and cross-check the artifacts.
-int cmd_selftest(const std::vector<std::string>& args) {
-  if (args.empty() || args[0] != "profile") return usage();
+int cmd_selftest_profile() {
   const std::string trace_path = "hcep_selftest_trace.jsonl";
   const std::string json_path = "hcep_selftest_report.json";
   const std::string folded_path = "hcep_selftest.folded";
@@ -436,6 +453,83 @@ int cmd_selftest(const std::vector<std::string>& args) {
 #endif
   std::cout << "selftest profile: ok\n";
   return 0;
+}
+
+/// Determinism + sensitivity smoke of the streamed timeline and the diff
+/// tooling, wired into ctest: a same-seed rerun must diff empty, and
+/// extending the run must flag exactly the windows whose exported bytes
+/// actually changed — with the shared prefix untouched.
+int cmd_selftest_diff() {
+  const workload::Workload w = synthetic_workload();
+  const model::ClusterSpec spec = model::make_a9_k10_cluster(4, 2);
+  const std::vector<traffic::TrafficClass> classes{
+      traffic::TrafficClass{w, 1.0, traffic::SloTarget{}}};
+  const double rate =
+      0.7 * traffic::cluster_capacity_per_s(spec, classes);
+
+  // Fixed window width across runs: the diff requires matching shapes,
+  // and the perturbed run must land its changes in the TAIL windows.
+  const auto run = [&](std::uint64_t requests) {
+    traffic::TrafficOptions options;
+    options.requests = requests;
+    options.seed = 99;
+    options.stream.window = Seconds{4000.0 / rate / 64.0};
+    const auto arrivals = traffic::make_poisson(rate);
+    return traffic::simulate_traffic(spec, classes, *arrivals, options)
+        .timeline;
+  };
+
+  const obs::stream::StreamTimeline a = run(4000);
+  const obs::stream::StreamTimeline rerun = run(4000);
+  if (a.to_json().dump() != rerun.to_json().dump()) {
+    std::cerr << "selftest: same-seed timelines are not byte-identical\n";
+    return 2;
+  }
+  if (!obs::stream::diff_timelines(a, rerun).empty()) {
+    std::cerr << "selftest: same-seed diff is not empty\n";
+    return 2;
+  }
+
+  // Perturb one option (200 extra requests) and require the diff to
+  // flag exactly the windows whose JSON bytes differ — no more, no less.
+  const obs::stream::StreamTimeline b = run(4200);
+  const obs::stream::TimelineDiff d = obs::stream::diff_timelines(a, b);
+  if (d.empty()) {
+    std::cerr << "selftest: extended run produced an empty diff\n";
+    return 2;
+  }
+  const JsonValue ja = a.to_json();
+  const JsonValue jb = b.to_json();
+  const JsonValue& wa = ja.at("windows");
+  const JsonValue& wb = jb.at("windows");
+  std::vector<std::uint64_t> expected;
+  const std::size_t shared = std::min(wa.size(), wb.size());
+  for (std::size_t i = 0; i < shared; ++i) {
+    if (wa.at(i).dump() != wb.at(i).dump())
+      expected.push_back(static_cast<std::uint64_t>(i));
+  }
+  for (std::size_t i = shared; i < std::max(wa.size(), wb.size()); ++i)
+    expected.push_back(static_cast<std::uint64_t>(i));
+  if (d.flagged_windows() != expected) {
+    std::cerr << "selftest: flagged windows do not match the byte-level "
+                 "differences\n";
+    return 2;
+  }
+  if (expected.empty() || expected.front() == 0) {
+    std::cerr << "selftest: expected an unchanged shared window prefix\n";
+    return 2;
+  }
+  std::cout << "selftest diff: ok (" << expected.size() << "/"
+            << std::max(wa.size(), wb.size()) << " windows changed, first "
+            << expected.front() << ")\n";
+  return 0;
+}
+
+int cmd_selftest(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  if (args[0] == "profile") return cmd_selftest_profile();
+  if (args[0] == "diff") return cmd_selftest_diff();
+  return usage();
 }
 
 // ------------------------------------------------------------- traffic
@@ -565,6 +659,214 @@ int cmd_traffic(const std::vector<std::string>& args) {
     std::cout << "wrote " << json_path << "\n";
   }
   return 0;
+}
+
+// ------------------------------------------------------ timeline / diff
+
+/// Streamed traffic run: tumbling-window telemetry computed online
+/// during the simulation and exported as a deterministic timeline
+/// document (JSON and/or RFC 4180 CSV).
+int cmd_timeline(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const bool synthetic = args[0] == "synthetic";
+  const workload::Workload w =
+      synthetic ? synthetic_workload() : study().workload(args[0]);
+
+  std::string arrivals_name = "poisson";
+  std::string policy_name = "join-shortest-queue";
+  double util = 0.7;
+  double window_s = 0.0;
+  std::string json_path, csv_path;
+  traffic::TrafficOptions options;
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    const std::string& key = args[i];
+    const std::string& value = args[i + 1];
+    if (key == "--arrivals")
+      arrivals_name = value;
+    else if (key == "--policy")
+      policy_name = value;
+    else if (key == "--util")
+      util = std::stod(value);
+    else if (key == "--requests")
+      options.requests = std::stoull(value);
+    else if (key == "--seed")
+      options.seed = std::stoull(value);
+    else if (key == "--shards")
+      options.shards = std::stoull(value);
+    else if (key == "--window")
+      window_s = std::stod(value);
+    else if (key == "--epsilon")
+      options.stream.sketch_epsilon = std::stod(value);
+    else if (key == "--json")
+      json_path = value;
+    else if (key == "--csv")
+      csv_path = value;
+    else
+      return usage();
+  }
+
+  bool policy_found = false;
+  for (const auto p : cluster::all_dispatch_policies()) {
+    if (cluster::to_string(p) == policy_name) {
+      options.policy = p;
+      policy_found = true;
+    }
+  }
+  if (!policy_found) {
+    std::cerr << "unknown policy " << policy_name << "\n";
+    return 1;
+  }
+
+  std::vector<traffic::TrafficClass> classes{
+      traffic::TrafficClass{w, 1.0, traffic::SloTarget{}}};
+  const model::ClusterSpec spec = model::make_a9_k10_cluster(4, 2);
+  const double capacity = traffic::cluster_capacity_per_s(spec, classes);
+  const double rate = util * capacity;
+
+  std::unique_ptr<traffic::ArrivalProcess> arrivals;
+  if (arrivals_name == "poisson")
+    arrivals = traffic::make_poisson(rate);
+  else if (arrivals_name == "deterministic")
+    arrivals = traffic::make_deterministic(rate);
+  else if (arrivals_name == "bursty")
+    arrivals = traffic::make_bursty(0.5 * rate, Seconds{4.0 / rate * 100.0},
+                                    3.0 * rate, Seconds{1.0 / rate * 100.0});
+  else if (arrivals_name == "diurnal")
+    arrivals = traffic::make_diurnal(rate, 0.5, Seconds{200.0 / rate});
+  else {
+    std::cerr << "unknown arrival process " << arrivals_name << "\n";
+    return 1;
+  }
+
+  // Default width: ~64 windows over the nominal run span, so the table
+  // stays readable at any --requests scale.
+  if (window_s <= 0.0)
+    window_s = static_cast<double>(options.requests) / rate / 64.0;
+  options.stream.window = Seconds{window_s};
+
+  const auto r = traffic::simulate_traffic(spec, classes, *arrivals, options);
+  const obs::stream::StreamTimeline& tl = r.timeline;
+
+  std::uint64_t total_nodes = 0;
+  for (const auto& c : tl.node_classes) total_nodes += c.nodes;
+  std::cout << w.name << " over 4xA9 + 2xK10, " << r.arrival_process
+            << " arrivals at " << fmt(rate, 1) << " req/s: "
+            << tl.windows.size() << " windows of "
+            << fmt(tl.window.value(), 3) << " s (sketch epsilon "
+            << fmt(tl.sketch_epsilon, 4) << "), total energy "
+            << fmt(tl.total_energy.value(), 1) << " J + "
+            << fmt(tl.total_wake.value(), 1) << " J wake transients\n";
+
+  TextTable t({"win", "t0 [s]", "arrive", "done", "shed", "util",
+               "p95 [ms]", "energy [J]"});
+  const std::size_t stride =
+      tl.windows.empty() ? 1 : std::max<std::size_t>(1, tl.windows.size() / 12);
+  for (std::size_t i = 0; i < tl.windows.size(); i += stride) {
+    const auto& win = tl.windows[i];
+    double busy = 0.0;
+    for (const auto& c : win.classes) busy += c.busy.value();
+    const double span =
+        std::min(win.t1.value(), tl.horizon.value()) - win.t0.value();
+    const double u =
+        total_nodes > 0 && span > 0.0
+            ? busy / (static_cast<double>(total_nodes) * span)
+            : 0.0;
+    t.add_row({std::to_string(win.index), fmt(win.t0.value(), 2),
+               std::to_string(win.arrivals), std::to_string(win.completions),
+               std::to_string(win.shed), fmt(u, 3),
+               fmt(win.sojourn_p95.value() * 1e3, 2),
+               fmt(win.energy.value(), 1)});
+  }
+  std::cout << t;
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& content) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    out << content;
+    std::cout << "wrote " << path << "\n";
+    return true;
+  };
+  if (!json_path.empty() &&
+      !write_file(json_path, tl.to_json().dump() + "\n"))
+    return 2;
+  if (!csv_path.empty() && !write_file(csv_path, tl.csv())) return 2;
+  return 0;
+}
+
+/// Loads a timeline document: either a raw `hcep timeline --json` export
+/// or a run report / result bundle with an embedded "stream" section.
+obs::stream::StreamTimeline load_timeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+  const JsonValue* stream = doc.find("stream");
+  return obs::stream::StreamTimeline::from_json(
+      stream != nullptr ? *stream : doc);
+}
+
+/// Window-by-window comparison of two timeline exports. Exit 0 when the
+/// runs agree within tolerance, 1 when any metric is flagged.
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  obs::stream::DiffTolerances tol;
+  std::string json_path;
+  for (std::size_t i = 2; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    if (args[i] == "--rel")
+      tol.rel = std::stod(args[i + 1]);
+    else if (args[i] == "--abs")
+      tol.abs = std::stod(args[i + 1]);
+    else if (args[i] == "--json")
+      json_path = args[i + 1];
+    else
+      return usage();
+  }
+
+  const obs::stream::StreamTimeline a = load_timeline(args[0]);
+  const obs::stream::StreamTimeline b = load_timeline(args[1]);
+  const obs::stream::TimelineDiff d = obs::stream::diff_timelines(a, b, tol);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << d.to_json().dump() << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (d.shape_mismatch)
+    std::cout << "shape mismatch: " << d.note << "\n";
+  if (d.empty()) {
+    std::cout << "identical: " << d.windows_compared
+              << " windows agree within tolerance (rel " << fmt(tol.rel, 12)
+              << ", abs " << fmt(tol.abs, 15) << ")\n";
+    return 0;
+  }
+
+  TextTable t({"win", "metric", "a", "b"});
+  const std::size_t shown = std::min<std::size_t>(d.entries.size(), 20);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& e = d.entries[i];
+    t.add_row({std::to_string(e.window), e.metric, fmt(e.a, 6),
+               fmt(e.b, 6)});
+  }
+  std::cout << t;
+  if (shown < d.entries.size())
+    std::cout << "  ... " << d.entries.size() - shown << " more\n";
+  const auto flagged = d.flagged_windows();
+  std::cout << d.entries.size() << " metric deltas across "
+            << flagged.size() << " windows (" << d.windows_compared
+            << " compared in both runs)\n";
+  return 1;
 }
 
 // ------------------------------------------------------------- control
@@ -745,6 +1047,8 @@ int main(int argc, char** argv) {
     if (cmd == "control") return cmd_control(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "timeline") return cmd_timeline(args);
+    if (cmd == "diff") return cmd_diff(args);
     if (cmd == "selftest") return cmd_selftest(args);
     return usage();
   } catch (const std::exception& e) {

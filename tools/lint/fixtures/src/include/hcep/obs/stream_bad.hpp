@@ -1,0 +1,30 @@
+// hcep-lint selftest fixture: streaming-telemetry rules added with
+// hcep::obs::stream — /obs/stream* headers are evaluator headers (their
+// value-returning aggregates must be [[nodiscard]]) and, like every
+// public header, may not declare naked unit doubles. One live violation
+// per rule plus a suppressed twin. This tree is scanned only by
+// `hcep-lint --selftest`; it is not part of the build.
+#pragma once
+
+namespace hcep::obs::stream {
+
+struct BadStreamSurface {
+  // LIVE unit-double: a window aggregate claiming to hold joules.
+  double window_energy = 0.0;
+
+  // Suppressed twin: must stay silent.
+  double wake_joules = 0.0;  // hcep-lint: allow(unit-double)
+
+  // LIVE nodiscard: a value-returning sketch evaluator missing the
+  // attribute — silently dropping a computed quantile is always a bug.
+  double quantile_at(double q) const;
+
+  // Suppressed twin.
+  std::uint64_t window_count() const;  // hcep-lint: allow(nodiscard)
+
+  // Controls: compliant declarations must not fire.
+  [[nodiscard]] double epsilon_bound() const;
+  [[nodiscard]] std::uint64_t dropped_records() const;
+};
+
+}  // namespace hcep::obs::stream

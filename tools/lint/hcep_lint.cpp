@@ -342,13 +342,16 @@ bool control_header(const fs::path& p) {
 }
 
 /// Headers whose evaluators must be [[nodiscard]]: the model-facing
-/// public surface.
+/// public surface, plus the streaming-telemetry headers (narrowed to
+/// /obs/stream* so the ambient-instrumentation obs headers keep their
+/// fire-and-forget probe style).
 bool evaluator_header(const fs::path& p) {
   const std::string s = p.generic_string();
   if (!contains(s, "include/hcep/")) return false;
   return contains(s, "/model/") || contains(s, "/metrics/") ||
          contains(s, "/config/") || contains(s, "/power/") ||
-         contains(s, "/workload/") || contains(s, "/traffic/");
+         contains(s, "/workload/") || contains(s, "/traffic/") ||
+         contains(s, "/obs/stream");
 }
 
 void scan_file(const fs::path& file, const fs::path& root,
@@ -425,15 +428,16 @@ int selftest(const fs::path& fixtures) {
   const std::vector<Finding> findings = scan_tree(fixtures);
   // Per-rule seeded-violation counts: the model fixture plants one
   // unit-double + one nodiscard, the traffic fixture plants one of each
-  // again (latency/sojourn identifier forms), report_bad.cpp plants the
+  // again (latency/sojourn identifier forms), the obs/stream fixture a
+  // third pair (streaming aggregates), report_bad.cpp plants the
   // hash-container and the rand() call, the des fixture plants the
   // std::function hot-path hit, and the control fixture plants two
   // control-vocabulary doubles (cap, power_budget). Each live bug has a
   // suppressed twin that must stay silent, so the counts are exact.
   const std::map<std::string, std::size_t> expected = {
-      {"unit-double", 2},
+      {"unit-double", 3},
       {"control-unit-double", 2},
-      {"nodiscard", 2},
+      {"nodiscard", 3},
       {"unordered-iteration", 1},
       {"banned-call", 1},
       {"std-function-hot-path", 1}};
