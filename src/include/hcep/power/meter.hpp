@@ -75,7 +75,9 @@ class PowerMeter {
   [[nodiscard]] Watts sample(Watts true_power);
 
   MeterSpec spec_;
-  Rng rng_;
+  // Seeded from the ctor's `seed` parameter in meter.cpp; the per-file
+  // analysis cannot see the out-of-line mem-initializer.
+  Rng rng_;  // hcep-lint: allow(rng-seed-flow)
 };
 
 }  // namespace hcep::power

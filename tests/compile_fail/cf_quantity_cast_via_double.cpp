@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: laundering a quantity across dimensions through an
+// intermediate double. `.value()` strips the unit tag, but the Quantity
+// constructor is explicit, so the naked double cannot silently re-enter
+// the typed layer as a different dimension — the round-trip must be
+// spelled out (and therefore reviewed) at both ends.
+#include "hcep/util/units.hpp"
+
+int main() {
+  const hcep::Watts p{5.0};
+  const double raw = p.value();
+  const hcep::Joules e = raw;  // implicit double -> Joules: rejected
+  return static_cast<int>(e.value());
+}

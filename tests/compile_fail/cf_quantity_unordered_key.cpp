@@ -1,0 +1,15 @@
+// MUST NOT COMPILE: Quantity as an unordered_map key without an explicit
+// hash. hcep::units deliberately specializes no std::hash — a hashed
+// quantity key invites hash-order iteration into result paths, the exact
+// nondeterminism hcep-lint's unordered-iteration rule polices. Keying by
+// quantity is allowed only with an explicit, reviewed hasher (see the
+// ok_quantity_containers control).
+#include <unordered_map>
+
+#include "hcep/util/units.hpp"
+
+int main() {
+  std::unordered_map<hcep::Joules, int> by_energy;
+  by_energy[hcep::Joules{1.0}] = 1;
+  return static_cast<int>(by_energy.size());
+}

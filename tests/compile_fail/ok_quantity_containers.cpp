@@ -1,0 +1,37 @@
+// MUST COMPILE: the sanctioned container/conversion idioms next to the
+// cf_quantity_* rejections. Ordered maps key quantities through the
+// defaulted operator<=> (deterministic iteration order); unordered maps
+// are allowed with an explicit, named hasher; cross-RATIO casts within
+// one dimension (J <-> kWh) are exactly what quantity_cast is for.
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+
+#include "hcep/util/units.hpp"
+
+namespace {
+
+struct JoulesHash {
+  std::size_t operator()(hcep::Joules e) const noexcept {
+    return std::hash<double>{}(e.value());
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::map<hcep::Joules, int> ordered;
+  ordered[hcep::Joules{1.0}] = 1;
+
+  std::unordered_map<hcep::Joules, int, JoulesHash> explicit_hash;
+  explicit_hash[hcep::Joules{2.0}] = 2;
+
+  const hcep::KilowattHours kwh{1.0};
+  const hcep::Joules j = hcep::quantity_cast<hcep::Joules>(kwh);
+
+  const double roundtrip = j.value();
+  const hcep::Joules back{roundtrip};  // explicit re-entry is fine
+
+  return static_cast<int>(ordered.size() + explicit_hash.size() +
+                          back.value() * 0.0);
+}

@@ -8,8 +8,19 @@ the threshold against the suite's checked-in baseline at the repository
 root. Suites: ``sweep`` (perf_enumeration + perf_pareto vs
 ``BENCH_sweep.json``, the default), ``traffic`` (perf_traffic vs
 ``BENCH_traffic.json``), ``des`` (perf_des vs ``BENCH_des.json``),
-``control`` (perf_control vs ``BENCH_control.json``) and ``stream``
-(perf_stream vs ``BENCH_stream.json``).
+``control`` (perf_control vs ``BENCH_control.json``), ``stream``
+(perf_stream vs ``BENCH_stream.json``) and ``lint`` (the hcep_lint
+analyzer's own wall-clock vs ``BENCH_lint.json`` — not a
+google-benchmark binary; see below).
+
+The ``lint`` suite times full-tree scans of the repository with the
+static analyzer: a cold scan (empty result cache — every file is
+tokenized, scope-tracked and analyzed) and a warm scan (all files hit
+the mtime+hash cache). Both report files/second as
+``items_per_second`` so the same gate machinery applies, and a
+``min_ratio`` gate demands the warm scan stay well above the cold one —
+if the cache stops hitting, the ratio collapses to 1 and the gate
+fails even on a machine where absolute speed drifted.
 
 The gate compares ``items_per_second`` for serial benchmarks only:
 google-benchmark's CPU timer measures the main benchmark thread, so
@@ -46,8 +57,10 @@ place (run after intentional performance changes, on a quiet machine).
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
+import time
 
 # Per-suite configuration. ``gated`` lists serial benchmarks with stable
 # CPU-time throughput; everything else is recorded for reference but not
@@ -165,7 +178,69 @@ SUITES = {
             "BM_SketchInsert/1000$"
         ),
     },
+    "lint": {
+        # Custom wall-clock runner (run_lint_suite), not google-benchmark:
+        # the analyzer must stay fast enough to remain a default `lint`
+        # ctest, so its scan time is gated like any other hot path.
+        "binaries": [],
+        "runner": "lint",
+        "baseline": "BENCH_lint.json",
+        "gated": ["LintScanCold", "LintScanWarm"],
+        # The cache contract, machine-independently: a warm scan only
+        # stats+reads files, so it must beat the cold scan handily. The
+        # measured ratio is >5x on a quiet builder; 2x absorbs noise
+        # while still failing if cache hits stop happening.
+        "ratio_gates": [
+            {"fast": "LintScanWarm", "slow": "LintScanCold",
+             "min_ratio": 2.0},
+        ],
+        "smoke_filter": None,
+    },
 }
+
+
+def run_lint_suite(build_dir, repo_root, smoke):
+    """Times hcep_lint full-tree scans: cold (no cache) and warm.
+
+    Returns a ``measured`` dict in the same shape as run_benchmark's
+    output: files/second as items_per_second, seconds as real_time.
+    """
+    binary = os.path.join(build_dir, "tools", "lint", "hcep_lint")
+    if not os.path.exists(binary):
+        print(f"bench_regress: missing analyzer binary {binary}",
+              file=sys.stderr)
+        return None
+    cache = os.path.join(build_dir, "hcep_lint_bench_cache.txt")
+    reps = 1 if smoke else 3
+
+    def scan():
+        start = time.perf_counter()
+        out = subprocess.run(
+            [binary, "--root", repo_root, "--cache", cache],
+            capture_output=True, text=True).stdout
+        elapsed = time.perf_counter() - start
+        m = re.search(r"scanned (\d+) file", out)
+        return elapsed, int(m.group(1)) if m else 0
+
+    results = {}
+    # Cold: delete the cache before every rep; best-of-N wall clock.
+    cold = []
+    for _ in range(reps):
+        if os.path.exists(cache):
+            os.remove(cache)
+        cold.append(scan())
+    best, files = min(cold, key=lambda r: r[0])
+    results["LintScanCold"] = {
+        "items_per_second": files / best if best > 0 else None,
+        "real_time": best, "cpu_time": best, "time_unit": "s"}
+    # Warm: the cache file left by the last cold rep now covers the tree.
+    scan()  # prime (refreshes mtimes recorded in the cache)
+    best, files = min((scan() for _ in range(max(reps, 2))),
+                      key=lambda r: r[0])
+    results["LintScanWarm"] = {
+        "items_per_second": files / best if best > 0 else None,
+        "real_time": best, "cpu_time": best, "time_unit": "s"}
+    return results
 
 
 def run_benchmark(path, min_time, bench_filter=None):
@@ -208,20 +283,25 @@ def main():
     min_time = 0.025 if args.smoke else 0.25
     bench_filter = suite["smoke_filter"] if args.smoke else None
 
-    measured = {}
-    for binary in suite["binaries"]:
-        path = os.path.join(args.build_dir, "bench", binary)
-        if not os.path.exists(path):
-            print(f"bench_regress: missing benchmark binary {path}",
-                  file=sys.stderr)
+    if suite.get("runner") == "lint":
+        measured = run_lint_suite(args.build_dir, repo_root, args.smoke)
+        if measured is None:
             return 2
-        for b in run_benchmark(path, min_time, bench_filter)["benchmarks"]:
-            measured[b["name"]] = {
-                "items_per_second": b.get("items_per_second"),
-                "real_time": b["real_time"],
-                "cpu_time": b["cpu_time"],
-                "time_unit": b["time_unit"],
-            }
+    else:
+        measured = {}
+        for binary in suite["binaries"]:
+            path = os.path.join(args.build_dir, "bench", binary)
+            if not os.path.exists(path):
+                print(f"bench_regress: missing benchmark binary {path}",
+                      file=sys.stderr)
+                return 2
+            for b in run_benchmark(path, min_time, bench_filter)["benchmarks"]:
+                measured[b["name"]] = {
+                    "items_per_second": b.get("items_per_second"),
+                    "real_time": b["real_time"],
+                    "cpu_time": b["cpu_time"],
+                    "time_unit": b["time_unit"],
+                }
 
     os.makedirs(os.path.dirname(os.path.abspath(output_path)), exist_ok=True)
     with open(output_path, "w") as f:

@@ -1,0 +1,47 @@
+// hcep-lint per-file facts: everything the cross-file passes and the
+// result cache need to know about one translation unit.
+//
+// The per-file pass (analyzer.cpp) is the expensive part — tokenize,
+// track scopes, collect symbols, run the file-local rules. Its complete
+// output is this struct, which is (a) serializable, so the mtime+hash
+// cache can skip unchanged files across runs, and (b) sufficient input
+// for the project pass (include graph, shard reachability), so cached
+// files never need re-tokenizing even when the cross-file answer
+// changes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hcep::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative generic path
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A `static` non-const, non-atomic variable declared in a header: only
+/// a hazard when the header is reachable from sharded/parallel code,
+/// which the project pass decides with the include graph.
+struct MutableStatic {
+  std::size_t line = 0;
+  std::string name;
+};
+
+struct FileFacts {
+  std::string path;  ///< repo-relative generic path ("src/...")
+  /// Quoted #include paths as written (`hcep/des/simulator.hpp`).
+  std::vector<std::string> includes;
+  /// TU mentions ShardedSimulator or parallel_for: its transitive
+  /// includes form the shard-reachable set.
+  bool uses_shard_markers = false;
+  std::vector<MutableStatic> mutable_statics;
+  /// Findings decidable from this file alone (all rules except
+  /// shared-mutable-static).
+  std::vector<Finding> findings;
+};
+
+}  // namespace hcep::lint

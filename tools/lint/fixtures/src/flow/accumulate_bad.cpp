@@ -1,0 +1,39 @@
+// hcep-lint selftest fixture: iteration-flow rules. The path carries no
+// report/json/csv marker, so the blanket hash-container-in-output-TU
+// rule stays silent here — what fires is the flow analysis: iterating
+// an unordered container into an accumulation (unordered-iteration) and
+// a float `+=` reduction inside that loop (float-order-reduction). One
+// live loop, one fully suppressed twin, and a non-accumulating control.
+// Scanned only by `hcep-lint --selftest`; not part of the build.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace hcep::cluster {
+
+double fixture_hash_order_sum(
+    const std::unordered_map<std::string, double>& by_node) {
+  // LIVE unordered-iteration (the for) + float-order-reduction (the +=):
+  // the sum's rounding depends on hash order.
+  double total_energy = 0.0;
+  for (const auto& kv : by_node) {
+    total_energy += kv.second;
+  }
+
+  // Suppressed twins: must stay silent.
+  double total_watts = 0.0;
+  for (const auto& kv : by_node) {  // hcep-lint: allow(unordered-iteration)
+    total_watts += kv.second;  // hcep-lint: allow(float-order-reduction)
+  }
+
+  // Control: iteration that does not accumulate or export is
+  // order-insensitive and must not fire.
+  std::size_t overloaded = 0;
+  for (const auto& kv : by_node) {
+    if (kv.second > 1.0) ++overloaded;
+  }
+
+  return total_energy + total_watts + static_cast<double>(overloaded);
+}
+
+}  // namespace hcep::cluster

@@ -1,0 +1,29 @@
+// hcep-lint selftest fixture: the unit-flow rule. A Quantity-returning
+// signature in a public header is a typed unit boundary; accepting a
+// naked `double` for a physical value there reopens exactly the W-vs-J
+// confusion hcep::units exists to make uncompilable. One live violation,
+// one suppressed twin, and two controls (an allowlisted dimensionless
+// parameter name, and a double RETURN — ratios of quantities are
+// legitimately dimensionless). Every declaration carries [[nodiscard]]
+// so the nodiscard rule stays out of this file's counts. Scanned only
+// by `hcep-lint --selftest`; not part of the build.
+#pragma once
+
+namespace hcep::model {
+
+struct UnitFlowSurface {
+  // LIVE unit-flow: `dissipation` is watts arriving as a naked double.
+  [[nodiscard]] hcep::Joules energy_for(double dissipation,
+                                        hcep::Seconds dt) const;
+
+  // Suppressed twin: must stay silent.
+  [[nodiscard]] hcep::Watts power_at(double overhead) const;  // hcep-lint: allow(unit-flow)
+
+  // Control: `factor` is on the dimensionless-name allowlist.
+  [[nodiscard]] hcep::Joules scaled(double factor, hcep::Joules base) const;
+
+  // Control: double return with Quantity params is a ratio — fine.
+  [[nodiscard]] double ratio_of(hcep::Joules a, hcep::Joules b) const;
+};
+
+}  // namespace hcep::model

@@ -1,0 +1,34 @@
+// hcep-lint selftest fixture: identity-key rules. A container keyed by
+// a pointer iterates in allocation-address order (different every run
+// under ASLR); one keyed by std::thread::id depends on the scheduler.
+// Both leak nondeterminism into anything that iterates them — even
+// through std::map, whose comparator is the pointer/id itself. One live
+// violation plus a suppressed twin per rule, and a stable-id control.
+// Scanned only by `hcep-lint --selftest`; not part of the build.
+#include <map>
+#include <thread>
+
+namespace hcep::cluster {
+
+struct FixtureNode {
+  int id = 0;
+};
+
+struct FixtureRegistry {
+  // LIVE pointer-key: ordered by allocation address.
+  std::map<const FixtureNode*, int> by_node;
+
+  // Suppressed twin: must stay silent.
+  std::map<const FixtureNode*, int> legacy_by_node;  // hcep-lint: allow(pointer-key)
+
+  // LIVE thread-id-identity: ordered by scheduler-assigned ids.
+  std::map<std::thread::id, int> per_thread;
+
+  // Suppressed twin: must stay silent.
+  std::map<std::thread::id, int> old_per_thread;  // hcep-lint: allow(thread-id-identity)
+
+  // Control: a dense stable id is the right key.
+  std::map<int, int> by_worker_index;
+};
+
+}  // namespace hcep::cluster

@@ -1,316 +1,67 @@
-// hcep-lint: project-specific static checks the compiler cannot express.
+// hcep-lint driver: the project's determinism/units auditor.
 //
-// A deliberately small, libclang-free checker (the container has no
-// clang-tidy): line-oriented regex heuristics tuned to this codebase's
-// conventions, precise enough to gate CI. The rules encode decisions made
-// in earlier PRs:
+// Byte-determinism per (seed, shards) is this repo's load-bearing
+// invariant — the frozen-controller oracle, the serial/parallel timeline
+// identity, and every BENCH_*.json gate depend on it. The analyzer
+// behind this driver is a real multi-pass checker (not line regexes):
 //
-//   unit-double          Public headers must not declare naked `double`
-//                        fields/functions whose names claim a physical
-//                        unit (*_energy, *_power, *_freq*, *_j, *_w,
-//                        *_hz, ...). Use the hcep::units Quantity types —
-//                        the whole point of compile-time dimensional
-//                        analysis is that such a double cannot exist.
-//   control-unit-double  Stricter vocabulary for the closed-loop control
-//                        surface (include/hcep/control/): power/energy
-//                        signals crossing the Controller/Actuator
-//                        interface also go by cap, budget, draw, savings,
-//                        penalty, floor — a raw `double` under any of
-//                        those names is a W-vs-J slip waiting to happen
-//                        and must be a units quantity too.
-//   unordered-iteration  Report/JSON/export translation units feed
-//                        byte-identical same-seed artifacts (PR 3
-//                        guarantee); std::unordered_{map,set} iteration
-//                        order is nondeterministic, so those TUs must not
-//                        use the hash containers at all.
-//   nodiscard            Model/metrics/config/power evaluators returning
-//                        a value must be [[nodiscard]]: dropping a
-//                        computed Joules/Watts on the floor is always a
-//                        bug.
-//   banned-call          rand()/srand()/time() in src/ break same-seed
-//                        reproducibility; use hcep::Rng and simulated
-//                        clocks.
-//   std-function-hot-path
-//                        The DES/traffic hot-path headers (include/hcep/
-//                        {des,traffic}/) must not declare std::function:
-//                        its 16-byte SBO heap-allocates every kernel
-//                        capture, which is exactly what the des::Callback
-//                        rewrite removed (one malloc per scheduled event
-//                        plus one per priority_queue::top() copy). Use
-//                        des::Callback or a template parameter.
+//   pass 1  lexer.cpp     comment/string/raw-string-aware tokenizer
+//   pass 2  scope.cpp     brace/namespace/class/function scope tracking
+//   pass 3  analyzer.cpp  per-file symbol collection + file-local rules
+//   pass 4  analyzer.cpp  include graph -> shard-reachable headers ->
+//                         cross-file rules
+//
+// Rule catalog lives in rules.hpp (one SARIF descriptor per rule).
+// Findings emit as text (stdout) and optionally SARIF 2.1.0 (--sarif)
+// for CI PR annotation. A checked-in baseline (--baseline) supports
+// ratcheting: only findings beyond the baselined count fail the scan.
+// A per-file mtime+hash cache (--cache) keeps the full-tree scan fast
+// enough to stay a default `lint`-label ctest.
 //
 // Suppress a finding by appending
 //   // hcep-lint: allow(<rule>)
 // to the offending line (grep-able, reviewed like any other annotation).
 //
 // Exit status: 0 clean, 1 findings, 2 usage/IO error.
-// `--selftest <fixture-root>` scans a tree seeded with one violation per
-// rule and exits 0 only when every rule fires — the proof demanded by the
-// acceptance criteria that a planted unit bug actually fails the build.
+// `--selftest <fixture-root>` scans a tree seeded with one-or-more live
+// violations AND a suppressed twin per rule and exits 0 only when every
+// rule fires exactly its expected count — the proof that a planted bug
+// actually fails the build and that suppressions actually silence.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <regex>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analyzer.hpp"
+#include "cache.hpp"
+#include "rules.hpp"
+#include "sarif.hpp"
+
 namespace fs = std::filesystem;
 
+namespace hcep::lint {
 namespace {
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
 
 struct Options {
   fs::path root;
+  fs::path sarif_path;
+  fs::path baseline_path;
+  fs::path cache_path;
   bool selftest = false;
+  bool update_baseline = false;
   bool list_rules = false;
 };
 
-bool contains(const std::string& s, const std::string& needle) {
-  return s.find(needle) != std::string::npos;
-}
-
-bool suppressed(const std::string& line, const std::string& rule) {
-  return contains(line, "hcep-lint: allow(" + rule + ")") ||
-         contains(line, "NOLINT(" + rule + ")");
-}
-
-/// Strips // comments and string literals so rules don't fire on prose.
-/// (Block comments are handled coarsely: lines inside /* ... */ are
-/// blanked by the caller's state machine.)
-std::string code_only(const std::string& line) {
-  std::string out;
-  out.reserve(line.size());
-  bool in_string = false, in_char = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (in_string) {
-      if (c == '\\') { ++i; continue; }
-      if (c == '"') in_string = false;
-      continue;
-    }
-    if (in_char) {
-      if (c == '\\') { ++i; continue; }
-      if (c == '\'') in_char = false;
-      continue;
-    }
-    if (c == '"') { in_string = true; continue; }
-    if (c == '\'') { in_char = true; continue; }
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// The identifier heuristic for "this double claims to be a physical
-/// quantity": exact unit words, or unit-word / unit-symbol suffixes.
-bool names_physical_unit(const std::string& name) {
-  static const std::vector<std::string> kExact = {
-      "energy", "power",    "freq",    "frequency", "joules",
-      "watts",  "hertz",    "latency", "deadline",  "sojourn"};
-  static const std::vector<std::string> kSuffix = {
-      "_energy", "_power", "_freq",    "_frequency", "_joules",
-      "_watts",  "_hertz", "_hz",      "_j",         "_w",
-      "_kwh",    "_mhz",   "_ghz",     "_latency",   "_deadline",
-      "_sojourn"};
-  std::string lower(name);
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  for (const auto& e : kExact)
-    if (lower == e) return true;
-  for (const auto& s : kSuffix)
-    if (lower.size() > s.size() &&
-        lower.compare(lower.size() - s.size(), s.size(), s) == 0)
-      return true;
-  return false;
-}
-
-using LineRule = void (*)(const fs::path&, std::size_t, const std::string&,
-                          const std::string&, std::vector<Finding>&);
-
-// --- Rule: unit-double -------------------------------------------------------
-
-void rule_unit_double(const fs::path& file, std::size_t lineno,
-                      const std::string& raw, const std::string& code,
-                      std::vector<Finding>& out) {
-  // Matches `double <ident>` in field, parameter or function-declaration
-  // position; the identifier decides whether a unit type was required.
-  static const std::regex decl(
-      R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*)\s*[;={(,)])");
-  auto begin = std::sregex_iterator(code.begin(), code.end(), decl);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::string name = (*it)[1].str();
-    if (!names_physical_unit(name)) continue;
-    if (suppressed(raw, "unit-double")) continue;
-    out.push_back({file.string(), lineno, "unit-double",
-                   "naked `double " + name +
-                       "` claims a physical unit; use the hcep::units "
-                       "Quantity type (Joules/Watts/Seconds/Hertz/...)"});
-  }
-}
-
-// --- Rule: control-unit-double ----------------------------------------------
-
-/// Control-plane signal names that denote power/energy without naming the
-/// physical unit outright: the rack cap, power budgets, instantaneous
-/// draw, gating savings, wake penalties, sleep floors.
-bool names_control_signal(const std::string& name) {
-  static const std::vector<std::string> kExact = {"cap", "budget", "draw",
-                                                  "savings", "penalty"};
-  static const std::vector<std::string> kSuffix = {
-      "_cap", "_budget", "_draw", "_savings", "_penalty", "_floor"};
-  std::string lower(name);
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  for (const auto& e : kExact)
-    if (lower == e) return true;
-  for (const auto& s : kSuffix)
-    if (lower.size() > s.size() &&
-        lower.compare(lower.size() - s.size(), s.size(), s) == 0)
-      return true;
-  return false;
-}
-
-void rule_control_unit_double(const fs::path& file, std::size_t lineno,
-                              const std::string& raw, const std::string& code,
-                              std::vector<Finding>& out) {
-  static const std::regex decl(
-      R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*)\s*[;={(,)])");
-  auto begin = std::sregex_iterator(code.begin(), code.end(), decl);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::string name = (*it)[1].str();
-    // The physical-unit vocabulary is already covered by unit-double;
-    // this rule adds the control-plane synonyms on top.
-    if (!names_control_signal(name)) continue;
-    if (suppressed(raw, "control-unit-double")) continue;
-    out.push_back({file.string(), lineno, "control-unit-double",
-                   "raw `double " + name +
-                       "` power/energy signal in a control-plane header; "
-                       "controllers must exchange hcep::units quantities "
-                       "(Watts/Joules) so a W-vs-J slip cannot compile"});
-  }
-}
-
-// --- Rule: unordered-iteration ----------------------------------------------
-
-void rule_unordered(const fs::path& file, std::size_t lineno,
-                    const std::string& raw, const std::string& code,
-                    std::vector<Finding>& out) {
-  static const std::regex hash(R"(\bstd::unordered_(map|set|multimap|multiset)\b)");
-  if (!std::regex_search(code, hash)) return;
-  if (suppressed(raw, "unordered-iteration")) return;
-  out.push_back({file.string(), lineno, "unordered-iteration",
-                 "hash-container in a deterministic report/JSON path; "
-                 "iteration order would break the byte-identical "
-                 "same-seed guarantee — use std::map or sort the keys"});
-}
-
-// --- Rule: nodiscard ---------------------------------------------------------
-
-/// Value-returning evaluator declarations in the model-facing headers.
-/// Heuristic: a line that *starts* a declaration with a value-ish return
-/// type and an identifier + '(' must carry [[nodiscard]] on the same or
-/// the previous line. Assignments, control flow and locals inside inline
-/// bodies are excluded by requiring declaration position (leading
-/// whitespace then type).
-void check_nodiscard(const fs::path& file,
-                     const std::vector<std::string>& lines,
-                     std::vector<Finding>& out) {
-  static const std::regex decl(
-      R"(^\s*(?:static\s+|virtual\s+|constexpr\s+|friend\s+)*)"
-      R"((double|float|Seconds|Joules|Watts|Hertz|Cycles|Bytes|BytesPerSecond|)"
-      R"(OpsPerSecond|JoulesPerOp|JouleSeconds|JouleSecondsSquared|)"
-      R"(std::(?:size_t|uint64_t|optional<[^;]*>|vector<[^;]*>))\s+)"
-      R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
-  static const std::regex control(R"(\b(if|for|while|switch|return)\b)");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string code = code_only(lines[i]);
-    std::smatch m;
-    if (!std::regex_search(code, m, decl)) continue;
-    if (std::regex_search(code, control)) continue;
-    if (contains(code, "=")) continue;  // assignment / default-arg lambda
-    if (contains(code, "[[nodiscard]]")) continue;
-    if (i > 0 && contains(code_only(lines[i - 1]), "[[nodiscard]]")) continue;
-    if (suppressed(lines[i], "nodiscard")) continue;
-    out.push_back({file.string(), i + 1, "nodiscard",
-                   "value-returning evaluator `" + m[2].str() +
-                       "` lacks [[nodiscard]]"});
-  }
-}
-
-// --- Rule: banned-call -------------------------------------------------------
-
-void rule_banned(const fs::path& file, std::size_t lineno,
-                 const std::string& raw, const std::string& code,
-                 std::vector<Finding>& out) {
-  // `(^|[^\w.:>])` blocks members (.time(), ->time()), qualified names
-  // and identifiers *_time( / *rand(; an explicit std:: qualification is
-  // matched separately. A declaration `Seconds time(std::size_t)` is told
-  // apart from a call by what precedes the token: calls follow an
-  // operator, a statement boundary or `return`, declarations follow a
-  // type name.
-  static const std::regex bare(R"((^|[^A-Za-z0-9_.:>])(rand|srand|time)\s*\()");
-  static const std::regex qualified(R"(\bstd::(rand|srand|time)\s*\()");
-  std::smatch m;
-  std::string which;
-  if (std::regex_search(code, m, qualified)) {
-    which = "std::" + m[1].str();
-  } else if (std::regex_search(code, m, bare)) {
-    // Position of the function token itself (group 2).
-    const auto tok = static_cast<std::size_t>(m.position(2));
-    std::size_t i = tok;
-    while (i > 0 && code[i - 1] == ' ') --i;
-    if (i > 0 && (std::isalnum(static_cast<unsigned char>(code[i - 1])) ||
-                  code[i - 1] == '_')) {
-      std::size_t w = i;
-      while (w > 0 && (std::isalnum(static_cast<unsigned char>(code[w - 1])) ||
-                       code[w - 1] == '_'))
-        --w;
-      if (code.substr(w, i - w) != "return") return;  // declaration
-    }
-    which = m[2].str();
-  } else {
-    return;
-  }
-  if (suppressed(raw, "banned-call")) return;
-  out.push_back({file.string(), lineno, "banned-call",
-                 "`" + which +
-                     "()` breaks same-seed reproducibility; use hcep::Rng "
-                     "/ simulated time"});
-}
-
-// --- Rule: std-function-hot-path --------------------------------------------
-
-void rule_std_function(const fs::path& file, std::size_t lineno,
-                       const std::string& raw, const std::string& code,
-                       std::vector<Finding>& out) {
-  if (!contains(code, "std::function")) return;
-  if (suppressed(raw, "std-function-hot-path")) return;
-  out.push_back({file.string(), lineno, "std-function-hot-path",
-                 "std::function in a DES/traffic hot-path header heap-"
-                 "allocates every event capture (16-byte SBO); use "
-                 "des::Callback (48-byte inline budget) or a template "
-                 "parameter"});
-}
-
-// --- Driver ------------------------------------------------------------------
-
-std::vector<std::string> read_lines(const fs::path& p) {
-  std::ifstream in(p);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
+struct ScanResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t cache_hits = 0;
+};
 
 bool has_ext(const fs::path& p, std::initializer_list<const char*> exts) {
   const std::string e = p.extension().string();
@@ -319,176 +70,311 @@ bool has_ext(const fs::path& p, std::initializer_list<const char*> exts) {
   return false;
 }
 
-/// Deterministic-output translation units: anything producing the JSON /
-/// table artifacts whose bytes the same-seed tests compare.
-bool deterministic_output_path(const fs::path& p) {
-  const std::string s = p.generic_string();
-  return contains(s, "report") || contains(s, "export") ||
-         contains(s, "json") || contains(s, "/table");
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
 }
 
-/// Event-kernel hot-path headers: every type declared here sits on the
-/// per-event path of the DES or traffic simulators.
-bool hot_path_header(const fs::path& p) {
-  const std::string s = p.generic_string();
-  if (!contains(s, "include/hcep/")) return false;
-  return contains(s, "/des/") || contains(s, "/traffic/");
-}
-
-/// Closed-loop control surface: the Controller/Actuator interface and the
-/// policy option structs, where every power/energy signal must be typed.
-bool control_header(const fs::path& p) {
-  return contains(p.generic_string(), "include/hcep/control/");
-}
-
-/// Headers whose evaluators must be [[nodiscard]]: the model-facing
-/// public surface, plus the streaming-telemetry headers (narrowed to
-/// /obs/stream* so the ambient-instrumentation obs headers keep their
-/// fire-and-forget probe style).
-bool evaluator_header(const fs::path& p) {
-  const std::string s = p.generic_string();
-  if (!contains(s, "include/hcep/")) return false;
-  return contains(s, "/model/") || contains(s, "/metrics/") ||
-         contains(s, "/config/") || contains(s, "/power/") ||
-         contains(s, "/workload/") || contains(s, "/traffic/") ||
-         contains(s, "/obs/stream");
-}
-
-void scan_file(const fs::path& file, const fs::path& root,
-               std::vector<Finding>& out) {
-  const std::vector<std::string> lines = read_lines(file);
-  const std::string rel = fs::relative(file, root).generic_string();
-  const bool is_public_header = contains(rel, "src/include/");
-  const bool in_src = rel.rfind("src/", 0) == 0;
-
-  bool in_block_comment = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::string code = code_only(lines[i]);
-    // Coarse block-comment state machine (good enough for this tree:
-    // no code after */ on the same line).
-    if (in_block_comment) {
-      const auto end = code.find("*/");
-      if (end == std::string::npos) continue;
-      code = code.substr(end + 2);
-      in_block_comment = false;
-    }
-    const auto start = code.find("/*");
-    if (start != std::string::npos) {
-      if (code.find("*/", start + 2) == std::string::npos)
-        in_block_comment = true;
-      code = code.substr(0, start);
-    }
-
-    if (is_public_header)
-      rule_unit_double(file, i + 1, lines[i], code, out);
-    if (is_public_header && control_header(file))
-      rule_control_unit_double(file, i + 1, lines[i], code, out);
-    if (is_public_header && hot_path_header(file))
-      rule_std_function(file, i + 1, lines[i], code, out);
-    if (in_src && deterministic_output_path(file))
-      rule_unordered(file, i + 1, lines[i], code, out);
-    if (in_src)
-      rule_banned(file, i + 1, lines[i], code, out);
-  }
-
-  if (evaluator_header(file)) check_nodiscard(file, lines, out);
-}
-
-std::vector<Finding> scan_tree(const fs::path& root) {
-  std::vector<Finding> findings;
-  std::vector<fs::path> files;
+/// Scans <root>/src, using (and updating) the cache when one is given.
+ScanResult scan_tree(const fs::path& root, ResultCache* cache) {
   const fs::path src = root / "src";
   if (!fs::exists(src)) {
     std::cerr << "hcep-lint: no src/ under " << root << "\n";
     std::exit(2);
   }
+  std::vector<fs::path> files;
   for (const auto& entry : fs::recursive_directory_iterator(src)) {
     if (!entry.is_regular_file()) continue;
     if (!has_ext(entry.path(), {".hpp", ".h", ".cpp", ".cc"})) continue;
     files.push_back(entry.path());
   }
   std::sort(files.begin(), files.end());  // deterministic report order
-  for (const auto& f : files) scan_file(f, root, findings);
-  return findings;
+
+  ScanResult result;
+  std::vector<FileFacts> facts;
+  facts.reserve(files.size());
+  for (const auto& f : files) {
+    const std::string rel = fs::relative(f, root).generic_string();
+    CacheKey key;
+    key.size = static_cast<std::uint64_t>(fs::file_size(f));
+    key.mtime_ns = static_cast<std::int64_t>(
+        fs::last_write_time(f).time_since_epoch().count());
+    bool hit = false;
+    if (cache != nullptr) {
+      // mtime+size fast path first; on miss, hash the content before
+      // giving up (checkouts and touch(1) change mtime, not bytes).
+      if (auto cached = cache->lookup(rel, key)) {
+        facts.push_back(std::move(*cached));
+        hit = true;
+      } else {
+        const std::string text = read_file(f);
+        key.content_hash = fnv1a64(text);
+        if (auto rehashed = cache->lookup(rel, key)) {
+          cache->store(rel, key, *rehashed);  // refresh mtime
+          facts.push_back(std::move(*rehashed));
+          hit = true;
+        } else {
+          FileFacts ff = analyze_source(text, rel);
+          cache->store(rel, key, ff);
+          facts.push_back(std::move(ff));
+        }
+      }
+    } else {
+      facts.push_back(analyze_source(read_file(f), rel));
+    }
+    result.cache_hits += hit ? 1 : 0;
+    ++result.files_scanned;
+  }
+
+  for (const auto& ff : facts)
+    result.findings.insert(result.findings.end(), ff.findings.begin(),
+                           ff.findings.end());
+  const std::vector<Finding> cross = project_findings(facts);
+  result.findings.insert(result.findings.end(), cross.begin(), cross.end());
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
 }
 
-int report(const std::vector<Finding>& findings) {
-  for (const auto& f : findings)
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  if (findings.empty()) {
-    std::cout << "hcep-lint: clean\n";
+// --- Baseline (ratcheting) ---------------------------------------------------
+
+using BaselineCounts = std::map<std::pair<std::string, std::string>, long>;
+
+BaselineCounts load_baseline(const fs::path& path) {
+  BaselineCounts counts;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string rule, file;
+    long count = 0;
+    if (ss >> rule >> file >> count) counts[{rule, file}] = count;
+  }
+  return counts;
+}
+
+BaselineCounts count_findings(const std::vector<Finding>& findings) {
+  BaselineCounts counts;
+  for (const auto& f : findings) ++counts[{f.rule, f.file}];
+  return counts;
+}
+
+bool write_baseline(const fs::path& path, const BaselineCounts& counts) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# hcep-lint baseline: accepted findings per (rule, file).\n"
+      << "# A scan fails only on findings beyond these counts; shrink a\n"
+      << "# count (or delete a line) as findings are fixed — the ratchet\n"
+      << "# only turns one way. Regenerate with --update-baseline.\n";
+  for (const auto& [key, count] : counts)
+    out << key.first << " " << key.second << " " << count << "\n";
+  return static_cast<bool>(out);
+}
+
+// --- Reporting ---------------------------------------------------------------
+
+int report(const ScanResult& scan, const Options& opt) {
+  const std::vector<Finding>& findings = scan.findings;
+
+  if (!opt.sarif_path.empty()) {
+    std::ofstream out(opt.sarif_path, std::ios::trunc);
+    out << to_sarif(findings);
+    if (!out) {
+      std::cerr << "hcep-lint: cannot write SARIF to " << opt.sarif_path
+                << "\n";
+      return 2;
+    }
+  }
+
+  BaselineCounts baseline;
+  if (!opt.baseline_path.empty() && !opt.update_baseline)
+    baseline = load_baseline(opt.baseline_path);
+
+  // Findings beyond the baselined per-(rule,file) count are "new".
+  BaselineCounts seen;
+  std::vector<const Finding*> fresh;
+  std::size_t baselined = 0;
+  for (const auto& f : findings) {
+    const long allowed = [&] {
+      const auto it = baseline.find({f.rule, f.file});
+      return it == baseline.end() ? 0L : it->second;
+    }();
+    if (++seen[{f.rule, f.file}] > allowed) fresh.push_back(&f);
+    else ++baselined;
+  }
+
+  for (const Finding* f : fresh)
+    std::cout << f->file << ":" << f->line << ": [" << f->rule << "] "
+              << f->message << "\n";
+
+  // Stale baseline entries (counts above reality) are ratchet slack:
+  // report them so they get tightened, but do not fail the build.
+  std::size_t stale = 0;
+  for (const auto& [key, allowed] : baseline) {
+    const auto it = seen.find(key);
+    const long actual = it == seen.end() ? 0 : it->second;
+    if (actual < allowed) {
+      std::cout << "hcep-lint: baseline entry `" << key.first << " "
+                << key.second << "` allows " << allowed << " but only "
+                << actual << " remain — ratchet it down\n";
+      ++stale;
+    }
+  }
+
+  std::cout << "hcep-lint: scanned " << scan.files_scanned << " file(s), "
+            << scan.cache_hits << " cache hit(s)\n";
+  if (opt.update_baseline) {
+    if (!write_baseline(opt.baseline_path, count_findings(findings))) {
+      std::cerr << "hcep-lint: cannot write baseline " << opt.baseline_path
+                << "\n";
+      return 2;
+    }
+    std::cout << "hcep-lint: baseline updated (" << findings.size()
+              << " finding(s) accepted)\n";
     return 0;
   }
-  std::cout << "hcep-lint: " << findings.size() << " finding(s)\n";
+  if (fresh.empty()) {
+    std::cout << "hcep-lint: clean";
+    if (baselined > 0) std::cout << " (" << baselined << " baselined)";
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << "hcep-lint: " << fresh.size() << " new finding(s)";
+  if (baselined > 0) std::cout << " (+" << baselined << " baselined)";
+  std::cout << "\n";
   return 1;
 }
 
+// --- Selftest ----------------------------------------------------------------
+
 int selftest(const fs::path& fixtures) {
-  const std::vector<Finding> findings = scan_tree(fixtures);
-  // Per-rule seeded-violation counts: the model fixture plants one
-  // unit-double + one nodiscard, the traffic fixture plants one of each
-  // again (latency/sojourn identifier forms), the obs/stream fixture a
-  // third pair (streaming aggregates), report_bad.cpp plants the
-  // hash-container and the rand() call, the des fixture plants the
-  // std::function hot-path hit, and the control fixture plants two
-  // control-vocabulary doubles (cap, power_budget). Each live bug has a
-  // suppressed twin that must stay silent, so the counts are exact.
+  const ScanResult scan = scan_tree(fixtures, nullptr);
+  // Per-rule seeded-violation counts. Every rule in the catalog must
+  // appear here with a nonzero count, and every fixture plants a
+  // suppressed twin next to each live violation, so an off-count in
+  // either direction fails: a rule that stopped firing, a rule that
+  // fires on its twin, and a rule with no fixture are all defects.
   const std::map<std::string, std::size_t> expected = {
-      {"unit-double", 3},
-      {"control-unit-double", 2},
-      {"nodiscard", 3},
-      {"unordered-iteration", 1},
-      {"banned-call", 1},
-      {"std-function-hot-path", 1}};
+      {"unit-double", 3},          {"control-unit-double", 2},
+      {"nodiscard", 3},            {"unordered-iteration", 2},
+      {"banned-call", 1},          {"std-function-hot-path", 1},
+      {"rng-seed-flow", 3},        {"pointer-key", 1},
+      {"thread-id-identity", 1},   {"float-order-reduction", 1},
+      {"shared-mutable-static", 1},{"unit-flow", 1}};
   std::map<std::string, std::size_t> fired;
-  for (const auto& f : findings) ++fired[f.rule];
+  for (const auto& f : scan.findings) ++fired[f.rule];
   int rc = 0;
+  for (const auto& rule : rule_catalog()) {
+    if (!expected.count(rule.id)) {
+      std::cout << "selftest: rule " << rule.id
+                << " is in the catalog but has no fixture expectation\n";
+      rc = 1;
+    }
+  }
   for (const auto& [rule, want] : expected) {
+    if (!known_rule(rule)) {
+      std::cout << "selftest: expectation for unknown rule " << rule << "\n";
+      rc = 1;
+      continue;
+    }
     const std::size_t got = fired.count(rule) ? fired.at(rule) : 0;
     if (got == want) {
-      std::cout << "selftest: rule " << rule << " fired " << got
-                << "/" << want << "\n";
+      std::cout << "selftest: rule " << rule << " fired " << got << "/"
+                << want << "\n";
     } else {
       std::cout << "selftest: rule " << rule << " fired " << got
                 << " time(s), expected " << want
                 << " (suppressed twins must stay silent)\n";
+      for (const auto& f : scan.findings)
+        if (f.rule == rule)
+          std::cout << "  at " << f.file << ":" << f.line << "\n";
       rc = 1;
     }
   }
-  std::cout << "selftest: " << findings.size() << " finding(s) total\n";
   for (const auto& [rule, got] : fired) {
     if (!expected.count(rule)) {
-      std::cout << "selftest: unexpected rule " << rule << "\n";
+      std::cout << "selftest: unexpected rule " << rule << " fired " << got
+                << " time(s)\n";
       rc = 1;
     }
   }
+  std::cout << "selftest: " << scan.findings.size() << " finding(s) total\n";
   return rc;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      opt.root = argv[++i];
-    } else if (arg == "--selftest" && i + 1 < argc) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "hcep-lint: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = value("--root");
+    } else if (arg == "--selftest") {
       opt.selftest = true;
-      opt.root = argv[++i];
+      opt.root = value("--selftest");
+    } else if (arg == "--sarif") {
+      opt.sarif_path = value("--sarif");
+    } else if (arg == "--baseline") {
+      opt.baseline_path = value("--baseline");
+    } else if (arg == "--update-baseline") {
+      opt.update_baseline = true;
+    } else if (arg == "--cache") {
+      opt.cache_path = value("--cache");
+    } else if (arg == "--list-rules") {
+      opt.list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: hcep-lint --root <repo> | --selftest <fixtures>\n";
+      std::cout
+          << "usage: hcep-lint --root <repo> [--sarif out.sarif]\n"
+          << "                 [--baseline file [--update-baseline]]\n"
+          << "                 [--cache file]\n"
+          << "       hcep-lint --selftest <fixtures>\n"
+          << "       hcep-lint --list-rules\n";
       return 0;
     } else {
       std::cerr << "hcep-lint: unknown argument " << arg << "\n";
       return 2;
     }
   }
+  if (opt.list_rules) {
+    for (const auto& r : rule_catalog())
+      std::cout << r.id << "\n  " << r.summary << "\n";
+    return 0;
+  }
   if (opt.root.empty()) {
     std::cerr << "hcep-lint: --root is required\n";
     return 2;
   }
+  if (opt.update_baseline && opt.baseline_path.empty()) {
+    std::cerr << "hcep-lint: --update-baseline requires --baseline\n";
+    return 2;
+  }
   if (opt.selftest) return selftest(opt.root);
-  return report(scan_tree(opt.root));
+
+  if (!opt.cache_path.empty()) {
+    ResultCache cache = ResultCache::load(opt.cache_path.string());
+    const ScanResult scan = scan_tree(opt.root, &cache);
+    if (!cache.save(opt.cache_path.string()))
+      std::cerr << "hcep-lint: warning: cannot write cache "
+                << opt.cache_path << "\n";
+    return report(scan, opt);
+  }
+  return report(scan_tree(opt.root, nullptr), opt);
 }
+
+}  // namespace
+}  // namespace hcep::lint
+
+int main(int argc, char** argv) { return hcep::lint::run(argc, argv); }

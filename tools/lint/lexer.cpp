@@ -1,0 +1,302 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace hcep::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first so greedy matching works.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", ".*"};
+
+/// Records allow()/NOLINT() rule names found in a comment body.
+void scan_suppressions(const std::string& comment, std::size_t line,
+                       std::map<std::size_t, std::set<std::string>>& out) {
+  static const std::string kMarkers[] = {"hcep-lint: allow(", "NOLINT("};
+  for (const auto& marker : kMarkers) {
+    std::size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string::npos) {
+      const std::size_t open = pos + marker.size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) break;
+      out[line].insert(comment.substr(open, close - open));
+      pos = close;
+    }
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexResult run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i_;
+        continue;
+      }
+      if (c == '\\' && i_ + 1 < src_.size() && src_[i_ + 1] == '\n') {
+        ++line_;
+        i_ += 2;  // backslash-newline splice outside any token
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (ident_start(c)) {
+        lex_identifier_or_literal_prefix();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(false);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char peek(std::size_t off) const {
+    return i_ + off < src_.size() ? src_[i_ + off] : '\0';
+  }
+
+  void emit(TokenKind kind, std::string text, std::size_t line) {
+    result_.tokens.push_back({kind, std::move(text), line});
+  }
+
+  /// `// ...` — a trailing backslash continues the comment onto the next
+  /// line (a classic way to accidentally comment out code; the tokenizer
+  /// must swallow the continuation so rules never see that code, and the
+  /// fixture tests pin this down).
+  void lex_line_comment() {
+    const std::size_t start_line = line_;
+    std::string body;
+    i_ += 2;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && peek(1) == '\n') {
+        body.push_back('\n');
+        ++line_;
+        i_ += 2;
+        continue;
+      }
+      if (c == '\\' && peek(1) == '\r' && peek(2) == '\n') {
+        body.push_back('\n');
+        ++line_;
+        i_ += 3;
+        continue;
+      }
+      if (c == '\n') break;
+      body.push_back(c);
+      ++i_;
+    }
+    scan_suppressions(body, start_line, result_.suppressions);
+  }
+
+  void lex_block_comment() {
+    const std::size_t start_line = line_;
+    std::string body;
+    i_ += 2;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '*' && peek(1) == '/') {
+        i_ += 2;
+        break;
+      }
+      if (src_[i_] == '\n') ++line_;
+      body.push_back(src_[i_]);
+      ++i_;
+    }
+    scan_suppressions(body, start_line, result_.suppressions);
+  }
+
+  /// Identifiers — but `R"`, `u8R"`, `LR"`, `u8"`, `L'` etc. are literal
+  /// prefixes, so an identifier immediately followed by a quote hands
+  /// over to the literal lexers.
+  void lex_identifier_or_literal_prefix() {
+    const std::size_t start = i_;
+    while (i_ < src_.size() && ident_char(src_[i_])) ++i_;
+    const std::string word = src_.substr(start, i_ - start);
+    if (i_ < src_.size() && src_[i_] == '"') {
+      const bool raw = !word.empty() && word.back() == 'R';
+      if (raw || word == "u8" || word == "u" || word == "U" || word == "L") {
+        lex_string(raw);
+        return;
+      }
+    }
+    if (i_ < src_.size() && src_[i_] == '\'' &&
+        (word == "u8" || word == "u" || word == "U" || word == "L")) {
+      lex_char();
+      return;
+    }
+    emit(TokenKind::kIdentifier, word, line_);
+  }
+
+  /// pp-number: digits, digit separators, hex/exponent letters, and
+  /// `.`/`e+`/`p-` continuations. Over-broad by design (matches the
+  /// preprocessor's own token class).
+  void lex_number() {
+    const std::size_t start_line = line_;
+    std::string text;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (ident_char(c) || c == '\'' || c == '.') {
+        text.push_back(c);
+        ++i_;
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && i_ < src_.size() &&
+            (src_[i_] == '+' || src_[i_] == '-')) {
+          text.push_back(src_[i_]);
+          ++i_;
+        }
+        continue;
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, text, start_line);
+  }
+
+  void lex_string(bool raw) {
+    const std::size_t start_line = line_;
+    std::string body;
+    ++i_;  // opening quote
+    if (raw) {
+      // R"delim( ... )delim" — nothing inside is an escape.
+      std::string delim;
+      while (i_ < src_.size() && src_[i_] != '(') delim.push_back(src_[i_++]);
+      ++i_;  // '('
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = src_.find(close, i_);
+      const std::size_t stop = end == std::string::npos ? src_.size() : end;
+      for (std::size_t j = i_; j < stop; ++j)
+        if (src_[j] == '\n') ++line_;
+      body = src_.substr(i_, stop - i_);
+      i_ = stop == src_.size() ? stop : stop + close.size();
+    } else {
+      while (i_ < src_.size() && src_[i_] != '"') {
+        if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+          body.push_back(src_[i_ + 1]);
+          i_ += 2;
+          continue;
+        }
+        if (src_[i_] == '\n') break;  // unterminated: close at line end
+        body.push_back(src_[i_]);
+        ++i_;
+      }
+      if (i_ < src_.size() && src_[i_] == '"') ++i_;
+    }
+    emit(TokenKind::kString, body, start_line);
+  }
+
+  void lex_char() {
+    const std::size_t start_line = line_;
+    std::string body;
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != '\'') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+        body.push_back(src_[i_ + 1]);
+        i_ += 2;
+        continue;
+      }
+      if (src_[i_] == '\n') break;
+      body.push_back(src_[i_]);
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '\'') ++i_;
+    emit(TokenKind::kChar, body, start_line);
+  }
+
+  /// One whole preprocessor logical line (continuations folded, comments
+  /// stripped) as a single token.
+  void lex_directive() {
+    const std::size_t start_line = line_;
+    std::string text;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && peek(1) == '\n') {
+        text.push_back(' ');
+        ++line_;
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(c);
+      ++i_;
+    }
+    emit(TokenKind::kDirective, text, start_line);
+  }
+
+  void lex_punct() {
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::string::traits_type::length(p);
+      if (src_.compare(i_, n, p) == 0) {
+        emit(TokenKind::kPunct, p, line_);
+        i_ += n;
+        return;
+      }
+    }
+    emit(TokenKind::kPunct, std::string(1, src_[i_]), line_);
+    ++i_;
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  bool at_line_start_ = true;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(const std::string& source) { return Lexer(source).run(); }
+
+bool suppressed(const LexResult& lr, std::size_t line,
+                const std::string& rule) {
+  const auto it = lr.suppressions.find(line);
+  return it != lr.suppressions.end() && it->second.count(rule) > 0;
+}
+
+}  // namespace hcep::lint

@@ -1,0 +1,54 @@
+// hcep-lint lexer: a comment/string/raw-string-aware C++ tokenizer.
+//
+// The old checker worked on comment-stripped *lines*, which cannot see a
+// declaration split across lines, a raw string containing `rand()`, or a
+// line-continuation comment swallowing the next line. This pass turns a
+// translation unit into a flat token stream once; every later pass
+// (scope tracking, symbol collection, rules) consumes tokens, never raw
+// text. Preprocessor directives are captured as single Directive tokens
+// (with line continuations folded) so the include-graph pass can parse
+// them and the rule passes can skip macro bodies uniformly.
+//
+// Suppression comments are extracted here as a side table: any comment
+// containing `hcep-lint: allow(<rule>)` or `NOLINT(<rule>)` registers
+// <rule> as suppressed on the comment's line.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hcep::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (the lexer does not split them)
+  kNumber,      ///< pp-numbers: 10, 0x1f, 1e-9, 1'000'000, 3.f
+  kString,      ///< string literal (any prefix, incl. raw); text is the body
+  kChar,        ///< character literal; text is the body
+  kPunct,       ///< operators and punctuation, greedily matched (::, ->, <<=)
+  kDirective,   ///< whole preprocessor line, continuations folded
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  /// line -> rules suppressed on that line via allow()/NOLINT() comments.
+  std::map<std::size_t, std::set<std::string>> suppressions;
+};
+
+/// Tokenizes one translation unit. Never fails: unterminated constructs
+/// are closed at end-of-file (the linter must degrade, not crash, on
+/// half-written code).
+LexResult lex(const std::string& source);
+
+/// True when `line` carries a suppression for `rule` in `lr`.
+bool suppressed(const LexResult& lr, std::size_t line, const std::string& rule);
+
+}  // namespace hcep::lint

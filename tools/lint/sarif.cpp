@@ -1,0 +1,101 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "rules.hpp"
+
+namespace hcep::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // ruleId -> index into the driver's rules array (required by SARIF for
+  // result.ruleIndex).
+  std::map<std::string, std::size_t> rule_index;
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i)
+    rule_index[catalog[i].id] = i;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"hcep-lint\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/hcep/docs/STATIC_ANALYSIS.md\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const RuleSpec& r = catalog[i];
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(r.id) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(r.summary) << "\" },\n"
+       << "              \"fullDescription\": { \"text\": \""
+       << json_escape(r.help) << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
+       << "            }" << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n";
+    const auto it = rule_index.find(f.rule);
+    if (it != rule_index.end())
+      os << "          \"ruleIndex\": " << it->second << ",\n";
+    os << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(f.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(f.file) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << f.line << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace hcep::lint

@@ -1,0 +1,24 @@
+// hcep-lint SARIF 2.1.0 exporter.
+//
+// SARIF (Static Analysis Results Interchange Format) is what GitHub code
+// scanning ingests to annotate PR diffs. One run object, one driver with
+// a rule descriptor per catalog entry (rules.hpp), one result per
+// finding with a file/line physical location. The output is deliberately
+// minimal-but-valid: it parses under the 2.1.0 schema and round-trips
+// through the repo's own strict JsonValue::parse (tested in
+// tests/test_lint.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "facts.hpp"
+
+namespace hcep::lint {
+
+/// Serializes findings as a SARIF 2.1.0 document. Findings must already
+/// be in deterministic order; the document is byte-stable for a given
+/// input (a lint invariant of this repo's report tooling).
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace hcep::lint

@@ -1,0 +1,205 @@
+#include "scope.hpp"
+
+#include <algorithm>
+
+namespace hcep::lint {
+namespace {
+
+bool is_kw(const Token& t, const char* kw) {
+  return t.kind == TokenKind::kIdentifier && t.text == kw;
+}
+
+bool any_kw(const Token& t, std::initializer_list<const char*> kws) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  return std::any_of(kws.begin(), kws.end(),
+                     [&](const char* k) { return t.text == k; });
+}
+
+/// The "declaration head": tokens since the last `;`/`{`/`}` boundary.
+/// Classifying an opening brace only ever needs this window.
+struct Head {
+  std::vector<const Token*> toks;
+
+  void clear() { toks.clear(); }
+  void push(const Token& t) { toks.push_back(&t); }
+
+  bool contains_kw(std::initializer_list<const char*> kws) const {
+    return std::any_of(toks.begin(), toks.end(),
+                       [&](const Token* t) { return any_kw(*t, kws); });
+  }
+
+  /// Top-level `=` (outside parens/brackets/angles) means the brace
+  /// starts an initializer or a lambda body, never a named scope.
+  bool has_top_level_assign() const {
+    int paren = 0, angle = 0, square = 0;
+    for (const Token* t : toks) {
+      if (t->kind != TokenKind::kPunct) continue;
+      const std::string& p = t->text;
+      if (p == "(") ++paren;
+      else if (p == ")") paren = std::max(0, paren - 1);
+      else if (p == "[") ++square;
+      else if (p == "]") square = std::max(0, square - 1);
+      else if (p == "<") ++angle;
+      else if (p == ">") angle = std::max(0, angle - 1);
+      else if (p == "=" && paren == 0 && angle == 0 && square == 0)
+        return true;
+    }
+    return false;
+  }
+
+  /// Name of the identifier immediately before the first top-level
+  /// parenthesis group (the function name of `T name(args) ... {`), or ""
+  /// when the shape does not match. Parens nested in template angle
+  /// brackets (std::function<void()>) are not top-level.
+  std::string function_name() const {
+    int angle = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = *toks[i];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "<") ++angle;
+      else if (t.text == ">") angle = std::max(0, angle - 1);
+      else if (t.text == "(" && angle == 0) {
+        if (i == 0) return "";
+        const Token& prev = *toks[i - 1];
+        if (prev.kind == TokenKind::kIdentifier) return prev.text;
+        return "";
+      }
+    }
+    return "";
+  }
+
+  /// `namespace a::b {` -> "a::b"; "" for anonymous namespaces.
+  std::string namespace_name() const {
+    std::string name;
+    bool seen_kw = false;
+    for (const Token* t : toks) {
+      if (is_kw(*t, "namespace") || is_kw(*t, "inline")) {
+        seen_kw = seen_kw || is_kw(*t, "namespace");
+        continue;
+      }
+      if (!seen_kw) continue;
+      if (t->kind == TokenKind::kIdentifier) name += t->text;
+      else if (t->kind == TokenKind::kPunct && t->text == "::") name += "::";
+      else break;
+    }
+    return name;
+  }
+
+  /// `template <...> struct Foo : Bar {` -> "Foo".
+  std::string class_name() const {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (any_kw(*toks[i], {"class", "struct", "union", "enum"})) {
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+          const Token& t = *toks[j];
+          if (any_kw(t, {"class", "struct", "alignas", "final"})) continue;
+          if (t.kind == TokenKind::kPunct &&
+              (t.text == "[" || t.text == "]" || t.text == "(" ||
+               t.text == ")"))
+            continue;  // attributes / alignas arguments
+          if (t.kind == TokenKind::kIdentifier) return t.text;
+          break;  // `:` base clause or `{` right away: anonymous
+        }
+        return "";
+      }
+    }
+    return "";
+  }
+};
+
+}  // namespace
+
+std::vector<ScopeInfo> track_scopes(const std::vector<Token>& tokens) {
+  std::vector<ScopeInfo> out(tokens.size());
+  std::vector<Scope> stack;
+  Head head;
+
+  auto snapshot = [&]() {
+    ScopeInfo info;
+    for (const Scope& s : stack) {
+      switch (s.kind) {
+        case ScopeKind::kNamespace:
+          if (!s.name.empty()) {
+            if (!info.namespace_path.empty()) info.namespace_path += "::";
+            info.namespace_path += s.name;
+          }
+          break;
+        case ScopeKind::kClassLike:
+          info.class_name = s.name;
+          break;
+        case ScopeKind::kFunction:
+          info.in_function = true;
+          info.function_name = s.name;
+          break;
+        case ScopeKind::kBlock:
+          break;
+      }
+    }
+    if (!stack.empty()) {
+      const ScopeKind top = stack.back().kind;
+      info.at_namespace_scope = top == ScopeKind::kNamespace;
+      info.at_class_scope = top == ScopeKind::kClassLike;
+    }
+    // Blocks inside a function body still count as function context; a
+    // bare block at file scope (rare) does not restore namespace scope.
+    info.depth = stack.size();
+    return info;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+
+    if (t.kind == TokenKind::kPunct && t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      out[i] = snapshot();
+      head.clear();
+      continue;
+    }
+
+    out[i] = snapshot();  // `{` and everything else belong to the outer scope
+
+    if (t.kind == TokenKind::kPunct && t.text == "{") {
+      Scope s{ScopeKind::kBlock, ""};
+      const bool named_scope_ctx =
+          stack.empty() || stack.back().kind == ScopeKind::kNamespace ||
+          stack.back().kind == ScopeKind::kClassLike;
+      if (head.contains_kw({"namespace"})) {
+        s = {ScopeKind::kNamespace, head.namespace_name()};
+      } else if (head.contains_kw({"class", "struct", "union", "enum"}) &&
+                 !head.has_top_level_assign()) {
+        s = {ScopeKind::kClassLike, head.class_name()};
+      } else if (named_scope_ctx && !head.has_top_level_assign() &&
+                 !head.contains_kw({"if", "for", "while", "switch", "catch",
+                                    "do", "else", "try", "return"})) {
+        const std::string fn = head.function_name();
+        if (!fn.empty()) s = {ScopeKind::kFunction, fn};
+      }
+      stack.push_back(s);
+      head.clear();
+      continue;
+    }
+
+    if (t.kind == TokenKind::kPunct && t.text == ";") {
+      head.clear();
+      continue;
+    }
+    if (t.kind == TokenKind::kPunct && t.text == ":") {
+      // Access specifiers and case labels end a head; mem-init `:` after
+      // a ctor's `(...)` must keep it.
+      if (head.toks.size() == 1 &&
+          any_kw(*head.toks.front(),
+                 {"public", "private", "protected", "default"})) {
+        head.clear();
+        continue;
+      }
+      if (!head.toks.empty() && is_kw(*head.toks.front(), "case")) {
+        head.clear();
+        continue;
+      }
+    }
+    if (t.kind == TokenKind::kDirective) continue;
+    head.push(t);
+  }
+  return out;
+}
+
+}  // namespace hcep::lint

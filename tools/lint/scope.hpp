@@ -1,0 +1,57 @@
+// hcep-lint scope tracker: brace/namespace/class/function structure over
+// the token stream.
+//
+// The rule passes need to know, for any token, whether it sits at
+// namespace scope, inside a class body, or inside a function body (and
+// which one): a `static` local in a function is a different hazard from
+// a `static` data member, and a `Rng rng;` class member is judged by its
+// mem-initializers while a `Rng rng;` local is a finding on its own.
+//
+// The tracker is a single forward pass that classifies every `{` by the
+// tokens that precede it:
+//   namespace <name...> {            -> Namespace scope
+//   class/struct/union/enum ... {    -> ClassLike scope
+//   ...name ( params ) [specs] {     -> Function scope (incl. ctors,
+//                                       operators, lambdas degrade to
+//                                       Block)
+//   anything else                    -> Block
+// and records, for every token index, the innermost enclosing scope of
+// each kind. Heuristic by construction — it does not parse C++ — but
+// exact on this codebase's style, and the fixtures in tests/test_lint.cpp
+// pin the cases the rules rely on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace hcep::lint {
+
+enum class ScopeKind { kNamespace, kClassLike, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind;
+  std::string name;  ///< namespace/class/function name ("" if anonymous)
+};
+
+/// Per-token view of the enclosing scope stack.
+struct ScopeInfo {
+  std::string namespace_path;  ///< "hcep::control" at the token
+  std::string class_name;      ///< innermost enclosing class ("" if none)
+  std::string function_name;   ///< innermost enclosing function ("" if none)
+  bool in_function = false;
+  /// Directly at namespace (or file) scope: not inside any class body,
+  /// function body or plain block.
+  bool at_namespace_scope = true;
+  /// Directly inside a class body (member-declaration position).
+  bool at_class_scope = false;
+  std::size_t depth = 0;  ///< brace depth
+};
+
+/// Computes scope info for every token; result[i] describes tokens[i].
+/// Size always equals tokens.size().
+std::vector<ScopeInfo> track_scopes(const std::vector<Token>& tokens);
+
+}  // namespace hcep::lint
