@@ -1,0 +1,185 @@
+// Library performance: the federation tier.
+//
+// Quantifies what the global-routing pipeline adds on top of a plain
+// single-cluster traffic run. The headline pair: BM_OpenLoopTraffic vs
+// BM_FedSingleSite push the same Poisson demand through the same
+// cluster — directly via simulate_traffic, and through the full
+// simulate_fleet pipeline (arrival generation, routing pre-pass,
+// assigned-arrival replay, ledger merge) with one site, where every
+// placement is trivially local. Both sides record the same obs
+// telemetry (simulate_fleet always snapshots a per-site Observer, so
+// the baseline installs one too); the difference is pure federation
+// overhead, which tools/bench_regress.py --suite fed gates at <= 5%
+// for the 1M-request configuration (max_ratio 1.05 in BENCH_fed.json's
+// suite). The 3-site hybrid fleet and the bare router decision loop
+// are recorded for reference, not ratio-gated: multi-site runs change
+// the simulated work itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hcep/fed/curves.hpp"
+#include "hcep/fed/fleet.hpp"
+#include "hcep/fed/router.hpp"
+#include "hcep/fed/site.hpp"
+#include "hcep/hw/network.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/obs/obs.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/traffic/simulate.hpp"
+#include "hcep/workload/catalog.hpp"
+
+namespace {
+
+using namespace hcep;
+using namespace hcep::fed;
+
+const workload::Workload& wl(const std::string& name) {
+  static const auto kCatalog = workload::paper_workloads();
+  for (const auto& w : kCatalog)
+    if (w.name == name) return w;
+  throw std::runtime_error("missing workload " + name);
+}
+
+std::vector<traffic::TrafficClass> one_class() {
+  return {traffic::TrafficClass{wl("EP"), 1.0, traffic::SloTarget{}}};
+}
+
+/// Shared scenario: 4 A9 + 2 K10 at 70% utilization, identical to the
+/// BM_OpenLoopTraffic scenario in perf_control.cpp so numbers compare.
+struct SingleSite {
+  model::ClusterSpec cluster = model::make_a9_k10_cluster(4, 2);
+  std::vector<traffic::TrafficClass> classes = one_class();
+  double rate = 0.7 * traffic::cluster_capacity_per_s(cluster, classes);
+};
+
+/// Baseline: the plain single-cluster open loop, no federation tier.
+void BM_OpenLoopTraffic(benchmark::State& state) {
+  const SingleSite s;
+  const auto arrivals = traffic::make_poisson(s.rate);
+  traffic::TrafficOptions options;
+  options.requests = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+#if HCEP_OBS
+    // Telemetry parity with simulate_fleet's per-site Observer.
+    obs::Observer local;
+    obs::ScopedObserver install(local);
+#endif
+    const traffic::TrafficResult r =
+        traffic::simulate_traffic(s.cluster, s.classes, *arrivals, options);
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_OpenLoopTraffic)->Arg(1 << 17)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same demand through the whole federation pipeline with a single
+/// site: generation, routing (every placement local), assigned-arrival
+/// replay, cost/ledger merge. Throughput delta vs BM_OpenLoopTraffic is
+/// the federation tier's overhead.
+void BM_FedSingleSite(benchmark::State& state) {
+  const SingleSite s;
+  std::vector<Site> sites(1);
+  sites[0].name = "solo";
+  sites[0].cluster = s.cluster;
+  sites[0].arrivals = traffic::make_poisson(s.rate);
+  sites[0].rack_budget = s.cluster.nameplate_power();
+  sites[0].price = EnergyPriceCurve::flat(0.10);
+  sites[0].carbon = CarbonCurve::flat(420.0);
+  const hw::InterSiteNetwork network(1);
+  FleetOptions options;
+  options.requests_per_site = static_cast<std::uint64_t>(state.range(0));
+  options.router.policy = RoutePolicy::kNearest;
+  for (auto _ : state) {
+    const FleetReport r =
+        simulate_fleet(sites, network, s.classes, options);
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FedSingleSite)->Arg(1 << 17)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// Reference: a 3-site diurnal fleet under the hybrid policy (the
+/// keystone shape at bench scale). Work moves across sites, so this is
+/// recorded, never ratio-gated against the single-site pipeline.
+void BM_FedFleetHybrid(benchmark::State& state) {
+  const std::vector<unsigned> k10 = {4, 2, 2};
+  const char* names[] = {"alpha", "beta", "gamma"};
+  const auto classes = one_class();
+  double fleet_capacity = 0.0;
+  for (const unsigned n : k10)
+    fleet_capacity += traffic::cluster_capacity_per_s(
+        model::make_a9_k10_cluster(0, n), classes);
+  const double site_rate = 0.55 * fleet_capacity / 3.0;
+  const auto requests =
+      static_cast<std::uint64_t>(state.range(0)) / 3;
+  const Seconds period{static_cast<double>(requests) / site_rate};
+  std::vector<Site> sites;
+  for (std::size_t s = 0; s < 3; ++s) {
+    Site site;
+    site.name = names[s];
+    site.cluster = model::make_a9_k10_cluster(0, k10[s]);
+    site.rack_budget = site.cluster.nameplate_power();
+    const Seconds offset{period.value() * static_cast<double>(s) / 3.0};
+    site.arrivals = traffic::make_diurnal(site_rate, 0.85, period, offset);
+    site.price = make_diurnal_curve(
+        0.10, 0.8, period, Seconds{offset.value() + 0.25 * period.value()},
+        100 + s);
+    site.carbon = CarbonCurve::flat(420.0);
+    sites.push_back(std::move(site));
+  }
+  const auto network = hw::InterSiteNetwork::uniform(
+      3, Seconds{0.01}, BytesPerSecond{0.0});
+  FleetOptions options;
+  options.requests_per_site = requests;
+  options.shards = 3;
+  for (auto _ : state) {
+    const FleetReport r = simulate_fleet(sites, network, classes, options);
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests) * 3);
+}
+BENCHMARK(BM_FedFleetHybrid)->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+/// The bare routing decision, no simulation behind it: one hybrid
+/// placement per iteration against 3 sites with live price curves and a
+/// warm sliding load window.
+void BM_RouterDecision(benchmark::State& state) {
+  const auto classes = one_class();
+  std::vector<Site> sites(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    sites[s].name = "site" + std::to_string(s);
+    sites[s].cluster = model::make_a9_k10_cluster(0, 2);
+    sites[s].arrivals = traffic::make_poisson(1.0);
+    sites[s].price = make_diurnal_curve(0.10, 0.8, Seconds{86400.0},
+                                        Seconds{14.0 * 3600.0}, 100 + s);
+    sites[s].carbon = CarbonCurve::flat(420.0);
+  }
+  const auto network = hw::InterSiteNetwork::uniform(
+      3, Seconds{0.01}, BytesPerSecond{0.0});
+  GlobalRouter router(sites, network, classes, RouterOptions{});
+  double t = 0.0;
+  std::size_t origin = 0;
+  for (auto _ : state) {
+    const Assignment a =
+        router.route(origin, 0, Seconds{t});
+    benchmark::DoNotOptimize(a.target);
+    t += 0.05;
+    origin = (origin + 1) % 3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RouterDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

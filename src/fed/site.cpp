@@ -1,0 +1,25 @@
+#include "hcep/fed/site.hpp"
+
+namespace hcep::fed {
+
+Watts Site::idle_floor() const {
+  Watts floor{};
+  for (const auto& group : cluster.groups)
+    floor += group.spec.power.idle * static_cast<double>(group.count);
+  return floor;
+}
+
+JsonValue Site::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("name", JsonValue::string(name));
+  o.set("cluster", JsonValue::string(cluster.label()));
+  o.set("nodes", JsonValue::number(
+                     static_cast<std::int64_t>(cluster.total_nodes())));
+  o.set("rack_budget_w", JsonValue::number(rack_budget.value()));
+  o.set("idle_floor_w", JsonValue::number(idle_floor().value()));
+  o.set("price", price.to_json());
+  o.set("carbon", carbon.to_json());
+  return o;
+}
+
+}  // namespace hcep::fed

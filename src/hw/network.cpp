@@ -1,0 +1,75 @@
+#include "hcep/hw/network.hpp"
+
+#include "hcep/util/error.hpp"
+
+namespace hcep::hw {
+
+InterSiteNetwork::InterSiteNetwork(std::size_t sites)
+    : sites_(sites), links_(sites * sites) {
+  require(sites > 0, "InterSiteNetwork: need at least one site");
+}
+
+InterSiteNetwork InterSiteNetwork::uniform(std::size_t sites, Seconds latency,
+                                           BytesPerSecond bandwidth) {
+  InterSiteNetwork net(sites);
+  require(latency.value() >= 0.0, "InterSiteNetwork: negative latency");
+  require(bandwidth.value() >= 0.0, "InterSiteNetwork: negative bandwidth");
+  for (std::size_t i = 0; i < sites; ++i) {
+    for (std::size_t j = 0; j < sites; ++j) {
+      if (i == j) continue;
+      net.links_[i * sites + j] = LinkSpec{latency, bandwidth};
+    }
+  }
+  return net;
+}
+
+void InterSiteNetwork::set_link(std::size_t i, std::size_t j,
+                                const LinkSpec& link) {
+  set_directed_link(i, j, link);
+  set_directed_link(j, i, link);
+}
+
+void InterSiteNetwork::set_directed_link(std::size_t i, std::size_t j,
+                                         const LinkSpec& link) {
+  require(i < sites_ && j < sites_, "InterSiteNetwork: site out of range");
+  require(i != j, "InterSiteNetwork: the diagonal is implicitly free");
+  require(link.latency.value() >= 0.0, "InterSiteNetwork: negative latency");
+  require(link.bandwidth.value() >= 0.0,
+          "InterSiteNetwork: negative bandwidth");
+  links_[i * sites_ + j] = link;
+}
+
+const LinkSpec& InterSiteNetwork::link(std::size_t i, std::size_t j) const {
+  require(i < sites_ && j < sites_, "InterSiteNetwork: site out of range");
+  return links_[i * sites_ + j];
+}
+
+Seconds InterSiteNetwork::transit(std::size_t i, std::size_t j,
+                                  Bytes payload) const {
+  if (i == j) return Seconds{0.0};
+  const LinkSpec& l = link(i, j);
+  Seconds t = l.latency;
+  if (l.bandwidth.value() > 0.0) t += payload / l.bandwidth;
+  return t;
+}
+
+JsonValue InterSiteNetwork::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("sites", JsonValue::number(static_cast<std::int64_t>(sites_)));
+  JsonValue rows = JsonValue::array();
+  for (std::size_t i = 0; i < sites_; ++i) {
+    JsonValue row = JsonValue::array();
+    for (std::size_t j = 0; j < sites_; ++j) {
+      const LinkSpec& l = links_[i * sites_ + j];
+      JsonValue cell = JsonValue::object();
+      cell.set("latency_s", JsonValue::number(l.latency.value()));
+      cell.set("bandwidth_bps", JsonValue::number(l.bandwidth.value()));
+      row.push(std::move(cell));
+    }
+    rows.push(std::move(row));
+  }
+  o.set("links", std::move(rows));
+  return o;
+}
+
+}  // namespace hcep::hw

@@ -1,0 +1,92 @@
+// Time-of-use energy price and carbon-intensity curves.
+//
+// A federation site buys electricity on a tariff and a grid mix that
+// both vary over the day; what the global router trades against latency
+// is exactly this time dependence. A PiecewiseCurve is a periodic,
+// piecewise-linear function of simulated time: knots at fixed instants
+// within one period, linear interpolation between them, periodic wrap
+// from the last knot back to the first.
+//
+// Units: the repo's Quantity dimension vector spans time/energy/power/
+// frequency/information — it has no currency or mass axis — so curve
+// VALUES are documented scalar doubles ($/kWh for price, gCO2e/kWh for
+// carbon intensity) while every time input is a typed Seconds and every
+// energy being priced is a typed Joules (converted at 3.6e6 J/kWh by
+// the fleet ledger).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hcep/util/json.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::fed {
+
+class PiecewiseCurve {
+ public:
+  /// Flat zero over a 24 h period (a site with no tariff configured
+  /// contributes nothing to the fleet cost ledger).
+  PiecewiseCurve();
+
+  /// Knots are (time-within-period, value) pairs, strictly increasing
+  /// in time, all inside [0, period), values non-negative. The curve
+  /// interpolates linearly between consecutive knots and wraps from the
+  /// last knot to the first knot one period later.
+  PiecewiseCurve(Seconds period,
+                 std::vector<std::pair<Seconds, double>> knots);
+
+  /// Constant curve (useful as a control: with a flat price the
+  /// cheapest-energy policy degenerates to nearest).
+  [[nodiscard]] static PiecewiseCurve flat(double value,
+                                           Seconds period = Seconds{86400.0});
+
+  /// Value at simulated time t (periodic: any t >= 0).
+  [[nodiscard]] double at(Seconds t) const;
+
+  /// Time-average over one period.
+  [[nodiscard]] double mean() const;
+
+  /// Integral of the curve over [a, b] in value * seconds (a <= b).
+  /// Priced energy uses this for idle spans: cost of a constant P-watt
+  /// draw over [a, b] is P / 3.6e6 * integral(a, b) dollars.
+  [[nodiscard]] double integral(Seconds a, Seconds b) const;
+
+  [[nodiscard]] Seconds period() const { return period_; }
+  [[nodiscard]] const std::vector<std::pair<Seconds, double>>& knots() const {
+    return knots_;
+  }
+
+  /// Deterministic JSON (insertion-ordered keys).
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  /// Value at phase u in [0, period).
+  [[nodiscard]] double at_phase(double u) const;
+  /// Integral over [0, u] for u in [0, period].
+  [[nodiscard]] double prefix_integral(double u) const;
+
+  Seconds period_{86400.0};
+  std::vector<std::pair<Seconds, double>> knots_;
+  double period_area_ = 0.0;  ///< integral over one full period
+};
+
+/// The two tariffs a Site carries. Same representation; the aliases keep
+/// signatures self-documenting ($/kWh vs gCO2e/kWh).
+using EnergyPriceCurve = PiecewiseCurve;
+using CarbonCurve = PiecewiseCurve;
+
+/// Seeded diurnal curve: `knots` evenly spaced knots over `period`
+/// tracing base * (1 + swing * cos(2*pi * (t - peak_at) / period)),
+/// each knot perturbed by a deterministic multiplicative jitter drawn
+/// from Rng(seed) in [1 - jitter, 1 + jitter] (clamped at zero). The
+/// same (seed, shape) always yields byte-identical curves.
+[[nodiscard]] PiecewiseCurve make_diurnal_curve(double base, double swing,
+                                                Seconds period,
+                                                Seconds peak_at,
+                                                std::uint64_t seed,
+                                                double jitter = 0.0,
+                                                std::size_t knots = 24);
+
+}  // namespace hcep::fed

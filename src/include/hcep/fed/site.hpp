@@ -1,0 +1,65 @@
+// A federation site: one cluster plus the regional context around it.
+//
+// The paper sizes and operates a single heterogeneous cluster; a fleet
+// operator runs several of them in different regions, each with its own
+// demand profile (time-zone-shifted diurnal load), its own electricity
+// tariff and grid carbon intensity, and its own rack power provision.
+// Site is the value type that bundles those: everything the global
+// router (router.hpp) needs to decide where a request should execute,
+// and everything the fleet ledger (fleet.hpp) needs to price the energy
+// that execution consumed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hcep/control/controller.hpp"
+#include "hcep/fed/curves.hpp"
+#include "hcep/model/cluster_spec.hpp"
+#include "hcep/traffic/arrivals.hpp"
+#include "hcep/util/json.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::fed {
+
+struct Site {
+  std::string name;
+
+  /// The node mix this region runs (the paper's unit of analysis).
+  model::ClusterSpec cluster;
+
+  /// Regional demand: the arrival process of requests ORIGINATING here
+  /// (before routing). Cloned per run, driven by a per-origin split of
+  /// the fleet seed, so the same (seed, sites) always generates the
+  /// same streams. A diurnal process with a per-site peak offset is the
+  /// canonical choice (traffic::make_diurnal Seconds-offset overload).
+  std::shared_ptr<const traffic::ArrivalProcess> arrivals;
+
+  /// Provisioned rack power ceiling (what the region's feed can supply;
+  /// the paper budgets racks at nameplate). Informational in the fleet
+  /// report and the natural cap for a per-site power-cap controller.
+  Watts rack_budget{};
+
+  /// Time-of-use electricity tariff, $/kWh.
+  EnergyPriceCurve price;
+
+  /// Grid carbon intensity, gCO2e/kWh.
+  CarbonCurve carbon;
+
+  /// Per-site closed-loop control plane (hcep::control), applied to
+  /// this site's cluster simulation. Default = open loop.
+  control::ControlOptions control{};
+
+  /// Idle floor of the powered cluster: sum of per-node P_sys,idle over
+  /// every group. The fleet ledger charges this over the tail between a
+  /// site's own makespan and the fleet horizon.
+  [[nodiscard]] Watts idle_floor() const;
+
+  /// Deterministic JSON identity card (name, cluster label, node count,
+  /// rack budget, tariff curves) — stable site identity for reports;
+  /// never an address or iteration-order artifact (hcep-lint's
+  /// site-id-determinism rule enforces the complement).
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+}  // namespace hcep::fed

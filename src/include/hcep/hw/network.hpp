@@ -1,0 +1,67 @@
+// Inter-site wide-area network model.
+//
+// The federation tier (hcep::fed) places requests across geographically
+// separate clusters; what separates the sites physically is the WAN
+// between them. This model keeps the paper's level of abstraction: a
+// link is a propagation latency plus a sustainable bandwidth, and the
+// transit time of one request is latency + payload / bandwidth — no
+// queueing on the wide-area path (the bottleneck this repo studies is
+// the cluster, not the backbone).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hcep/util/json.hpp"
+#include "hcep/util/units.hpp"
+
+namespace hcep::hw {
+
+/// One directed inter-site link. A zero bandwidth means "unconstrained"
+/// (the payload term is dropped), matching how the node models treat
+/// absent components.
+struct LinkSpec {
+  Seconds latency{};
+  BytesPerSecond bandwidth{};
+};
+
+/// Dense pairwise latency/bandwidth matrix over `size()` sites. The
+/// diagonal is implicitly free: transit within a site is exactly zero,
+/// so a single-site federation reproduces plain cluster results.
+class InterSiteNetwork {
+ public:
+  InterSiteNetwork() = default;
+  /// `sites` disconnected sites (all off-diagonal links zero-latency,
+  /// unconstrained bandwidth) — set_link fills in real distances.
+  explicit InterSiteNetwork(std::size_t sites);
+
+  /// Fully-connected symmetric topology with one common link shape —
+  /// the "three regions on one backbone" configuration the federation
+  /// tests use.
+  [[nodiscard]] static InterSiteNetwork uniform(std::size_t sites,
+                                                Seconds latency,
+                                                BytesPerSecond bandwidth);
+
+  /// Installs `link` in both directions (i -> j and j -> i).
+  void set_link(std::size_t i, std::size_t j, const LinkSpec& link);
+  /// Installs `link` in the i -> j direction only (asymmetric routes).
+  void set_directed_link(std::size_t i, std::size_t j, const LinkSpec& link);
+
+  [[nodiscard]] const LinkSpec& link(std::size_t i, std::size_t j) const;
+  [[nodiscard]] std::size_t size() const { return sites_; }
+
+  /// One-way transit of a `payload`-byte request from site i to site j:
+  /// zero on the diagonal, latency + payload / bandwidth otherwise
+  /// (the bandwidth term is dropped for unconstrained links).
+  [[nodiscard]] Seconds transit(std::size_t i, std::size_t j,
+                                Bytes payload) const;
+
+  /// Deterministic JSON (row-major link matrix, insertion-ordered keys).
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  std::size_t sites_ = 0;
+  std::vector<LinkSpec> links_;  ///< row-major [from * sites_ + to]
+};
+
+}  // namespace hcep::hw

@@ -40,6 +40,28 @@ struct TrafficClass {
   SloTarget slo{};
 };
 
+/// One pre-assigned arrival: absolute time plus the class drawn (or
+/// chosen) upstream. Input to the assigned-arrival simulate_traffic
+/// overload below, which a routing tier (hcep::fed) uses to replay the
+/// exact stream it placed on a cluster.
+struct Arrival {
+  Seconds t{};
+  std::uint32_t cls = 0;
+};
+
+/// Terminal outcome of one request, recorded when
+/// TrafficOptions::record_requests is on. `index` is the request's
+/// arrival index (the position in the assigned-arrival vector, or the
+/// global generation index for generated streams), so an upstream
+/// router can join records back to its own per-request bookkeeping.
+/// `sojourn` spans first arrival to completion (or final rejection).
+struct RequestRecord {
+  std::uint64_t index = 0;
+  std::uint32_t cls = 0;
+  std::uint32_t failed = 0;  ///< 1 when the request exhausted attempts
+  Seconds sojourn{};
+};
+
 struct TrafficOptions {
   /// First-attempt arrivals to generate (retries do not count).
   std::uint64_t requests = 10000;
@@ -73,6 +95,11 @@ struct TrafficOptions {
   /// aggregates computed online — purely observational (no RNG draws, no
   /// DES events), so enabling it leaves every other result byte-identical.
   obs::stream::StreamOptions stream{};
+  /// Record one RequestRecord per request into TrafficResult::requests
+  /// (terminal outcomes, sorted by arrival index). Purely observational:
+  /// no RNG draws, no DES events, so every other result stays
+  /// byte-identical with it on or off.
+  bool record_requests = false;
 };
 
 /// Aggregate ledger plus exact latency summaries of one traffic run.
@@ -119,6 +146,11 @@ struct TrafficResult {
   /// timeline.to_json() / timeline.csv().
   obs::stream::StreamTimeline timeline;
 
+  /// Per-request terminal outcomes, sorted by arrival index (empty
+  /// unless TrafficOptions::record_requests). Like `control` and
+  /// `timeline`, deliberately NOT part of to_json().
+  std::vector<RequestRecord> requests;
+
   /// Deterministic JSON (insertion-ordered keys; same-seed runs are
   /// byte-identical).
   [[nodiscard]] JsonValue to_json() const;
@@ -142,5 +174,19 @@ struct TrafficResult {
     const model::ClusterSpec& cluster,
     const std::vector<TrafficClass>& classes, const ArrivalProcess& arrivals,
     const TrafficOptions& options);
+
+/// Assigned-arrival overload: replays an explicit, time-sorted arrival
+/// vector (class chosen upstream) instead of sampling a generator —
+/// the entry point a global routing tier uses to hand each cluster
+/// exactly the requests it placed there. `options.requests` is ignored
+/// (the vector is the budget) and `options.shards` must be 1: the
+/// upstream tier owns any parallelism, and a single event loop keeps
+/// the replay byte-identical to the equivalent generated run. Arrivals
+/// are scheduled lazily (one pending DES event at a time), so the
+/// per-event cost matches the generator pump, not an O(n) preload.
+[[nodiscard]] TrafficResult simulate_traffic(
+    const model::ClusterSpec& cluster,
+    const std::vector<TrafficClass>& classes,
+    const std::vector<Arrival>& arrivals, const TrafficOptions& options);
 
 }  // namespace hcep::traffic

@@ -252,6 +252,12 @@ MetricsSnapshot merge_snapshots(
       require(seen->bounds == h.bounds,
               "merge_snapshots: histogram '" + h.name +
                   "' has mismatched bounds");
+      // Equal bounds do not imply equal bucket layouts for hand-built
+      // snapshots; indexing blindly would read/write out of bounds, so
+      // reject the malformed pair instead.
+      require(seen->counts.size() == h.counts.size(),
+              "merge_snapshots: histogram '" + h.name +
+                  "' has mismatched bucket layouts");
       for (std::size_t i = 0; i < h.counts.size(); ++i)
         seen->counts[i] += h.counts[i];
       seen->count += h.count;

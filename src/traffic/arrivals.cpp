@@ -223,6 +223,14 @@ std::unique_ptr<ArrivalProcess> make_diurnal(double mean_rate_per_s,
   return std::make_unique<Diurnal>(mean_rate_per_s, swing, period, phase);
 }
 
+std::unique_ptr<ArrivalProcess> make_diurnal(double mean_rate_per_s,
+                                             double swing, Seconds period,
+                                             Seconds peak_offset) {
+  require(period.value() > 0.0, "make_diurnal: period must be positive");
+  return std::make_unique<Diurnal>(mean_rate_per_s, swing, period,
+                                   -peak_offset.value() / period.value());
+}
+
 std::unique_ptr<ArrivalProcess> make_replay(std::vector<Seconds> arrivals,
                                             bool loop) {
   return std::make_unique<Replay>(std::move(arrivals), loop);

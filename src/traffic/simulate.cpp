@@ -199,11 +199,12 @@ struct ClassSamples {
   Joules dynamic_energy{};
 };
 
-/// One in-flight request attempt; retries carry the same first_arrival.
-/// Sized so the hot-path callback captures below stay within
-/// des::Callback's inline buffer.
+/// One in-flight request attempt; retries carry the same first_arrival
+/// and arrival index. Sized so the hot-path callback captures below
+/// stay within des::Callback's inline buffer.
 struct Request {
-  std::size_t cls = 0;
+  std::uint32_t cls = 0;
+  std::uint32_t index = 0;  ///< arrival index (record_requests join key)
   Seconds first_arrival{};
   std::uint32_t attempt = 1;
 };
@@ -252,6 +253,7 @@ class Engine final : public control::Actuator {
     all_wait_.reserve(request_budget);
     all_service_.reserve(request_budget);
     all_sojourn_.reserve(request_budget);
+    if (options.record_requests) records_.reserve(request_budget);
 #if HCEP_OBS
     o_ = obs::current();
     if (o_ != nullptr) {
@@ -337,16 +339,31 @@ class Engine final : public control::Actuator {
       arrivals_done_ = true;
   }
 
-  /// Pre-assigned arrivals (sharded path): (time, class) pairs generated
-  /// up front from the shared arrival stream.
-  void preload(const std::vector<std::pair<Seconds, std::size_t>>& arrivals) {
+  /// Pre-assigned arrivals (sharded path): (time, class, global index)
+  /// triples generated up front from the shared arrival stream.
+  void preload(const std::vector<Arrival>& arrivals,
+               const std::vector<std::uint32_t>& indices) {
     preload_total_ = arrivals.size();
     if (preload_total_ == 0) arrivals_done_ = true;
-    for (const auto& [t, cls] : arrivals) {
-      auto cb = [this, cls = cls]() { admit_arrival(cls); };
+    for (std::size_t k = 0; k < arrivals.size(); ++k) {
+      auto cb = [this, cls = arrivals[k].cls, idx = indices[k]]() {
+        admit_arrival(cls, idx);
+      };
       static_assert(des::Callback::stores_inline<decltype(cb)>);
-      sim_.schedule_at(t, std::move(cb));
+      sim_.schedule_at(arrivals[k].t, std::move(cb));
     }
+  }
+
+  /// Assigned-arrival replay (fed path): a time-sorted vector owned by
+  /// the caller, scheduled lazily — each firing admits one arrival and
+  /// schedules the next, mirroring the generator pump's event cost.
+  void start_assigned(const std::vector<Arrival>& arrivals) {
+    assigned_ = &arrivals;
+    if (arrivals.empty()) {
+      arrivals_done_ = true;
+      return;
+    }
+    schedule_assigned(arrivals.front().t);
   }
 
   // ---- merged outputs ----
@@ -364,6 +381,7 @@ class Engine final : public control::Actuator {
     return ledger_;
   }
   [[nodiscard]] obs::stream::Collector* stream() { return stream_.get(); }
+  [[nodiscard]] std::vector<RequestRecord>& records() { return records_; }
 
   /// Closes open sleep intervals and integrates the gating savings,
   /// clipped to the run's makespan (the idle-floor baseline the savings
@@ -410,7 +428,7 @@ class Engine final : public control::Actuator {
       const double coin = rng_.uniform01();
       while (cls + 1 < classes_.size() && coin > cumulative_[cls]) ++cls;
     }
-    arrive(cls);
+    arrive(cls, static_cast<std::uint32_t>(offered));
     const Seconds next = gen_->next(sim_.now(), rng_);
     if (next.value() < std::numeric_limits<double>::infinity())
       schedule_pump(next);
@@ -418,18 +436,36 @@ class Engine final : public control::Actuator {
       arrivals_done_ = true;
   }
 
-  /// Preloaded-arrival firing (class was drawn at generation time).
-  void admit_arrival(std::size_t cls) {
-    ++preload_fired_;
-    if (preload_fired_ >= preload_total_) arrivals_done_ = true;
-    arrive(cls);
+  void schedule_assigned(Seconds t) {
+    auto cb = [this]() { assigned_arrival(); };
+    static_assert(des::Callback::stores_inline<decltype(cb)>);
+    sim_.schedule_at(t, std::move(cb));
   }
 
-  void arrive(std::size_t cls) {
+  /// One assigned-arrival firing: admit the arrival at the cursor and
+  /// lazily schedule the next one (times are sorted ascending, so the
+  /// next event is never in the past).
+  void assigned_arrival() {
+    const std::size_t k = assigned_cursor_++;
+    if (assigned_cursor_ >= assigned_->size()) arrivals_done_ = true;
+    arrive((*assigned_)[k].cls, static_cast<std::uint32_t>(k));
+    if (assigned_cursor_ < assigned_->size())
+      schedule_assigned((*assigned_)[assigned_cursor_].t);
+  }
+
+  /// Preloaded-arrival firing (class was drawn at generation time).
+  void admit_arrival(std::size_t cls, std::uint32_t index) {
+    ++preload_fired_;
+    if (preload_fired_ >= preload_total_) arrivals_done_ = true;
+    arrive(cls, index);
+  }
+
+  void arrive(std::size_t cls, std::uint32_t index) {
     ++offered;
     if (copts_ != nullptr) ++window_arrivals_;
     Request req;
-    req.cls = cls;
+    req.cls = static_cast<std::uint32_t>(cls);
+    req.index = index;
     req.first_arrival = sim_.now();
     ++per_class_[cls].offered;
     ++inflight_;
@@ -950,9 +986,7 @@ class Engine final : public control::Actuator {
 #endif
     // The kernel hot path: {Engine*, index, Request, Seconds} is exactly
     // des::Callback's 48-byte inline budget — no allocation per event.
-    auto cb = [this, i, req, wait]() {
-      finish(i, req.cls, req.first_arrival, wait);
-    };
+    auto cb = [this, i, req, wait]() { finish(i, req, wait); };
     static_assert(des::Callback::stores_inline<decltype(cb)>);
     sim_.schedule_at(done, std::move(cb));
   }
@@ -974,6 +1008,9 @@ class Engine final : public control::Actuator {
       ++per_class_[req.cls].failed;
       makespan_ = std::max(makespan_, sim_.now());
       --inflight_;
+      if (options_.record_requests)
+        records_.push_back(RequestRecord{req.index, req.cls, 1,
+                                         sim_.now() - req.first_arrival});
 #if HCEP_OBS
       if (o_ != nullptr) o_->metrics.add(failed_m_);
 #endif
@@ -981,8 +1018,9 @@ class Engine final : public control::Actuator {
     }
   }
 
-  void finish(std::size_t node_index, std::size_t cls, Seconds first_arrival,
-              Seconds wait) {
+  void finish(std::size_t node_index, Request req, Seconds wait) {
+    const std::size_t cls = req.cls;
+    const Seconds first_arrival = req.first_arrival;
     Node& node = nodes_[node_index];
     --node.queued;
     ++node.served;
@@ -1010,6 +1048,8 @@ class Engine final : public control::Actuator {
     per_class_[cls].sojourn.push_back(sojourn.value());
     ++completed;
     ++per_class_[cls].completed;
+    if (options_.record_requests)
+      records_.push_back(RequestRecord{req.index, req.cls, 0, sojourn});
     if (classes_[cls].slo.enabled() && sojourn > classes_[cls].slo.latency)
       ++per_class_[cls].slo_violations;
     makespan_ = std::max(makespan_, sim_.now());
@@ -1066,6 +1106,9 @@ class Engine final : public control::Actuator {
   bool arrivals_done_ = false;
   std::size_t preload_total_ = 0;
   std::size_t preload_fired_ = 0;
+  const std::vector<Arrival>* assigned_ = nullptr;
+  std::size_t assigned_cursor_ = 0;
+  std::vector<RequestRecord> records_;
   std::uint64_t window_arrivals_ = 0;
   std::vector<std::uint64_t> window_shed_;
   std::vector<std::vector<double>> window_sojourns_;
@@ -1119,13 +1162,22 @@ double cluster_capacity_per_s(const model::ClusterSpec& cluster,
   return capacity;
 }
 
-TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
-                               const std::vector<TrafficClass>& classes,
-                               const ArrivalProcess& arrivals,
-                               const TrafficOptions& options) {
+namespace {
+
+/// Shared implementation: exactly one of `process` (generated stream)
+/// or `assigned` (explicit time-sorted arrivals) is non-null. The
+/// generated paths execute the exact event and RNG sequence of previous
+/// releases; the assigned path reuses the single-shard event loop with
+/// the generator pump swapped for a lazy cursor over the vector.
+TrafficResult run_simulation(const model::ClusterSpec& cluster,
+                             const std::vector<TrafficClass>& classes,
+                             const ArrivalProcess* process,
+                             const std::vector<Arrival>* assigned,
+                             const TrafficOptions& options) {
   cluster.validate();
   require(!classes.empty(), "simulate_traffic: no traffic classes");
-  require(options.requests > 0, "simulate_traffic: need at least one request");
+  require(options.requests > 0 || assigned != nullptr,
+          "simulate_traffic: need at least one request");
   require(options.retry.max_attempts >= 1,
           "simulate_traffic: retry.max_attempts must be >= 1");
   require(options.shards >= 1, "simulate_traffic: shards must be >= 1");
@@ -1188,16 +1240,23 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
   if (shard_count == 1) {
     // Classic path: one event loop, generator sampled in-loop. This is
     // byte-identical (same RNG draw order, same event sequence) to the
-    // pre-sharding implementation.
+    // pre-sharding implementation. Assigned-arrival runs reuse this loop
+    // with the pump swapped for a lazy cursor over the caller's vector.
     auto sim = std::make_unique<des::Simulator>();
     engines.push_back(std::make_unique<Engine>(
         *sim, classes, cumulative, options, std::move(all_nodes),
-        options.requests, Rng(options.seed), /*tracing=*/true, tables_ptr,
+        assigned != nullptr ? assigned->size() : options.requests,
+        Rng(options.seed), /*tracing=*/true, tables_ptr,
         /*shard_share=*/1.0, stream_ptr, /*shard_index=*/0));
-    std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
-    process_name = gen->name();
     engines[0]->start_control();
-    engines[0]->start_pump(*gen);
+    if (assigned != nullptr) {
+      process_name = "assigned";
+      engines[0]->start_assigned(*assigned);
+    } else {
+      std::unique_ptr<ArrivalProcess> gen = process->clone();
+      process_name = gen->name();
+      engines[0]->start_pump(*gen);
+    }
     sim->run();
   } else {
     // Sharded path: the arrival stream (time and class of every request)
@@ -1207,11 +1266,11 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
     // windows can run in parallel; per-request tracer spans are disabled
     // (thread interleaving would make the trace nondeterministic) while
     // the atomic metrics counters stay on.
-    std::unique_ptr<ArrivalProcess> gen = arrivals.clone();
+    std::unique_ptr<ArrivalProcess> gen = process->clone();
     process_name = gen->name();
     Rng arrival_rng(options.seed);
-    std::vector<std::vector<std::pair<Seconds, std::size_t>>> shard_arrivals(
-        shard_count);
+    std::vector<std::vector<Arrival>> shard_arrivals(shard_count);
+    std::vector<std::vector<std::uint32_t>> shard_indices(shard_count);
     Seconds t{0.0};
     for (std::uint64_t k = 0; k < options.requests; ++k) {
       t = gen->next(t, arrival_rng);
@@ -1221,7 +1280,9 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
         const double coin = arrival_rng.uniform01();
         while (cls + 1 < classes.size() && coin > cumulative[cls]) ++cls;
       }
-      shard_arrivals[k % shard_count].emplace_back(t, cls);
+      shard_arrivals[k % shard_count].push_back(
+          Arrival{t, static_cast<std::uint32_t>(cls)});
+      shard_indices[k % shard_count].push_back(static_cast<std::uint32_t>(k));
     }
 
     std::vector<std::vector<Node>> shard_nodes(shard_count);
@@ -1244,7 +1305,7 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
           Rng(options.seed).split(static_cast<unsigned>(s)),
           /*tracing=*/false, tables_ptr, share, stream_ptr,
           static_cast<std::uint32_t>(s)));
-      engines[s]->preload(shard_arrivals[s]);
+      engines[s]->preload(shard_arrivals[s], shard_indices[s]);
       engines[s]->start_control();
     }
     sharded.run(options.parallel_shards);
@@ -1307,6 +1368,26 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
                          e->all_sojourn().end());
     }
     for (Node& n : e->nodes()) merged_nodes.push_back(&n);
+  }
+
+  if (options.record_requests) {
+    std::size_t total_records = 0;
+    for (auto& e : engines) total_records += e->records().size();
+    out.requests.reserve(total_records);
+    for (auto& e : engines) {
+      if (engines.size() == 1) {
+        out.requests = std::move(e->records());
+      } else {
+        out.requests.insert(out.requests.end(), e->records().begin(),
+                            e->records().end());
+      }
+    }
+    // Arrival indices are unique per request, so sorting by index is a
+    // total order — the record vector is identical for any shard count.
+    std::sort(out.requests.begin(), out.requests.end(),
+              [](const RequestRecord& a, const RequestRecord& b) {
+                return a.index < b.index;
+              });
   }
 
   out.wait = LatencySummary::from_samples(all_wait);
@@ -1434,6 +1515,36 @@ TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
       l.busy_fraction /= std::max(1.0, count) * makespan.value();
   }
   return out;
+}
+
+}  // namespace
+
+TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
+                               const std::vector<TrafficClass>& classes,
+                               const ArrivalProcess& arrivals,
+                               const TrafficOptions& options) {
+  return run_simulation(cluster, classes, &arrivals, nullptr, options);
+}
+
+TrafficResult simulate_traffic(const model::ClusterSpec& cluster,
+                               const std::vector<TrafficClass>& classes,
+                               const std::vector<Arrival>& arrivals,
+                               const TrafficOptions& options) {
+  require(options.shards == 1,
+          "simulate_traffic: assigned arrivals require shards == 1 (the "
+          "routing tier owns any parallelism)");
+  require(std::is_sorted(arrivals.begin(), arrivals.end(),
+                         [](const Arrival& a, const Arrival& b) {
+                           return a.t < b.t;
+                         }),
+          "simulate_traffic: assigned arrivals must be sorted by time");
+  for (const Arrival& a : arrivals) {
+    require(a.cls < classes.size(),
+            "simulate_traffic: assigned arrival class out of range");
+    require(a.t.value() >= 0.0,
+            "simulate_traffic: assigned arrival before t = 0");
+  }
+  return run_simulation(cluster, classes, nullptr, &arrivals, options);
 }
 
 JsonValue TrafficResult::to_json() const {

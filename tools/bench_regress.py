@@ -178,6 +178,31 @@ SUITES = {
             "BM_SketchInsert/1000$"
         ),
     },
+    "fed": {
+        "binaries": ["perf_fed"],
+        "baseline": "BENCH_fed.json",
+        "gated": [
+            "BM_OpenLoopTraffic/1048576",
+            "BM_FedSingleSite/1048576",
+            "BM_RouterDecision",
+        ],
+        # The ISSUE's federation-overhead bound: a single-site fleet run
+        # is the same demand through the same cluster plus the whole
+        # routing pipeline (generation, placement, replay, ledger merge),
+        # so open/fed throughput is pure federation cost. <= 5% at 1M
+        # requests (full runs); the 128k smoke pair gets slack for timer
+        # noise on a short sample.
+        "ratio_gates": [
+            {"fast": "BM_OpenLoopTraffic/1048576",
+             "slow": "BM_FedSingleSite/1048576", "max_ratio": 1.05},
+            {"fast": "BM_OpenLoopTraffic/131072",
+             "slow": "BM_FedSingleSite/131072", "max_ratio": 1.15},
+        ],
+        "smoke_filter": (
+            "BM_OpenLoopTraffic/131072$|BM_FedSingleSite/131072$|"
+            "BM_RouterDecision$"
+        ),
+    },
     "lint": {
         # Custom wall-clock runner (run_lint_suite), not google-benchmark:
         # the analyzer must stay fast enough to remain a default `lint`

@@ -23,6 +23,8 @@
 //   hcep timeline <program|synthetic> [...]
 //                                    streamed windowed telemetry
 //   hcep diff <a.json> <b.json>      compare two timeline exports
+//   hcep fed [--policy P] [...]      3-site federated fleet run with
+//                                    energy/carbon-aware global routing
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures
 // (`hcep diff` returns 0 when identical within tolerance, 1 otherwise).
@@ -37,6 +39,9 @@
 #include <vector>
 
 #include "hcep/hcep.hpp"
+
+#include "hcep/fed/curves.hpp"
+#include "hcep/fed/fleet.hpp"
 
 namespace {
 
@@ -79,6 +84,12 @@ int usage() {
          "          [--json path] [--csv path]  streamed windowed telemetry\n"
          "  diff <a.json> <b.json> [--rel T] [--abs T] [--json path]\n"
          "                                  compare two timeline exports\n"
+         "  fed [--policy nearest|round-robin|pinned|cheapest-energy|"
+         "lowest-carbon|slo-hybrid]\n"
+         "      [--requests N] [--seed S] [--shards K] [--pinned I] "
+         "[--json path]\n"
+         "                                  3-site federated fleet run\n"
+         "  selftest <profile|diff|fed>     pipeline self-checks\n"
          "programs: EP memcached x264 blackscholes Julius RSA-2048\n";
   return 1;
 }
@@ -525,10 +536,187 @@ int cmd_selftest_diff() {
   return 0;
 }
 
+// ----------------------------------------------------------------- fed
+
+/// The keystone federation scenario at CLI scale: three regions
+/// ("alpha" twice the size of "beta"/"gamma") with diurnal demand
+/// peaking a third of a compressed day apart, tariff and carbon curves
+/// peaking with each region's local load, interactive (memcached,
+/// tight SLO) plus batch (x264, loose SLO) traffic, and a WAN whose
+/// transit excludes remote sites for interactive requests. The same
+/// shape as tests/test_fed.cpp's FleetScenario; see docs/FEDERATION.md.
+struct FedScenario {
+  std::vector<fed::Site> sites;
+  hw::InterSiteNetwork network;
+  std::vector<traffic::TrafficClass> classes;
+  fed::FleetOptions options;
+};
+
+FedScenario make_fed_scenario(std::uint64_t requests_per_site,
+                              std::uint64_t seed) {
+  FedScenario sc;
+  const std::vector<unsigned> k10 = {4, 2, 2};
+  const char* names[] = {"alpha", "beta", "gamma"};
+
+  const auto probe = model::make_a9_k10_cluster(0, 1);
+  const std::vector<traffic::TrafficClass> mc_only = {
+      {study().workload("memcached"), 1.0, {}}};
+  const std::vector<traffic::TrafficClass> x264_only = {
+      {study().workload("x264"), 1.0, {}}};
+  const Seconds s_i{1.0 / traffic::cluster_capacity_per_s(probe, mc_only)};
+  const Seconds s_b{1.0 / traffic::cluster_capacity_per_s(probe, x264_only)};
+  const Seconds slo_i{12.0 * s_i.value()};
+  const Seconds slo_b{40.0 * s_b.value()};
+  sc.classes = {
+      {study().workload("memcached"), 0.80, traffic::SloTarget{slo_i, 0.95}},
+      {study().workload("x264"), 0.20, traffic::SloTarget{slo_b, 0.95}}};
+
+  sc.network = hw::InterSiteNetwork::uniform(3, Seconds{0.5 * slo_i.value()},
+                                             BytesPerSecond{0.0});
+
+  double fleet_capacity = 0.0;
+  for (const unsigned n : k10)
+    fleet_capacity += traffic::cluster_capacity_per_s(
+        model::make_a9_k10_cluster(0, n), sc.classes);
+  const double site_rate = 0.55 * fleet_capacity / 3.0;
+  const Seconds period{static_cast<double>(requests_per_site) / site_rate};
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    fed::Site site;
+    site.name = names[s];
+    site.cluster = model::make_a9_k10_cluster(0, k10[s]);
+    site.rack_budget = site.cluster.nameplate_power();
+    const Seconds offset{period.value() * static_cast<double>(s) / 3.0};
+    site.arrivals = traffic::make_diurnal(site_rate, 0.85, period, offset);
+    // The sinusoidal load peaks a quarter period past its offset; the
+    // tariff and carbon curves peak with the local load.
+    const Seconds price_peak{offset.value() + 0.25 * period.value()};
+    site.price = fed::make_diurnal_curve(0.10, 0.8, period, price_peak,
+                                         /*seed=*/100 + s, /*jitter=*/0.03);
+    site.carbon = fed::make_diurnal_curve(420.0, 0.6, period, price_peak,
+                                          /*seed=*/200 + s, /*jitter=*/0.03);
+    sc.sites.push_back(std::move(site));
+  }
+
+  sc.options.requests_per_site = requests_per_site;
+  sc.options.seed = seed;
+  sc.options.stream.window = Seconds{period.value() / 48.0};
+  sc.options.router.headroom = 0.60;
+  sc.options.router.transit_slack = 0.25;
+  // Short relative to the diurnal ramp — see RouterOptions::load_window.
+  sc.options.router.load_window = Seconds{6.0 * s_b.value()};
+  return sc;
+}
+
+int cmd_fed(const std::vector<std::string>& args) {
+  std::string policy_name = "slo-hybrid";
+  std::uint64_t requests = 3000;
+  std::uint64_t seed = 1;
+  std::size_t shards = 1;
+  std::size_t pinned = 0;
+  std::string json_path;
+  for (std::size_t i = 0; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    const std::string& key = args[i];
+    const std::string& value = args[i + 1];
+    if (key == "--policy")
+      policy_name = value;
+    else if (key == "--requests")
+      requests = std::stoull(value);
+    else if (key == "--seed")
+      seed = std::stoull(value);
+    else if (key == "--shards")
+      shards = std::stoul(value);
+    else if (key == "--pinned")
+      pinned = std::stoul(value);
+    else if (key == "--json")
+      json_path = value;
+    else
+      return usage();
+  }
+
+  FedScenario sc = make_fed_scenario(requests, seed);
+  sc.options.router.policy = fed::parse_route_policy(policy_name);
+  sc.options.router.pinned_site = pinned;
+  sc.options.shards = shards;
+  const fed::FleetReport r =
+      fed::simulate_fleet(sc.sites, sc.network, sc.classes, sc.options);
+
+  std::cout << "fleet of " << r.sites.size() << " sites, policy "
+            << r.router_policy << ", seed " << r.seed << ", "
+            << requests << " req/site:\n"
+            << "  offered " << r.offered << "  completed " << r.completed
+            << "  failed " << r.failed << "  cross-site " << r.cross_site
+            << "\n  energy " << fmt(r.energy.value(), 1) << " J  cost $"
+            << fmt(r.energy_cost, 4) << "  carbon " << fmt(r.carbon_g, 1)
+            << " g  horizon " << fmt(r.horizon.value(), 1) << " s\n";
+  TextTable sites_t(
+      {"site", "routed", "local", "energy [J]", "cost [$]", "carbon [g]"});
+  for (const auto& s : r.sites)
+    sites_t.add_row({s.name, std::to_string(s.routed),
+                     std::to_string(s.local), fmt(s.energy.value(), 1),
+                     fmt(s.energy_cost, 4), fmt(s.carbon_g, 1)});
+  std::cout << sites_t;
+  TextTable cls_t({"class", "completed", "violations", "e2e p99 [ms]",
+                   "slo [ms]", "mean transit [ms]"});
+  for (const auto& c : r.classes)
+    cls_t.add_row({c.name, std::to_string(c.completed),
+                   std::to_string(c.slo_violations),
+                   fmt(c.e2e.p99.value() * 1e3, 1),
+                   fmt(c.slo.latency.value() * 1e3, 1),
+                   fmt(c.mean_transit.value() * 1e3, 2)});
+  std::cout << cls_t;
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << r.to_json().dump_pretty() << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+/// `hcep selftest fed`: the federation determinism contract through the
+/// public surface — a same-seed fleet run must serialize byte-identically
+/// across repeated runs AND across shard counts (shards only decide
+/// whether the per-site simulations run concurrently), while a different
+/// seed must produce a different document.
+int cmd_selftest_fed() {
+  const auto dump = [](std::uint64_t seed, std::size_t shards) {
+    FedScenario sc = make_fed_scenario(900, seed);
+    sc.options.shards = shards;
+    return fed::simulate_fleet(sc.sites, sc.network, sc.classes, sc.options)
+        .to_json()
+        .dump_pretty();
+  };
+  const std::string first = dump(20260809, 1);
+  if (dump(20260809, 1) != first) {
+    std::cerr << "selftest: same-seed fleet reruns are not byte-identical\n";
+    return 2;
+  }
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{3}}) {
+    if (dump(20260809, shards) != first) {
+      std::cerr << "selftest: fleet report changed with shards="
+                << shards << "\n";
+      return 2;
+    }
+  }
+  if (dump(20260810, 1) == first) {
+    std::cerr << "selftest: different seeds produced identical fleets\n";
+    return 2;
+  }
+  std::cout << "selftest fed: ok (" << first.size()
+            << "-byte report stable across reruns and shards 1/2/3)\n";
+  return 0;
+}
+
 int cmd_selftest(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   if (args[0] == "profile") return cmd_selftest_profile();
   if (args[0] == "diff") return cmd_selftest_diff();
+  if (args[0] == "fed") return cmd_selftest_fed();
   return usage();
 }
 
@@ -1049,6 +1237,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "timeline") return cmd_timeline(args);
     if (cmd == "diff") return cmd_diff(args);
+    if (cmd == "fed") return cmd_fed(args);
     if (cmd == "selftest") return cmd_selftest(args);
     return usage();
   } catch (const std::exception& e) {

@@ -152,6 +152,7 @@ class FileAnalyzer {
     scan_rng_constructions();
     scan_banned_calls();
     scan_simple_header_rules();
+    scan_fed_identity();
     scan_function_decls();
     collect_mutable_statics();
     finalize_member_rng();
@@ -546,6 +547,25 @@ class FileAnalyzer {
     }
   }
 
+  // --- fed site identity ------------------------------------------------------
+
+  /// `Site *` in a federation header: a site addressed by pointer is an
+  /// allocation-address identity (ASLR-randomized per run), which the
+  /// fleet's byte-determinism contract forbids. Note a pointer to the
+  /// site *vector* (`std::vector<Site>*`) tokenizes as `Site > *` and
+  /// deliberately does not match — only the element type itself used as
+  /// a pointer is site identity.
+  void scan_fed_identity() {
+    if (!header() || !is_fed_header(path_)) return;
+    for (std::size_t i = 0; i + 1 < ts_.size(); ++i) {
+      if (!ident(ts_[i], "Site") || !punct(ts_[i + 1], "*")) continue;
+      add(ts_[i].line, "site-id-determinism",
+          "`Site*` used as site identity orders/compares by allocation "
+          "address, which ASLR re-randomizes every run; identify sites "
+          "by their index in the scenario's site vector");
+    }
+  }
+
   // --- function declarations: nodiscard + unit-flow --------------------------
 
   void scan_function_decls() {
@@ -815,6 +835,9 @@ bool is_deterministic_output_path(const std::string& relpath) {
   return contains(relpath, "report") || contains(relpath, "export") ||
          contains(relpath, "json") || contains(relpath, "csv") ||
          contains(relpath, "/table");
+}
+bool is_fed_header(const std::string& relpath) {
+  return contains(relpath, "include/hcep/fed/");
 }
 
 }  // namespace hcep::lint

@@ -33,5 +33,6 @@ bool is_control_header(const std::string& relpath);
 bool is_hot_path_header(const std::string& relpath);
 bool is_evaluator_header(const std::string& relpath);
 bool is_deterministic_output_path(const std::string& relpath);
+bool is_fed_header(const std::string& relpath);
 
 }  // namespace hcep::lint

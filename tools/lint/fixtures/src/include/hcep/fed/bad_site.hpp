@@ -1,0 +1,34 @@
+// hcep-lint selftest fixture: site-id-determinism. Federation routing
+// must identify sites by their index in the scenario's site vector —
+// a Site* is an allocation-address identity that ASLR re-randomizes
+// every run, so anything ordered or keyed by it (and anything that
+// compares two of them) breaks the byte-identical same-seed fleet
+// guarantee. Two live violations (a plain pointer member and a
+// pointer-keyed map, which also fires pointer-key) plus a suppressed
+// twin, and a stable-index control.
+// Scanned only by `hcep-lint --selftest`; not part of the build.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+namespace hcep::fed {
+
+struct Site;
+
+struct FixtureRoutingState {
+  // LIVE site-id-determinism: address-based site identity.
+  Site* home = nullptr;
+
+  // LIVE site-id-determinism + LIVE pointer-key: iterates in
+  // allocation-address order on top of the identity problem.
+  std::map<Site*, double> window_by_site;
+
+  // Suppressed twin: must stay silent.
+  Site* mirror = nullptr;  // hcep-lint: allow(site-id-determinism)
+
+  // Control: the dense scenario index is the right identity.
+  std::size_t home_index = 0;
+};
+
+}  // namespace hcep::fed

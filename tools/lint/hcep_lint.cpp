@@ -265,9 +265,10 @@ int selftest(const fs::path& fixtures) {
       {"unit-double", 3},          {"control-unit-double", 2},
       {"nodiscard", 3},            {"unordered-iteration", 2},
       {"banned-call", 1},          {"std-function-hot-path", 1},
-      {"rng-seed-flow", 3},        {"pointer-key", 1},
+      {"rng-seed-flow", 3},        {"pointer-key", 2},
       {"thread-id-identity", 1},   {"float-order-reduction", 1},
-      {"shared-mutable-static", 1},{"unit-flow", 1}};
+      {"shared-mutable-static", 1},{"unit-flow", 1},
+      {"site-id-determinism", 2}};
   std::map<std::string, std::size_t> fired;
   for (const auto& f : scan.findings) ++fired[f.rule];
   int rc = 0;

@@ -77,6 +77,12 @@ inline const std::vector<RuleSpec>& rule_catalog() {
        "code must not declare non-const, non-atomic statics: shards "
        "would race on them and break serial/parallel byte-identity. Use "
        "std::atomic, thread_local, const, or per-shard state."},
+      {"site-id-determinism",
+       "Site identified by pointer in a federation header",
+       "Federation placement must be byte-reproducible: a `Site*` used "
+       "as identity (member, key, or comparator) orders and hashes by "
+       "allocation address, which ASLR re-randomizes every run. Identify "
+       "sites by their index in the scenario's site vector (or by name)."},
       {"unit-flow",
        "naked double parameter crosses a Quantity-typed API boundary",
        "A function that returns an hcep::units Quantity but takes a "
